@@ -1,0 +1,387 @@
+(** The roccc command-line compiler.
+
+    roccc compile <file.c> -e <entry> [-o out.vhd] [--dump-stage ...]
+    roccc simulate <file.c> -e <entry> --array A=1,2,3 --scalar x=5
+    roccc report <file.c> -e <entry>
+    roccc bench <name>         (compile + simulate a built-in Table 1 kernel)
+*)
+
+open Cmdliner
+module Driver = Roccc_core.Driver
+module Kernels = Roccc_core.Kernels
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_errors f =
+  try f () with
+  | Driver.Error msg ->
+    Printf.eprintf "roccc: %s\n" msg;
+    exit 1
+  | Roccc_cfront.Parser.Error (msg, line, col) ->
+    Printf.eprintf "roccc: parse error at %d:%d: %s\n" line col msg;
+    exit 1
+  | Roccc_cfront.Semant.Error msg ->
+    Printf.eprintf "roccc: %s\n" msg;
+    exit 1
+
+(* ---- common args ---- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+
+let entry_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "e"; "entry" ] ~docv:"FUNC" ~doc:"Kernel function to compile.")
+
+let target_ns_arg =
+  Arg.(
+    value & opt float Roccc_datapath.Pipeline.default_target_ns
+    & info [ "target-ns" ] ~doc:"Pipeline stage delay budget (ns).")
+
+let bus_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "bus" ] ~doc:"Memory bus width in elements per access.")
+
+let no_widths_arg =
+  Arg.(
+    value & flag
+    & info [ "no-width-inference" ]
+        ~doc:"Disable bit-width inference (keep declared C widths).")
+
+let unroll_inner_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "unroll-inner" ]
+        ~doc:"Fully unroll inner loops up to this trip count.")
+
+let options_of target_ns bus no_widths unroll_inner =
+  { Driver.default_options with
+    Driver.target_ns;
+    bus_elements = bus;
+    infer_widths = not no_widths;
+    unroll_inner_max = unroll_inner }
+
+let kv_list_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      let name = String.sub s 0 i in
+      let values =
+        String.sub s (i + 1) (String.length s - i - 1)
+        |> String.split_on_char ','
+        |> List.map (fun v ->
+               match Int64.of_string_opt (String.trim v) with
+               | Some x -> x
+               | None -> failwith ("bad integer " ^ v))
+      in
+      Ok (name, Array.of_list values)
+    | None -> Error (`Msg "expected NAME=v1,v2,...")
+  in
+  let print ppf (name, values) =
+    Format.fprintf ppf "%s=%s" name
+      (String.concat ","
+         (Array.to_list values |> List.map Int64.to_string))
+  in
+  Arg.conv (parse, print)
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR"
+          ~doc:"Write the VHDL design (and ROM init files) into DIR.")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt_all (enum
+                   [ "kernel", `Kernel; "transformed", `Transformed;
+                     "dp-function", `Dp; "vm", `Vm; "datapath", `Datapath;
+                     "dot", `Dot; "pipeline", `Pipeline; "vhdl", `Vhdl;
+                     "passes", `Passes ])
+          []
+      & info [ "dump" ] ~docv:"STAGE"
+          ~doc:
+            "Print an intermediate stage: kernel, transformed, dp-function, \
+             vm, datapath, dot, pipeline, vhdl, passes.")
+  in
+  let run file entry target_ns bus no_widths unroll_inner out dumps testbench =
+    with_errors (fun () ->
+        let source = read_file file in
+        let options = options_of target_ns bus no_widths unroll_inner in
+        let c = Driver.compile ~options ~entry source in
+        ignore testbench;
+        List.iter
+          (fun d ->
+            match d with
+            | `Kernel ->
+              print_endline (Roccc_hir.Kernel.describe c.Driver.kernel)
+            | `Transformed ->
+              print_endline
+                (Roccc_cfront.Pretty.func_to_string
+                   c.Driver.kernel.Roccc_hir.Kernel.transformed)
+            | `Dp ->
+              print_endline
+                (Roccc_cfront.Pretty.func_to_string
+                   c.Driver.kernel.Roccc_hir.Kernel.dp)
+            | `Vm -> print_endline (Roccc_vm.Proc.to_string c.Driver.proc)
+            | `Datapath ->
+              print_endline (Roccc_datapath.Graph.to_string c.Driver.dp)
+            | `Dot -> print_endline (Roccc_datapath.Graph.to_dot c.Driver.dp)
+            | `Pipeline ->
+              print_endline (Roccc_datapath.Pipeline.describe c.Driver.pipeline)
+            | `Vhdl ->
+              print_endline (Roccc_vhdl.Ast.to_string c.Driver.design)
+            | `Passes -> print_endline (Driver.pass_pipeline_figure c))
+          dumps;
+        (match out with
+        | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          List.iter
+            (fun (name, contents) ->
+              let path = Filename.concat dir name in
+              let oc = open_out path in
+              output_string oc contents;
+              close_out oc;
+              Printf.printf "wrote %s\n" path)
+            (Roccc_vhdl.Ast.to_files c.Driver.design
+            @ (match c.Driver.system_vhdl with
+              | Some text -> [ c.Driver.entry ^ "_system.vhd", text ]
+              | None -> [])
+            @
+            match testbench with
+            | Some spec ->
+              let arrays, scalars = spec in
+              [ c.Driver.entry ^ "_tb.vhd",
+                Roccc_core.Testbench.generate ~scalars ~arrays c ]
+            | None -> [])
+        | None -> ());
+        if dumps = [] && out = None then print_string (Driver.report c))
+  in
+  let testbench_arg =
+    Arg.(
+      value
+      & opt_all kv_list_conv []
+      & info [ "tb-array" ] ~docv:"NAME=v1,v2,..."
+          ~doc:
+            "Also emit a self-checking testbench (<entry>_tb.vhd) driving \
+             the data path with this input array (repeatable).")
+  in
+  let run' file entry target_ns bus no_widths unroll_inner out dumps tb_arrays =
+    let testbench =
+      if tb_arrays = [] then None else Some (tb_arrays, [])
+    in
+    run file entry target_ns bus no_widths unroll_inner out dumps testbench
+  in
+  let term =
+    Term.(
+      const run' $ file_arg $ entry_arg $ target_ns_arg $ bus_arg
+      $ no_widths_arg $ unroll_inner_arg $ out_arg $ dump_arg $ testbench_arg)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a C kernel to VHDL.") term
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let array_arg =
+    Arg.(
+      value & opt_all kv_list_conv []
+      & info [ "array" ] ~docv:"NAME=v1,v2,..."
+          ~doc:"Input array contents (repeatable).")
+  in
+  let scalar_arg =
+    Arg.(
+      value & opt_all kv_list_conv []
+      & info [ "scalar" ] ~docv:"NAME=v"
+          ~doc:"Scalar live-in value (repeatable).")
+  in
+  let vcd_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE"
+          ~doc:"Write a VCD waveform of the run to FILE (view in GTKWave).")
+  in
+  let run file entry target_ns bus no_widths unroll_inner arrays scalars vcd =
+    with_errors (fun () ->
+        let source = read_file file in
+        let options = options_of target_ns bus no_widths unroll_inner in
+        let c = Driver.compile ~options ~entry source in
+        let scalars =
+          List.map
+            (fun (n, (vs : int64 array)) ->
+              n, if Array.length vs > 0 then vs.(0) else 0L)
+            scalars
+        in
+        let r = Driver.simulate ~scalars ~arrays c in
+        Printf.printf "cycles: %d (latency %d, %d launches)\n"
+          r.Roccc_hw.Engine.cycles r.Roccc_hw.Engine.pipeline_latency
+          r.Roccc_hw.Engine.launches;
+        Printf.printf "memory: %d reads, %d writes (reuse %.2fx)\n"
+          r.Roccc_hw.Engine.memory_reads r.Roccc_hw.Engine.memory_writes
+          r.Roccc_hw.Engine.reuse_ratio;
+        List.iter
+          (fun (name, data) ->
+            Printf.printf "%s = [%s]\n" name
+              (String.concat "; "
+                 (Array.to_list data |> List.map Int64.to_string)))
+          r.Roccc_hw.Engine.output_arrays;
+        List.iter
+          (fun (name, v) -> Printf.printf "%s = %Ld\n" name v)
+          r.Roccc_hw.Engine.scalar_outputs;
+        (match vcd with
+        | Some path ->
+          let dump =
+            Roccc_hw.Vcd.of_simulation ~design:c.Driver.entry c.Driver.kernel
+              r
+          in
+          let oc = open_out path in
+          output_string oc (Roccc_hw.Vcd.render dump);
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+        | None -> ());
+        let diffs = Driver.verify ~scalars ~arrays c in
+        if diffs = [] then print_endline "co-simulation: hardware = software"
+        else begin
+          print_endline "co-simulation MISMATCH:";
+          List.iter print_endline diffs;
+          exit 1
+        end)
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ entry_arg $ target_ns_arg $ bus_arg
+      $ no_widths_arg $ unroll_inner_arg $ array_arg $ scalar_arg $ vcd_arg)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Compile and run a kernel on the cycle-accurate execution model.")
+    term
+
+(* ---- compile-all ---- *)
+
+let compile_all_cmd =
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR"
+          ~doc:"Write each kernel's VHDL into DIR.")
+  in
+  let run file out =
+    with_errors (fun () ->
+        let source = read_file file in
+        let oks, errs = Driver.compile_all source in
+        List.iter
+          (fun (name, c) ->
+            Printf.printf "%-20s %5d slices @ %6.1f MHz, %d-stage pipeline\n"
+              name c.Driver.area.Roccc_fpga.Area.slices
+              c.Driver.area.Roccc_fpga.Area.clock_mhz
+              (Roccc_datapath.Pipeline.latency c.Driver.pipeline);
+            match out with
+            | Some dir ->
+              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+              List.iter
+                (fun (fname, contents) ->
+                  let path = Filename.concat dir fname in
+                  let oc = open_out path in
+                  output_string oc contents;
+                  close_out oc)
+                (Roccc_vhdl.Ast.to_files c.Driver.design)
+            | None -> ())
+          oks;
+        List.iter
+          (fun (name, msg) -> Printf.printf "%-20s FAILED: %s\n" name msg)
+          errs;
+        if oks = [] && errs <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "compile-all"
+       ~doc:"Compile every kernel function (array/pointer params) in a file.")
+    Term.(const run $ file_arg $ out_arg)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let array_arg =
+    Arg.(
+      value & opt_all kv_list_conv []
+      & info [ "array" ] ~docv:"NAME=v1,v2,..."
+          ~doc:"Input array contents (repeatable).")
+  in
+  let scalar_arg =
+    Arg.(
+      value & opt_all kv_list_conv []
+      & info [ "scalar" ] ~docv:"NAME=v"
+          ~doc:"Scalar argument (repeatable).")
+  in
+  let run file entry arrays scalars =
+    with_errors (fun () ->
+        let source = read_file file in
+        let scalars =
+          List.map
+            (fun (n, (vs : int64 array)) ->
+              n, if Array.length vs > 0 then vs.(0) else 0L)
+            scalars
+        in
+        match
+          Roccc_core.Profile.analyze ~scalars ~arrays ~entry source
+        with
+        | p -> print_string (Roccc_core.Profile.report p)
+        | exception Roccc_core.Profile.Error msg ->
+          Printf.eprintf "roccc: %s\n" msg;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a program through the interpreter and rank its loops by \
+          dynamic operation count (hardware-candidate identification).")
+    Term.(const run $ file_arg $ entry_arg $ array_arg $ scalar_arg)
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL")
+  in
+  let run name =
+    with_errors (fun () ->
+        match Kernels.find name with
+        | None ->
+          Printf.eprintf "unknown kernel %s; available: %s\n" name
+            (String.concat ", "
+               (List.map
+                  (fun b -> b.Kernels.bench_name)
+                  Kernels.table1));
+          exit 1
+        | Some b ->
+          let c, r, diffs = Kernels.run b in
+          print_string (Driver.report c);
+          Printf.printf "simulation: %d cycles, %d launches, reuse %.2fx\n"
+            r.Roccc_hw.Engine.cycles r.Roccc_hw.Engine.launches
+            r.Roccc_hw.Engine.reuse_ratio;
+          if diffs = [] then print_endline "co-simulation: hardware = software"
+          else begin
+            List.iter print_endline diffs;
+            exit 1
+          end)
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Compile and simulate a built-in Table 1 kernel.")
+    (Term.(const run $ name_arg))
+
+let main_cmd =
+  let doc = "ROCCC-style C-to-VHDL compiler (DATE 2005 reproduction)" in
+  Cmd.group (Cmd.info "roccc" ~doc)
+    [ compile_cmd; compile_all_cmd; simulate_cmd; profile_cmd; bench_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

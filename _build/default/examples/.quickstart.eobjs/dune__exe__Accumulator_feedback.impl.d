@@ -1,0 +1,1 @@
+examples/accumulator_feedback.ml: Array Int64 List Printf Roccc_cfront Roccc_core Roccc_datapath Roccc_hir Roccc_hw

@@ -1,0 +1,1 @@
+examples/accumulator_feedback.mli:

@@ -1,0 +1,1 @@
+examples/branch_datapath.ml: Int64 List Printf Roccc_core Roccc_datapath Roccc_hw Roccc_vhdl

@@ -1,0 +1,1 @@
+examples/dct_pipeline.ml: Array Int64 List Printf Roccc_core Roccc_hir Roccc_hw

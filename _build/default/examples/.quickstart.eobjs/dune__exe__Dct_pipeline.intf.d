@@ -1,0 +1,1 @@
+examples/dct_pipeline.mli:

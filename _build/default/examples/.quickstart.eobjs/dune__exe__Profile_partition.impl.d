@@ -1,0 +1,1 @@
+examples/profile_partition.ml: Array Int64 List Printf Roccc_core Roccc_fpga Roccc_hw

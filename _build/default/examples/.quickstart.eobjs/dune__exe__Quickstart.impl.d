@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Int64 List Printf Roccc_core Roccc_hw Roccc_vhdl Str String

@@ -1,0 +1,1 @@
+examples/sobel_edge.ml: Array Int64 List Printf Roccc_core Roccc_hw

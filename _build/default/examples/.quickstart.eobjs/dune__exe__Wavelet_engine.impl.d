@@ -1,0 +1,1 @@
+examples/wavelet_engine.ml: Array Int64 List Printf Roccc_core Roccc_datapath Roccc_fpga Roccc_hw

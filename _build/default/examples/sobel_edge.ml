@@ -1,0 +1,62 @@
+(* Sobel edge magnitude over an image — the sliding-window image-processing
+   workload the paper's introduction motivates ("image and signal
+   processing", 2-D window operators that Streams-C could not express).
+
+   A 3x3 window slides over a 16x16 image; the data path computes
+   |Gx| + |Gy| per pixel. Demonstrates 2-D smart buffers (line buffers),
+   per-element fetch, and hard mux nodes from the abs() branches.
+
+     dune exec examples/sobel_edge.exe
+*)
+
+module Driver = Roccc_core.Driver
+module Engine = Roccc_hw.Engine
+
+let source =
+  "void sobel(uint8 P[16][16], uint12 E[14][14]) {\n\
+  \  int r, c;\n\
+  \  for (r = 0; r < 14; r++) {\n\
+  \    for (c = 0; c < 14; c++) {\n\
+  \      int gx, gy, ax, ay;\n\
+  \      gx = P[r][c+2] + 2*P[r+1][c+2] + P[r+2][c+2]\n\
+  \         - P[r][c]   - 2*P[r+1][c]   - P[r+2][c];\n\
+  \      gy = P[r+2][c] + 2*P[r+2][c+1] + P[r+2][c+2]\n\
+  \         - P[r][c]   - 2*P[r][c+1]   - P[r][c+2];\n\
+  \      ax = gx;\n\
+  \      if (gx < 0) { ax = -gx; }\n\
+  \      ay = gy;\n\
+  \      if (gy < 0) { ay = -gy; }\n\
+  \      E[r][c] = ax + ay;\n\
+  \    }\n\
+  \  }\n\
+   }\n"
+
+let () =
+  print_endline "== Sobel edge detector: 3x3 window over a 16x16 image ==\n";
+  let compiled = Driver.compile ~entry:"sobel" source in
+  print_endline (Driver.report compiled);
+
+  (* a synthetic image: bright square on a dark background *)
+  let image =
+    Array.init 256 (fun i ->
+        let r = i / 16 and c = i mod 16 in
+        if r >= 5 && r < 11 && c >= 5 && c < 11 then 200L else 20L)
+  in
+  let r = Driver.simulate ~arrays:[ "P", image ] compiled in
+  Printf.printf "cycles: %d for %d pixels (%d memory reads, reuse %.2fx)\n\n"
+    r.Engine.cycles r.Engine.launches r.Engine.memory_reads r.Engine.reuse_ratio;
+  (* render the edge map *)
+  let e = List.assoc "E" r.Engine.output_arrays in
+  print_endline "edge magnitude map (. = 0, + = weak, # = strong):";
+  for row = 0 to 13 do
+    for col = 0 to 13 do
+      let v = Int64.to_int e.((row * 14) + col) in
+      print_char (if v > 400 then '#' else if v > 0 then '+' else '.')
+    done;
+    print_newline ()
+  done;
+  match Driver.verify ~arrays:[ "P", image ] compiled with
+  | [] -> print_endline "\nco-simulation: hardware = software"
+  | diffs ->
+    List.iter print_endline diffs;
+    exit 1

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Buffer Hashtbl List Option Printf Roccc_vm

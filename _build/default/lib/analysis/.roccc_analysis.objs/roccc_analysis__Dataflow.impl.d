@@ -1,0 +1,1 @@
+lib/analysis/dataflow.ml: Cfg Hashtbl Int List Option Printf Roccc_vm Set String

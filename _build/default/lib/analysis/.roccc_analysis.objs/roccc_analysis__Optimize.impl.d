@@ -1,0 +1,1 @@
+lib/analysis/optimize.ml: Hashtbl Int List Option Printf Roccc_cfront Roccc_vm Set String

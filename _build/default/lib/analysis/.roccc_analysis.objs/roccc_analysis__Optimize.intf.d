@@ -1,0 +1,1 @@
+lib/analysis/optimize.mli: Roccc_vm

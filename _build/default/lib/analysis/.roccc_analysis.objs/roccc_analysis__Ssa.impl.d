@@ -1,0 +1,1 @@
+lib/analysis/ssa.ml: Array Cfg Hashtbl Int List Option Printf Roccc_vm Set

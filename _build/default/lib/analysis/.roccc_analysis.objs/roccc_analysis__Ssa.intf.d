@@ -1,0 +1,1 @@
+lib/analysis/ssa.mli: Cfg Roccc_vm

@@ -1,0 +1,324 @@
+(** Bit-vector data-flow analysis framework — the Machine-SUIF DFA library
+    equivalent (paper reference [15]). A generic worklist solver over integer
+    sets, instantiated below for live variables, reaching definitions and
+    available expressions. *)
+
+module Proc = Roccc_vm.Proc
+module Instr = Roccc_vm.Instr
+module IS = Set.Make (Int)
+
+type direction = Forward | Backward
+type confluence = Union | Intersection
+
+(** A block-level problem: GEN/KILL per block plus direction and meet. *)
+type problem = {
+  direction : direction;
+  confluence : confluence;
+  gen : Proc.block -> IS.t;
+  kill : Proc.block -> IS.t;
+  init : IS.t;           (** value at the boundary (entry or exit) *)
+  universe : IS.t;       (** top for intersection problems *)
+}
+
+type solution = {
+  live_in : (Proc.label, IS.t) Hashtbl.t;   (* IN sets *)
+  live_out : (Proc.label, IS.t) Hashtbl.t;  (* OUT sets *)
+}
+
+let in_of (s : solution) l = Option.value (Hashtbl.find_opt s.live_in l) ~default:IS.empty
+let out_of (s : solution) l = Option.value (Hashtbl.find_opt s.live_out l) ~default:IS.empty
+
+(** Iterative worklist solver. *)
+let solve (g : Cfg.t) (p : problem) : solution =
+  let blocks = g.Cfg.proc.Proc.blocks in
+  let in_sets = Hashtbl.create 16 and out_sets = Hashtbl.create 16 in
+  let start_value =
+    match p.confluence with Union -> IS.empty | Intersection -> p.universe
+  in
+  List.iter
+    (fun (b : Proc.block) ->
+      Hashtbl.replace in_sets b.Proc.label start_value;
+      Hashtbl.replace out_sets b.Proc.label start_value)
+    blocks;
+  let meet values =
+    match values, p.confluence with
+    | [], Union -> IS.empty
+    | [], Intersection -> p.init
+    | v :: vs, Union -> List.fold_left IS.union v vs
+    | v :: vs, Intersection -> List.fold_left IS.inter v vs
+  in
+  let transfer (b : Proc.block) x =
+    IS.union (p.gen b) (IS.diff x (p.kill b))
+  in
+  let changed = ref true in
+  let iteration_budget = ref (List.length blocks * List.length blocks * 4 + 64) in
+  while !changed && !iteration_budget > 0 do
+    changed := false;
+    decr iteration_budget;
+    List.iter
+      (fun (b : Proc.block) ->
+        let l = b.Proc.label in
+        match p.direction with
+        | Forward ->
+          let preds = Cfg.predecessors g l in
+          let in_v =
+            if l = Cfg.entry_label g then p.init
+            else meet (List.map (fun q -> Hashtbl.find out_sets q) preds)
+          in
+          let out_v = transfer b in_v in
+          if not (IS.equal in_v (Hashtbl.find in_sets l)) then begin
+            Hashtbl.replace in_sets l in_v;
+            changed := true
+          end;
+          if not (IS.equal out_v (Hashtbl.find out_sets l)) then begin
+            Hashtbl.replace out_sets l out_v;
+            changed := true
+          end
+        | Backward ->
+          let succs = Cfg.successors g l in
+          let out_v =
+            if succs = [] then p.init
+            else meet (List.map (fun q -> Hashtbl.find in_sets q) succs)
+          in
+          let in_v = transfer b out_v in
+          if not (IS.equal out_v (Hashtbl.find out_sets l)) then begin
+            Hashtbl.replace out_sets l out_v;
+            changed := true
+          end;
+          if not (IS.equal in_v (Hashtbl.find in_sets l)) then begin
+            Hashtbl.replace in_sets l in_v;
+            changed := true
+          end)
+      blocks
+  done;
+  { live_in = in_sets; live_out = out_sets }
+
+(* ------------------------------------------------------------------ *)
+(* Live variables                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Upward-exposed uses of a block: used before (re)defined, scanning forward.
+   Phi arguments count as uses in the *predecessor*, so here we treat a
+   block's own phis as definitions only. *)
+let block_ue_uses (b : Proc.block) : IS.t =
+  let defined = ref IS.empty in
+  List.iter (fun (p : Proc.phi) -> defined := IS.add p.Proc.phi_dst !defined) b.Proc.phis;
+  let uses = ref IS.empty in
+  List.iter
+    (fun (i : Instr.instr) ->
+      List.iter
+        (fun s -> if not (IS.mem s !defined) then uses := IS.add s !uses)
+        i.Instr.srcs;
+      match i.Instr.dst with
+      | Some d -> defined := IS.add d !defined
+      | None -> ())
+    b.Proc.instrs;
+  (match b.Proc.term with
+  | Proc.Branch (r, _, _) ->
+    if not (IS.mem r !defined) then uses := IS.add r !uses
+  | Proc.Jump _ | Proc.Ret -> ());
+  !uses
+
+let block_all_defs (b : Proc.block) : IS.t =
+  IS.of_list (Proc.block_defs b)
+
+(** Live-variable analysis on registers. Output-port registers are live at
+    exit; phi uses are injected as live-out of the matching predecessor. *)
+let liveness (g : Cfg.t) : solution =
+  let proc = g.Cfg.proc in
+  let exit_live =
+    IS.of_list (List.map (fun (p : Proc.port) -> p.Proc.port_reg) proc.Proc.outputs)
+  in
+  (* Phi uses flowing along edges: pre-compute per predecessor. *)
+  let phi_uses_of_pred = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Proc.block) ->
+      List.iter
+        (fun (phi : Proc.phi) ->
+          List.iter
+            (fun (pred_label, src) ->
+              let cur =
+                Option.value (Hashtbl.find_opt phi_uses_of_pred pred_label)
+                  ~default:IS.empty
+              in
+              Hashtbl.replace phi_uses_of_pred pred_label (IS.add src cur))
+            phi.Proc.phi_args)
+        b.Proc.phis)
+    proc.Proc.blocks;
+  let problem =
+    { direction = Backward;
+      confluence = Union;
+      gen =
+        (fun b ->
+          IS.union (block_ue_uses b)
+            (* Phi args used on outgoing edges behave like uses at block end
+               — approximated as GEN (sound for DAG-shaped dp CFGs). *)
+            IS.empty);
+      kill = block_all_defs;
+      init = exit_live;
+      universe = IS.empty }
+  in
+  let sol = solve g problem in
+  (* Patch in edge-carried phi uses: they are live-out of the predecessor. *)
+  Hashtbl.iter
+    (fun pred_label uses ->
+      let cur = out_of sol pred_label in
+      Hashtbl.replace sol.live_out pred_label (IS.union cur uses);
+      (* and live-in if not defined locally *)
+      let b = Proc.find_block proc pred_label in
+      let defs = block_all_defs b in
+      let flow_through = IS.diff uses defs in
+      Hashtbl.replace sol.live_in pred_label
+        (IS.union (in_of sol pred_label) flow_through))
+    phi_uses_of_pred;
+  sol
+
+(* ------------------------------------------------------------------ *)
+(* Reaching definitions                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Definition sites are numbered globally; [def_of i] gives (site, reg). *)
+type def_site = { site_id : int; site_block : Proc.label; site_reg : Instr.vreg }
+
+let definition_sites (proc : Proc.t) : def_site list =
+  let id = ref 0 in
+  List.concat_map
+    (fun (b : Proc.block) ->
+      let phi_defs =
+        List.map
+          (fun (p : Proc.phi) ->
+            let s = { site_id = !id; site_block = b.Proc.label; site_reg = p.Proc.phi_dst } in
+            incr id;
+            s)
+          b.Proc.phis
+      in
+      let instr_defs =
+        List.filter_map
+          (fun (i : Instr.instr) ->
+            match i.Instr.dst with
+            | Some d ->
+              let s = { site_id = !id; site_block = b.Proc.label; site_reg = d } in
+              incr id;
+              Some s
+            | None -> None)
+          b.Proc.instrs
+      in
+      phi_defs @ instr_defs)
+    proc.Proc.blocks
+
+(** Classic reaching definitions over definition sites. *)
+let reaching_definitions (g : Cfg.t) : solution * def_site list =
+  let proc = g.Cfg.proc in
+  let sites = definition_sites proc in
+  let sites_of_block l =
+    List.filter (fun s -> s.site_block = l) sites
+  in
+  let sites_of_reg r = List.filter (fun s -> s.site_reg = r) sites in
+  let gen b =
+    (* Last definition of each register in the block. *)
+    let per_reg = Hashtbl.create 8 in
+    List.iter
+      (fun s -> Hashtbl.replace per_reg s.site_reg s.site_id)
+      (sites_of_block b.Proc.label);
+    Hashtbl.fold (fun _ v acc -> IS.add v acc) per_reg IS.empty
+  in
+  let kill b =
+    let defs = IS.of_list (Proc.block_defs b) in
+    IS.fold
+      (fun r acc ->
+        List.fold_left (fun acc s -> IS.add s.site_id acc) acc (sites_of_reg r))
+      defs IS.empty
+  in
+  let problem =
+    { direction = Forward;
+      confluence = Union;
+      gen;
+      kill;
+      init = IS.empty;
+      universe = IS.empty }
+  in
+  solve g problem, sites
+
+(* ------------------------------------------------------------------ *)
+(* Available expressions                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Expressions keyed by (opcode, srcs); identified with the first instruction
+   index computing them. Conservative: any redefinition of an operand kills. *)
+type expr_key = string
+
+let instr_key (i : Instr.instr) : expr_key option =
+  match i.Instr.op with
+  | Instr.Mov | Instr.Ldc _ | Instr.Lpr _ | Instr.Snx _ -> None
+  | op ->
+    let srcs =
+      if Instr.is_commutative op then List.sort compare i.Instr.srcs
+      else i.Instr.srcs
+    in
+    Some
+      (Printf.sprintf "%s(%s)"
+         (Instr.opcode_name op)
+         (String.concat "," (List.map string_of_int srcs)))
+
+(** Available-expression analysis; returns the IN table keyed by block and a
+    numbering of expression keys. *)
+let available_expressions (g : Cfg.t) : solution * (expr_key, int) Hashtbl.t =
+  let proc = g.Cfg.proc in
+  let numbering : (expr_key, int) Hashtbl.t = Hashtbl.create 32 in
+  let next = ref 0 in
+  let universe = ref IS.empty in
+  List.iter
+    (fun (b : Proc.block) ->
+      List.iter
+        (fun i ->
+          match instr_key i with
+          | Some k when not (Hashtbl.mem numbering k) ->
+            Hashtbl.replace numbering k !next;
+            universe := IS.add !next !universe;
+            incr next
+          | Some _ | None -> ())
+        b.Proc.instrs)
+    proc.Proc.blocks;
+  let exprs_using_reg r =
+    Hashtbl.fold
+      (fun key id acc ->
+        (* key contains operand regs in its textual form; cheap match *)
+        let token = string_of_int r in
+        let uses =
+          String.split_on_char '(' key |> function
+          | [ _; args ] ->
+            String.split_on_char ')' args |> List.hd
+            |> String.split_on_char ','
+            |> List.exists (String.equal token)
+          | _ -> false
+        in
+        if uses then IS.add id acc else acc)
+      numbering IS.empty
+  in
+  let gen (b : Proc.block) =
+    let avail = ref IS.empty in
+    List.iter
+      (fun (i : Instr.instr) ->
+        (match i.Instr.dst with
+        | Some d -> avail := IS.diff !avail (exprs_using_reg d)
+        | None -> ());
+        match instr_key i with
+        | Some k -> avail := IS.add (Hashtbl.find numbering k) !avail
+        | None -> ())
+      b.Proc.instrs;
+    !avail
+  in
+  let kill (b : Proc.block) =
+    IS.fold
+      (fun d acc -> IS.union acc (exprs_using_reg d))
+      (block_all_defs b) IS.empty
+  in
+  let problem =
+    { direction = Forward;
+      confluence = Intersection;
+      gen;
+      kill;
+      init = IS.empty;
+      universe = !universe }
+  in
+  solve g problem, numbering

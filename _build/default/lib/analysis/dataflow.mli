@@ -1,0 +1,53 @@
+(** Bit-vector data-flow analysis framework — the Machine-SUIF DFA library
+    equivalent (paper reference [15]): a generic worklist solver over
+    integer sets, instantiated for live variables, reaching definitions and
+    available expressions. *)
+
+module Proc = Roccc_vm.Proc
+module Instr = Roccc_vm.Instr
+module IS : Set.S with type elt = int
+
+type direction = Forward | Backward
+type confluence = Union | Intersection
+
+(** A block-level problem: GEN/KILL per block plus direction and meet. *)
+type problem = {
+  direction : direction;
+  confluence : confluence;
+  gen : Proc.block -> IS.t;
+  kill : Proc.block -> IS.t;
+  init : IS.t;  (** value at the boundary (entry or exit) *)
+  universe : IS.t;  (** top for intersection problems *)
+}
+
+type solution = {
+  live_in : (Proc.label, IS.t) Hashtbl.t;
+  live_out : (Proc.label, IS.t) Hashtbl.t;
+}
+
+val in_of : solution -> Proc.label -> IS.t
+val out_of : solution -> Proc.label -> IS.t
+
+val solve : Cfg.t -> problem -> solution
+(** Iterative worklist solver (round-robin with an iteration budget). *)
+
+val liveness : Cfg.t -> solution
+(** Live registers per block; output ports are live at exit and phi uses
+    count as live-out of the matching predecessor. *)
+
+type def_site = {
+  site_id : int;
+  site_block : Proc.label;
+  site_reg : Instr.vreg;
+}
+
+val definition_sites : Proc.t -> def_site list
+
+val reaching_definitions : Cfg.t -> solution * def_site list
+(** Classic reaching definitions over numbered definition sites. *)
+
+type expr_key = string
+
+val available_expressions : Cfg.t -> solution * (expr_key, int) Hashtbl.t
+(** Available pure expressions (keyed by opcode + operands), intersection
+    confluence; returns the solution and the expression numbering. *)

@@ -1,0 +1,1 @@
+lib/buffers/address_gen.ml: List Printf

@@ -1,0 +1,1 @@
+lib/buffers/address_gen.mli:

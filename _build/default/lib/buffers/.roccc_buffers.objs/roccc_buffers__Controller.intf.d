@@ -1,0 +1,1 @@
+lib/buffers/controller.mli:

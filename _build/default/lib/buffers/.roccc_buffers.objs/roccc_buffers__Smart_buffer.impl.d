@@ -1,0 +1,1 @@
+lib/buffers/smart_buffer.ml: Array List Printf Roccc_util

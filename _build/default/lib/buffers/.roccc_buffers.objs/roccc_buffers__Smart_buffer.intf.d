@@ -1,0 +1,1 @@
+lib/buffers/smart_buffer.mli:

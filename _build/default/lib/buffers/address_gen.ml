@@ -1,0 +1,92 @@
+(** Address generators (paper §4.1): parameterized FSMs that "export a
+    series of memory addresses according to the memory access pattern".
+    The input generator streams every array element once, in row-major
+    order, [bus_elements] per access; the output generator produces one
+    store address per exported window. *)
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(** A burst of consecutive addresses presented to the memory in one cycle. *)
+type request = { base_address : int; count : int }
+
+(* ------------------------------------------------------------------ *)
+(* Input side: sequential whole-array scan                             *)
+(* ------------------------------------------------------------------ *)
+
+type input_gen = {
+  total : int;
+  bus_elements : int;
+  mutable next : int;
+}
+
+let create_input ~(array_dims : int list) ~(bus_elements : int) : input_gen =
+  if bus_elements < 1 then errf "address generator: bus must be >= 1";
+  { total = List.fold_left ( * ) 1 array_dims; bus_elements; next = 0 }
+
+(** Next read request, or [None] once the array is exhausted. *)
+let next_read (g : input_gen) : request option =
+  if g.next >= g.total then None
+  else begin
+    let count = min g.bus_elements (g.total - g.next) in
+    let r = { base_address = g.next; count } in
+    g.next <- g.next + count;
+    Some r
+  end
+
+let input_done (g : input_gen) : bool = g.next >= g.total
+
+(** Addresses issued so far (each element exactly once). *)
+let issued (g : input_gen) : int = g.next
+
+(* ------------------------------------------------------------------ *)
+(* Output side: one address per iteration, following the write pattern *)
+(* ------------------------------------------------------------------ *)
+
+type output_gen = {
+  out_dims : int list;       (** output array dimensions *)
+  iterations : int list;     (** loop iteration counts, outermost first *)
+  stride : int list;
+  lower : int list;
+  offset : int list;         (** write offset relative to loop indices *)
+  mutable window : int;      (** next window number *)
+}
+
+let create_output ~(out_dims : int list) ~(iterations : int list)
+    ~(stride : int list) ~(lower : int list) ~(offset : int list) : output_gen
+    =
+  { out_dims; iterations; stride; lower; offset; window = 0 }
+
+let total_outputs (g : output_gen) : int =
+  List.fold_left ( * ) 1 g.iterations
+
+(* Mixed-radix split of a window number into per-dim iteration coords. *)
+let rec split_coords w = function
+  | [] -> []
+  | [ _ ] -> [ w ]
+  | _ :: rest ->
+    let inner = List.fold_left ( * ) 1 rest in
+    (w / inner) :: split_coords (w mod inner) rest
+
+(** Store address for the next window, or [None] when complete. *)
+let next_write (g : output_gen) : int option =
+  if g.window >= total_outputs g then None
+  else begin
+    let coords = split_coords g.window g.iterations in
+    let pos =
+      List.map2 (fun (c, s) (l, o) -> l + (c * s) + o)
+        (List.combine coords g.stride)
+        (List.combine g.lower g.offset)
+    in
+    List.iter2
+      (fun p d ->
+        if p < 0 || p >= d then
+          errf "output address generator: position out of the output array")
+      pos g.out_dims;
+    let addr = List.fold_left2 (fun acc d p -> (acc * d) + p) 0 g.out_dims pos in
+    g.window <- g.window + 1;
+    Some addr
+  end
+
+let output_done (g : output_gen) : bool = g.window >= total_outputs g

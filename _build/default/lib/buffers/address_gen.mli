@@ -1,0 +1,36 @@
+(** Address generators (paper §4.1): parameterized FSMs exporting memory
+    addresses according to the access pattern. The input side streams every
+    array element once, row-major, in bursts; the output side produces one
+    store address per exported window. *)
+
+exception Error of string
+
+type request = { base_address : int; count : int }
+
+type input_gen
+
+val create_input : array_dims:int list -> bus_elements:int -> input_gen
+
+val next_read : input_gen -> request option
+(** Next burst request; [None] once the array is exhausted. *)
+
+val input_done : input_gen -> bool
+val issued : input_gen -> int
+
+type output_gen
+
+val create_output :
+  out_dims:int list ->
+  iterations:int list ->
+  stride:int list ->
+  lower:int list ->
+  offset:int list ->
+  output_gen
+
+val total_outputs : output_gen -> int
+
+val next_write : output_gen -> int option
+(** Flat store address for the next window; [None] when complete. Raises
+    {!Error} when the pattern escapes the output array. *)
+
+val output_done : output_gen -> bool

@@ -1,0 +1,1 @@
+lib/cfront/ast.ml: Int64 List Option Printf Roccc_util String

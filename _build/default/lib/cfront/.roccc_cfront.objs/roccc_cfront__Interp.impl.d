@@ -1,0 +1,1 @@
+lib/cfront/interp.ml: Array Ast Hashtbl Int64 List Option Parser Printf Roccc_util Semant String

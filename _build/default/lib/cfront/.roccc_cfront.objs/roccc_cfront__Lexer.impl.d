@@ -1,0 +1,1 @@
+lib/cfront/lexer.ml: Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Ast Int64 Lexer List Option Printf String

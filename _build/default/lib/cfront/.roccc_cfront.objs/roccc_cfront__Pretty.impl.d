@@ -1,0 +1,1 @@
+lib/cfront/pretty.ml: Ast Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/cfront/semant.ml: Ast Hashtbl Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/cfront/semant.mli: Ast Hashtbl

@@ -1,0 +1,251 @@
+(** Abstract syntax for the ROCCC-accepted C subset.
+
+    Restrictions (paper §2): no recursion, pointers only as multiple-return
+    outputs, for-loops with affine index updates, 1-D/2-D arrays, signed and
+    unsigned integers up to 32 bits. Arbitrary widths are written [intN] /
+    [uintN] (e.g. [int12], [uint19]); standard names map onto them
+    (char = 8, short = 16, int = long = 32). *)
+
+type ikind = { signed : bool; bits : int }
+
+type ctype =
+  | Tint of ikind
+  | Tarray of ikind * int list  (** element kind, dimension sizes *)
+  | Tptr of ikind               (** output parameter: [int *x] *)
+  | Tvoid
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr
+  | Band | Bor | Bxor
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+
+type unop = Neg | Bnot | Lnot
+
+type expr =
+  | Const of int64
+  | Var of string
+  | Index of string * expr list  (** [A[i]] or [A[i][j]] *)
+  | Deref of string              (** [*p] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Cast of ikind * expr
+
+type lvalue =
+  | Lvar of string
+  | Lindex of string * expr list
+  | Lderef of string
+
+(** [for (index = init; index cond_op bound; index = index + step)] *)
+type for_header = {
+  index : string;
+  init : expr;
+  cond_op : binop;  (** one of Lt, Le, Gt, Ge, Ne *)
+  bound : expr;
+  step : expr;      (** amount added each iteration; negative for countdown *)
+}
+
+type stmt =
+  | Sdecl of ctype * string * expr option
+  | Sassign of lvalue * expr
+  | Sif of expr * stmt list * stmt list
+  | Sfor of for_header * stmt list
+  | Sreturn of expr option
+  | Sexpr of expr  (** expression statement, e.g. [ROCCC_store2next(s, v);] *)
+
+type param = { pname : string; ptype : ctype }
+
+type func = {
+  fname : string;
+  ret : ctype;
+  params : param list;
+  body : stmt list;
+}
+
+type global = { gtype : ctype; gname : string; ginit : expr option }
+
+type program = { globals : global list; funcs : func list }
+
+(* ------------------------------------------------------------------ *)
+(* Common kinds and small constructors                                 *)
+(* ------------------------------------------------------------------ *)
+
+let int32_kind = { signed = true; bits = 32 }
+let uint32_kind = { signed = false; bits = 32 }
+let bool_kind = { signed = false; bits = 1 }
+
+let make_ikind ~signed bits =
+  if bits < 1 || bits > 32 then
+    invalid_arg (Printf.sprintf "Ast.make_ikind: width %d out of [1;32]" bits);
+  { signed; bits }
+
+let const i = Const (Int64.of_int i)
+
+let is_comparison = function
+  | Lt | Le | Gt | Ge | Eq | Ne -> true
+  | Add | Sub | Mul | Div | Mod | Shl | Shr | Band | Bor | Bxor | Land | Lor ->
+    false
+
+let is_logical = function
+  | Land | Lor -> true
+  | Add | Sub | Mul | Div | Mod | Shl | Shr | Band | Bor | Bxor
+  | Lt | Le | Gt | Ge | Eq | Ne -> false
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality (modulo nothing; plain recursion)               *)
+(* ------------------------------------------------------------------ *)
+
+let equal_ikind (a : ikind) (b : ikind) = a.signed = b.signed && a.bits = b.bits
+
+let equal_ctype a b =
+  match a, b with
+  | Tint k1, Tint k2 | Tptr k1, Tptr k2 -> equal_ikind k1 k2
+  | Tarray (k1, d1), Tarray (k2, d2) -> equal_ikind k1 k2 && d1 = d2
+  | Tvoid, Tvoid -> true
+  | (Tint _ | Tarray _ | Tptr _ | Tvoid), _ -> false
+
+let rec equal_expr a b =
+  match a, b with
+  | Const x, Const y -> Int64.equal x y
+  | Var x, Var y | Deref x, Deref y -> String.equal x y
+  | Index (x, xs), Index (y, ys) ->
+    String.equal x y && List.length xs = List.length ys
+    && List.for_all2 equal_expr xs ys
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+    o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Unop (o1, e1), Unop (o2, e2) -> o1 = o2 && equal_expr e1 e2
+  | Call (f, xs), Call (g, ys) ->
+    String.equal f g && List.length xs = List.length ys
+    && List.for_all2 equal_expr xs ys
+  | Cast (k1, e1), Cast (k2, e2) -> equal_ikind k1 k2 && equal_expr e1 e2
+  | (Const _ | Var _ | Index _ | Deref _ | Binop _ | Unop _ | Call _ | Cast _), _
+    -> false
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Fold over every sub-expression of [e], outermost first. *)
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Const _ | Var _ | Deref _ -> acc
+  | Index (_, idx) -> List.fold_left (fold_expr f) acc idx
+  | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Unop (_, a) | Cast (_, a) -> fold_expr f acc a
+  | Call (_, args) -> List.fold_left (fold_expr f) acc args
+
+(** Rewrite every expression bottom-up with [f]. *)
+let rec map_expr f e =
+  let e' =
+    match e with
+    | Const _ | Var _ | Deref _ -> e
+    | Index (a, idx) -> Index (a, List.map (map_expr f) idx)
+    | Binop (op, a, b) -> Binop (op, map_expr f a, map_expr f b)
+    | Unop (op, a) -> Unop (op, map_expr f a)
+    | Cast (k, a) -> Cast (k, map_expr f a)
+    | Call (g, args) -> Call (g, List.map (map_expr f) args)
+  in
+  f e'
+
+let map_lvalue f = function
+  | Lvar _ | Lderef _ as lv -> lv
+  | Lindex (a, idx) -> Lindex (a, List.map (map_expr f) idx)
+
+(** Rewrite every expression in a statement list bottom-up with [f]. *)
+let rec map_stmts f stmts = List.map (map_stmt f) stmts
+
+and map_stmt f = function
+  | Sdecl (t, n, init) -> Sdecl (t, n, Option.map (map_expr f) init)
+  | Sassign (lv, e) -> Sassign (map_lvalue f lv, map_expr f e)
+  | Sif (c, th, el) -> Sif (map_expr f c, map_stmts f th, map_stmts f el)
+  | Sfor (h, body) ->
+    let h' =
+      { h with
+        init = map_expr f h.init;
+        bound = map_expr f h.bound;
+        step = map_expr f h.step }
+    in
+    Sfor (h', map_stmts f body)
+  | Sreturn e -> Sreturn (Option.map (map_expr f) e)
+  | Sexpr e -> Sexpr (map_expr f e)
+
+(** Fold over every statement (pre-order) and expression in a body. *)
+let rec fold_stmts fs fe acc stmts =
+  List.fold_left (fold_stmt fs fe) acc stmts
+
+and fold_stmt fs fe acc s =
+  let acc = fs acc s in
+  match s with
+  | Sdecl (_, _, init) ->
+    (match init with None -> acc | Some e -> fold_expr fe acc e)
+  | Sassign (lv, e) ->
+    let acc =
+      match lv with
+      | Lvar _ | Lderef _ -> acc
+      | Lindex (_, idx) -> List.fold_left (fold_expr fe) acc idx
+    in
+    fold_expr fe acc e
+  | Sif (c, th, el) ->
+    let acc = fold_expr fe acc c in
+    fold_stmts fs fe (fold_stmts fs fe acc th) el
+  | Sfor (h, body) ->
+    let acc = fold_expr fe acc h.init in
+    let acc = fold_expr fe acc h.bound in
+    let acc = fold_expr fe acc h.step in
+    fold_stmts fs fe acc body
+  | Sreturn e -> (match e with None -> acc | Some e -> fold_expr fe acc e)
+  | Sexpr e -> fold_expr fe acc e
+
+(** All variable names read by an expression (arrays count as reads). *)
+let expr_reads e =
+  fold_expr
+    (fun acc e ->
+      match e with
+      | Var x | Index (x, _) | Deref x -> x :: acc
+      | Const _ | Binop _ | Unop _ | Call _ | Cast _ -> acc)
+    [] e
+  |> List.sort_uniq String.compare
+
+let lvalue_name = function Lvar x | Lindex (x, _) | Lderef x -> x
+
+(** Compile-time constant value of an expression built only from literals
+    and operators — what a C compiler accepts as a static initializer. *)
+let rec const_value (e : expr) : int64 option =
+  match e with
+  | Const v -> Some v
+  | Unop (Neg, a) -> Option.map Int64.neg (const_value a)
+  | Unop (Bnot, a) -> Option.map Int64.lognot (const_value a)
+  | Binop (Add, a, b) -> const_binop Int64.add a b
+  | Binop (Sub, a, b) -> const_binop Int64.sub a b
+  | Binop (Mul, a, b) -> const_binop Int64.mul a b
+  | Binop (Shl, a, b) ->
+    const_binop
+      (fun x y -> Int64.shift_left x (Int64.to_int (Int64.logand y 63L)))
+      a b
+  | Binop (Shr, a, b) ->
+    const_binop
+      (fun x y -> Int64.shift_right x (Int64.to_int (Int64.logand y 63L)))
+      a b
+  | Binop (Bor, a, b) -> const_binop Int64.logor a b
+  | Binop (Band, a, b) -> const_binop Int64.logand a b
+  | Binop (Bxor, a, b) -> const_binop Int64.logxor a b
+  | Cast (k, a) ->
+    Option.map
+      (fun v -> Roccc_util.Bits.truncate ~signed:k.signed k.bits v)
+      (const_value a)
+  | Var _ | Index _ | Deref _ | Binop _ | Unop _ | Call _ -> None
+
+and const_binop f a b =
+  match const_value a, const_value b with
+  | Some x, Some y -> Some (f x y)
+  | _ -> None
+
+(* Names of ROCCC feedback intrinsics (paper §4.2.1). *)
+let roccc_load_prev = "ROCCC_load_prev"
+let roccc_store2next = "ROCCC_store2next"
+
+let is_intrinsic name =
+  String.equal name roccc_load_prev || String.equal name roccc_store2next

@@ -1,0 +1,345 @@
+(** Reference interpreter for the C subset — the software semantics the
+    generated hardware is co-simulated against ("the soft nodes, by
+    themselves, will have the same behavior on a CPU compared with the whole
+    data path on a FPGA", paper §4.2.2). *)
+
+open Ast
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type value =
+  | Scalar of ikind * int64 ref
+  | Arr of ikind * int list * int64 array
+
+type runtime = {
+  prog : program;
+  vars : (string, value) Hashtbl.t;
+  lut_funcs : (string, int64 -> int64) Hashtbl.t;
+  mutable steps : int;
+  max_steps : int;
+}
+
+let default_max_steps = 10_000_000
+
+let dims_size dims = List.fold_left ( * ) 1 dims
+
+let create ?(max_steps = default_max_steps) ?(lut_funcs = []) (prog : program) :
+    runtime =
+  let rt =
+    { prog;
+      vars = Hashtbl.create 16;
+      lut_funcs = Hashtbl.create 4;
+      steps = 0;
+      max_steps }
+  in
+  List.iter (fun (n, f) -> Hashtbl.replace rt.lut_funcs n f) lut_funcs;
+  List.iter
+    (fun g ->
+      match g.gtype with
+      | Tint k ->
+        let v = ref 0L in
+        Hashtbl.replace rt.vars g.gname (Scalar (k, v))
+      | Tarray (k, dims) ->
+        Hashtbl.replace rt.vars g.gname
+          (Arr (k, dims, Array.make (dims_size dims) 0L))
+      | Tptr _ | Tvoid -> errf "unsupported global %s" g.gname)
+    prog.globals;
+  rt
+
+(* Re-evaluate global initializers (constants only) — used by [reset]. *)
+let init_globals rt =
+  List.iter
+    (fun g ->
+      match g.ginit, Hashtbl.find_opt rt.vars g.gname with
+      | Some init, Some (Scalar (k, r)) -> (
+        match const_value init with
+        | Some v -> r := Roccc_util.Bits.truncate ~signed:k.signed k.bits v
+        | None -> errf "global %s initializer must be a constant" g.gname)
+      | _, _ -> ())
+    rt.prog.globals
+
+let tick rt =
+  rt.steps <- rt.steps + 1;
+  if rt.steps > rt.max_steps then errf "interpreter step budget exhausted"
+
+let find_var rt name =
+  match Hashtbl.find_opt rt.vars name with
+  | Some v -> v
+  | None -> errf "undefined variable %s at runtime" name
+
+let scalar_of rt name =
+  match find_var rt name with
+  | Scalar (k, r) -> k, r
+  | Arr _ -> errf "%s is an array, expected scalar" name
+
+let array_of rt name =
+  match find_var rt name with
+  | Arr (k, dims, data) -> k, dims, data
+  | Scalar _ -> errf "%s is a scalar, expected array" name
+
+let flat_index dims idx =
+  (* Row-major: A[i][j] with dims [d0; d1] -> i*d1 + j. *)
+  let rec loop dims idx acc =
+    match dims, idx with
+    | [], [] -> acc
+    | d :: dims', i :: idx' ->
+      if i < 0 || i >= d then errf "array index %d out of bounds [0;%d)" i d;
+      loop dims' idx' ((acc * d) + i)
+    | _ -> errf "dimension/index arity mismatch"
+  in
+  loop dims idx 0
+
+let truncate_kind (k : ikind) v =
+  Roccc_util.Bits.truncate ~signed:k.signed k.bits v
+
+let bool_to_i64 b = if b then 1L else 0L
+let i64_to_bool v = not (Int64.equal v 0L)
+
+let eval_binop op (a : int64) (b : int64) : int64 =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Div ->
+    if Int64.equal b 0L then errf "division by zero" else Int64.div a b
+  | Mod ->
+    if Int64.equal b 0L then errf "modulo by zero" else Int64.rem a b
+  | Shl -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+  | Shr -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
+  | Band -> Int64.logand a b
+  | Bor -> Int64.logor a b
+  | Bxor -> Int64.logxor a b
+  | Lt -> bool_to_i64 (Int64.compare a b < 0)
+  | Le -> bool_to_i64 (Int64.compare a b <= 0)
+  | Gt -> bool_to_i64 (Int64.compare a b > 0)
+  | Ge -> bool_to_i64 (Int64.compare a b >= 0)
+  | Eq -> bool_to_i64 (Int64.equal a b)
+  | Ne -> bool_to_i64 (not (Int64.equal a b))
+  | Land -> bool_to_i64 (i64_to_bool a && i64_to_bool b)
+  | Lor -> bool_to_i64 (i64_to_bool a || i64_to_bool b)
+
+exception Returned of int64 option
+
+let rec eval_expr rt (e : expr) : int64 =
+  tick rt;
+  match e with
+  | Const v -> v
+  | Var x ->
+    let _, r = scalar_of rt x in
+    !r
+  | Deref x ->
+    let _, r = scalar_of rt x in
+    !r
+  | Index (a, idx) ->
+    let _, dims, data = array_of rt a in
+    let idx = List.map (fun i -> Int64.to_int (eval_expr rt i)) idx in
+    data.(flat_index dims idx)
+  | Binop (op, a, b) ->
+    (* Short-circuit for logical operators, like C. *)
+    (match op with
+    | Land ->
+      if i64_to_bool (eval_expr rt a) then
+        bool_to_i64 (i64_to_bool (eval_expr rt b))
+      else 0L
+    | Lor ->
+      if i64_to_bool (eval_expr rt a) then 1L
+      else bool_to_i64 (i64_to_bool (eval_expr rt b))
+    | _ -> eval_binop op (eval_expr rt a) (eval_expr rt b))
+  | Unop (Neg, a) -> Int64.neg (eval_expr rt a)
+  | Unop (Bnot, a) -> Int64.lognot (eval_expr rt a)
+  | Unop (Lnot, a) -> bool_to_i64 (not (i64_to_bool (eval_expr rt a)))
+  | Cast (k, a) -> truncate_kind k (eval_expr rt a)
+  | Call (f, args) -> eval_call rt f args
+
+and eval_call rt f args : int64 =
+  if String.equal f roccc_load_prev then (
+    match args with
+    | [ Var x ] ->
+      let _, r = scalar_of rt x in
+      !r
+    | _ -> errf "%s expects one variable" roccc_load_prev)
+  else
+    match Hashtbl.find_opt rt.lut_funcs f with
+    | Some lut -> (
+      match args with
+      | [ a ] -> lut (eval_expr rt a)
+      | _ -> errf "lookup table %s expects one argument" f)
+    | None -> (
+      match List.find_opt (fun fn -> String.equal fn.fname f) rt.prog.funcs with
+      | None -> errf "call to unknown function %s" f
+      | Some callee ->
+        let arg_values = List.map (eval_expr rt) args in
+        call_function rt callee arg_values)
+
+(* Call a scalar function: bind parameters (saving shadowed names), run the
+   body, restore. Recursion is rejected by Semant so shadowing is simple. *)
+and call_function rt (callee : func) (arg_values : int64 list) : int64 =
+  let scalar_params =
+    List.filter
+      (fun p -> match p.ptype with Tint _ -> true | _ -> false)
+      callee.params
+  in
+  if List.length scalar_params <> List.length arg_values then
+    errf "function %s: arity mismatch" callee.fname;
+  let saved =
+    List.map (fun p -> p.pname, Hashtbl.find_opt rt.vars p.pname) callee.params
+  in
+  List.iter2
+    (fun p v ->
+      match p.ptype with
+      | Tint k ->
+        Hashtbl.replace rt.vars p.pname (Scalar (k, ref (truncate_kind k v)))
+      | Tptr _ | Tarray _ | Tvoid -> assert false)
+    scalar_params arg_values;
+  let result =
+    try
+      exec_stmts rt callee.body;
+      0L
+    with Returned r -> Option.value r ~default:0L
+  in
+  List.iter
+    (fun (name, old) ->
+      match old with
+      | Some v -> Hashtbl.replace rt.vars name v
+      | None -> Hashtbl.remove rt.vars name)
+    saved;
+  result
+
+and exec_stmts rt stmts = List.iter (exec_stmt rt) stmts
+
+and exec_stmt rt (s : stmt) : unit =
+  tick rt;
+  match s with
+  | Sdecl (t, name, init) -> (
+    match t with
+    | Tint k ->
+      let v = match init with None -> 0L | Some e -> eval_expr rt e in
+      Hashtbl.replace rt.vars name (Scalar (k, ref (truncate_kind k v)))
+    | Tarray (k, dims) ->
+      Hashtbl.replace rt.vars name (Arr (k, dims, Array.make (dims_size dims) 0L))
+    | Tptr _ | Tvoid -> errf "unsupported local declaration %s" name)
+  | Sassign (lv, e) -> (
+    let v = eval_expr rt e in
+    match lv with
+    | Lvar x | Lderef x ->
+      let k, r = scalar_of rt x in
+      r := truncate_kind k v
+    | Lindex (a, idx) ->
+      let k, dims, data = array_of rt a in
+      let idx = List.map (fun i -> Int64.to_int (eval_expr rt i)) idx in
+      data.(flat_index dims idx) <- truncate_kind k v)
+  | Sif (c, th, el) ->
+    if i64_to_bool (eval_expr rt c) then exec_stmts rt th else exec_stmts rt el
+  | Sfor (h, body) ->
+    let k, r =
+      match Hashtbl.find_opt rt.vars h.index with
+      | Some (Scalar (k, r)) -> k, r
+      | Some (Arr _) -> errf "loop index %s is an array" h.index
+      | None ->
+        let r = ref 0L in
+        Hashtbl.replace rt.vars h.index (Scalar (int32_kind, r));
+        int32_kind, r
+    in
+    r := truncate_kind k (eval_expr rt h.init);
+    let continue_loop () =
+      i64_to_bool (eval_binop h.cond_op !r (eval_expr rt h.bound))
+    in
+    while continue_loop () do
+      tick rt;
+      exec_stmts rt body;
+      r := truncate_kind k (Int64.add !r (eval_expr rt h.step))
+    done
+  | Sreturn e -> raise (Returned (Option.map (eval_expr rt) e))
+  | Sexpr e -> (
+    match e with
+    | Call (f, [ Var x; v ]) when String.equal f roccc_store2next ->
+      let k, r = scalar_of rt x in
+      r := truncate_kind k (eval_expr rt v)
+    | _ -> ignore (eval_expr rt e))
+
+(* ------------------------------------------------------------------ *)
+(* Kernel invocation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Result of running a kernel: the function return value (if non-void), the
+    values written through pointer outputs, and the final contents of every
+    array parameter (output arrays are read back from here). *)
+type outcome = {
+  return_value : int64 option;
+  pointer_outputs : (string * int64) list;
+  arrays : (string * int64 array) list;
+}
+
+(** Run function [fname] with scalar arguments [scalars] (by name) and array
+    arguments [arrays] (by name; contents copied in). Pointer parameters
+    need no argument — they are outputs. *)
+let run ?(scalars = []) ?(arrays = []) (rt : runtime) (fname : string) : outcome
+    =
+  rt.steps <- 0;
+  init_globals rt;
+  let f =
+    match List.find_opt (fun fn -> String.equal fn.fname fname) rt.prog.funcs with
+    | Some f -> f
+    | None -> errf "no function named %s" fname
+  in
+  let pointer_refs = ref [] in
+  List.iter
+    (fun p ->
+      match p.ptype with
+      | Tint k ->
+        let v =
+          match List.assoc_opt p.pname scalars with
+          | Some v -> v
+          | None -> errf "missing scalar argument %s" p.pname
+        in
+        Hashtbl.replace rt.vars p.pname (Scalar (k, ref (truncate_kind k v)))
+      | Tptr k ->
+        let r = ref 0L in
+        pointer_refs := (p.pname, r) :: !pointer_refs;
+        Hashtbl.replace rt.vars p.pname (Scalar (k, r))
+      | Tarray (k, dims) ->
+        let data =
+          match List.assoc_opt p.pname arrays with
+          | Some a ->
+            if Array.length a <> dims_size dims then
+              errf "array argument %s has %d elements, expected %d" p.pname
+                (Array.length a) (dims_size dims);
+            Array.map (truncate_kind k) a
+          | None -> Array.make (dims_size dims) 0L
+        in
+        Hashtbl.replace rt.vars p.pname (Arr (k, dims, data))
+      | Tvoid -> errf "void parameter %s" p.pname)
+    f.params;
+  let return_value =
+    try
+      exec_stmts rt f.body;
+      None
+    with Returned r -> r
+  in
+  let arrays_out =
+    List.filter_map
+      (fun p ->
+        match Hashtbl.find_opt rt.vars p.pname with
+        | Some (Arr (_, _, data)) -> Some (p.pname, Array.copy data)
+        | Some (Scalar _) | None -> None)
+      f.params
+  in
+  { return_value;
+    pointer_outputs = List.rev_map (fun (n, r) -> n, !r) !pointer_refs;
+    arrays = arrays_out }
+
+(** Read a global scalar's current value (after a {!run}); [None] when the
+    name is not a scalar global. Used by the profiler's counters. *)
+let read_global (rt : runtime) (name : string) : int64 option =
+  match Hashtbl.find_opt rt.vars name with
+  | Some (Scalar (_, r)) -> Some !r
+  | Some (Arr _) | None -> None
+
+(** Convenience: parse, check and run a source string in one step. *)
+let run_source ?(luts = []) ?(lut_funcs = []) ?scalars ?arrays src fname =
+  let prog = Parser.parse_program src in
+  let _env = Semant.check_program ~luts prog in
+  let rt = create ~lut_funcs prog in
+  run ?scalars ?arrays rt fname

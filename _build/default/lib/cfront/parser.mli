@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the ROCCC C subset. *)
+
+exception Error of string * int * int
+(** message, line, column (lexing errors are re-raised in this form too) *)
+
+val parse_program : string -> Ast.program
+(** Parse a whole translation unit: global integer/array declarations and
+    function definitions. *)
+
+val parse_func : string -> Ast.func
+(** Parse a source string containing (at least) one function and return the
+    first one; raises {!Error} when none is present. *)

@@ -1,0 +1,156 @@
+(** Pretty-printer rendering the AST back to C source; used by the figure
+    reproductions (Figures 3 and 4 print each transformation stage). *)
+
+open Ast
+
+let kind_name (k : ikind) =
+  match k.signed, k.bits with
+  | true, 32 -> "int"
+  | false, 32 -> "unsigned int"
+  | true, 8 -> "char"
+  | false, 8 -> "unsigned char"
+  | true, 16 -> "short"
+  | false, 16 -> "unsigned short"
+  | true, n -> Printf.sprintf "int%d" n
+  | false, n -> Printf.sprintf "uint%d" n
+
+let ctype_name = function
+  | Tint k -> kind_name k
+  | Tptr k -> kind_name k ^ "*"
+  | Tarray (k, dims) ->
+    kind_name k ^ String.concat "" (List.map (Printf.sprintf "[%d]") dims)
+  | Tvoid -> "void"
+
+let binop_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Shl -> "<<" | Shr -> ">>"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Land -> "&&" | Lor -> "||"
+
+let unop_symbol = function Neg -> "-" | Bnot -> "~" | Lnot -> "!"
+
+(* Precedence levels used to omit redundant parentheses. *)
+let binop_prec = function
+  | Mul | Div | Mod -> 10
+  | Add | Sub -> 9
+  | Shl | Shr -> 8
+  | Lt | Le | Gt | Ge -> 7
+  | Eq | Ne -> 6
+  | Band -> 5
+  | Bxor -> 4
+  | Bor -> 3
+  | Land -> 2
+  | Lor -> 1
+
+let rec expr_doc ?(prec = 0) e =
+  match e with
+  | Const v -> Int64.to_string v
+  | Var x -> x
+  | Deref x -> "*" ^ x
+  | Index (a, idx) ->
+    a ^ String.concat "" (List.map (fun i -> "[" ^ expr_doc i ^ "]") idx)
+  | Unop (op, a) ->
+    let sym = unop_symbol op in
+    let body = expr_doc ~prec:11 a in
+    (* Avoid "--x" / "~~"-style token gluing when operands nest. *)
+    if String.length body > 0 && body.[0] = sym.[0] then
+      sym ^ "(" ^ body ^ ")"
+    else sym ^ body
+  | Cast (k, a) -> Printf.sprintf "(%s)%s" (kind_name k) (expr_doc ~prec:11 a)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_doc args))
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    let s =
+      Printf.sprintf "%s %s %s"
+        (expr_doc ~prec:p a) (binop_symbol op) (expr_doc ~prec:(p + 1) b)
+    in
+    if p < prec then "(" ^ s ^ ")" else s
+
+let expr_to_string e = expr_doc e
+
+let lvalue_to_string = function
+  | Lvar x -> x
+  | Lderef x -> "*" ^ x
+  | Lindex (a, idx) ->
+    a ^ String.concat "" (List.map (fun i -> "[" ^ expr_doc i ^ "]") idx)
+
+let rec stmt_lines ~indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Sdecl (t, n, init) ->
+    let base, dims =
+      match t with
+      | Tarray (k, dims) ->
+        kind_name k, String.concat "" (List.map (Printf.sprintf "[%d]") dims)
+      | Tint k -> kind_name k, ""
+      | Tptr k -> kind_name k ^ "*", ""
+      | Tvoid -> "void", ""
+    in
+    let rhs = match init with None -> "" | Some e -> " = " ^ expr_doc e in
+    [ Printf.sprintf "%s%s %s%s%s;" pad base n dims rhs ]
+  | Sassign (lv, e) ->
+    [ Printf.sprintf "%s%s = %s;" pad (lvalue_to_string lv) (expr_doc e) ]
+  | Sexpr e -> [ Printf.sprintf "%s%s;" pad (expr_doc e) ]
+  | Sreturn None -> [ pad ^ "return;" ]
+  | Sreturn (Some e) -> [ Printf.sprintf "%sreturn %s;" pad (expr_doc e) ]
+  | Sif (c, th, el) ->
+    let head = Printf.sprintf "%sif (%s) {" pad (expr_doc c) in
+    let body = List.concat_map (stmt_lines ~indent:(indent + 2)) th in
+    if el = [] then head :: body @ [ pad ^ "}" ]
+    else
+      (head :: body)
+      @ [ pad ^ "} else {" ]
+      @ List.concat_map (stmt_lines ~indent:(indent + 2)) el
+      @ [ pad ^ "}" ]
+  | Sfor (h, body) ->
+    let update =
+      match h.step with
+      | Const 1L -> h.index ^ "++"
+      | Unop (Neg, Const 1L) -> h.index ^ "--"
+      | Unop (Neg, step) ->
+        Printf.sprintf "%s = %s - %s" h.index h.index (expr_doc step)
+      | step -> Printf.sprintf "%s = %s + %s" h.index h.index (expr_doc step)
+    in
+    let head =
+      Printf.sprintf "%sfor (%s = %s; %s %s %s; %s) {" pad h.index
+        (expr_doc h.init) h.index (binop_symbol h.cond_op) (expr_doc h.bound)
+        update
+    in
+    (head :: List.concat_map (stmt_lines ~indent:(indent + 2)) body)
+    @ [ pad ^ "}" ]
+
+let stmts_to_string ?(indent = 0) stmts =
+  String.concat "\n" (List.concat_map (stmt_lines ~indent) stmts)
+
+let param_to_string (p : param) =
+  match p.ptype with
+  | Tptr k -> Printf.sprintf "%s* %s" (kind_name k) p.pname
+  | Tint k -> Printf.sprintf "%s %s" (kind_name k) p.pname
+  | Tarray (k, dims) ->
+    Printf.sprintf "%s %s%s" (kind_name k) p.pname
+      (String.concat "" (List.map (Printf.sprintf "[%d]") dims))
+  | Tvoid -> "void " ^ p.pname
+
+let func_to_string (f : func) =
+  let params = String.concat ", " (List.map param_to_string f.params) in
+  Printf.sprintf "%s %s(%s) {\n%s\n}" (ctype_name f.ret) f.fname params
+    (stmts_to_string ~indent:2 f.body)
+
+let program_to_string (p : program) =
+  let globals =
+    List.map
+      (fun g ->
+        let rhs =
+          match g.ginit with None -> "" | Some e -> " = " ^ expr_doc e
+        in
+        match g.gtype with
+        | Tarray (k, dims) ->
+          Printf.sprintf "%s %s%s%s;" (kind_name k) g.gname
+            (String.concat "" (List.map (Printf.sprintf "[%d]") dims))
+            rhs
+        | t -> Printf.sprintf "%s %s%s;" (ctype_name t) g.gname rhs)
+      p.globals
+  in
+  String.concat "\n\n" (globals @ List.map func_to_string p.funcs)

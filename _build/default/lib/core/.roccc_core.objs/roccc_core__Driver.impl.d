@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Buffer Int64 List Printf Roccc_analysis Roccc_buffers Roccc_cfront Roccc_datapath Roccc_fpga Roccc_hir Roccc_hw Roccc_vhdl Roccc_vm String

@@ -1,0 +1,1 @@
+lib/core/kernels.ml: Array Buffer Driver Float Int64 List Printf Roccc_cfront Roccc_hir Roccc_hw String

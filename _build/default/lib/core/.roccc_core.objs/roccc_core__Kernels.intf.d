@@ -1,0 +1,1 @@
+lib/core/kernels.mli: Driver Roccc_hir Roccc_hw

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Buffer Int64 List Printf Roccc_cfront

@@ -1,0 +1,1 @@
+lib/core/testbench.ml: Array Buffer Driver List Printf Roccc_cfront Roccc_datapath Roccc_hir Roccc_util Roccc_vm String

@@ -1,0 +1,432 @@
+(** The ROCCC compiler driver: the end-to-end pipeline of Figure 1.
+
+    C source -> parse -> semantic checks -> inlining -> loop optimizations ->
+    scalar replacement -> feedback annotation -> SUIFvm lowering -> SSA/CFG ->
+    data-path building -> bit-width inference -> pipelining -> VHDL
+    generation -> area/clock estimation. *)
+
+module Ast = Roccc_cfront.Ast
+module Parser = Roccc_cfront.Parser
+module Semant = Roccc_cfront.Semant
+module Interp = Roccc_cfront.Interp
+module Const_fold = Roccc_hir.Const_fold
+module Loop_opt = Roccc_hir.Loop_opt
+module Inline = Roccc_hir.Inline
+module Lut_conv = Roccc_hir.Lut_conv
+module Scalar_replacement = Roccc_hir.Scalar_replacement
+module Feedback = Roccc_hir.Feedback
+module Kernel = Roccc_hir.Kernel
+module Lower = Roccc_vm.Lower
+module Proc = Roccc_vm.Proc
+module Ssa = Roccc_analysis.Ssa
+module Builder = Roccc_datapath.Builder
+module Graph = Roccc_datapath.Graph
+module Widths = Roccc_datapath.Widths
+module Pipeline = Roccc_datapath.Pipeline
+module Gen = Roccc_vhdl.Gen
+module Lint = Roccc_vhdl.Lint
+module Smart_buffer = Roccc_buffers.Smart_buffer
+module Engine = Roccc_hw.Engine
+module Area = Roccc_fpga.Area
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type options = {
+  unroll_inner_max : int;
+      (** fully unroll inner loops with at most this trip count *)
+  unroll_all_max : int;
+      (** fully unroll any constant loop with at most this trip count
+          (turns small kernels into block kernels, as for the DCT) *)
+  fuse_loops : bool;
+  target_ns : float;             (** pipeline stage budget *)
+  infer_widths : bool;           (** bit-width inference (ablation switch) *)
+  optimize_vm : bool;            (** back-end CSE/copy-prop/DCE (ablation) *)
+  unroll_outer_factor : int;     (** partial unrolling of the outer loop *)
+  lut_convert_max_bits : int;
+      (** convert pure called functions with inputs up to this width into
+          ROM lookup tables instead of inlining (0 = always inline) *)
+  bus_elements : int;            (** memory bus width, in elements *)
+  check_vhdl : bool;             (** run the structural linter *)
+}
+
+let default_options =
+  { unroll_inner_max = 0;
+    unroll_all_max = 0;
+    fuse_loops = true;
+    target_ns = Pipeline.default_target_ns;
+    infer_widths = true;
+    optimize_vm = true;
+    unroll_outer_factor = 1;
+    lut_convert_max_bits = 0;
+    bus_elements = 1;
+    check_vhdl = true }
+
+type compiled = {
+  source : string;
+  entry : string;
+  options : options;
+  program : Ast.program;          (** after front-end transformations *)
+  kernel : Kernel.t;
+  proc : Proc.t;                  (** SSA-form VM procedure *)
+  dp : Graph.t;
+  widths : Widths.t;
+  pipeline : Pipeline.t;
+  design : Roccc_vhdl.Ast.design;
+  buffer_configs : Smart_buffer.config list;
+  area : Area.estimate;
+  luts : Lut_conv.table list;
+  system_vhdl : string option;
+      (** Figure 2 system wrapper (address generator + smart buffer +
+          controller around the data path) for 1-D single-window kernels *)
+  pass_trace : string list;       (** executed passes, in order (Figure 1) *)
+}
+
+(* Unroll loops nested inside other loops (the udiv/sqrt bit-step loops)
+   while keeping the outer streaming loop. *)
+let unroll_inner ~max_trip stmts =
+  List.map
+    (fun s ->
+      match s with
+      | Ast.Sfor (h, body) ->
+        Ast.Sfor (h, Loop_opt.unroll_small_loops ~max_trip body)
+      | s -> s)
+    stmts
+
+(* Smart-buffer configurations for the kernel's window inputs — shared by
+   the simulator and the area estimator. *)
+let buffer_configs_of ~(bus_elements : int) (k : Kernel.t) :
+    Smart_buffer.config list =
+  List.map
+    (fun (w : Kernel.window_input) ->
+      let ndims = List.length w.Kernel.win_dims in
+      let iterations, stride, lower =
+        if k.Kernel.loops = [] then
+          ( List.init ndims (fun _ -> 1),
+            List.init ndims (fun _ -> 0),
+            List.init ndims (fun _ -> 0) )
+        else
+          ( List.map (fun d -> d.Kernel.count) k.Kernel.loops,
+            List.map (fun d -> d.Kernel.step) k.Kernel.loops,
+            List.map (fun d -> d.Kernel.lower) k.Kernel.loops )
+      in
+      { Smart_buffer.element_bits = w.Kernel.win_kind.Ast.bits;
+        element_signed = w.Kernel.win_kind.Ast.signed;
+        bus_elements;
+        array_dims = w.Kernel.win_dims;
+        window_offsets = w.Kernel.win_offsets;
+        stride;
+        iterations;
+        lower })
+    k.Kernel.windows
+
+(** Compile one kernel function from C source to VHDL + estimates. *)
+let compile ?(options = default_options) ?(luts = []) ~(entry : string)
+    (source : string) : compiled =
+  let trace = ref [] in
+  let pass name = trace := !trace @ [ name ] in
+  (* ---- front end ---- *)
+  pass "parse";
+  let program =
+    try Parser.parse_program source
+    with Parser.Error (msg, line, col) ->
+      errf "parse error at %d:%d: %s" line col msg
+  in
+  pass "semantic-check";
+  let lut_sigs = List.map Lut_conv.signature luts in
+  let _env =
+    try Semant.check_program ~luts:lut_sigs program
+    with Semant.Error msg -> errf "semantic error: %s" msg
+  in
+  let f =
+    match List.find_opt (fun g -> String.equal g.Ast.fname entry) program.Ast.funcs with
+    | Some f -> f
+    | None -> errf "no function named %s" entry
+  in
+  (* ---- function calls: lookup tables where feasible, else inlining ----
+     "Function calls will either be inlined or whenever feasible made into
+     a lookup table" (paper §2). A called function is tabulated when it is
+     pure, takes one scalar of at most [lut_convert_max_bits], and returns
+     an integer; otherwise it is inlined. *)
+  let luts, program =
+    if options.lut_convert_max_bits = 0 then luts, program
+    else begin
+      let called_names =
+        Ast.fold_stmts
+          (fun acc _ -> acc)
+          (fun acc e ->
+            match e with
+            | Ast.Call (g, _) when not (Ast.is_intrinsic g) -> g :: acc
+            | _ -> acc)
+          [] f.Ast.body
+        |> List.sort_uniq String.compare
+      in
+      let convertible =
+        List.filter_map
+          (fun name ->
+            match
+              List.find_opt
+                (fun g -> String.equal g.Ast.fname name)
+                program.Ast.funcs
+            with
+            | Some callee -> (
+              match callee.Ast.params, callee.Ast.ret with
+              | [ { Ast.ptype = Ast.Tint k; _ } ], Ast.Tint _
+                when k.Ast.bits <= options.lut_convert_max_bits -> (
+                match Lut_conv.from_function program callee with
+                | table -> Some table
+                | exception Lut_conv.Error _ -> None)
+              | _ -> None)
+            | None -> None)
+          called_names
+      in
+      if convertible = [] then luts, program
+      else begin
+        pass "lut-conversion";
+        luts @ convertible, Lut_conv.convert_calls program convertible
+      end
+    end
+  in
+  let lut_sigs = List.map Lut_conv.signature luts in
+  let f =
+    match
+      List.find_opt (fun g -> String.equal g.Ast.fname entry) program.Ast.funcs
+    with
+    | Some f -> f
+    | None -> errf "function %s lost during LUT conversion" entry
+  in
+  (* ---- loop-level optimizations ---- *)
+  pass "inline";
+  let f = Inline.inline_calls program f in
+  pass "constant-fold";
+  let global_consts = Const_fold.readonly_global_consts program f in
+  let f = Const_fold.optimize_func ~consts:global_consts f in
+  let f =
+    if options.unroll_inner_max > 0 then begin
+      pass "unroll-inner-loops";
+      { f with
+        Ast.body = unroll_inner ~max_trip:options.unroll_inner_max f.Ast.body }
+    end
+    else f
+  in
+  let f =
+    if options.unroll_all_max > 0 then begin
+      pass "full-unroll";
+      { f with
+        Ast.body =
+          Loop_opt.unroll_small_loops ~max_trip:options.unroll_all_max
+            f.Ast.body }
+    end
+    else f
+  in
+  let f =
+    if options.unroll_outer_factor > 1 then begin
+      pass "partial-unroll";
+      let body =
+        List.map
+          (fun s ->
+            match s with
+            | Ast.Sfor (h, body) ->
+              let h', body' =
+                Loop_opt.partially_unroll ~factor:options.unroll_outer_factor
+                  h body
+              in
+              Ast.Sfor (h', body')
+            | s -> s)
+          f.Ast.body
+      in
+      { f with Ast.body }
+    end
+    else f
+  in
+  let f =
+    if options.fuse_loops then begin
+      pass "loop-fusion";
+      { f with Ast.body = Loop_opt.fuse_loops f.Ast.body }
+    end
+    else f
+  in
+  pass "constant-fold";
+  let f = Const_fold.optimize_func ~consts:global_consts f in
+  let program = { program with Ast.funcs = [ f ] } in
+  (* ---- scalar replacement & feedback (storage level) ---- *)
+  pass "scalar-replacement";
+  let kernel =
+    try Scalar_replacement.run program f
+    with Scalar_replacement.Error msg -> errf "scalar replacement: %s" msg
+  in
+  pass "feedback-detection";
+  let kernel = Feedback.annotate kernel in
+  Feedback.validate kernel;
+  (* ---- back end ---- *)
+  pass "lower-to-suifvm";
+  let proc = Lower.lower_kernel ~luts:lut_sigs kernel in
+  pass "ssa-and-cfg";
+  let _cfg = Ssa.convert proc in
+  Ssa.verify proc;
+  if options.optimize_vm then begin
+    pass "vm-optimize";
+    let _stats = Roccc_analysis.Optimize.run proc in
+    Ssa.verify proc
+  end;
+  pass "datapath-build";
+  let dp = Builder.build proc in
+  Builder.verify_adjoining dp;
+  pass "bit-width-inference";
+  let widths =
+    if options.infer_widths then Widths.infer dp else Widths.declared dp
+  in
+  pass "pipelining";
+  let pipeline = Pipeline.build ~target_ns:options.target_ns dp widths in
+  pass "vhdl-generation";
+  let design = Gen.generate ~luts pipeline in
+  if options.check_vhdl then begin
+    pass "vhdl-lint";
+    match Lint.check design with
+    | _ -> ()
+    | exception Lint.Error msg -> errf "generated VHDL fails lint: %s" msg
+  end;
+  pass "area-estimation";
+  let buffer_configs = buffer_configs_of ~bus_elements:options.bus_elements kernel in
+  let area = Area.estimate ~luts ~buffers:buffer_configs pipeline in
+  (* Figure 2 system wrapper from the pre-existing VHDL component library,
+     for the simple 1-D single-window shape. *)
+  let system_vhdl =
+    match kernel.Kernel.windows, kernel.Kernel.loops with
+    | [ w ], [ _ ] when List.for_all (fun o -> List.length o = 1) w.Kernel.win_offsets
+      ->
+      let win_ports = List.map snd w.Kernel.win_scalars in
+      let out_ports =
+        List.map
+          (fun (o : Kernel.output) ->
+            o.Kernel.port, o.Kernel.port_kind.Ast.bits)
+          kernel.Kernel.outputs
+      in
+      Some
+        (Roccc_vhdl.Library.system_wrapper_vhdl
+           ~dp_entity:proc.Proc.pname
+           ~element_bits:w.Kernel.win_kind.Ast.bits ~win_ports ~out_ports
+           ~total_words:(List.fold_left ( * ) 1 w.Kernel.win_dims)
+           ~iterations:(Kernel.iteration_space kernel)
+           ~latency:(Pipeline.latency pipeline))
+    | _ -> None
+  in
+  { source; entry; options; program; kernel; proc; dp; widths; pipeline;
+    design; buffer_configs; area; luts; system_vhdl; pass_trace = !trace }
+
+(** Compile every hardware-eligible function in a source file (those with
+    array or pointer parameters — the kernels); returns successes and
+    per-function failures. *)
+let compile_all ?(options = default_options) ?(luts = []) (source : string) :
+    (string * compiled) list * (string * string) list =
+  let program =
+    try Parser.parse_program source
+    with Parser.Error (msg, line, col) ->
+      errf "parse error at %d:%d: %s" line col msg
+  in
+  let eligible (f : Ast.func) =
+    List.exists
+      (fun p ->
+        match p.Ast.ptype with
+        | Ast.Tarray _ | Ast.Tptr _ -> true
+        | Ast.Tint _ | Ast.Tvoid -> false)
+      f.Ast.params
+  in
+  List.fold_left
+    (fun (oks, errs) (f : Ast.func) ->
+      if not (eligible f) then oks, errs
+      else
+        match compile ~options ~luts ~entry:f.Ast.fname source with
+        | c -> oks @ [ f.Ast.fname, c ], errs
+        | exception Error msg -> oks, errs @ [ f.Ast.fname, msg ])
+    ([], []) program.Ast.funcs
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the compiled circuit on the cycle-accurate execution model. *)
+let simulate ?(scalars = []) ?(arrays = []) (c : compiled) : Engine.result =
+  let lut_bindings = List.map Lut_conv.interp_binding c.luts in
+  Engine.simulate ~luts:lut_bindings ~scalars ~arrays
+    ~bus_elements:c.options.bus_elements c.kernel ~dp:c.dp
+    ~pipeline:c.pipeline
+
+(** Run the original C through the reference interpreter (same inputs). *)
+let interpret ?(scalars = []) ?(arrays = []) (c : compiled) : Interp.outcome =
+  let lut_sigs = List.map Lut_conv.signature c.luts in
+  let lut_funcs = List.map Lut_conv.interp_binding c.luts in
+  Interp.run_source ~luts:lut_sigs ~lut_funcs ~scalars ~arrays c.source
+    c.entry
+
+(** Co-simulation check: hardware simulation equals software semantics on
+    the given inputs. Returns the diff report ([] when equivalent). *)
+let verify ?(scalars = []) ?(arrays = []) (c : compiled) : string list =
+  let hw = simulate ~scalars ~arrays c in
+  let sw = interpret ~scalars ~arrays c in
+  let diffs = ref [] in
+  (* array outputs *)
+  List.iter
+    (fun (name, hw_data) ->
+      match List.assoc_opt name sw.Interp.arrays with
+      | Some sw_data ->
+        Array.iteri
+          (fun i v ->
+            if not (Int64.equal v sw_data.(i)) then
+              diffs :=
+                !diffs
+                @ [ Printf.sprintf "%s[%d]: hw=%Ld sw=%Ld" name i v sw_data.(i) ])
+          hw_data
+      | None -> diffs := !diffs @ [ Printf.sprintf "missing sw array %s" name ])
+    hw.Engine.output_arrays;
+  (* scalar outputs *)
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name sw.Interp.pointer_outputs with
+      | Some sv when Int64.equal v sv -> ()
+      | Some sv ->
+        diffs := !diffs @ [ Printf.sprintf "%s: hw=%Ld sw=%Ld" name v sv ]
+      | None -> diffs := !diffs @ [ Printf.sprintf "missing sw scalar %s" name ])
+    hw.Engine.scalar_outputs;
+  (* software-side outputs the hardware never produced: a non-input array
+     written by the C code, or a pointer output, must appear on the
+     hardware side too *)
+  let input_names = List.map fst arrays in
+  List.iter
+    (fun (name, _) ->
+      if
+        (not (List.mem_assoc name hw.Engine.output_arrays))
+        && not (List.mem name input_names)
+      then diffs := !diffs @ [ Printf.sprintf "hw never wrote array %s" name ])
+    sw.Interp.arrays;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name hw.Engine.scalar_outputs) then
+        diffs := !diffs @ [ Printf.sprintf "hw never wrote scalar %s" name ])
+    sw.Interp.pointer_outputs;
+  !diffs
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let report (c : compiled) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "=== %s ===\n" c.entry);
+  Buffer.add_string buf (Kernel.describe c.kernel);
+  Buffer.add_string buf
+    (Printf.sprintf "datapath: %d nodes, %d instrs (%d copies)\n"
+       (List.length c.dp.Graph.nodes)
+       (Graph.instr_count c.dp) (Graph.copy_count c.dp));
+  Buffer.add_string buf (Pipeline.describe c.pipeline);
+  Buffer.add_string buf (Area.describe c.area);
+  let pw = Area.power c.area in
+  Buffer.add_string buf
+    (Printf.sprintf "power: %.0f mW total (%.0f dynamic + %.0f static)\n"
+       pw.Area.total_mw pw.Area.dynamic_mw pw.Area.static_mw);
+  Buffer.contents buf
+
+let pass_pipeline_figure (c : compiled) : string =
+  "ROCCC pass pipeline (Figure 1):\n  "
+  ^ String.concat "\n  -> " c.pass_trace

@@ -1,0 +1,106 @@
+(** The ROCCC compiler driver — the library's primary public API.
+
+    [compile] runs the end-to-end pipeline of the paper's Figure 1 on one
+    kernel function; [simulate] executes the result on the cycle-accurate
+    execution model (Figure 2); [verify] checks the hardware against the C
+    semantics. *)
+
+exception Error of string
+
+(** Compilation options. Start from {!default_options} and override. *)
+type options = {
+  unroll_inner_max : int;
+      (** fully unroll inner loops with at most this trip count (for
+          bit-step algorithms like division and square root); 0 = off *)
+  unroll_all_max : int;
+      (** fully unroll any constant loop with at most this trip count,
+          turning small kernels into block data paths; 0 = off *)
+  fuse_loops : bool;  (** fuse adjacent independent loops *)
+  target_ns : float;  (** combinational budget per pipeline stage *)
+  infer_widths : bool;  (** bit-width inference (§4.2.4); ablation switch *)
+  optimize_vm : bool;
+      (** back-end value numbering / copy propagation / dead-code
+          elimination; ablation switch *)
+  unroll_outer_factor : int;
+      (** partial unrolling of the streaming loop: the data path consumes
+          [factor] windows and produces [factor] results per cycle *)
+  lut_convert_max_bits : int;
+      (** convert pure called functions with one scalar input of at most
+          this width into ROM lookup tables instead of inlining; 0 = off *)
+  bus_elements : int;  (** memory elements delivered per access *)
+  check_vhdl : bool;  (** run the structural VHDL linter after generation *)
+}
+
+val default_options : options
+
+(** Everything the compiler produces for one kernel. *)
+type compiled = {
+  source : string;
+  entry : string;
+  options : options;
+  program : Roccc_cfront.Ast.program;  (** after front-end transformation *)
+  kernel : Roccc_hir.Kernel.t;  (** scalar-replaced kernel (Figure 3/4) *)
+  proc : Roccc_vm.Proc.t;  (** SSA-form virtual-machine procedure *)
+  dp : Roccc_datapath.Graph.t;  (** the data path (Figures 6/7) *)
+  widths : Roccc_datapath.Widths.t;  (** inferred signal widths *)
+  pipeline : Roccc_datapath.Pipeline.t;  (** latch placement + clock *)
+  design : Roccc_vhdl.Ast.design;  (** generated VHDL *)
+  buffer_configs : Roccc_buffers.Smart_buffer.config list;
+  area : Roccc_fpga.Area.estimate;  (** Virtex-II slices + clock *)
+  luts : Roccc_hir.Lut_conv.table list;  (** registered lookup tables *)
+  system_vhdl : string option;
+      (** Figure 2 system wrapper (address generator + smart buffer +
+          controller), available for 1-D single-window kernels *)
+  pass_trace : string list;  (** executed passes, in order (Figure 1) *)
+}
+
+val compile :
+  ?options:options ->
+  ?luts:Roccc_hir.Lut_conv.table list ->
+  entry:string ->
+  string ->
+  compiled
+(** [compile ~entry source] compiles the function [entry] of the C [source].
+    [luts] registers pre-existing lookup tables (e.g.
+    {!Roccc_hir.Lut_conv.cos_table}) callable by name from the C code.
+    Raises {!Error} with a user-facing message on any front-end or back-end
+    failure. *)
+
+val compile_all :
+  ?options:options ->
+  ?luts:Roccc_hir.Lut_conv.table list ->
+  string ->
+  (string * compiled) list * (string * string) list
+(** Compile every hardware-eligible function (array/pointer parameters) in
+    a source file: (name, compiled) successes and (name, error) failures. *)
+
+val simulate :
+  ?scalars:(string * int64) list ->
+  ?arrays:(string * int64 array) list ->
+  compiled ->
+  Roccc_hw.Engine.result
+(** Run the compiled circuit on the cycle-accurate execution model.
+    [arrays] supplies input array contents by parameter name; [scalars] the
+    live-in scalar parameters. *)
+
+val interpret :
+  ?scalars:(string * int64) list ->
+  ?arrays:(string * int64 array) list ->
+  compiled ->
+  Roccc_cfront.Interp.outcome
+(** Run the original C source through the reference interpreter. *)
+
+val verify :
+  ?scalars:(string * int64) list ->
+  ?arrays:(string * int64 array) list ->
+  compiled ->
+  string list
+(** Co-simulation check: simulate and interpret on the same inputs and
+    report every output mismatch ([] means the hardware behaviour equals
+    the software behaviour, the paper's §4.2.2 soft-node property). *)
+
+val report : compiled -> string
+(** Human-readable summary: kernel, data path, pipeline, area. *)
+
+val pass_pipeline_figure : compiled -> string
+(** The executed pass pipeline, matching the paper's Figure 1. *)

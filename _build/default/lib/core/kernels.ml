@@ -1,0 +1,387 @@
+(** The nine Table 1 benchmark kernels as C sources for the compiler, with
+    deterministic input generators and per-kernel compile options.
+
+    bit_correlator, mul_acc, udiv, square_root, cos, arbitrary LUT, FIR,
+    DCT and the (5,3) wavelet engine (paper §5). *)
+
+module Lut_conv = Roccc_hir.Lut_conv
+module Ast = Roccc_cfront.Ast
+
+(* Deterministic pseudo-random inputs (xorshift); keeps benches stable. *)
+let prng seed =
+  let state = ref (if seed = 0 then 0x9E3779B9 else seed) in
+  fun bound ->
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 17) in
+    let x = x lxor (x lsl 5) in
+    state := x land 0x3FFFFFFF;
+    !state mod bound
+
+type benchmark = {
+  bench_name : string;
+  source : string;
+  entry : string;
+  luts : Lut_conv.table list;
+  tune : Driver.options -> Driver.options;
+  arrays : unit -> (string * int64 array) list;
+  scalars : (string * int64) list;
+}
+
+let no_tune o = o
+
+(* ------------------------------------------------------------------ *)
+(* bit_correlator: bits of an 8-bit input equal to the constant mask    *)
+(* ------------------------------------------------------------------ *)
+
+let bit_correlator_mask = 0xA5
+
+let bit_correlator =
+  let source =
+    Printf.sprintf
+      "void bit_correlator(uint8 X[64], uint4 C[64]) {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 64; i++) {\n\
+      \    int t, cnt;\n\
+      \    t = ~(X[i] ^ %d) & 255;\n\
+      \    cnt = (t & 1) + ((t >> 1) & 1) + ((t >> 2) & 1) + ((t >> 3) & 1)\n\
+      \        + ((t >> 4) & 1) + ((t >> 5) & 1) + ((t >> 6) & 1)\n\
+      \        + ((t >> 7) & 1);\n\
+      \    C[i] = cnt;\n\
+      \  }\n\
+       }\n"
+      bit_correlator_mask
+  in
+  { bench_name = "bit_correlator";
+    source;
+    entry = "bit_correlator";
+    luts = [];
+    tune = no_tune;
+    arrays =
+      (fun () ->
+        let rand = prng 11 in
+        [ "X", Array.init 64 (fun _ -> Int64.of_int (rand 256)) ]);
+    scalars = [] }
+
+(* ------------------------------------------------------------------ *)
+(* mul_acc: 12-bit multiplier-accumulator with a new-data flag          *)
+(* ------------------------------------------------------------------ *)
+
+let mul_acc =
+  { bench_name = "mul_acc";
+    source =
+      "int acc = 0;\n\
+       void mul_acc(int12 A[64], int12 B[64], uint1 ND[64], int* out) {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 64; i++) {\n\
+      \    if (ND[i]) { acc = acc + A[i] * B[i]; }\n\
+      \  }\n\
+      \  *out = acc;\n\
+       }\n";
+    entry = "mul_acc";
+    luts = [];
+    tune = no_tune;
+    arrays =
+      (fun () ->
+        let rand = prng 23 in
+        [ "A", Array.init 64 (fun _ -> Int64.of_int (rand 2048 - 1024));
+          "B", Array.init 64 (fun _ -> Int64.of_int (rand 2048 - 1024));
+          "ND", Array.init 64 (fun _ -> Int64.of_int (rand 2)) ]);
+    scalars = [] }
+
+(* ------------------------------------------------------------------ *)
+(* udiv: 8-bit unsigned restoring division, bit loop fully unrolled     *)
+(* ------------------------------------------------------------------ *)
+
+let udiv =
+  { bench_name = "udiv";
+    source =
+      "void udiv(uint8 N[16], uint8 D[16], uint8 Q[16], uint8 R[16]) {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 16; i++) {\n\
+      \    int n, d, rem, q, b;\n\
+      \    n = N[i];\n\
+      \    d = D[i];\n\
+      \    rem = 0;\n\
+      \    q = 0;\n\
+      \    for (b = 7; b >= 0; b--) {\n\
+      \      rem = (rem << 1) | ((n >> b) & 1);\n\
+      \      if (rem >= d) {\n\
+      \        rem = rem - d;\n\
+      \        q = q | (1 << b);\n\
+      \      }\n\
+      \    }\n\
+      \    Q[i] = q;\n\
+      \    R[i] = rem;\n\
+      \  }\n\
+       }\n";
+    entry = "udiv";
+    luts = [];
+    tune = (fun o -> { o with Driver.unroll_inner_max = 8 });
+    arrays =
+      (fun () ->
+        let rand = prng 37 in
+        [ "N", Array.init 16 (fun _ -> Int64.of_int (rand 256));
+          "D", Array.init 16 (fun _ -> Int64.of_int (1 + rand 255)) ]);
+    scalars = [] }
+
+(* ------------------------------------------------------------------ *)
+(* square_root: 24-bit integer square root, 12 unrolled root steps      *)
+(* ------------------------------------------------------------------ *)
+
+let square_root =
+  { bench_name = "square_root";
+    source =
+      "void square_root(uint24 X[16], uint12 S[16]) {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 16; i++) {\n\
+      \    int x, rem, root, b, trial;\n\
+      \    x = X[i];\n\
+      \    rem = x;\n\
+      \    root = 0;\n\
+      \    for (b = 11; b >= 0; b--) {\n\
+      \      trial = ((root << 1) + (1 << b)) << b;\n\
+      \      if (rem >= trial) {\n\
+      \        rem = rem - trial;\n\
+      \        root = root + (1 << b);\n\
+      \      }\n\
+      \    }\n\
+      \    S[i] = root;\n\
+      \  }\n\
+       }\n";
+    entry = "square_root";
+    luts = [];
+    tune = (fun o -> { o with Driver.unroll_inner_max = 12 });
+    arrays =
+      (fun () ->
+        let rand = prng 41 in
+        [ "X", Array.init 16 (fun _ -> Int64.of_int (rand 16777216)) ]);
+    scalars = [] }
+
+(* ------------------------------------------------------------------ *)
+(* cos / arbitrary LUT: 10-bit address, 16-bit data ROM lookups         *)
+(* ------------------------------------------------------------------ *)
+
+let cos_table = Lut_conv.cos_table ~in_bits:10 ~out_bits:16 ()
+
+let cos_kernel =
+  { bench_name = "cos";
+    source =
+      "void cos_kernel(uint10 X[64], int16 Y[64]) {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 64; i++) {\n\
+      \    Y[i] = cos(X[i]);\n\
+      \  }\n\
+       }\n";
+    entry = "cos_kernel";
+    luts = [ cos_table ];
+    tune = no_tune;
+    arrays =
+      (fun () ->
+        let rand = prng 53 in
+        [ "X", Array.init 64 (fun _ -> Int64.of_int (rand 1024)) ]);
+    scalars = [] }
+
+let user_rom_table =
+  let rand = prng 97 in
+  Lut_conv.of_contents ~name:"user_rom"
+    ~in_kind:(Ast.make_ikind ~signed:false 10)
+    ~out_kind:(Ast.make_ikind ~signed:true 16)
+    (Array.init 1024 (fun _ -> Int64.of_int (rand 65536 - 32768)))
+
+let arbitrary_lut =
+  { bench_name = "arbitrary_lut";
+    source =
+      "void arbitrary_lut(uint10 X[64], int16 Y[64]) {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 64; i++) {\n\
+      \    Y[i] = user_rom(X[i]);\n\
+      \  }\n\
+       }\n";
+    entry = "arbitrary_lut";
+    luts = [ user_rom_table ];
+    tune = no_tune;
+    arrays =
+      (fun () ->
+        let rand = prng 59 in
+        [ "X", Array.init 64 (fun _ -> Int64.of_int (rand 1024)) ]);
+    scalars = [] }
+
+(* ------------------------------------------------------------------ *)
+(* FIR: two 5-tap 8-bit constant-coefficient filters, 16-bit bus        *)
+(* ------------------------------------------------------------------ *)
+
+let fir =
+  { bench_name = "fir";
+    source =
+      "void fir(int8 A[64], int16 C[60], int16 E[60]) {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 60; i++) {\n\
+      \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
+      \    E[i] = 2*A[i] + 4*A[i+1] + 6*A[i+2] + 4*A[i+3] + 2*A[i+4];\n\
+      \  }\n\
+       }\n";
+    entry = "fir";
+    luts = [];
+    tune = (fun o -> { o with Driver.bus_elements = 2 });
+    arrays =
+      (fun () ->
+        let rand = prng 61 in
+        [ "A", Array.init 64 (fun _ -> Int64.of_int (rand 256 - 128)) ]);
+    scalars = [] }
+
+(* ------------------------------------------------------------------ *)
+(* DCT: 1-D 8-point, 8-bit input, 19-bit output, fully unrolled         *)
+(* ------------------------------------------------------------------ *)
+
+(* round(64 * c(k)/2 * cos((2n+1) k pi / 16)); c(0) = 1/sqrt2. *)
+let dct8_coeff : int array array =
+  Array.init 8 (fun k ->
+      Array.init 8 (fun n ->
+          let ck = if k = 0 then 1.0 /. Float.sqrt 2.0 else 1.0 in
+          let v =
+            64.0 *. ck /. 2.0
+            *. Float.cos
+                 (Float.pi *. float_of_int ((2 * n) + 1) *. float_of_int k
+                 /. 16.0)
+          in
+          int_of_float (Float.round v)))
+
+(* "Both ROCCC DCT and Xilinx IP DCT explore the symmetry within the cosine
+   coefficients" (§5): the even/odd butterfly halves the multiplier count —
+   even outputs depend on s_n = X[n] + X[7-n], odd on d_n = X[n] - X[7-n],
+   4 constant multiplies each instead of 8. *)
+let dct_source : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "void dct(int8 X[8], int19 Y[8]) {\n";
+  Buffer.add_string buf "  int s0, s1, s2, s3, d0, d1, d2, d3;\n";
+  for n = 0 to 3 do
+    Buffer.add_string buf
+      (Printf.sprintf "  s%d = X[%d] + X[%d];\n" n n (7 - n));
+    Buffer.add_string buf
+      (Printf.sprintf "  d%d = X[%d] - X[%d];\n" n n (7 - n))
+  done;
+  let term c v =
+    if c >= 0 then Printf.sprintf "+ %d*%s" c v
+    else Printf.sprintf "- %d*%s" (-c) v
+  in
+  let strip rhs =
+    if String.length rhs > 2 && String.sub rhs 0 2 = "+ " then
+      String.sub rhs 2 (String.length rhs - 2)
+    else rhs
+  in
+  Array.iteri
+    (fun k row ->
+      let terms =
+        if k mod 2 = 0 then
+          (* even rows are symmetric: row.(n) = row.(7-n) *)
+          List.init 4 (fun n -> term row.(n) (Printf.sprintf "s%d" n))
+        else
+          (* odd rows are antisymmetric: row.(n) = -row.(7-n) *)
+          List.init 4 (fun n -> term row.(n) (Printf.sprintf "d%d" n))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  Y[%d] = %s;\n" k (strip (String.concat " " terms))))
+    dct8_coeff;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let dct =
+  { bench_name = "dct";
+    source = dct_source;
+    entry = "dct";
+    luts = [];
+    tune = no_tune;
+    arrays =
+      (fun () ->
+        let rand = prng 71 in
+        [ "X", Array.init 8 (fun _ -> Int64.of_int (rand 256 - 128)) ]);
+    scalars = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Wavelet: 2-D (5,3) lifting, row pass and column pass kernels         *)
+(* ------------------------------------------------------------------ *)
+
+(* The row pass walks even columns with a 5-wide window, producing the
+   approximation (S) and detail (Dd) planes; d[j-1] is recomputed from the
+   window instead of fed back, trading multipliers for registers (one of the
+   compiler's recompute-vs-store choices). Interior columns only; image
+   boundaries are handled by the host's symmetric extension. *)
+let wavelet_rows_source =
+  "void wavelet_rows(int16 X[16][34], int16 S[16][34], int16 Dd[16][34]) {\n\
+  \  int r, j;\n\
+  \  for (r = 0; r < 16; r++) {\n\
+  \    for (j = 2; j < 32; j = j + 2) {\n\
+  \      int d, dm1, s;\n\
+  \      d = X[r][j+1] - (X[r][j] + X[r][j+2]) / 2;\n\
+  \      dm1 = X[r][j-1] - (X[r][j-2] + X[r][j]) / 2;\n\
+  \      s = X[r][j] + (dm1 + d + 2) / 4;\n\
+  \      S[r][j] = s;\n\
+  \      Dd[r][j] = d;\n\
+  \    }\n\
+  \  }\n\
+   }\n"
+
+let wavelet_cols_source =
+  "void wavelet_cols(int16 X[34][16], int16 S[34][16], int16 Dd[34][16]) {\n\
+  \  int r, c;\n\
+  \  for (r = 2; r < 32; r = r + 2) {\n\
+  \    for (c = 0; c < 16; c++) {\n\
+  \      int d, dm1, s;\n\
+  \      d = X[r+1][c] - (X[r][c] + X[r+2][c]) / 2;\n\
+  \      dm1 = X[r-1][c] - (X[r-2][c] + X[r][c]) / 2;\n\
+  \      s = X[r][c] + (dm1 + d + 2) / 4;\n\
+  \      S[r][c] = s;\n\
+  \      Dd[r][c] = d;\n\
+  \    }\n\
+  \  }\n\
+   }\n"
+
+let wavelet =
+  { bench_name = "wavelet";
+    source = wavelet_rows_source;
+    entry = "wavelet_rows";
+    luts = [];
+    tune = no_tune;
+    arrays =
+      (fun () ->
+        let rand = prng 83 in
+        [ "X", Array.init (16 * 34) (fun _ -> Int64.of_int (rand 512 - 256)) ]);
+    scalars = [] }
+
+let wavelet_cols =
+  { bench_name = "wavelet_cols";
+    source = wavelet_cols_source;
+    entry = "wavelet_cols";
+    luts = [];
+    tune = no_tune;
+    arrays =
+      (fun () ->
+        let rand = prng 89 in
+        [ "X", Array.init (34 * 16) (fun _ -> Int64.of_int (rand 512 - 256)) ]);
+    scalars = [] }
+
+(* ------------------------------------------------------------------ *)
+
+(** Table 1 order. The wavelet engine is the row pass + column pass pair;
+    [wavelet_cols] is carried separately and summed by the harness. *)
+let table1 : benchmark list =
+  [ bit_correlator; mul_acc; udiv; square_root; cos_kernel; arbitrary_lut;
+    fir; dct; wavelet ]
+
+let find name = List.find_opt (fun b -> String.equal b.bench_name name) table1
+
+(** Compile a benchmark with its tuned options. *)
+let compile (b : benchmark) : Driver.compiled =
+  Driver.compile ~options:(b.tune Driver.default_options) ~luts:b.luts
+    ~entry:b.entry b.source
+
+(** Compile and co-simulate a benchmark on its deterministic inputs;
+    returns (compiled, simulation result, diffs-vs-software). *)
+let run (b : benchmark) : Driver.compiled * Roccc_hw.Engine.result * string list
+    =
+  let c = compile b in
+  let arrays = b.arrays () in
+  let r = Driver.simulate ~scalars:b.scalars ~arrays c in
+  let diffs = Driver.verify ~scalars:b.scalars ~arrays c in
+  c, r, diffs

@@ -1,0 +1,50 @@
+(** The nine Table 1 benchmark kernels as C sources, with deterministic
+    input generators and per-kernel compile options: bit_correlator,
+    mul_acc, udiv, square_root, cos, arbitrary LUT, FIR, DCT and the (5,3)
+    wavelet engine (paper §5). *)
+
+type benchmark = {
+  bench_name : string;
+  source : string;
+  entry : string;
+  luts : Roccc_hir.Lut_conv.table list;
+  tune : Driver.options -> Driver.options;
+  arrays : unit -> (string * int64 array) list;
+  scalars : (string * int64) list;
+}
+
+val bit_correlator : benchmark
+val bit_correlator_mask : int
+val mul_acc : benchmark
+val udiv : benchmark
+val square_root : benchmark
+val cos_kernel : benchmark
+val cos_table : Roccc_hir.Lut_conv.table
+val arbitrary_lut : benchmark
+val user_rom_table : Roccc_hir.Lut_conv.table
+val fir : benchmark
+val dct : benchmark
+val dct_source : string
+val dct8_coeff : int array array
+(** round(64 * c(k)/2 * cos((2n+1) k pi / 16)) — shared with the golden
+    behavioural model. *)
+
+val wavelet : benchmark
+(** The (5,3) lifting row pass; the full engine pairs it with
+    {!wavelet_cols}. *)
+
+val wavelet_cols : benchmark
+val wavelet_rows_source : string
+val wavelet_cols_source : string
+
+val table1 : benchmark list
+(** The nine rows in Table 1 order. *)
+
+val find : string -> benchmark option
+
+val compile : benchmark -> Driver.compiled
+(** Compile with the benchmark's tuned options and tables. *)
+
+val run : benchmark -> Driver.compiled * Roccc_hw.Engine.result * string list
+(** Compile, simulate on the deterministic inputs, and co-verify; the
+    third component lists hardware/software mismatches ([] = verified). *)

@@ -1,0 +1,1 @@
+lib/datapath/builder.ml: Array Graph Hashtbl Int List Map Printf Roccc_analysis Roccc_util Roccc_vm Set

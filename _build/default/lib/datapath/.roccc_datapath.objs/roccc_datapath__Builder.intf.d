@@ -1,0 +1,1 @@
+lib/datapath/builder.mli: Graph Roccc_vm

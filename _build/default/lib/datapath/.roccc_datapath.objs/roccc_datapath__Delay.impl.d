@@ -1,0 +1,1 @@
+lib/datapath/delay.ml: Int64 List Option Roccc_cfront Roccc_util Roccc_vm

@@ -1,0 +1,1 @@
+lib/datapath/delay.mli: Roccc_vm

@@ -1,0 +1,1 @@
+lib/datapath/dp_eval.ml: Graph Hashtbl Int64 List Option Printf Roccc_cfront Roccc_util Roccc_vm String Widths

@@ -1,0 +1,1 @@
+lib/datapath/dp_eval.mli: Graph Widths

@@ -1,0 +1,1 @@
+lib/datapath/graph.ml: Array Buffer Hashtbl List Printf Roccc_vm

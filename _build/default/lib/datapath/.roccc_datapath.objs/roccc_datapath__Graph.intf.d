@@ -1,0 +1,1 @@
+lib/datapath/graph.mli: Hashtbl Roccc_vm

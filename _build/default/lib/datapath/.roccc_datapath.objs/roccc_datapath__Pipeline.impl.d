@@ -1,0 +1,1 @@
+lib/datapath/pipeline.ml: Array Buffer Delay Float Graph Hashtbl List Option Printf Roccc_cfront Roccc_vm String Widths

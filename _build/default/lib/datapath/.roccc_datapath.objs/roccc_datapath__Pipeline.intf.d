@@ -1,0 +1,1 @@
+lib/datapath/pipeline.mli: Graph Roccc_vm Widths

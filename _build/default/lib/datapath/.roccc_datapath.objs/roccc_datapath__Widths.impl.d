@@ -1,0 +1,1 @@
+lib/datapath/widths.ml: Graph Hashtbl Int Int64 List Map Printf Roccc_cfront Roccc_util Roccc_vm

@@ -1,0 +1,1 @@
+lib/datapath/widths.mli: Graph Roccc_vm

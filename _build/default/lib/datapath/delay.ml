@@ -1,0 +1,105 @@
+(** Combinational delay estimation per instruction (paper §4.2.3: "The latch
+    location in a node is decided based on the delay estimation of
+    instructions"). The model is calibrated to a Virtex-II speed-grade-5
+    fabric: a 4-input LUT + local routing is ~1 ns; carry chains add ~0.05 ns
+    per bit; LUT-style multipliers cost roughly one LUT level per partial
+    product row. *)
+
+module Instr = Roccc_vm.Instr
+
+(** One LUT level including local routing, in nanoseconds. *)
+let lut_level_ns = 0.9
+
+(** Incremental carry-chain delay per bit, in nanoseconds. *)
+let carry_per_bit_ns = 0.045
+
+(** Flip-flop clock-to-out plus setup, charged once per pipeline stage. *)
+let register_overhead_ns = 1.1
+
+(* Width of the widest source operand, falling back to the result kind. *)
+let operand_width (kind : Instr.ikind) (src_widths : int list) : int =
+  match src_widths with
+  | [] -> kind.Roccc_cfront.Ast.bits
+  | ws -> List.fold_left max 1 ws
+
+let popcount64 (v : int64) : int =
+  let rec loop v acc =
+    if Int64.equal v 0L then acc
+    else
+      loop (Int64.shift_right_logical v 1)
+        (acc + Int64.to_int (Int64.logand v 1L))
+  in
+  loop (Int64.abs v) 0
+
+(** Estimated combinational delay of one instruction, given the bit widths
+    of its source operands. [const_operands] mark sources that carry
+    compile-time constants (constant multipliers become shift-add trees,
+    constant shifts become wiring). *)
+let instr_delay_ns ?(const_operands : int64 option list = [])
+    (op : Instr.opcode) (kind : Instr.ikind) (src_widths : int list) : float =
+  let w = operand_width kind src_widths in
+  let const_of n = List.nth_opt const_operands n |> Option.join in
+  match op with
+  | Instr.Add | Instr.Sub ->
+    (* ripple-carry adder on the dedicated carry chain *)
+    lut_level_ns +. (carry_per_bit_ns *. float_of_int w)
+  | Instr.Neg -> lut_level_ns +. (carry_per_bit_ns *. float_of_int w)
+  | Instr.Mul -> (
+    match const_of 0, const_of 1 with
+    | Some c, _ | _, Some c ->
+      (* shift-add tree: depth log2(set bits) adder levels *)
+      let terms = max 1 (popcount64 c) in
+      let depth = max 1 (Roccc_util.Bits.clog2 terms) in
+      float_of_int depth
+      *. (lut_level_ns +. (carry_per_bit_ns *. float_of_int w))
+    | None, None ->
+      (* LUT-based array multiplier: ~one LUT level per two partial-product
+         rows after the first, bounded below by two levels *)
+      let rows = float_of_int (max 2 (w / 2)) in
+      lut_level_ns *. (1.0 +. (rows /. 2.0)))
+  | Instr.Div | Instr.Rem -> (
+    match const_of 1 with
+    | Some c
+      when Int64.compare c 0L > 0 && Int64.equal (Int64.logand c (Int64.sub c 1L)) 0L ->
+      (* power-of-two divisor: shift plus a rounding correction adder *)
+      lut_level_ns +. (carry_per_bit_ns *. float_of_int w)
+    | _ ->
+      (* iterative array divider: one subtract per quotient bit *)
+      float_of_int w
+      *. (lut_level_ns +. (carry_per_bit_ns *. float_of_int w))
+      /. 2.0)
+  | Instr.Shl | Instr.Shr -> (
+    match const_of 1 with
+    | Some _ -> 0.0  (* constant shift is wiring *)
+    | None ->
+      (* barrel shifter: log2(w) mux levels *)
+      lut_level_ns *. float_of_int (max 1 (Roccc_util.Bits.clog2 (max 2 w))))
+  | Instr.Band | Instr.Bor | Instr.Bxor -> (
+    match const_of 0, const_of 1 with
+    | Some _, _ | _, Some _ -> 0.0  (* constant mask is wiring *)
+    | None, None -> lut_level_ns)
+  | Instr.Bnot -> lut_level_ns
+  | Instr.Slt | Instr.Sle | Instr.Sgt | Instr.Sge ->
+    lut_level_ns +. (carry_per_bit_ns *. float_of_int w)
+  | Instr.Seq | Instr.Sne ->
+    (* XOR reduce tree *)
+    lut_level_ns *. float_of_int (max 1 (Roccc_util.Bits.clog2 (max 2 w)))
+  | Instr.Land | Instr.Lor | Instr.Lnot -> lut_level_ns
+  | Instr.Mov -> 0.0       (* plain wire *)
+  | Instr.Cvt -> 0.0       (* wiring / sign-extension *)
+  | Instr.Ldc _ -> 0.0     (* constant wiring *)
+  | Instr.Mux -> lut_level_ns
+  | Instr.Lpr _ -> 0.0     (* register read *)
+  | Instr.Snx _ -> 0.0     (* register write (setup charged per stage) *)
+  | Instr.Lut _ ->
+    (* block-RAM/ROM access time *)
+    2.5
+
+(** Achievable clock for a given worst-stage combinational delay, with a
+    routing pessimism factor (global routing roughly doubles logic delay on
+    a real device). *)
+let routing_factor = 1.55
+
+let clock_mhz_of_stage_delay (worst_ns : float) : float =
+  let period = (worst_ns *. routing_factor) +. register_overhead_ns in
+  1000.0 /. period

@@ -1,0 +1,29 @@
+(** Combinational delay estimation per instruction (paper §4.2.3), tuned to
+    a Virtex-II speed-grade-5 fabric. *)
+
+val lut_level_ns : float
+(** One 4-LUT plus local routing. *)
+
+val carry_per_bit_ns : float
+(** Incremental dedicated carry-chain delay. *)
+
+val register_overhead_ns : float
+(** Flip-flop clock-to-out plus setup, charged once per pipeline stage. *)
+
+val routing_factor : float
+(** Global-routing pessimism applied to logic delay. *)
+
+val instr_delay_ns :
+  ?const_operands:int64 option list ->
+  Roccc_vm.Instr.opcode ->
+  Roccc_vm.Instr.ikind ->
+  int list ->
+  float
+(** [instr_delay_ns op kind src_widths] estimates the combinational delay of
+    one instruction. [const_operands] marks sources carrying compile-time
+    constants: constant multipliers become shift-add trees, constant shifts
+    and masks become wiring. *)
+
+val clock_mhz_of_stage_delay : float -> float
+(** Achievable clock for a worst-stage combinational delay, including
+    routing pessimism and register overhead. *)

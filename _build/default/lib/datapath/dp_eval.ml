@@ -1,0 +1,126 @@
+(** Evaluator for built data paths. Unlike the VM evaluator it executes every
+    node — there is no control flow left; alternative branches both compute
+    and a mux selects (paper §4.2.2). Used to verify that data-path
+    construction preserves the software semantics, and as the functional
+    core of the cycle-accurate hardware simulator. *)
+
+module Instr = Roccc_vm.Instr
+module Proc = Roccc_vm.Proc
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type result = {
+  outputs : (string * int64) list;
+  feedback_next : (string * int64) list;
+}
+
+let truncate (k : Instr.ikind) v =
+  Roccc_util.Bits.truncate ~signed:k.Roccc_cfront.Ast.signed
+    k.Roccc_cfront.Ast.bits v
+
+(** Evaluate one iteration of the data path. When [widths] is given, every
+    intermediate value is additionally truncated to its *inferred* physical
+    width — the hardware the generator emits. Bit-width inference is sound
+    iff this changes nothing; the property tests rely on it. *)
+let run ?(luts = []) ?(feedback_prev = []) ?(widths : Widths.t option)
+    (dp : Graph.t) ~(inputs : (string * int64) list) : result =
+  let regs : (Instr.vreg, int64) Hashtbl.t = Hashtbl.create 128 in
+  let snx_values : (string, int64) Hashtbl.t = Hashtbl.create 4 in
+  let read r =
+    match Hashtbl.find_opt regs r with
+    | Some v -> v
+    | None -> errf "dp_eval: register v%d read before definition" r
+  in
+  let lpr name =
+    match List.assoc_opt name feedback_prev with
+    | Some v -> v
+    | None -> (
+      match
+        List.find_opt
+          (fun (n, _, _) -> String.equal n name)
+          dp.Graph.proc.Proc.feedbacks
+      with
+      | Some (_, kind, init) -> truncate kind init
+      | None -> errf "dp_eval: unknown feedback signal %s" name)
+  in
+  let lut name v =
+    match List.assoc_opt name luts with
+    | Some f -> f v
+    | None -> errf "dp_eval: unknown lookup table %s" name
+  in
+  List.iter
+    (fun (p : Proc.port) ->
+      match List.assoc_opt p.Proc.port_name inputs with
+      | Some v ->
+        Hashtbl.replace regs p.Proc.port_reg (truncate p.Proc.port_kind v)
+      | None -> errf "dp_eval: missing input %s" p.Proc.port_name)
+    dp.Graph.input_ports;
+  (* Division on a not-taken branch must not trap: evaluate speculative
+     lanes with a harmless fallback, exactly like hardware where the unused
+     lane's result is discarded by the mux. *)
+  let eval_guarded (i : Instr.instr) (operands : int64 list) : int64 =
+    match i.Instr.op, operands with
+    | Instr.Div, [ _; b ] when Int64.equal b 0L -> Int64.neg 1L
+    | Instr.Rem, [ a; b ] when Int64.equal b 0L -> a
+    | op, _ -> Instr.eval_op ~lut ~lpr op operands
+  in
+  List.iter
+    (fun (n : Graph.node) ->
+      List.iter
+        (fun (i : Instr.instr) ->
+          let operands = List.map read i.Instr.srcs in
+          match i.Instr.op, i.Instr.dst with
+          | Instr.Snx name, None -> (
+            match operands with
+            | [ v ] -> Hashtbl.replace snx_values name (truncate i.Instr.kind v)
+            | _ -> errf "dp_eval: snx arity")
+          | op, Some dst ->
+            let v = eval_guarded { i with Instr.op } operands in
+            let v = truncate i.Instr.kind v in
+            let v =
+              match widths with
+              | Some w ->
+                let bits =
+                  min (Widths.width w dst) i.Instr.kind.Roccc_cfront.Ast.bits
+                in
+                Roccc_util.Bits.truncate
+                  ~signed:i.Instr.kind.Roccc_cfront.Ast.signed bits v
+              | None -> v
+            in
+            Hashtbl.replace regs dst v
+          | _, None -> errf "dp_eval: instruction without destination")
+        n.Graph.instrs)
+    dp.Graph.nodes;
+  let outputs =
+    List.map
+      (fun (p : Proc.port) ->
+        ( p.Proc.port_name,
+          truncate p.Proc.port_kind (read p.Proc.port_reg) ))
+      dp.Graph.output_ports
+  in
+  let feedback_next =
+    List.filter_map
+      (fun (name, _, _) ->
+        Option.map (fun v -> name, v) (Hashtbl.find_opt snx_values name))
+      dp.Graph.proc.Proc.feedbacks
+  in
+  { outputs; feedback_next }
+
+(** Iterate the data path over an input stream, threading feedback values. *)
+let run_stream ?(luts = []) (dp : Graph.t)
+    (stream : (string * int64) list list) : result list =
+  let feedback_prev = ref [] in
+  List.map
+    (fun inputs ->
+      let r = run ~luts ~feedback_prev:!feedback_prev dp ~inputs in
+      let merged =
+        r.feedback_next
+        @ List.filter
+            (fun (n, _) -> not (List.mem_assoc n r.feedback_next))
+            !feedback_prev
+      in
+      feedback_prev := merged;
+      r)
+    stream

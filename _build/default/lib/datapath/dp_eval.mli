@@ -1,0 +1,31 @@
+(** Evaluator for built data paths: executes every node (no control flow
+    remains — both branch sides compute and muxes select), threading LPR/SNX
+    feedback between iterations. Used to verify construction against the VM
+    and C semantics, and as the functional core of the hardware simulator. *)
+
+exception Error of string
+
+type result = {
+  outputs : (string * int64) list;
+  feedback_next : (string * int64) list;
+      (** values stored by SNX this iteration *)
+}
+
+val run :
+  ?luts:(string * (int64 -> int64)) list ->
+  ?feedback_prev:(string * int64) list ->
+  ?widths:Widths.t ->
+  Graph.t ->
+  inputs:(string * int64) list ->
+  result
+(** Evaluate one iteration. With [widths], every intermediate is truncated
+    to its inferred physical width — the soundness check for bit-width
+    inference. Division by zero on a not-taken lane yields a harmless
+    placeholder, as in hardware where the mux discards the lane. *)
+
+val run_stream :
+  ?luts:(string * (int64 -> int64)) list ->
+  Graph.t ->
+  (string * int64) list list ->
+  result list
+(** Iterate over a stream of per-iteration inputs, threading feedback. *)

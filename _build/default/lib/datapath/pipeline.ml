@@ -1,0 +1,314 @@
+(** Data-path pipelining (paper §4.2.3): latches are placed automatically
+    based on per-instruction delay estimation; an SNX instruction always gets
+    a latch feeding its LPR, and the LPR-to-SNX feedback path must complete
+    within a single stage so the pipeline accepts one iteration per cycle
+    ("each pipeline stage is an instance of single iteration in the for-loop
+    body"). *)
+
+module Instr = Roccc_vm.Instr
+module Proc = Roccc_vm.Proc
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(** Default combinational budget per stage, in nanoseconds. *)
+let default_target_ns = 5.0
+
+type staged_instr = {
+  si : Instr.instr;
+  si_node : int;       (** owning data-path node id *)
+  mutable stage : int;
+  si_delay : float;
+}
+
+type t = {
+  dp : Graph.t;
+  widths : Widths.t;
+  instrs : staged_instr list;      (** topological order *)
+  stage_count : int;
+  stage_delays : float array;      (** worst combinational path per stage *)
+  clock_mhz : float;
+  latch_bits : int;                (** total pipeline-register bits *)
+  feedback_bits : int;             (** SNX register bits *)
+  target_ns : float;
+}
+
+let latency (p : t) = p.stage_count
+
+(** Throughput in results per clock: one iteration enters per cycle, so it
+    equals the number of outputs the data path produces per iteration. *)
+let outputs_per_cycle (p : t) = List.length p.dp.Graph.output_ports
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let build ?(target_ns = default_target_ns) (dp : Graph.t)
+    (widths : Widths.t) : t =
+  (* Flatten in (level, node, index) order — topological by construction. *)
+  let consts = Graph.constant_values dp in
+  let instrs =
+    List.concat_map
+      (fun (n : Graph.node) ->
+        List.map
+          (fun (i : Instr.instr) ->
+            let sw = List.map (Widths.width widths) i.Instr.srcs in
+            let const_operands =
+              List.map (fun r -> Hashtbl.find_opt consts r) i.Instr.srcs
+            in
+            { si = i;
+              si_node = n.Graph.id;
+              stage = 0;
+              si_delay =
+                Delay.instr_delay_ns ~const_operands i.Instr.op i.Instr.kind
+                  sw })
+          n.Graph.instrs)
+      dp.Graph.nodes
+  in
+  (* producer map: reg -> staged instr *)
+  let producer : (Instr.vreg, staged_instr) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun si ->
+      match si.si.Instr.dst with
+      | Some d -> Hashtbl.replace producer d si
+      | None -> ())
+    instrs;
+  let src_stage r =
+    match Hashtbl.find_opt producer r with
+    | Some p -> Some p.stage
+    | None -> None  (* external input: available at stage 0 start *)
+  in
+  (* ---- pass 1: greedy delay-driven staging ---- *)
+  let finish : (Instr.vreg, float) Hashtbl.t = Hashtbl.create 64 in
+  let is_lpr si = match si.si.Instr.op with Instr.Lpr _ -> true | _ -> false in
+  List.iter
+    (fun si ->
+      let max_src_stage =
+        List.fold_left
+          (fun acc r ->
+            match src_stage r with Some s -> max acc s | None -> acc)
+          0 si.si.Instr.srcs
+      in
+      let arrival r =
+        match Hashtbl.find_opt producer r with
+        | Some p when p.stage = max_src_stage ->
+          Option.value
+            (Option.bind p.si.Instr.dst (Hashtbl.find_opt finish))
+            ~default:0.0
+        | Some _ | None -> 0.0
+      in
+      let start =
+        List.fold_left (fun acc r -> Float.max acc (arrival r)) 0.0
+          si.si.Instr.srcs
+      in
+      let s, t =
+        if start +. si.si_delay > target_ns && start > 0.0 then
+          (* operands latched at a new stage boundary *)
+          max_src_stage + 1, si.si_delay
+        else max_src_stage, start +. si.si_delay
+      in
+      si.stage <- s;
+      (match si.si.Instr.dst with
+      | Some d -> Hashtbl.replace finish d t
+      | None -> ()))
+    instrs;
+  (* ---- pass 2: feedback paths collapse onto the SNX stage ---- *)
+  (* For each feedback signal: instrs reachable forward from its LPRs and
+     backward from its SNX must share one stage. *)
+  let consumers : (Instr.vreg, staged_instr list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun si ->
+      List.iter
+        (fun r ->
+          let cur = Option.value (Hashtbl.find_opt consumers r) ~default:[] in
+          Hashtbl.replace consumers r (si :: cur))
+        si.si.Instr.srcs)
+    instrs;
+  let feedback_names =
+    List.map (fun (n, _, _) -> n) dp.Graph.proc.Proc.feedbacks
+  in
+  List.iter
+    (fun name ->
+      let lprs =
+        List.filter
+          (fun si ->
+            match si.si.Instr.op with
+            | Instr.Lpr n -> String.equal n name
+            | _ -> false)
+          instrs
+      in
+      let snxs =
+        List.filter
+          (fun si ->
+            match si.si.Instr.op with
+            | Instr.Snx n -> String.equal n name
+            | _ -> false)
+          instrs
+      in
+      if snxs <> [] then begin
+        (* forward reachability from LPR defs *)
+        let fwd = Hashtbl.create 16 in
+        let rec forward si =
+          if not (Hashtbl.mem fwd si.si) then begin
+            Hashtbl.replace fwd si.si ();
+            match si.si.Instr.dst with
+            | Some d ->
+              List.iter forward
+                (Option.value (Hashtbl.find_opt consumers d) ~default:[])
+            | None -> ()
+          end
+        in
+        List.iter forward lprs;
+        (* backward reachability from SNX sources *)
+        let bwd = Hashtbl.create 16 in
+        let rec backward si =
+          if not (Hashtbl.mem bwd si.si) then begin
+            Hashtbl.replace bwd si.si ();
+            List.iter
+              (fun r ->
+                match Hashtbl.find_opt producer r with
+                | Some p -> backward p
+                | None -> ())
+              si.si.Instr.srcs
+          end
+        in
+        List.iter backward snxs;
+        let path =
+          List.filter
+            (fun si -> Hashtbl.mem fwd si.si && Hashtbl.mem bwd si.si)
+            instrs
+        in
+        let s_star = List.fold_left (fun acc si -> max acc si.stage) 0 path in
+        List.iter (fun si -> si.stage <- s_star) path;
+        List.iter (fun si -> si.stage <- s_star) lprs
+      end)
+    feedback_names;
+  (* ---- pass 3: forward monotonicity fixup ---- *)
+  List.iter
+    (fun si ->
+      if not (is_lpr si) then begin
+        let m =
+          List.fold_left
+            (fun acc r ->
+              match src_stage r with Some s -> max acc s | None -> acc)
+            si.stage si.si.Instr.srcs
+        in
+        si.stage <- m
+      end)
+    instrs;
+  (* ---- feedback sanity: LPR and SNX share a stage ---- *)
+  List.iter
+    (fun name ->
+      let stages op_match =
+        List.filter_map
+          (fun si ->
+            match si.si.Instr.op with
+            | op when op_match op -> Some si.stage
+            | _ -> None)
+          instrs
+      in
+      let lpr_stages =
+        stages (function Instr.Lpr n -> String.equal n name | _ -> false)
+      in
+      let snx_stages =
+        stages (function Instr.Snx n -> String.equal n name | _ -> false)
+      in
+      match lpr_stages, snx_stages with
+      | _, [] | [], _ -> ()
+      | ls, ss ->
+        List.iter
+          (fun l ->
+            List.iter
+              (fun s ->
+                if l <> s then
+                  errf
+                    "pipeline: feedback %s spans stages %d and %d — the \
+                     LPR/SNX loop must fit one stage"
+                    name l s)
+              ss)
+          ls)
+    feedback_names;
+  let stage_count =
+    1 + List.fold_left (fun acc si -> max acc si.stage) 0 instrs
+  in
+  (* ---- per-stage combinational delay ---- *)
+  let stage_delays = Array.make stage_count 0.0 in
+  let finish2 : (Instr.vreg, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun si ->
+      let start =
+        List.fold_left
+          (fun acc r ->
+            match Hashtbl.find_opt producer r with
+            | Some p when p.stage = si.stage ->
+              Float.max acc
+                (Option.value
+                   (Option.bind p.si.Instr.dst (Hashtbl.find_opt finish2))
+                   ~default:0.0)
+            | Some _ | None -> acc)
+          0.0 si.si.Instr.srcs
+      in
+      let f = start +. si.si_delay in
+      (match si.si.Instr.dst with
+      | Some d -> Hashtbl.replace finish2 d f
+      | None -> ());
+      if f > stage_delays.(si.stage) then stage_delays.(si.stage) <- f)
+    instrs;
+  let worst = Array.fold_left Float.max 0.0 stage_delays in
+  let clock_mhz = Delay.clock_mhz_of_stage_delay worst in
+  (* ---- latch accounting ---- *)
+  (* A register defined at stage s and consumed at stage u > s (or exported)
+     crosses u - s latch boundaries. *)
+  let last_use : (Instr.vreg, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun si ->
+      List.iter
+        (fun r ->
+          let cur = Option.value (Hashtbl.find_opt last_use r) ~default:(-1) in
+          if si.stage > cur then Hashtbl.replace last_use r si.stage)
+        si.si.Instr.srcs)
+    instrs;
+  List.iter
+    (fun (p : Proc.port) ->
+      Hashtbl.replace last_use p.Proc.port_reg stage_count)
+    dp.Graph.output_ports;
+  let latch_bits =
+    Hashtbl.fold
+      (fun r use_stage acc ->
+        let def_stage =
+          match Hashtbl.find_opt producer r with
+          | Some p -> p.stage
+          | None -> 0  (* external input *)
+        in
+        let crossings = max 0 (use_stage - def_stage) in
+        acc + (crossings * (try Widths.width widths r with _ -> 32)))
+      last_use 0
+  in
+  let feedback_bits =
+    List.fold_left
+      (fun acc (_, kind, _) -> acc + kind.Roccc_cfront.Ast.bits)
+      0 dp.Graph.proc.Proc.feedbacks
+  in
+  { dp; widths; instrs; stage_count; stage_delays; clock_mhz; latch_bits;
+    feedback_bits; target_ns }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let describe (p : t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "pipeline %s: %d stage(s), clock %.1f MHz, %d latch bits, %d feedback \
+        bits\n"
+       p.dp.Graph.proc.Proc.pname p.stage_count p.clock_mhz p.latch_bits
+       p.feedback_bits);
+  Array.iteri
+    (fun s d ->
+      let count = List.length (List.filter (fun si -> si.stage = s) p.instrs) in
+      Buffer.add_string buf
+        (Printf.sprintf "  stage %d: %d instr(s), %.2f ns\n" s count d))
+    p.stage_delays;
+  Buffer.contents buf

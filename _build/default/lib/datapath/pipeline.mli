@@ -1,0 +1,43 @@
+(** Data-path pipelining (paper §4.2.3): latch placement driven by
+    per-instruction delay estimation. Every SNX gets a latch feeding its
+    LPR, and each LPR-to-SNX feedback path is constrained to a single stage
+    so the pipeline accepts one iteration per cycle. *)
+
+module Instr = Roccc_vm.Instr
+
+exception Error of string
+
+val default_target_ns : float
+(** Default combinational budget per stage. *)
+
+type staged_instr = {
+  si : Instr.instr;
+  si_node : int;  (** owning data-path node id *)
+  mutable stage : int;
+  si_delay : float;
+}
+
+type t = {
+  dp : Graph.t;
+  widths : Widths.t;
+  instrs : staged_instr list;  (** topological order *)
+  stage_count : int;
+  stage_delays : float array;  (** worst combinational path per stage *)
+  clock_mhz : float;
+  latch_bits : int;  (** total pipeline-register bits *)
+  feedback_bits : int;  (** SNX register bits *)
+  target_ns : float;
+}
+
+val latency : t -> int
+(** Number of pipeline stages. *)
+
+val outputs_per_cycle : t -> int
+(** Results produced per steady-state cycle (one iteration enters each
+    cycle; equals the number of output ports). *)
+
+val build : ?target_ns:float -> Graph.t -> Widths.t -> t
+(** Stage the data path. Raises {!Error} if a feedback path cannot fit a
+    single stage. *)
+
+val describe : t -> string

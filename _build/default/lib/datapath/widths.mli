@@ -1,0 +1,27 @@
+(** Bit-width inference (paper §4.2.4): a forward interval analysis deriving
+    every signal's physical width from the port kinds and opcodes, capped at
+    the declared C kind. Soundness invariant (property-tested): evaluating
+    the data path with each intermediate truncated to its inferred width
+    equals full-width evaluation. *)
+
+exception Error of string
+
+type t
+(** Inferred width per virtual register. *)
+
+val width : t -> Roccc_vm.Instr.vreg -> int
+(** Raises {!Error} for registers outside the analyzed data path. *)
+
+val infer : Graph.t -> t
+(** Infer widths for a built data path. *)
+
+val declared : Graph.t -> t
+(** Widths with inference disabled — every signal at its declared C kind
+    (the baseline for the bit-narrowing ablation). *)
+
+val total_bits : t -> int
+(** Sum of all inferred signal widths. *)
+
+val narrowing_ratio : Graph.t -> t -> float
+(** Inferred bits / declared bits over all instruction results; quantifies
+    the paper's bit-narrowing claim (1.0 = no narrowing). *)

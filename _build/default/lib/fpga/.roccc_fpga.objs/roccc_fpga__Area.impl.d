@@ -1,0 +1,1 @@
+lib/fpga/area.ml: Buffer Float Hashtbl Int64 List Printf Roccc_buffers Roccc_cfront Roccc_datapath Roccc_hir Roccc_util Roccc_vm

@@ -1,0 +1,1 @@
+lib/fpga/area.mli: Roccc_buffers Roccc_datapath Roccc_hir

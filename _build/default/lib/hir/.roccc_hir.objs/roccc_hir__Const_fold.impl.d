@@ -1,0 +1,1 @@
+lib/hir/const_fold.ml: Int64 List Map Option Roccc_cfront Roccc_util Set String

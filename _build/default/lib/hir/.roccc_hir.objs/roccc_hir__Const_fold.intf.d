@@ -1,0 +1,1 @@
+lib/hir/const_fold.mli: Roccc_cfront

@@ -1,0 +1,1 @@
+lib/hir/feedback.ml: Kernel List Option Printf Roccc_cfront Roccc_util String

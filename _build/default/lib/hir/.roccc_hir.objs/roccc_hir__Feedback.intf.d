@@ -1,0 +1,1 @@
+lib/hir/feedback.mli: Kernel

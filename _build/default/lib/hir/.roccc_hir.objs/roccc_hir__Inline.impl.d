@@ -1,0 +1,1 @@
+lib/hir/inline.ml: List Option Printf Roccc_cfront Roccc_util String

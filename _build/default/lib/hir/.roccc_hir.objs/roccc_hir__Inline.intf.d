@@ -1,0 +1,1 @@
+lib/hir/inline.mli: Roccc_cfront

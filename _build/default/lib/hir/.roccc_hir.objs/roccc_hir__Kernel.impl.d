@@ -1,0 +1,1 @@
+lib/hir/kernel.ml: Buffer List Printf Roccc_cfront String

@@ -1,0 +1,1 @@
+lib/hir/kernel.mli: Roccc_cfront

@@ -1,0 +1,1 @@
+lib/hir/loop_opt.ml: Int64 List Option Printf Roccc_cfront String

@@ -1,0 +1,1 @@
+lib/hir/loop_opt.mli: Roccc_cfront

@@ -1,0 +1,1 @@
+lib/hir/lut_conv.ml: Array Buffer Float Int64 List Printf Roccc_cfront Roccc_util String

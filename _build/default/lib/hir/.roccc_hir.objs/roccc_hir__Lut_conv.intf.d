@@ -1,0 +1,1 @@
+lib/hir/lut_conv.mli: Roccc_cfront

@@ -1,0 +1,1 @@
+lib/hir/scalar_replacement.ml: Hashtbl Int64 Kernel List Loop_opt Map Option Printf Roccc_cfront Roccc_util Set String

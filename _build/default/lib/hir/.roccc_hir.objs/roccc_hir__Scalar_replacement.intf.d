@@ -1,0 +1,1 @@
+lib/hir/scalar_replacement.mli: Kernel Roccc_cfront

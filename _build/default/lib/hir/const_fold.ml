@@ -1,0 +1,294 @@
+(** Constant folding, algebraic simplification, constant propagation and
+    dead-code elimination — ROCCC's "conventional optimizations" (paper §2). *)
+
+open Roccc_cfront.Ast
+
+(* Fold a binary operation over two constants using 64-bit semantics; the
+   interpreter truncates at assignment boundaries, so folding wide is safe. *)
+let fold_binop op a b : int64 option =
+  let bool_to_i64 p = if p then 1L else 0L in
+  match op with
+  | Add -> Some (Int64.add a b)
+  | Sub -> Some (Int64.sub a b)
+  | Mul -> Some (Int64.mul a b)
+  | Div -> if Int64.equal b 0L then None else Some (Int64.div a b)
+  | Mod -> if Int64.equal b 0L then None else Some (Int64.rem a b)
+  | Shl -> Some (Int64.shift_left a (Int64.to_int (Int64.logand b 63L)))
+  | Shr -> Some (Int64.shift_right a (Int64.to_int (Int64.logand b 63L)))
+  | Band -> Some (Int64.logand a b)
+  | Bor -> Some (Int64.logor a b)
+  | Bxor -> Some (Int64.logxor a b)
+  | Lt -> Some (bool_to_i64 (Int64.compare a b < 0))
+  | Le -> Some (bool_to_i64 (Int64.compare a b <= 0))
+  | Gt -> Some (bool_to_i64 (Int64.compare a b > 0))
+  | Ge -> Some (bool_to_i64 (Int64.compare a b >= 0))
+  | Eq -> Some (bool_to_i64 (Int64.equal a b))
+  | Ne -> Some (bool_to_i64 (not (Int64.equal a b)))
+  | Land -> Some (bool_to_i64 (not (Int64.equal a 0L) && not (Int64.equal b 0L)))
+  | Lor -> Some (bool_to_i64 (not (Int64.equal a 0L) || not (Int64.equal b 0L)))
+
+(* x + c with the trivial cases collapsed. *)
+let simplify_chain x (c : int64) : expr =
+  if Int64.equal c 0L then x
+  else if Int64.compare c 0L > 0 then Binop (Add, x, Const c)
+  else Binop (Sub, x, Const (Int64.neg c))
+
+(* One bottom-up simplification step on an already-simplified node. *)
+let simplify_node (e : expr) : expr =
+  match e with
+  | Binop (op, Const a, Const b) -> (
+    match fold_binop op a b with Some v -> Const v | None -> e)
+  | Unop (Neg, Const a) -> Const (Int64.neg a)
+  | Unop (Bnot, Const a) -> Const (Int64.lognot a)
+  | Unop (Lnot, Const a) -> Const (if Int64.equal a 0L then 1L else 0L)
+  | Unop (Neg, Unop (Neg, x)) -> x
+  | Cast (k, Const a) ->
+    Const (Roccc_util.Bits.truncate ~signed:k.signed k.bits a)
+  (* Reassociation of constant add/sub chains: (x + a) + b -> x + (a+b). *)
+  | Binop (Add, Binop (Add, x, Const a), Const b)
+  | Binop (Add, Const b, Binop (Add, x, Const a))
+  | Binop (Add, Binop (Add, Const a, x), Const b)
+  | Binop (Add, Const b, Binop (Add, Const a, x)) ->
+    simplify_chain x (Int64.add a b)
+  | Binop (Sub, Binop (Add, x, Const a), Const b)
+  | Binop (Sub, Binop (Add, Const a, x), Const b) ->
+    simplify_chain x (Int64.sub a b)
+  | Binop (Add, Binop (Sub, x, Const a), Const b)
+  | Binop (Add, Const b, Binop (Sub, x, Const a)) ->
+    simplify_chain x (Int64.sub b a)
+  | Binop (Sub, Binop (Sub, x, Const a), Const b) ->
+    simplify_chain x (Int64.neg (Int64.add a b))
+  (* Algebraic identities. *)
+  | Binop (Add, x, Const 0L) | Binop (Add, Const 0L, x) -> x
+  | Binop (Sub, x, Const 0L) -> x
+  | Binop (Mul, x, Const 1L) | Binop (Mul, Const 1L, x) -> x
+  | Binop (Mul, _, Const 0L) | Binop (Mul, Const 0L, _) -> Const 0L
+  | Binop (Div, x, Const 1L) -> x
+  | Binop (Shl, x, Const 0L) | Binop (Shr, x, Const 0L) -> x
+  | Binop (Band, _, Const 0L) | Binop (Band, Const 0L, _) -> Const 0L
+  | Binop (Bor, x, Const 0L) | Binop (Bor, Const 0L, x) -> x
+  | Binop (Bxor, x, Const 0L) | Binop (Bxor, Const 0L, x) -> x
+  | Binop (Sub, Var x, Var y) when String.equal x y -> Const 0L
+  | Binop (Bxor, Var x, Var y) when String.equal x y -> Const 0L
+  | _ -> e
+
+let fold_expr (e : expr) : expr = map_expr simplify_node e
+
+(* ------------------------------------------------------------------ *)
+(* Constant propagation + folding over statement lists                 *)
+(* ------------------------------------------------------------------ *)
+
+module Env = Map.Make (String)
+
+(* Substitute known constants for variables, then fold. [env] maps variable
+   names to constant values. *)
+let subst_fold env e =
+  let subst e' =
+    match e' with
+    | Var x -> (
+      match Env.find_opt x env with Some v -> Const v | None -> e')
+    | _ -> simplify_node e'
+  in
+  map_expr subst e
+
+(* Remove every binding whose variable is (re)assigned inside [stmts];
+   used when entering constructs executed a data-dependent number of times. *)
+let kill_assigned stmts env =
+  let assigned =
+    fold_stmts
+      (fun acc s ->
+        match s with
+        | Sassign (lv, _) -> lvalue_name lv :: acc
+        | Sdecl (_, n, _) -> n :: acc
+        | Sexpr (Call (f, Var x :: _)) when String.equal f roccc_store2next ->
+          x :: acc
+        | Sfor (h, _) -> h.index :: acc
+        | Sif _ | Sreturn _ | Sexpr _ -> acc)
+      (fun acc _ -> acc)
+      [] stmts
+  in
+  List.fold_left (fun env x -> Env.remove x env) env assigned
+
+let rec prop_stmts env stmts =
+  let env, rev =
+    List.fold_left
+      (fun (env, acc) s ->
+        let env, ss = prop_stmt env s in
+        env, List.rev_append ss acc)
+      (env, []) stmts
+  in
+  env, List.rev rev
+
+(* Returns the rewritten statement(s): a statically-decided [if] splices the
+   taken branch into the enclosing list. *)
+and prop_stmt env (s : stmt) : int64 Env.t * stmt list =
+  match s with
+  | Sdecl (t, n, init) ->
+    let init' = Option.map (subst_fold env) init in
+    let env =
+      match t, init' with
+      | Tint _, Some (Const v) -> Env.add n v env
+      | _ -> Env.remove n env
+    in
+    env, [ Sdecl (t, n, init') ]
+  | Sassign (lv, e) ->
+    let e' = subst_fold env e in
+    let lv' = map_lvalue (fun x -> subst_fold env x) lv in
+    let env =
+      match lv' with
+      | Lvar x -> (
+        match e' with Const v -> Env.add x v env | _ -> Env.remove x env)
+      | Lindex _ | Lderef _ -> env
+    in
+    env, [ Sassign (lv', e') ]
+  | Sif (c, th, el) -> (
+    let c' = subst_fold env c in
+    match c' with
+    | Const v ->
+      (* Branch is statically decided: splice the taken side in. *)
+      let taken = if Int64.equal v 0L then el else th in
+      prop_stmts env taken
+    | _ ->
+      let env_th, th' = prop_stmts env th in
+      let env_el, el' = prop_stmts env el in
+      (* Keep only facts agreed on by both branches. *)
+      let env' =
+        Env.merge
+          (fun _ a b ->
+            match a, b with
+            | Some x, Some y when Int64.equal x y -> Some x
+            | _ -> None)
+          env_th env_el
+      in
+      env', [ Sif (c', th', el') ])
+  | Sfor (h, body) ->
+    let init' = subst_fold env h.init in
+    let bound' = subst_fold env h.bound in
+    let step' = subst_fold env h.step in
+    (* The body runs repeatedly: drop facts about anything it assigns,
+       including the loop index, then propagate inside with that weaker env. *)
+    let env_in = kill_assigned body (Env.remove h.index env) in
+    let _, body' = prop_stmts env_in body in
+    ( env_in,
+      [ Sfor ({ h with init = init'; bound = bound'; step = step' }, body') ] )
+  | Sreturn e -> env, [ Sreturn (Option.map (subst_fold env) e) ]
+  | Sexpr e -> env, [ Sexpr (subst_fold env e) ]
+
+(* ------------------------------------------------------------------ *)
+(* Dead code elimination                                               *)
+(* ------------------------------------------------------------------ *)
+
+module S = Set.Make (String)
+
+let has_side_effect_expr e =
+  Roccc_cfront.Ast.fold_expr
+    (fun acc e' ->
+      acc || match e' with Call _ -> true | _ -> false)
+    false e
+
+(* Backward pass: a scalar assignment is dead if its target is not live.
+   Array writes, pointer writes and calls are always live. *)
+let rec dce_stmts live stmts =
+  List.fold_right
+    (fun s (live, acc) ->
+      match dce_stmt live s with
+      | live, None -> live, acc
+      | live, Some s' -> live, s' :: acc)
+    stmts (live, [])
+
+and dce_stmt live (s : stmt) : S.t * stmt option =
+  let add_reads e live = List.fold_right S.add (expr_reads e) live in
+  match s with
+  | Sassign (Lvar x, e) ->
+    if S.mem x live || has_side_effect_expr e then
+      S.union (S.remove x live) (add_reads e S.empty), Some s
+    else live, None
+  | Sassign ((Lindex (_, idx) as lv), e) ->
+    let live = List.fold_right add_reads idx live in
+    let live = add_reads e live in
+    ignore lv;
+    live, Some s
+  | Sassign (Lderef _, e) -> add_reads e live, Some s
+  | Sdecl (t, n, init) ->
+    (* Declarations are kept: the variable may be (re)assigned later even
+       when backward liveness is dead *here* (the later assignment kills
+       it). Only a dead initializer is dropped. *)
+    let is_array = match t with Tarray _ -> true | _ -> false in
+    let live' = S.remove n live in
+    (match init with
+    | Some e when S.mem n live || is_array || has_side_effect_expr e ->
+      add_reads e live', Some s
+    | Some _ -> live', Some (Sdecl (t, n, None))
+    | None -> live', Some s)
+  | Sif (c, th, el) ->
+    let live_th, th' = dce_stmts live th in
+    let live_el, el' = dce_stmts live el in
+    let live' = add_reads c (S.union live_th live_el) in
+    if th' = [] && el' = [] && not (has_side_effect_expr c) then live, None
+    else live', Some (Sif (c, th', el'))
+  | Sfor (h, body) ->
+    (* Fixpoint: variables live around the loop back-edge. *)
+    let rec iterate live_in =
+      let live_body, body' = dce_stmts (S.add h.index live_in) body in
+      let live_next = S.union live_in live_body in
+      if S.equal live_next live_in then live_body, body'
+      else iterate live_next
+    in
+    let live_body, body' = iterate live in
+    let live' =
+      add_reads h.init (add_reads h.bound (add_reads h.step live_body))
+    in
+    live', Some (Sfor (h, body'))
+  | Sreturn e ->
+    (match e with Some e -> add_reads e live | None -> live), Some s
+  | Sexpr e -> add_reads e live, Some s
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Fold + propagate constants through a function body. [consts] seeds the
+    environment — e.g. read-only globals with constant initializers. *)
+let propagate_func ?(consts = []) (f : func) : func =
+  let env =
+    List.fold_left (fun env (n, v) -> Env.add n v env) Env.empty consts
+  in
+  let _, body = prop_stmts env f.body in
+  { f with body }
+
+(** Eliminate scalar assignments whose results are never used. Pointer and
+    array writes are the function's observable outputs and are kept. *)
+let dce_func (f : func) : func =
+  let _, body = dce_stmts S.empty f.body in
+  { f with body }
+
+(** The standard cleanup pipeline: propagate/fold to fixpoint, then DCE. *)
+let optimize_func ?(consts = []) (f : func) : func =
+  let rec fix f n =
+    let f' = dce_func (propagate_func ~consts f) in
+    if n = 0 || f'.body = f.body then f' else fix f' (n - 1)
+  in
+  fix f 8
+
+(** Constant-initialized globals that [f] never writes — safe to propagate
+    into the body as constants. *)
+let readonly_global_consts (prog : program) (f : func) : (string * int64) list
+    =
+  let written =
+    fold_stmts
+      (fun acc s ->
+        match s with
+        | Sassign (lv, _) -> lvalue_name lv :: acc
+        | Sexpr (Call (g, Var x :: _)) when String.equal g roccc_store2next ->
+          x :: acc
+        | Sdecl _ | Sif _ | Sfor _ | Sreturn _ | Sexpr _ -> acc)
+      (fun acc _ -> acc)
+      [] f.body
+  in
+  List.filter_map
+    (fun g ->
+      match g.gtype, g.ginit with
+      | Tint _, Some init when not (List.mem g.gname written) ->
+        Option.map (fun v -> g.gname, v) (const_value init)
+      | _ -> None)
+    prog.globals

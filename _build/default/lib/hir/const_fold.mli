@@ -1,0 +1,32 @@
+(** Constant folding, algebraic simplification, constant propagation and
+    dead-code elimination — ROCCC's "conventional optimizations" (§2). *)
+
+val fold_expr : Roccc_cfront.Ast.expr -> Roccc_cfront.Ast.expr
+(** Bottom-up folding and algebraic simplification (identities,
+    reassociation of constant add/sub chains). Division by zero is never
+    folded away. *)
+
+val propagate_func :
+  ?consts:(string * int64) list ->
+  Roccc_cfront.Ast.func ->
+  Roccc_cfront.Ast.func
+(** Propagate known constants through the body (branch-aware; statically
+    decided conditionals are spliced). [consts] seeds the environment. *)
+
+val dce_func : Roccc_cfront.Ast.func -> Roccc_cfront.Ast.func
+(** Remove scalar assignments whose results are never used. Pointer and
+    array writes are the observable outputs and are kept; declarations are
+    kept (only dead initializers are dropped). *)
+
+val optimize_func :
+  ?consts:(string * int64) list ->
+  Roccc_cfront.Ast.func ->
+  Roccc_cfront.Ast.func
+(** Propagation + folding + DCE to a fixpoint. *)
+
+val readonly_global_consts :
+  Roccc_cfront.Ast.program ->
+  Roccc_cfront.Ast.func ->
+  (string * int64) list
+(** Constant-initialized globals the function never writes — safe to
+    substitute as constants (a read-only coefficient table scalar, say). *)

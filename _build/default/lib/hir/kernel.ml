@@ -1,0 +1,111 @@
+(** The compiler's central product at the loop level: a [kernel] couples the
+    pure scalar data-path function (paper Figure 3c / 4c) with the memory
+    access descriptors the controller and smart-buffer generators consume
+    (paper §4.1), and the loop information driving iteration. *)
+
+open Roccc_cfront.Ast
+
+(** One normalized loop dimension: the index takes [count] values starting at
+    [lower], advancing by [step]. Outermost dimension first in [t.loops]. *)
+type loop_dim = { index : string; lower : int; count : int; step : int }
+
+(** A sliding-window input array: each iteration the data path consumes the
+    elements at [base + offset] for every offset, where [base] advances by
+    the loop steps. [scalars] maps each offset vector to the name of the
+    window scalar parameter in the dp function (A0, A1, ... in the paper). *)
+type window_input = {
+  win_array : string;
+  win_kind : ikind;
+  win_dims : int list;                     (** declared array dimensions *)
+  win_offsets : int list list;             (** sorted offset vectors *)
+  win_scalars : (int list * string) list;  (** offset -> dp parameter name *)
+}
+
+type output_target =
+  | Out_array of { arr : string; kind : ikind; dims : int list; offset : int list }
+      (** written at loop position + offset each iteration *)
+  | Out_scalar of { name : string; kind : ikind }
+      (** pointer output of the original function: holds the last value *)
+
+(** An output port of the data path: dp writes [*port] each iteration; the
+    surrounding circuit routes it to [target]. *)
+type output = { port : string; port_kind : ikind; target : output_target }
+
+(** A loop-carried scalar (accumulator): lives in a feedback register,
+    accessed through LPR/SNX in the data path. *)
+type feedback_var = { fb_name : string; fb_kind : ikind; fb_init : int64 }
+
+type t = {
+  kname : string;
+  dp : func;             (** scalar data-path function (Figure 3c / 4c) *)
+  transformed : func;    (** whole function after scalar replacement (3b) *)
+  original : func;       (** the function as written (3a) *)
+  loops : loop_dim list; (** empty for purely combinational kernels *)
+  windows : window_input list;
+  scalar_inputs : param list;  (** live-in scalar parameters fed to dp *)
+  outputs : output list;
+  feedback : feedback_var list;
+}
+
+let iteration_space (k : t) : int =
+  List.fold_left (fun acc d -> acc * d.count) 1 k.loops
+
+(** Window extent (max offset - min offset + 1) per dimension, or [] when the
+    kernel has no window inputs. *)
+let window_extent (w : window_input) : int list =
+  match w.win_offsets with
+  | [] -> []
+  | first :: _ ->
+    let ndims = List.length first in
+    List.init ndims (fun d ->
+        let dth v = List.nth v d in
+        let lo =
+          List.fold_left (fun acc v -> min acc (dth v)) (dth first)
+            w.win_offsets
+        and hi =
+          List.fold_left (fun acc v -> max acc (dth v)) (dth first)
+            w.win_offsets
+        in
+        hi - lo + 1)
+
+(** Human-readable summary used by examples and the bench harness. *)
+let describe (k : t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "kernel %s\n" k.kname);
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "  loop %s: %d iterations from %d step %d\n" d.index
+           d.count d.lower d.step))
+    k.loops;
+  List.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf "  window on %s: offsets [%s] extent [%s]\n"
+           w.win_array
+           (String.concat "; "
+              (List.map
+                 (fun v -> String.concat "," (List.map string_of_int v))
+                 w.win_offsets))
+           (String.concat "," (List.map string_of_int (window_extent w)))))
+    k.windows;
+  List.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "  scalar in: %s\n" p.pname))
+    k.scalar_inputs;
+  List.iter
+    (fun o ->
+      match o.target with
+      | Out_array { arr; offset; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  output %s -> %s[+%s]\n" o.port arr
+             (String.concat "," (List.map string_of_int offset)))
+      | Out_scalar { name; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  output %s -> scalar %s (last value)\n" o.port name))
+    k.outputs;
+  List.iter
+    (fun fb ->
+      Buffer.add_string buf
+        (Printf.sprintf "  feedback %s (init %Ld)\n" fb.fb_name fb.fb_init))
+    k.feedback;
+  Buffer.contents buf

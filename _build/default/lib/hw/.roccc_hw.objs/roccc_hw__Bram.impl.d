@@ -1,0 +1,1 @@
+lib/hw/bram.ml: Array Printf Roccc_util

@@ -1,0 +1,1 @@
+lib/hw/bram.mli:

@@ -1,0 +1,1 @@
+lib/hw/engine.ml: Array Bram Hashtbl List Printf Queue Roccc_buffers Roccc_cfront Roccc_datapath Roccc_hir

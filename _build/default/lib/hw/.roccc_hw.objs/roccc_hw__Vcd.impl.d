@@ -1,0 +1,1 @@
+lib/hw/vcd.ml: Buffer Char Engine Hashtbl Int64 List Option Printf Roccc_cfront Roccc_hir Roccc_util String

@@ -1,0 +1,1 @@
+lib/hw/vcd.mli: Engine Roccc_hir

@@ -1,0 +1,70 @@
+(** Block-RAM model (paper Figure 2): single read port and single write
+    port, one-cycle read latency, with access counting. An off-chip engine
+    is assumed to have staged the input data into the BRAM before the
+    circuit starts, and to drain the output BRAM afterwards. *)
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type t = {
+  name : string;
+  data : int64 array;
+  element_bits : int;
+  element_signed : bool;
+  mutable reads : int;
+  mutable writes : int;
+  (* the read register: data captured this cycle, visible next cycle *)
+  mutable pending : (int * int) option;  (** base address, count *)
+  mutable read_out : int64 array;        (** data visible on the read port *)
+}
+
+let create ~name ~element_bits ?(element_signed = true) ~size () : t =
+  { name;
+    data = Array.make size 0L;
+    element_bits;
+    element_signed;
+    reads = 0;
+    writes = 0;
+    pending = None;
+    read_out = [||] }
+
+let load (m : t) (values : int64 array) : unit =
+  if Array.length values > Array.length m.data then
+    errf "bram %s: %d values exceed capacity %d" m.name (Array.length values)
+      (Array.length m.data);
+  Array.iteri
+    (fun i v ->
+      m.data.(i) <-
+        Roccc_util.Bits.truncate ~signed:m.element_signed m.element_bits v)
+    values
+
+let contents (m : t) : int64 array = Array.copy m.data
+
+let size (m : t) = Array.length m.data
+
+(** Present a read request this cycle; data appears after [clock]. *)
+let request_read (m : t) ~(address : int) ~(count : int) : unit =
+  if address < 0 || address + count > Array.length m.data then
+    errf "bram %s: read [%d, %d) out of range" m.name address (address + count);
+  m.pending <- Some (address, count)
+
+(** Synchronous write, effective immediately after the clock edge. *)
+let write (m : t) ~(address : int) (value : int64) : unit =
+  if address < 0 || address >= Array.length m.data then
+    errf "bram %s: write %d out of range" m.name address;
+  m.data.(address) <-
+    Roccc_util.Bits.truncate ~signed:m.element_signed m.element_bits value;
+  m.writes <- m.writes + 1
+
+(** Clock edge: the pending read is captured into the read port register. *)
+let clock (m : t) : unit =
+  match m.pending with
+  | Some (address, count) ->
+    m.read_out <- Array.sub m.data address count;
+    m.reads <- m.reads + count;
+    m.pending <- None
+  | None -> m.read_out <- [||]
+
+(** Data on the read port (result of the previous cycle's request). *)
+let read_port (m : t) : int64 array = m.read_out

@@ -1,0 +1,37 @@
+(** Block-RAM model (paper Figure 2): one read port with single-cycle
+    latency, one write port, access counting. The off-chip engine is assumed
+    to stage input data before the circuit starts. *)
+
+exception Error of string
+
+type t = {
+  name : string;
+  data : int64 array;
+  element_bits : int;
+  element_signed : bool;
+  mutable reads : int;
+  mutable writes : int;
+  mutable pending : (int * int) option;
+  mutable read_out : int64 array;
+}
+
+val create :
+  name:string -> element_bits:int -> ?element_signed:bool -> size:int ->
+  unit -> t
+
+val load : t -> int64 array -> unit
+(** Stage contents (truncated to the element kind). *)
+
+val contents : t -> int64 array
+val size : t -> int
+
+val request_read : t -> address:int -> count:int -> unit
+(** Present a burst read request; data appears after the next {!clock}. *)
+
+val write : t -> address:int -> int64 -> unit
+
+val clock : t -> unit
+(** Clock edge: capture the pending request into the read port register. *)
+
+val read_port : t -> int64 array
+(** Data from the previous cycle's request ([[||]] when none). *)

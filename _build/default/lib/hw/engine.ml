@@ -1,0 +1,295 @@
+(** Cycle-accurate simulator of the execution model (paper Figure 2):
+
+    off-chip MEM -> BRAM -> smart buffer -> pipelined data path
+                                         -> BRAM -> off-chip MEM
+
+    Each input array lives in its own block RAM, scanned once by an address
+    generator; smart buffers assemble sliding windows; one loop iteration
+    enters the fully pipelined data path per cycle in steady state; results
+    retire [latency] cycles after launch into the output BRAMs. Functional
+    values come from the data-path evaluator, timing from the pipeliner. *)
+
+module K = Roccc_hir.Kernel
+module Graph = Roccc_datapath.Graph
+module Pipeline = Roccc_datapath.Pipeline
+module Dp_eval = Roccc_datapath.Dp_eval
+module Smart_buffer = Roccc_buffers.Smart_buffer
+module Address_gen = Roccc_buffers.Address_gen
+module Controller = Roccc_buffers.Controller
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type result = {
+  cycles : int;                 (** total clock cycles until done *)
+  launches : int;               (** iterations issued to the data path *)
+  output_arrays : (string * int64 array) list;
+  scalar_outputs : (string * int64) list;
+  memory_reads : int;
+  memory_writes : int;
+  reuse_ratio : float;          (** naive fetches / actual fetches *)
+  pipeline_latency : int;
+  outputs_per_cycle : int;      (** results produced per steady-state cycle *)
+  controller_trace : (int * string) list;  (** state transitions (cycle, state) *)
+  launch_trace : (int * (string * int64) list) list;
+      (** (cycle, window+scalar inputs) per launch, in order *)
+  retire_trace : (int * (string * int64) list) list;
+      (** (cycle, data-path outputs) per retirement, in order *)
+}
+
+type input_lane = {
+  lane_window : K.window_input;
+  lane_bram : Bram.t;
+  lane_gen : Address_gen.input_gen;
+  lane_buffer : Smart_buffer.t;
+}
+
+type output_lane = {
+  out_port : K.output;
+  out_bram : Bram.t option;       (** None for scalar outputs *)
+  out_gen : Address_gen.output_gen option;
+}
+
+let dims_size dims = List.fold_left ( * ) 1 dims
+
+(* Per-array loop geometry: iteration counts / strides / lower bounds with
+   one entry per array dimension. Block kernels (no loop) consume the block
+   in a single launch. *)
+let loop_geometry (k : K.t) ~(ndims : int) =
+  if k.K.loops = [] then
+    ( List.init ndims (fun _ -> 1),
+      List.init ndims (fun _ -> 0),
+      List.init ndims (fun _ -> 0) )
+  else begin
+    if List.length k.K.loops <> ndims then
+      errf "engine: %d loop dims but a %d-D array" (List.length k.K.loops)
+        ndims;
+    ( List.map (fun d -> d.K.count) k.K.loops,
+      List.map (fun d -> d.K.step) k.K.loops,
+      List.map (fun d -> d.K.lower) k.K.loops )
+  end
+
+let total_iterations (k : K.t) =
+  if k.K.loops = [] then 1 else K.iteration_space k
+
+(** Simulate a kernel end to end. [arrays] supplies input array contents by
+    name; [scalars] the live-in scalar values; [bus_elements] the number of
+    elements each memory access delivers (the paper's "bus size"). *)
+let simulate ?(luts = []) ?(scalars = []) ?(arrays = []) ?(bus_elements = 1)
+    ?(max_cycles = 4_000_000) (k : K.t) ~(dp : Graph.t) ~(pipeline : Pipeline.t)
+    : result =
+  let latency = Pipeline.latency pipeline in
+  (* ---- input lanes ---- *)
+  let lanes =
+    List.map
+      (fun (w : K.window_input) ->
+        let ndims = List.length w.K.win_dims in
+        let iterations, stride, lower = loop_geometry k ~ndims in
+        let size = dims_size w.K.win_dims in
+        let bram =
+          Bram.create ~name:w.K.win_array
+            ~element_bits:w.K.win_kind.Roccc_cfront.Ast.bits
+            ~element_signed:w.K.win_kind.Roccc_cfront.Ast.signed ~size ()
+        in
+        (match List.assoc_opt w.K.win_array arrays with
+        | Some values ->
+          if Array.length values <> size then
+            errf "engine: array %s has %d elements, expected %d" w.K.win_array
+              (Array.length values) size;
+          Bram.load bram values
+        | None -> errf "engine: missing input array %s" w.K.win_array);
+        let gen =
+          Address_gen.create_input ~array_dims:w.K.win_dims ~bus_elements
+        in
+        let buffer =
+          Smart_buffer.create
+            { Smart_buffer.element_bits = w.K.win_kind.Roccc_cfront.Ast.bits;
+              element_signed = w.K.win_kind.Roccc_cfront.Ast.signed;
+              bus_elements;
+              array_dims = w.K.win_dims;
+              window_offsets = w.K.win_offsets;
+              stride;
+              iterations;
+              lower }
+        in
+        { lane_window = w; lane_bram = bram; lane_gen = gen;
+          lane_buffer = buffer })
+      k.K.windows
+  in
+  (* ---- output lanes ---- *)
+  let out_brams : (string * Bram.t) list ref = ref [] in
+  let out_lanes =
+    List.map
+      (fun (o : K.output) ->
+        match o.K.target with
+        | K.Out_array { arr; kind; dims; offset } ->
+          let bram =
+            match List.assoc_opt arr !out_brams with
+            | Some b -> b
+            | None ->
+              let b =
+                Bram.create ~name:arr
+                  ~element_bits:kind.Roccc_cfront.Ast.bits
+                  ~element_signed:kind.Roccc_cfront.Ast.signed
+                  ~size:(dims_size dims) ()
+              in
+              out_brams := !out_brams @ [ arr, b ];
+              b
+          in
+          let ndims = List.length dims in
+          let iterations, stride, lower = loop_geometry k ~ndims in
+          let gen =
+            Address_gen.create_output ~out_dims:dims ~iterations ~stride
+              ~lower ~offset
+          in
+          { out_port = o; out_bram = Some bram; out_gen = Some gen }
+        | K.Out_scalar _ -> { out_port = o; out_bram = None; out_gen = None })
+      k.K.outputs
+  in
+  let scalar_out_regs : (string, int64) Hashtbl.t = Hashtbl.create 4 in
+  (* ---- control ---- *)
+  let total = total_iterations k in
+  let controller =
+    Controller.create ~total_iterations:total ~pipeline_latency:latency
+  in
+  Controller.start controller;
+  let trace = ref [ 0, Controller.state_name controller.Controller.state ] in
+  let feedback_prev = ref [] in
+  (* in-flight iterations: (retire_cycle, dp outputs) in launch order *)
+  let in_flight : (int * (string * int64) list) Queue.t = Queue.create () in
+  let cycle = ref 0 in
+  let launches = ref 0 in
+  let launch_trace = ref [] in
+  let retire_trace = ref [] in
+  let scalar_inputs =
+    List.map
+      (fun (p : Roccc_cfront.Ast.param) ->
+        match List.assoc_opt p.Roccc_cfront.Ast.pname scalars with
+        | Some v -> p.Roccc_cfront.Ast.pname, v
+        | None ->
+          errf "engine: missing scalar input %s" p.Roccc_cfront.Ast.pname)
+      k.K.scalar_inputs
+  in
+  while (not (Controller.is_done controller)) && !cycle < max_cycles do
+    incr cycle;
+    (* 1. memory reads: each lane's BRAM returns last cycle's request and
+       accepts a new one *)
+    List.iter
+      (fun lane ->
+        Bram.clock lane.lane_bram;
+        let arrived = Bram.read_port lane.lane_bram in
+        if Array.length arrived > 0 then Smart_buffer.push lane.lane_buffer arrived;
+        match Address_gen.next_read lane.lane_gen with
+        | Some { Address_gen.base_address; count } ->
+          Bram.request_read lane.lane_bram ~address:base_address ~count
+        | None -> ())
+      lanes;
+    (* 2. launch an iteration when every buffer has its window *)
+    let all_ready =
+      lanes <> [] && List.for_all (fun l -> Smart_buffer.window_ready l.lane_buffer) lanes
+      || (lanes = [] && !launches < total)
+    in
+    if all_ready && !launches < total then begin
+      let window_inputs =
+        List.concat_map
+          (fun lane ->
+            match Smart_buffer.pop_window lane.lane_buffer with
+            | Some values ->
+              List.map2
+                (fun (_, name) v -> name, v)
+                lane.lane_window.K.win_scalars (Array.to_list values)
+            | None -> errf "engine: ready buffer refused to pop")
+          lanes
+      in
+      let r =
+        Dp_eval.run ~luts ~feedback_prev:!feedback_prev dp
+          ~inputs:(window_inputs @ scalar_inputs)
+      in
+      let merged =
+        r.Dp_eval.feedback_next
+        @ List.filter
+            (fun (n, _) -> not (List.mem_assoc n r.Dp_eval.feedback_next))
+            !feedback_prev
+      in
+      feedback_prev := merged;
+      incr launches;
+      launch_trace := !launch_trace @ [ !cycle, window_inputs @ scalar_inputs ];
+      Controller.note_launch controller;
+      Queue.add (!cycle + latency, r.Dp_eval.outputs) in_flight
+    end;
+    (* 3. retire iterations whose results reach the output side *)
+    while
+      (not (Queue.is_empty in_flight))
+      && fst (Queue.peek in_flight) <= !cycle
+    do
+      let _, outputs = Queue.pop in_flight in
+      retire_trace := !retire_trace @ [ !cycle, outputs ];
+      List.iter
+        (fun ol ->
+          let value =
+            match List.assoc_opt ol.out_port.K.port outputs with
+            | Some v -> v
+            | None -> errf "engine: data path produced no %s" ol.out_port.K.port
+          in
+          match ol.out_bram, ol.out_gen with
+          | Some bram, Some gen -> (
+            match Address_gen.next_write gen with
+            | Some address -> Bram.write bram ~address value
+            | None -> errf "engine: output address generator exhausted")
+          | _, _ -> (
+            match ol.out_port.K.target with
+            | K.Out_scalar { name; _ } ->
+              Hashtbl.replace scalar_out_regs name value
+            | K.Out_array _ -> errf "engine: array output without BRAM"))
+        out_lanes;
+      Controller.note_retire controller
+    done;
+    (* 4. controller transition *)
+    let prev_state = controller.Controller.state in
+    Controller.step controller
+      ~window_ready:
+        (lanes <> []
+        && List.for_all (fun l -> Smart_buffer.window_ready l.lane_buffer) lanes)
+      ~input_done:
+        (List.for_all (fun l -> Address_gen.input_done l.lane_gen) lanes);
+    if controller.Controller.state <> prev_state then
+      trace :=
+        !trace @ [ !cycle, Controller.state_name controller.Controller.state ]
+  done;
+  if not (Controller.is_done controller) then
+    errf "engine: cycle budget exhausted after %d cycles (%d/%d retired)"
+      !cycle controller.Controller.retired total;
+  let memory_reads =
+    List.fold_left (fun acc l -> acc + l.lane_bram.Bram.reads) 0 lanes
+  in
+  let memory_writes =
+    List.fold_left (fun acc (_, b) -> acc + b.Bram.writes) 0 !out_brams
+  in
+  let reuse =
+    match lanes with
+    | [] -> 1.0
+    | _ ->
+      let naive =
+        List.fold_left
+          (fun acc l -> acc + Smart_buffer.naive_fetches l.lane_buffer.Smart_buffer.cfg)
+          0 lanes
+      in
+      if memory_reads = 0 then 1.0
+      else float_of_int naive /. float_of_int memory_reads
+  in
+  { cycles = !cycle;
+    launches = !launches;
+    output_arrays =
+      List.map (fun (name, b) -> name, Bram.contents b) !out_brams;
+    scalar_outputs =
+      Hashtbl.fold (fun n v acc -> (n, v) :: acc) scalar_out_regs []
+      |> List.sort compare;
+    memory_reads;
+    memory_writes;
+    reuse_ratio = reuse;
+    pipeline_latency = latency;
+    outputs_per_cycle = List.length k.K.outputs;
+    controller_trace = !trace;
+    launch_trace = !launch_trace;
+    retire_trace = !retire_trace }

@@ -1,0 +1,42 @@
+(** Cycle-accurate simulator of the execution model (paper Figure 2):
+    off-chip MEM → BRAM → smart buffer → pipelined data path → BRAM.
+    Functional values come from the data-path evaluator, timing from the
+    pipeliner; the controller FSM sequences fill / steady / drain. *)
+
+exception Error of string
+
+type result = {
+  cycles : int;  (** clock cycles until the controller reaches done *)
+  launches : int;  (** iterations issued to the data path *)
+  output_arrays : (string * int64 array) list;
+  scalar_outputs : (string * int64) list;
+  memory_reads : int;  (** elements read from input BRAMs (once each) *)
+  memory_writes : int;
+  reuse_ratio : float;  (** naive window fetches / actual fetches *)
+  pipeline_latency : int;
+  outputs_per_cycle : int;  (** results per steady-state cycle *)
+  controller_trace : (int * string) list;
+      (** controller state transitions as (cycle, state-name) *)
+  launch_trace : (int * (string * int64) list) list;
+      (** (cycle, window+scalar inputs) per launch, in order *)
+  retire_trace : (int * (string * int64) list) list;
+      (** (cycle, data-path outputs) per retirement, in order *)
+}
+
+val simulate :
+  ?luts:(string * (int64 -> int64)) list ->
+  ?scalars:(string * int64) list ->
+  ?arrays:(string * int64 array) list ->
+  ?bus_elements:int ->
+  ?max_cycles:int ->
+  Roccc_hir.Kernel.t ->
+  dp:Roccc_datapath.Graph.t ->
+  pipeline:Roccc_datapath.Pipeline.t ->
+  result
+(** Simulate a compiled kernel end to end. [arrays] supplies the input
+    array contents by name (loaded into per-array BRAMs before the circuit
+    starts); [scalars] the live-in scalar parameters; [bus_elements] the
+    memory bus width (the paper's "bus size"). One iteration enters the
+    pipeline per cycle once its windows are buffered; results retire
+    [pipeline latency] cycles later. Raises {!Error} on missing inputs or
+    if the cycle budget is exhausted. *)

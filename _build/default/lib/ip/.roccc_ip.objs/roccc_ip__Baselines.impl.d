@@ -1,0 +1,1 @@
+lib/ip/baselines.ml: List Roccc_datapath Roccc_fpga String

@@ -1,0 +1,1 @@
+lib/ip/behaviour.ml: Array Float Int64 List

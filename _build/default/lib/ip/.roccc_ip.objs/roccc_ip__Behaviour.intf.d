@@ -1,0 +1,1 @@
+lib/ip/behaviour.mli:

@@ -1,0 +1,68 @@
+(** Bit-level arithmetic helpers shared by the bit-width inference pass, the
+    FPGA area model and the hardware simulator.
+
+    All machine values in the compiler are carried as [int64] with an explicit
+    width and signedness; these helpers implement the wrap/extend semantics of
+    fixed-width two's-complement hardware. *)
+
+let max_width = 64
+
+(* Number of bits needed to represent [v] as an unsigned quantity. *)
+let bits_for_unsigned (v : int64) : int =
+  if Int64.compare v 0L < 0 then max_width
+  else if Int64.equal v 0L then 1
+  else
+    let rec loop n acc = if Int64.equal n 0L then acc else loop (Int64.shift_right_logical n 1) (acc + 1) in
+    loop v 0
+
+(* Number of bits needed for [v] in two's complement (including sign bit). *)
+let bits_for_signed (v : int64) : int =
+  if Int64.compare v 0L >= 0 then bits_for_unsigned v + 1
+  else
+    (* -2^(n-1) <= v  <=>  n >= bits(-v - 1) + 1 *)
+    bits_for_unsigned (Int64.sub (Int64.neg v) 1L) + 1
+
+let mask width =
+  if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+
+(* Truncate [v] to [width] bits, zero-extended interpretation. *)
+let truncate_unsigned width v = Int64.logand v (mask width)
+
+(* Truncate [v] to [width] bits, sign-extended interpretation. *)
+let truncate_signed width v =
+  if width >= 64 then v
+  else
+    let m = truncate_unsigned width v in
+    let sign_bit = Int64.shift_left 1L (width - 1) in
+    if Int64.equal (Int64.logand m sign_bit) 0L then m
+    else Int64.logor m (Int64.lognot (mask width))
+
+let truncate ~signed width v =
+  if signed then truncate_signed width v else truncate_unsigned width v
+
+(* Range of representable values for a width/signedness. *)
+let min_value ~signed width =
+  if signed then Int64.neg (Int64.shift_left 1L (width - 1)) else 0L
+
+let max_value ~signed width =
+  if signed then Int64.sub (Int64.shift_left 1L (width - 1)) 1L
+  else mask width
+
+let fits ~signed width v =
+  Int64.compare v (min_value ~signed width) >= 0
+  && Int64.compare v (max_value ~signed width) <= 0
+
+(* ceil(log2 n) for n >= 1: address width needed to index n entries. *)
+let clog2 n =
+  if n <= 1 then 0
+  else
+    let rec loop acc v = if v >= n then acc else loop (acc + 1) (v * 2) in
+    loop 0 1
+
+let to_binary_string ~width (v : int64) : string =
+  let b = Bytes.create width in
+  for i = 0 to width - 1 do
+    let bit = Int64.logand (Int64.shift_right_logical v (width - 1 - i)) 1L in
+    Bytes.set b i (if Int64.equal bit 1L then '1' else '0')
+  done;
+  Bytes.to_string b

@@ -1,0 +1,18 @@
+(** Deterministic integer id generators.
+
+    Every IR in the compiler (virtual registers, CFG blocks, datapath nodes,
+    VHDL signals) needs fresh ids. A generator is a value, not global state,
+    so independent compilations are reproducible. *)
+
+type t = { mutable next : int }
+
+let create ?(start = 0) () = { next = start }
+
+let fresh t =
+  let id = t.next in
+  t.next <- t.next + 1;
+  id
+
+let peek t = t.next
+
+let reset t = t.next <- 0

@@ -1,0 +1,1 @@
+lib/vhdl/ast.ml: Buffer List Printf

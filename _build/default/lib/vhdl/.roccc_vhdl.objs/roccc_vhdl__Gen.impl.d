@@ -1,0 +1,1 @@
+lib/vhdl/gen.ml: Array Ast Hashtbl List Option Printf Roccc_cfront Roccc_datapath Roccc_hir Roccc_util Roccc_vm String

@@ -1,0 +1,1 @@
+lib/vhdl/gen.mli: Ast Roccc_datapath Roccc_hir

@@ -1,0 +1,1 @@
+lib/vhdl/library.ml: Buffer List Printf String

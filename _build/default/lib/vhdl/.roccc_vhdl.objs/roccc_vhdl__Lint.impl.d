@@ -1,0 +1,1 @@
+lib/vhdl/lint.ml: Ast Hashtbl List Printf Str String

@@ -1,0 +1,179 @@
+(** A compact VHDL design representation — entities, architectures, signals,
+    concurrent assignments, clocked processes and component instances —
+    sufficient for the RTL the compiler emits (IEEE 1076.3 numeric_std
+    arithmetic, paper §4.2.4), plus the text renderer. *)
+
+type vtype =
+  | Std_logic
+  | Signed of int    (** signed(w-1 downto 0) *)
+  | Unsigned of int  (** unsigned(w-1 downto 0) *)
+
+type direction = Dir_in | Dir_out
+
+type port = { port_name : string; port_dir : direction; port_type : vtype }
+
+type signal_decl = { sig_name : string; sig_type : vtype }
+
+(** Concurrent statements in an architecture body. RHS expressions are
+    carried as strings built by the generator; the linter tokenizes them. *)
+type concurrent =
+  | Assign of string * string  (** target <= expression; *)
+  | Instance of {
+      inst_label : string;
+      component : string;
+      port_map : (string * string) list;  (** formal -> actual *)
+    }
+  | Clocked_process of {
+      label : string;
+      clock : string;
+      reset : string option;
+      assignments : (string * string) list;        (** on rising edge *)
+      reset_assignments : (string * string) list;  (** when reset = '1' *)
+    }
+  | Comment of string
+  | Selected of {
+      target : string;
+      selector : string;
+      cases : (string * string) list;  (** value expression -> choice *)
+      default : string;
+    }  (** with selector select target <= ... when choice, ... *)
+
+type architecture = {
+  arch_name : string;
+  of_entity : string;
+  signals : signal_decl list;
+  components : (string * port list) list;  (** component declarations *)
+  body : concurrent list;
+}
+
+type entity = { entity_name : string; entity_ports : port list }
+
+type design_unit = { unit_entity : entity; unit_arch : architecture }
+
+(** A full design: units in elaboration order (leaf components first) plus
+    ROM initialization files keyed by table name. *)
+type design = {
+  design_name : string;
+  units : design_unit list;
+  rom_inits : (string * string) list;  (** file name -> contents *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let vtype_to_string = function
+  | Std_logic -> "std_logic"
+  | Signed w -> Printf.sprintf "signed(%d downto 0)" (w - 1)
+  | Unsigned w -> Printf.sprintf "unsigned(%d downto 0)" (w - 1)
+
+let vtype_width = function Std_logic -> 1 | Signed w | Unsigned w -> w
+
+let direction_to_string = function Dir_in -> "in" | Dir_out -> "out"
+
+let port_to_string (p : port) =
+  Printf.sprintf "%s : %s %s" p.port_name
+    (direction_to_string p.port_dir)
+    (vtype_to_string p.port_type)
+
+let render_ports buf ports =
+  match ports with
+  | [] -> ()
+  | _ ->
+    Buffer.add_string buf "  port (\n";
+    let n = List.length ports in
+    List.iteri
+      (fun i p ->
+        Buffer.add_string buf ("    " ^ port_to_string p);
+        Buffer.add_string buf (if i = n - 1 then "\n" else ";\n"))
+      ports;
+    Buffer.add_string buf "  );\n"
+
+let render_concurrent buf = function
+  | Assign (target, rhs) ->
+    Buffer.add_string buf (Printf.sprintf "  %s <= %s;\n" target rhs)
+  | Selected { target; selector; cases; default } ->
+    Buffer.add_string buf (Printf.sprintf "  with %s select\n" selector);
+    Buffer.add_string buf (Printf.sprintf "    %s <=\n" target);
+    List.iter
+      (fun (value, choice) ->
+        Buffer.add_string buf
+          (Printf.sprintf "      %s when %s,\n" value choice))
+      cases;
+    Buffer.add_string buf (Printf.sprintf "      %s when others;\n" default)
+  | Comment text -> Buffer.add_string buf (Printf.sprintf "  -- %s\n" text)
+  | Instance { inst_label; component; port_map } ->
+    Buffer.add_string buf
+      (Printf.sprintf "  %s : %s port map (\n" inst_label component);
+    let n = List.length port_map in
+    List.iteri
+      (fun i (formal, actual) ->
+        Buffer.add_string buf (Printf.sprintf "    %s => %s" formal actual);
+        Buffer.add_string buf (if i = n - 1 then "\n" else ",\n"))
+      port_map;
+    Buffer.add_string buf "  );\n"
+  | Clocked_process { label; clock; reset; assignments; reset_assignments } ->
+    Buffer.add_string buf (Printf.sprintf "  %s : process(%s)\n" label clock);
+    Buffer.add_string buf "  begin\n";
+    Buffer.add_string buf
+      (Printf.sprintf "    if rising_edge(%s) then\n" clock);
+    (match reset with
+    | Some r when reset_assignments <> [] ->
+      Buffer.add_string buf (Printf.sprintf "      if %s = '1' then\n" r);
+      List.iter
+        (fun (t, v) ->
+          Buffer.add_string buf (Printf.sprintf "        %s <= %s;\n" t v))
+        reset_assignments;
+      Buffer.add_string buf "      else\n";
+      List.iter
+        (fun (t, v) ->
+          Buffer.add_string buf (Printf.sprintf "        %s <= %s;\n" t v))
+        assignments;
+      Buffer.add_string buf "      end if;\n"
+    | Some _ | None ->
+      List.iter
+        (fun (t, v) ->
+          Buffer.add_string buf (Printf.sprintf "      %s <= %s;\n" t v))
+        assignments);
+    Buffer.add_string buf "    end if;\n";
+    Buffer.add_string buf "  end process;\n"
+
+let render_unit buf (u : design_unit) =
+  let e = u.unit_entity and a = u.unit_arch in
+  Buffer.add_string buf "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n";
+  Buffer.add_string buf (Printf.sprintf "entity %s is\n" e.entity_name);
+  render_ports buf e.entity_ports;
+  Buffer.add_string buf (Printf.sprintf "end entity %s;\n\n" e.entity_name);
+  Buffer.add_string buf
+    (Printf.sprintf "architecture %s of %s is\n" a.arch_name a.of_entity);
+  List.iter
+    (fun (cname, ports) ->
+      Buffer.add_string buf (Printf.sprintf "  component %s\n" cname);
+      render_ports buf ports;
+      Buffer.add_string buf "  end component;\n")
+    a.components;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  signal %s : %s;\n" s.sig_name
+           (vtype_to_string s.sig_type)))
+    a.signals;
+  Buffer.add_string buf "begin\n";
+  List.iter (render_concurrent buf) a.body;
+  Buffer.add_string buf
+    (Printf.sprintf "end architecture %s;\n\n" a.arch_name)
+
+(** Render the whole design as one VHDL source text. *)
+let to_string (d : design) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "-- %s : generated by ROCCC-reproduction\n\n" d.design_name);
+  List.iter (render_unit buf) d.units;
+  Buffer.contents buf
+
+(** All files of the design: the VHDL source plus ROM init text files
+    ("a pure text initialization file, which defines the lookup table's
+    content", paper §4.2.4). *)
+let to_files (d : design) : (string * string) list =
+  ((d.design_name ^ ".vhd"), to_string d)
+  :: List.map (fun (name, text) -> name ^ ".init", text) d.rom_inits

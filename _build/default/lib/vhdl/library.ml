@@ -1,0 +1,347 @@
+(** The pre-existing parameterized VHDL component library (paper §4.1): the
+    controllers "are all implemented as pre-existing parameterized FSMs in a
+    VHDL library". This module renders those components — a sequential-scan
+    address generator, a sliding-window smart buffer, and the higher-level
+    controller FSM — as generic VHDL entities, and assembles the full
+    execution-model system (Figure 2) around a compiled data path for 1-D
+    single-window kernels. *)
+
+
+(* ------------------------------------------------------------------ *)
+(* Parameterized library entities (generic-based, self-contained)      *)
+(* ------------------------------------------------------------------ *)
+
+(** Sequential input address generator: scans [0, total) in bursts of
+    [bus_elements], one request per cycle while enabled. *)
+let address_generator_vhdl : string =
+  {|library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity roccc_addr_gen is
+  generic (
+    total_words  : integer := 64;
+    addr_width   : integer := 10
+  );
+  port (
+    clk     : in  std_logic;
+    rst     : in  std_logic;
+    enable  : in  std_logic;
+    address : out unsigned(addr_width - 1 downto 0);
+    valid   : out std_logic;
+    done    : out std_logic
+  );
+end entity roccc_addr_gen;
+
+architecture rtl of roccc_addr_gen is
+  signal counter : unsigned(addr_width - 1 downto 0);
+  signal running : std_logic;
+begin
+  address <= counter;
+  valid   <= running and enable;
+  done    <= not running;
+  scan : process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        counter <= (others => '0');
+        running <= '1';
+      elsif running = '1' and enable = '1' then
+        if counter = to_unsigned(total_words - 1, addr_width) then
+          running <= '0';
+        else
+          counter <= counter + 1;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+|}
+
+(** 1-D smart buffer: a shift register of window_size elements; data shifts
+    in once per cycle; the window is exported in parallel once primed
+    ("reuses live input data, cleans unused data and exports the present
+    valid input data set", §4.1). *)
+let smart_buffer_vhdl ~(window : int) ~(element_bits : int) : string =
+  let taps =
+    String.concat ";\n"
+      (List.init window (fun i ->
+           Printf.sprintf "    win%d : out signed(%d downto 0)" i
+             (element_bits - 1)))
+  in
+  let exports =
+    String.concat "\n"
+      (List.init window (fun i ->
+           Printf.sprintf "  win%d <= regs(%d);" i (window - 1 - i)))
+  in
+  Printf.sprintf
+    {|library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity roccc_smart_buffer is
+  port (
+    clk      : in  std_logic;
+    rst      : in  std_logic;
+    din      : in  signed(%d downto 0);
+    din_valid: in  std_logic;
+%s;
+    window_valid : out std_logic
+  );
+end entity roccc_smart_buffer;
+
+architecture rtl of roccc_smart_buffer is
+  type reg_file is array (0 to %d) of signed(%d downto 0);
+  signal regs  : reg_file;
+  signal fill  : unsigned(7 downto 0);
+begin
+%s
+  window_valid <= '1' when fill >= to_unsigned(%d, 8) else '0';
+  shift : process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        fill <= (others => '0');
+      elsif din_valid = '1' then
+        regs(0) <= din;
+        for i in 1 to %d loop
+          regs(i) <= regs(i - 1);
+        end loop;
+        if fill < to_unsigned(%d, 8) then
+          fill <= fill + 1;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+|}
+    (element_bits - 1) taps (window - 1) (element_bits - 1) exports window
+    (window - 1) window
+
+(** 2-D smart buffer: line buffers for a [win_rows] x [win_cols] window
+    sliding over an image with [row_length] columns — (win_rows - 1) full
+    line FIFOs plus the window register column, the structure the generator
+    sizes for 2-D kernels (Sobel, wavelet). Taps are named
+    [win_<r>_<c>]. *)
+let line_buffer_vhdl ~(win_rows : int) ~(win_cols : int) ~(row_length : int)
+    ~(element_bits : int) : string =
+  let depth = ((win_rows - 1) * row_length) + win_cols in
+  let taps =
+    String.concat ";\n"
+      (List.concat_map
+         (fun r ->
+           List.init win_cols (fun c ->
+               Printf.sprintf "    win_%d_%d : out signed(%d downto 0)" r c
+                 (element_bits - 1)))
+         (List.init win_rows (fun r -> r)))
+  in
+  let exports =
+    String.concat "\n"
+      (List.concat_map
+         (fun r ->
+           List.init win_cols (fun c ->
+               (* newest element is regs(0); tap (r, c) looks back by
+                  (win_rows-1-r) lines plus (win_cols-1-c) elements *)
+               let back =
+                 ((win_rows - 1 - r) * row_length) + (win_cols - 1 - c)
+               in
+               Printf.sprintf "  win_%d_%d <= regs(%d);" r c back))
+         (List.init win_rows (fun r -> r)))
+  in
+  Printf.sprintf
+    {|library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity roccc_line_buffer is
+  port (
+    clk      : in  std_logic;
+    rst      : in  std_logic;
+    din      : in  signed(%d downto 0);
+    din_valid: in  std_logic;
+%s;
+    window_valid : out std_logic
+  );
+end entity roccc_line_buffer;
+
+architecture rtl of roccc_line_buffer is
+  type reg_file is array (0 to %d) of signed(%d downto 0);
+  signal regs : reg_file;
+  signal fill : unsigned(15 downto 0);
+begin
+%s
+  window_valid <= '1' when fill >= to_unsigned(%d, 16) else '0';
+  shift : process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        fill <= (others => '0');
+      elsif din_valid = '1' then
+        regs(0) <= din;
+        for i in 1 to %d loop
+          regs(i) <= regs(i - 1);
+        end loop;
+        if fill < to_unsigned(%d, 16) then
+          fill <= fill + 1;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+|}
+    (element_bits - 1) taps (depth - 1) (element_bits - 1) exports depth
+    (depth - 1) depth
+
+(** The higher-level controller FSM sequencing fill / steady / drain. *)
+let controller_vhdl : string =
+  {|library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity roccc_controller is
+  generic (
+    total_iterations : integer := 64;
+    pipeline_latency : integer := 3
+  );
+  port (
+    clk          : in  std_logic;
+    rst          : in  std_logic;
+    window_valid : in  std_logic;
+    launch       : out std_logic;
+    running      : out std_logic;
+    finished     : out std_logic
+  );
+end entity roccc_controller;
+
+architecture rtl of roccc_controller is
+  type state_t is (s_filling, s_steady, s_draining, s_done);
+  signal state    : state_t;
+  signal launched : unsigned(31 downto 0);
+  signal retired  : unsigned(31 downto 0);
+begin
+  launch   <= window_valid when (state = s_filling or state = s_steady) else '0';
+  running  <= '0' when state = s_done else '1';
+  finished <= '1' when state = s_done else '0';
+  fsm : process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        state    <= s_filling;
+        launched <= (others => '0');
+        retired  <= (others => '0');
+      else
+        if window_valid = '1' and (state = s_filling or state = s_steady) then
+          launched <= launched + 1;
+          state    <= s_steady;
+        end if;
+        if launched > retired then
+          retired <= retired + 1;
+        end if;
+        if state = s_steady and launched = to_unsigned(total_iterations, 32) then
+          state <= s_draining;
+        end if;
+        if state = s_draining and retired = to_unsigned(total_iterations, 32) then
+          state <= s_done;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+|}
+
+(* ------------------------------------------------------------------ *)
+(* System assembly (Figure 2) for 1-D single-window kernels            *)
+(* ------------------------------------------------------------------ *)
+
+(** Names of library entities used by {!system_wrapper_vhdl}. *)
+let library_entities = [ "roccc_addr_gen"; "roccc_smart_buffer"; "roccc_controller" ]
+
+(** Render the Figure 2 system around a compiled data path: address
+    generator -> BRAM port -> smart buffer -> data path, sequenced by the
+    controller. The data-path entity is referenced by [dp_entity] with
+    window ports [win_ports] (in window order) and output ports
+    [out_ports]. 1-D unit-stride single-array kernels only (e.g. FIR). *)
+let system_wrapper_vhdl ~(dp_entity : string) ~(element_bits : int)
+    ~(win_ports : string list) ~(out_ports : (string * int) list)
+    ~(total_words : int) ~(iterations : int) ~(latency : int) : string =
+  let window = List.length win_ports in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (address_generator_vhdl);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf (smart_buffer_vhdl ~window ~element_bits);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf controller_vhdl;
+  Buffer.add_string buf "\n";
+  let out_decls =
+    String.concat ";\n"
+      (List.map
+         (fun (name, bits) ->
+           Printf.sprintf "    %s : out signed(%d downto 0)" name (bits - 1))
+         out_ports)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity %s_system is
+  port (
+    clk   : in  std_logic;
+    rst   : in  std_logic;
+    bram_data  : in  signed(%d downto 0);
+    bram_valid : in  std_logic;
+    bram_addr  : out unsigned(9 downto 0);
+    bram_rd    : out std_logic;
+%s;
+    finished : out std_logic
+  );
+end entity %s_system;
+
+architecture structural of %s_system is
+%s
+  signal window_valid : std_logic;
+  signal launch       : std_logic;
+begin
+  u_addr : entity work.roccc_addr_gen
+    generic map (total_words => %d, addr_width => 10)
+    port map (clk => clk, rst => rst, enable => '1',
+              address => bram_addr, valid => bram_rd, done => open);
+
+  u_buffer : entity work.roccc_smart_buffer
+    port map (clk => clk, rst => rst, din => bram_data,
+              din_valid => bram_valid,
+%s,
+              window_valid => window_valid);
+
+  u_control : entity work.roccc_controller
+    generic map (total_iterations => %d, pipeline_latency => %d)
+    port map (clk => clk, rst => rst, window_valid => window_valid,
+              launch => launch, running => open, finished => finished);
+
+  u_datapath : entity work.%s
+    port map (clk => clk, rst => rst,
+%s%s);
+end architecture structural;
+|}
+       dp_entity (element_bits - 1) out_decls dp_entity dp_entity
+       (String.concat "\n"
+          (List.mapi
+             (fun i _ ->
+               Printf.sprintf "  signal w%d : signed(%d downto 0);" i
+                 (element_bits - 1))
+             win_ports))
+       total_words
+       (String.concat ",\n"
+          (List.mapi (fun i _ -> Printf.sprintf "              win%d => w%d" i i) win_ports))
+       iterations latency dp_entity
+       (String.concat ",\n"
+          (List.mapi
+             (fun i p -> Printf.sprintf "              %s => w%d" p i)
+             win_ports)
+       ^ ",\n")
+       (String.concat ",\n"
+          (List.map
+             (fun (name, _) -> Printf.sprintf "              %s => %s" name name)
+             out_ports)));
+  Buffer.contents buf

@@ -1,0 +1,168 @@
+(** Structural checks over generated VHDL designs. We cannot run a vendor
+    toolchain offline, so this linter enforces the static rules a VHDL
+    front-end would: every referenced signal is declared, no signal has
+    multiple drivers, component instantiations match a generated entity and
+    map every formal, and output ports are never read inside their own
+    architecture. *)
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let ident_re = Str.regexp "[A-Za-z_][A-Za-z0-9_]*"
+
+(* VHDL keywords / functions appearing in generated expressions. *)
+let builtin_names =
+  [ "resize"; "to_signed"; "to_unsigned"; "to_integer"; "shift_left";
+    "shift_right"; "signed"; "unsigned"; "when"; "else"; "and"; "or"; "xor";
+    "not"; "rem"; "others"; "rising_edge"; "std_logic"; "std_logic_vector" ]
+
+let identifiers_of (text : string) : string list =
+  let rec loop pos acc =
+    match Str.search_forward ident_re text pos with
+    | exception Not_found -> List.rev acc
+    | start ->
+      let word = Str.matched_string text in
+      loop (start + String.length word) (word :: acc)
+  in
+  loop 0 []
+  |> List.filter (fun w ->
+         (not (List.mem (String.lowercase_ascii w) builtin_names))
+         && not (String.length w > 0 && w.[0] >= '0' && w.[0] <= '9'))
+
+type report = {
+  units_checked : int;
+  instances_checked : int;
+  signals_checked : int;
+}
+
+let check_unit (entities : (string * Ast.port list) list)
+    (u : Ast.design_unit) : int * int =
+  let e = u.Ast.unit_entity and a = u.Ast.unit_arch in
+  let port_names = List.map (fun p -> p.Ast.port_name) e.Ast.entity_ports in
+  let signal_names = List.map (fun s -> s.Ast.sig_name) a.Ast.signals in
+  let declared = port_names @ signal_names in
+  (* duplicate declarations *)
+  let rec dup = function
+    | [] -> ()
+    | x :: rest ->
+      if List.mem x rest then
+        errf "%s: %s declared more than once" e.Ast.entity_name x
+      else dup rest
+  in
+  dup declared;
+  let out_ports =
+    List.filter_map
+      (fun p ->
+        if p.Ast.port_dir = Ast.Dir_out then Some p.Ast.port_name else None)
+      e.Ast.entity_ports
+  in
+  let check_ref where name =
+    if not (List.mem name declared) then
+      errf "%s: undeclared name %s in %s" e.Ast.entity_name name where
+  in
+  let check_read where name =
+    check_ref where name;
+    if List.mem name out_ports then
+      errf "%s: output port %s read in %s" e.Ast.entity_name name where
+  in
+  let drivers = Hashtbl.create 16 in
+  let drive where name =
+    check_ref where name;
+    if Hashtbl.mem drivers name then
+      errf "%s: signal %s has multiple drivers" e.Ast.entity_name name
+    else Hashtbl.replace drivers name where
+  in
+  let instances = ref 0 in
+  List.iter
+    (fun c ->
+      match c with
+      | Ast.Comment _ -> ()
+      | Ast.Assign (target, rhs) ->
+        drive "assignment" target;
+        List.iter (check_read "assignment rhs") (identifiers_of rhs)
+      | Ast.Selected { target; selector; cases; default } ->
+        drive "selected assignment" target;
+        List.iter (check_read "selector") (identifiers_of selector);
+        List.iter
+          (fun (v, _) -> List.iter (check_read "case value") (identifiers_of v))
+          cases;
+        List.iter (check_read "default value") (identifiers_of default)
+      | Ast.Clocked_process { clock; assignments; reset_assignments; _ } ->
+        check_ref "process sensitivity" clock;
+        List.iter
+          (fun (t, v) ->
+            drive "clocked assignment" t;
+            List.iter (check_read "clocked rhs") (identifiers_of v))
+          assignments;
+        List.iter
+          (fun (t, v) ->
+            check_ref "reset assignment" t;
+            List.iter (check_read "reset rhs") (identifiers_of v))
+          reset_assignments
+      | Ast.Instance { inst_label; component; port_map } -> (
+        incr instances;
+        if not (List.mem_assoc component a.Ast.components) then
+          errf "%s: instance %s uses undeclared component %s"
+            e.Ast.entity_name inst_label component;
+        match List.assoc_opt component entities with
+        | None ->
+          errf "%s: component %s has no generated entity" e.Ast.entity_name
+            component
+        | Some formal_ports ->
+          let formal_names =
+            List.map (fun p -> p.Ast.port_name) formal_ports
+          in
+          List.iter
+            (fun (formal, actual) ->
+              if not (List.mem formal formal_names) then
+                errf "%s: instance %s maps unknown formal %s"
+                  e.Ast.entity_name inst_label formal;
+              List.iter (check_ref "port actual") (identifiers_of actual);
+              (* actuals feeding in-ports must not read our out ports *)
+              match
+                List.find_opt (fun p -> p.Ast.port_name = formal) formal_ports
+              with
+              | Some p when p.Ast.port_dir = Ast.Dir_in ->
+                List.iter (check_read "port actual") (identifiers_of actual)
+              | Some _ ->
+                (* actual of an out formal is driven by the instance *)
+                List.iter (drive "instance output") (identifiers_of actual)
+              | None -> ())
+            port_map;
+          (* every formal must be mapped *)
+          List.iter
+            (fun fname ->
+              if not (List.mem_assoc fname port_map) then
+                errf "%s: instance %s leaves formal %s unmapped"
+                  e.Ast.entity_name inst_label fname)
+            formal_names))
+    a.Ast.body;
+  !instances, List.length declared
+
+(** Lint a whole design. Raises {!Error} on the first violation; returns a
+    summary report on success. *)
+let check (d : Ast.design) : report =
+  let entities =
+    List.map
+      (fun u ->
+        u.Ast.unit_entity.Ast.entity_name, u.Ast.unit_entity.Ast.entity_ports)
+      d.Ast.units
+  in
+  (* duplicate entity names *)
+  let rec dup = function
+    | [] -> ()
+    | (x, _) :: rest ->
+      if List.mem_assoc x rest then errf "duplicate entity %s" x else dup rest
+  in
+  dup entities;
+  let instances, signals =
+    List.fold_left
+      (fun (ai, asg) u ->
+        let i, s = check_unit entities u in
+        ai + i, asg + s)
+      (0, 0) d.Ast.units
+  in
+  { units_checked = List.length d.Ast.units;
+    instances_checked = instances;
+    signals_checked = signals }

@@ -1,0 +1,1 @@
+lib/vm/eval.ml: Hashtbl Instr Int64 List Option Printf Proc Roccc_cfront Roccc_util String

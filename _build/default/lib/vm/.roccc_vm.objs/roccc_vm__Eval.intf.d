@@ -1,0 +1,1 @@
+lib/vm/eval.mli: Proc

@@ -1,0 +1,1 @@
+lib/vm/instr.ml: Int64 List Printf Roccc_cfront String

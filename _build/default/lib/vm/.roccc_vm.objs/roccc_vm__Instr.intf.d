@@ -1,0 +1,1 @@
+lib/vm/instr.mli: Roccc_cfront

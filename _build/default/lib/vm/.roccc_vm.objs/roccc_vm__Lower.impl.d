@@ -1,0 +1,1 @@
+lib/vm/lower.ml: Instr List Map Printf Proc Roccc_cfront Roccc_hir Roccc_util String

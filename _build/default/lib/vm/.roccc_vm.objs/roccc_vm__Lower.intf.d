@@ -1,0 +1,1 @@
+lib/vm/lower.mli: Proc Roccc_cfront Roccc_hir

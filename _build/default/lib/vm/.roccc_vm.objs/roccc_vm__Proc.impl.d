@@ -1,0 +1,1 @@
+lib/vm/proc.ml: Buffer Hashtbl Instr List Printf Roccc_cfront Roccc_util String

@@ -1,0 +1,1 @@
+lib/vm/proc.mli: Hashtbl Instr Roccc_util

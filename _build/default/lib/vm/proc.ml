@@ -1,0 +1,148 @@
+(** Procedures: basic blocks of VM instructions plus explicit control flow —
+    the Machine-SUIF-style container the CFG, data-flow and SSA libraries
+    operate on. *)
+
+type label = int
+
+type terminator =
+  | Jump of label
+  | Branch of Instr.vreg * label * label  (** if reg <> 0 then l1 else l2 *)
+  | Ret
+
+(** SSA phi: [dst = phi(args)], one arg per predecessor label. *)
+type phi = {
+  phi_dst : Instr.vreg;
+  phi_args : (label * Instr.vreg) list;
+  phi_kind : Instr.ikind;
+}
+
+type block = {
+  label : label;
+  mutable phis : phi list;
+  mutable instrs : Instr.instr list;
+  mutable term : terminator;
+}
+
+(** Input/output port of a procedure: the hardware-facing interface. Inputs
+    bind registers at entry; each output names the register whose value at
+    [Ret] is the port's result. *)
+type port = { port_name : string; port_reg : Instr.vreg; port_kind : Instr.ikind }
+
+type t = {
+  pname : string;
+  mutable blocks : block list;  (** entry block first *)
+  inputs : port list;
+  mutable outputs : port list;
+  reg_kinds : (Instr.vreg, Instr.ikind) Hashtbl.t;
+  reg_gen : Roccc_util.Id_gen.t;
+  label_gen : Roccc_util.Id_gen.t;
+  feedbacks : (string * Instr.ikind * int64) list;
+      (** feedback signals threaded through LPR/SNX *)
+}
+
+let create ?(feedbacks = []) pname : t =
+  { pname;
+    blocks = [];
+    inputs = [];
+    outputs = [];
+    reg_kinds = Hashtbl.create 32;
+    reg_gen = Roccc_util.Id_gen.create ();
+    label_gen = Roccc_util.Id_gen.create ();
+    feedbacks }
+
+let fresh_reg (p : t) (kind : Instr.ikind) : Instr.vreg =
+  let r = Roccc_util.Id_gen.fresh p.reg_gen in
+  Hashtbl.replace p.reg_kinds r kind;
+  r
+
+let reg_kind (p : t) (r : Instr.vreg) : Instr.ikind =
+  match Hashtbl.find_opt p.reg_kinds r with
+  | Some k -> k
+  | None -> Roccc_cfront.Ast.int32_kind
+
+let set_reg_kind (p : t) (r : Instr.vreg) (k : Instr.ikind) =
+  Hashtbl.replace p.reg_kinds r k
+
+let fresh_block (p : t) : block =
+  let b =
+    { label = Roccc_util.Id_gen.fresh p.label_gen;
+      phis = [];
+      instrs = [];
+      term = Ret }
+  in
+  p.blocks <- p.blocks @ [ b ];
+  b
+
+let find_block (p : t) (l : label) : block =
+  match List.find_opt (fun b -> b.label = l) p.blocks with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Proc.find_block: no block %d" l)
+
+let entry (p : t) : block =
+  match p.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg "Proc.entry: empty procedure"
+
+let successors (b : block) : label list =
+  match b.term with
+  | Jump l -> [ l ]
+  | Branch (_, l1, l2) -> [ l1; l2 ]
+  | Ret -> []
+
+(** Registers defined by a block (phis then instrs). *)
+let block_defs (b : block) : Instr.vreg list =
+  List.map (fun p -> p.phi_dst) b.phis
+  @ List.filter_map (fun (i : Instr.instr) -> i.Instr.dst) b.instrs
+
+(** Registers used by a block's instructions and terminator (phi uses are
+    attributed to predecessors by analyses that need that precision). *)
+let block_uses (b : block) : Instr.vreg list =
+  List.concat_map (fun (i : Instr.instr) -> i.Instr.srcs) b.instrs
+  @ (match b.term with Branch (r, _, _) -> [ r ] | Jump _ | Ret -> [])
+
+let all_instrs (p : t) : Instr.instr list =
+  List.concat_map (fun b -> b.instrs) p.blocks
+
+let to_string (p : t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "proc %s\n" p.pname);
+  List.iter
+    (fun port ->
+      Buffer.add_string buf
+        (Printf.sprintf "  in  %s = v%d :%s%d\n" port.port_name port.port_reg
+           (if port.port_kind.signed then "s" else "u")
+           port.port_kind.bits))
+    p.inputs;
+  List.iter
+    (fun port ->
+      Buffer.add_string buf
+        (Printf.sprintf "  out %s <- v%d\n" port.port_name port.port_reg))
+    p.outputs;
+  List.iter
+    (fun (name, _, init) ->
+      Buffer.add_string buf (Printf.sprintf "  feedback %s (init %Ld)\n" name init))
+    p.feedbacks;
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf "L%d:\n" b.label);
+      List.iter
+        (fun phi ->
+          Buffer.add_string buf
+            (Printf.sprintf "  v%d = phi %s\n" phi.phi_dst
+               (String.concat ", "
+                  (List.map
+                     (fun (l, r) -> Printf.sprintf "[L%d: v%d]" l r)
+                     phi.phi_args))))
+        b.phis;
+      List.iter
+        (fun i -> Buffer.add_string buf ("  " ^ Instr.to_string i ^ "\n"))
+        b.instrs;
+      let term =
+        match b.term with
+        | Jump l -> Printf.sprintf "  jump L%d\n" l
+        | Branch (r, l1, l2) -> Printf.sprintf "  branch v%d ? L%d : L%d\n" r l1 l2
+        | Ret -> "  ret\n"
+      in
+      Buffer.add_string buf term)
+    p.blocks;
+  Buffer.contents buf

@@ -1,0 +1,61 @@
+(** Procedures: basic blocks of VM instructions plus explicit control flow —
+    the Machine-SUIF-style container the CFG, data-flow and SSA libraries
+    operate on. *)
+
+type label = int
+
+type terminator =
+  | Jump of label
+  | Branch of Instr.vreg * label * label  (** if reg <> 0 then l1 else l2 *)
+  | Ret
+
+(** SSA phi: one argument per predecessor label. *)
+type phi = {
+  phi_dst : Instr.vreg;
+  phi_args : (label * Instr.vreg) list;
+  phi_kind : Instr.ikind;
+}
+
+type block = {
+  label : label;
+  mutable phis : phi list;
+  mutable instrs : Instr.instr list;
+  mutable term : terminator;
+}
+
+(** Hardware-facing port: inputs bind registers at entry; each output names
+    the register whose value at [Ret] is the result. *)
+type port = {
+  port_name : string;
+  port_reg : Instr.vreg;
+  port_kind : Instr.ikind;
+}
+
+type t = {
+  pname : string;
+  mutable blocks : block list;  (** entry block first *)
+  inputs : port list;
+  mutable outputs : port list;
+  reg_kinds : (Instr.vreg, Instr.ikind) Hashtbl.t;
+  reg_gen : Roccc_util.Id_gen.t;
+  label_gen : Roccc_util.Id_gen.t;
+  feedbacks : (string * Instr.ikind * int64) list;
+      (** feedback signals threaded through LPR/SNX: name, kind, initial *)
+}
+
+val create : ?feedbacks:(string * Instr.ikind * int64) list -> string -> t
+
+val fresh_reg : t -> Instr.ikind -> Instr.vreg
+val reg_kind : t -> Instr.vreg -> Instr.ikind
+val set_reg_kind : t -> Instr.vreg -> Instr.ikind -> unit
+
+val fresh_block : t -> block
+val find_block : t -> label -> block
+val entry : t -> block
+
+val successors : block -> label list
+val block_defs : block -> Instr.vreg list
+val block_uses : block -> Instr.vreg list
+val all_instrs : t -> Instr.instr list
+
+val to_string : t -> string

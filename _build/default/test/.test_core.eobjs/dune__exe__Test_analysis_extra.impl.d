@@ -1,0 +1,1 @@
+test/test_analysis_extra.ml: Alcotest Array Cfg Dataflow Eval Hashtbl Instr Int64 List Option Printf Proc Roccc_analysis Roccc_cfront Roccc_core Roccc_hw Roccc_vhdl Roccc_vm Ssa

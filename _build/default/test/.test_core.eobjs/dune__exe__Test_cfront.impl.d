@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest Array Ast Gen Int64 Interp Lexer List Parser Pretty Printf QCheck QCheck_alcotest Roccc_cfront Roccc_util Semant String

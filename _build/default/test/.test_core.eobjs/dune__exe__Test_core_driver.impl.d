@@ -1,0 +1,1 @@
+test/test_core_driver.ml: Alcotest Array Driver Int64 Kernels List Option Printf Roccc_core Roccc_datapath Roccc_fpga Roccc_hir Roccc_hw Roccc_ip

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Int64 Interp Lexer List Parser Pretty Printf Roccc_cfront Roccc_core Roccc_hir Roccc_hw

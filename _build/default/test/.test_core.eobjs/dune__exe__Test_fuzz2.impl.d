@@ -1,0 +1,1 @@
+test/test_fuzz2.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Roccc_core Roccc_datapath Roccc_hir Roccc_hw

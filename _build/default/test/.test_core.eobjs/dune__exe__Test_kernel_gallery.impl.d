@@ -1,0 +1,1 @@
+test/test_kernel_gallery.ml: Alcotest Array Int64 List Printf Roccc_core Roccc_datapath Roccc_hw Str

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Gen Int64 List Printf QCheck QCheck_alcotest Roccc_buffers Roccc_core Roccc_datapath Roccc_fpga Roccc_hw

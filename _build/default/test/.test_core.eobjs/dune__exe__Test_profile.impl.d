@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Int64 List Printf Roccc_core Str String

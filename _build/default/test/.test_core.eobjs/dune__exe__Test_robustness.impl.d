@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Int64 Lexer List Parser Printf QCheck QCheck_alcotest Roccc_cfront Roccc_core Roccc_datapath Roccc_hir Roccc_hw Roccc_vm Str String

@@ -1,0 +1,1 @@
+test/test_testbench.ml: Alcotest Array Int64 List Printf Roccc_cfront Roccc_core Str String

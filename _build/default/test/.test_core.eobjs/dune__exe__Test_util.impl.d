@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bits Id_gen Instr Int64 List Proc Roccc_buffers Roccc_cfront Roccc_util Roccc_vm Str

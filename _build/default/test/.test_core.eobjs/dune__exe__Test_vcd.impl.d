@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Array Int64 List Roccc_core Roccc_hw Str

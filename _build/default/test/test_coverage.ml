@@ -1,0 +1,269 @@
+(* Operator-level coverage: every C operator swept through the full
+   compile + cycle-accurate simulation against the interpreter; full
+   unrolling through the driver; miscellaneous front-end edges. *)
+
+open Roccc_cfront
+module Driver = Roccc_core.Driver
+module Engine = Roccc_hw.Engine
+
+(* Build a one-operator kernel and check hw = sw over an input sweep. *)
+let check_binary_op ?(rhs_nonzero = false) symbol =
+  let src =
+    Printf.sprintf
+      "void k(int16 A[16], int16 B[16], int32 C[16]) {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 16; i++) {\n\
+      \    C[i] = A[i] %s B[i];\n\
+      \  }\n\
+       }"
+      symbol
+  in
+  let c = Driver.compile ~entry:"k" src in
+  let a = Array.init 16 (fun i -> Int64.of_int ((i * 773 mod 4001) - 2000)) in
+  let b =
+    Array.init 16 (fun i ->
+        let v = (i * 359 mod 251) - 125 in
+        let v = if rhs_nonzero && v = 0 then 7 else v in
+        Int64.of_int v)
+  in
+  let diffs = Driver.verify ~arrays:[ "A", a; "B", b ] c in
+  Alcotest.(check (list string)) (symbol ^ " hw = sw") [] diffs
+
+let binary_op_case (name, symbol, rhs_nonzero) =
+  Alcotest.test_case name `Quick (fun () ->
+      check_binary_op ~rhs_nonzero symbol)
+
+let binary_ops =
+  [ "add", "+", false; "sub", "-", false; "mul", "*", false;
+    "div", "/", true; "mod", "%", true;
+    "and", "&", false; "or", "|", false; "xor", "^", false;
+    "lt", "<", false; "le", "<=", false; "gt", ">", false;
+    "ge", ">=", false; "eq", "==", false; "ne", "!=", false;
+    "land", "&&", false; "lor", "||", false ]
+
+let check_unary_op symbol =
+  let src =
+    Printf.sprintf
+      "void k(int16 A[16], int32 C[16]) {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 16; i++) { C[i] = %sA[i]; }\n\
+       }"
+      symbol
+  in
+  let c = Driver.compile ~entry:"k" src in
+  let a = Array.init 16 (fun i -> Int64.of_int ((i * 917 mod 3001) - 1500)) in
+  Alcotest.(check (list string)) (symbol ^ " hw = sw") []
+    (Driver.verify ~arrays:[ "A", a ] c)
+
+let test_unary_ops () =
+  List.iter check_unary_op [ "-"; "~"; "!" ]
+
+let test_shifts_by_constant () =
+  List.iter
+    (fun (op, amt) ->
+      let src =
+        Printf.sprintf
+          "void k(int16 A[16], int32 C[16]) {\n\
+          \  int i;\n\
+          \  for (i = 0; i < 16; i++) { C[i] = A[i] %s %d; }\n\
+           }"
+          op amt
+      in
+      let c = Driver.compile ~entry:"k" src in
+      let a = Array.init 16 (fun i -> Int64.of_int ((i * 529 mod 2001) - 1000)) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s %d hw = sw" op amt)
+        []
+        (Driver.verify ~arrays:[ "A", a ] c))
+    [ "<<", 0; "<<", 3; "<<", 7; ">>", 0; ">>", 1; ">>", 5 ]
+
+let test_cast_narrowing () =
+  let src =
+    "void k(int16 A[8], int32 C[8]) {\n\
+    \  int i;\n\
+    \  for (i = 0; i < 8; i++) { C[i] = (int8)A[i] + (uint4)A[i]; }\n\
+     }"
+  in
+  let c = Driver.compile ~entry:"k" src in
+  let a = Array.init 8 (fun i -> Int64.of_int ((i * 1234) - 4000)) in
+  Alcotest.(check (list string)) "casts hw = sw" []
+    (Driver.verify ~arrays:[ "A", a ] c)
+
+let test_unsigned_comparison_semantics () =
+  (* unsigned ports: comparisons must be unsigned *)
+  let src =
+    "void k(uint8 A[8], uint8 B[8], uint1 C[8]) {\n\
+    \  int i;\n\
+    \  for (i = 0; i < 8; i++) { C[i] = A[i] > B[i]; }\n\
+     }"
+  in
+  let c = Driver.compile ~entry:"k" src in
+  let a = [| 255L; 200L; 1L; 0L; 128L; 127L; 5L; 250L |] in
+  let b = [| 1L; 255L; 2L; 0L; 127L; 128L; 5L; 249L |] in
+  Alcotest.(check (list string)) "unsigned compare hw = sw" []
+    (Driver.verify ~arrays:[ "A", a; "B", b ] c);
+  let r = Driver.simulate ~arrays:[ "A", a; "B", b ] c in
+  Alcotest.(check (list int64)) "255 > 1 etc."
+    [ 1L; 0L; 0L; 0L; 1L; 0L; 0L; 1L ]
+    (Array.to_list (List.assoc "C" r.Engine.output_arrays))
+
+(* ------------------------------------------------------------------ *)
+(* Full unrolling through the driver                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_unroll_all_makes_block_kernel () =
+  let src =
+    "void k(int8 A[6], int16 C[4]) {\n\
+    \  int i;\n\
+    \  for (i = 0; i < 4; i++) { C[i] = A[i] + A[i+1] + A[i+2]; }\n\
+     }"
+  in
+  let c =
+    Driver.compile
+      ~options:{ Driver.default_options with Driver.unroll_all_max = 8 }
+      ~entry:"k" src
+  in
+  Alcotest.(check bool) "full-unroll pass ran" true
+    (List.mem "full-unroll" c.Driver.pass_trace);
+  Alcotest.(check int) "block kernel (no loops)" 0
+    (List.length c.Driver.kernel.Roccc_hir.Kernel.loops);
+  Alcotest.(check int) "4 outputs per launch" 4
+    (List.length c.Driver.kernel.Roccc_hir.Kernel.outputs);
+  let a = Array.init 6 (fun i -> Int64.of_int (10 * (i + 1))) in
+  Alcotest.(check (list string)) "verifies" [] (Driver.verify ~arrays:[ "A", a ] c);
+  let r = Driver.simulate ~arrays:[ "A", a ] c in
+  Alcotest.(check int) "single launch" 1 r.Engine.launches
+
+let test_unroll_all_two_dim_block () =
+  (* a fully unrolled 2-D nest becomes a 2-D block kernel *)
+  let src =
+    "void k(int8 P[3][3], int16 Q[2][2]) {\n\
+    \  int r, c;\n\
+    \  for (r = 0; r < 2; r++) {\n\
+    \    for (c = 0; c < 2; c++) {\n\
+    \      Q[r][c] = P[r][c] + P[r+1][c+1];\n\
+    \    }\n\
+    \  }\n\
+     }"
+  in
+  let c =
+    Driver.compile
+      ~options:{ Driver.default_options with Driver.unroll_all_max = 8 }
+      ~entry:"k" src
+  in
+  Alcotest.(check int) "block kernel" 0
+    (List.length c.Driver.kernel.Roccc_hir.Kernel.loops);
+  Alcotest.(check int) "4 outputs" 4
+    (List.length c.Driver.kernel.Roccc_hir.Kernel.outputs);
+  let p = Array.init 9 (fun i -> Int64.of_int (i + 1)) in
+  Alcotest.(check (list string)) "verifies" []
+    (Driver.verify ~arrays:[ "P", p ] c)
+
+let test_unroll_all_vs_loop_same_results () =
+  let src =
+    "void k(int8 A[10], int16 C[8]) {\n\
+    \  int i;\n\
+    \  for (i = 0; i < 8; i++) { C[i] = 2*A[i] - A[i+2]; }\n\
+     }"
+  in
+  let looped = Driver.compile ~entry:"k" src in
+  let unrolled =
+    Driver.compile
+      ~options:{ Driver.default_options with Driver.unroll_all_max = 8 }
+      ~entry:"k" src
+  in
+  let a = Array.init 10 (fun i -> Int64.of_int ((i * 31 mod 200) - 100)) in
+  let r1 = Driver.simulate ~arrays:[ "A", a ] looped in
+  let r2 = Driver.simulate ~arrays:[ "A", a ] unrolled in
+  Alcotest.(check bool) "same output array" true
+    (List.assoc "C" r1.Engine.output_arrays
+    = List.assoc "C" r2.Engine.output_arrays);
+  Alcotest.(check bool) "unrolled finishes faster" true
+    (r2.Engine.cycles <= r1.Engine.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Front-end edges                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_numeric_edges () =
+  let lits src =
+    Lexer.tokenize src
+    |> List.filter_map (fun t ->
+           match t.Lexer.tok with Lexer.INT_LIT v -> Some v | _ -> None)
+  in
+  Alcotest.(check (list int64)) "zero" [ 0L ] (lits "0");
+  Alcotest.(check (list int64)) "max int32" [ 2147483647L ] (lits "2147483647");
+  Alcotest.(check (list int64)) "hex caps" [ 255L ] (lits "0XFF");
+  Alcotest.(check (list int64)) "adjacent" [ 1L; 2L ] (lits "1 2")
+
+let test_pretty_all_statement_forms () =
+  (* every statement form round-trips through print + parse *)
+  let src =
+    "int g = 5;\n\
+     void k(int8 A[4][4], int x, int* o) {\n\
+    \  int t, u[8];\n\
+    \  t = x + g;\n\
+    \  u[0] = t;\n\
+    \  A[1][2] = (int8)(t - 1);\n\
+    \  if (t > 0) { t = t - 1; } else { t = t + 1; }\n\
+    \  for (t = 0; t < 4; t++) { u[t] = t; }\n\
+    \  *o = u[0];\n\
+    \  return;\n\
+     }"
+  in
+  let p1 = Parser.parse_program src in
+  let printed = Pretty.program_to_string p1 in
+  let p2 = Parser.parse_program printed in
+  let reprinted = Pretty.program_to_string p2 in
+  Alcotest.(check string) "print is a fixpoint" printed reprinted
+
+let test_interp_global_array () =
+  let src =
+    "int tbl[4];\n\
+     void k(int x, int* o) {\n\
+    \  tbl[0] = x;\n\
+    \  tbl[1] = x + 1;\n\
+    \  *o = tbl[0] * tbl[1];\n\
+     }"
+  in
+  let outcome = Interp.run_source src "k" ~scalars:[ "x", 6L ] in
+  Alcotest.(check int64) "6*7" 42L
+    (List.assoc "o" outcome.Interp.pointer_outputs)
+
+let test_interp_short_circuit () =
+  (* && must not evaluate the rhs when the lhs is false: division by zero
+     on the rhs is never reached *)
+  let src =
+    "void k(int a, int b, int* o) {\n\
+    \  int r;\n\
+    \  r = 0;\n\
+    \  if (a != 0 && (b / a) > 1) { r = 1; }\n\
+    \  *o = r;\n\
+     }"
+  in
+  let outcome = Interp.run_source src "k" ~scalars:[ "a", 0L; "b", 10L ] in
+  Alcotest.(check int64) "no trap, r = 0" 0L
+    (List.assoc "o" outcome.Interp.pointer_outputs)
+
+let suites =
+  [ "coverage.binary_ops", List.map binary_op_case binary_ops;
+    "coverage.more_ops",
+    [ Alcotest.test_case "unary operators" `Quick test_unary_ops;
+      Alcotest.test_case "constant shifts" `Quick test_shifts_by_constant;
+      Alcotest.test_case "casts" `Quick test_cast_narrowing;
+      Alcotest.test_case "unsigned comparisons" `Quick
+        test_unsigned_comparison_semantics ];
+    "coverage.unroll_all",
+    [ Alcotest.test_case "full unroll makes a block kernel" `Quick
+        test_unroll_all_makes_block_kernel;
+      Alcotest.test_case "unrolled = looped results" `Quick
+        test_unroll_all_vs_loop_same_results;
+      Alcotest.test_case "2-D block kernel" `Quick
+        test_unroll_all_two_dim_block ];
+    "coverage.frontend",
+    [ Alcotest.test_case "lexer numeric edges" `Quick
+        test_lexer_numeric_edges;
+      Alcotest.test_case "pretty print fixpoint" `Quick
+        test_pretty_all_statement_forms;
+      Alcotest.test_case "global arrays" `Quick test_interp_global_array;
+      Alcotest.test_case "short-circuit &&" `Quick test_interp_short_circuit ] ]

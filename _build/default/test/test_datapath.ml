@@ -1,0 +1,447 @@
+(* Tests for data-path construction (Figures 5-7), pipelining and bit-width
+   inference. *)
+
+open Roccc_cfront
+open Roccc_hir
+open Roccc_vm
+open Roccc_analysis
+open Roccc_datapath
+
+let if_else_source =
+  "void if_else(int x1, int x2, int* x3, int* x4) {\n\
+  \  int a, c;\n\
+  \  c = x1 - x2;\n\
+  \  if (c < x2)\n\
+  \    a = x1 * x1;\n\
+  \  else\n\
+  \    a = x1 * x2 + 3;\n\
+  \  c = c - a;\n\
+  \  *x3 = c;\n\
+  \  *x4 = a;\n\
+  \  return;\n\
+   }\n"
+
+let fir_source =
+  "void fir(int A[21], int C[17]) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 17; i = i + 1) {\n\
+  \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
+  \  }\n\
+   }\n"
+
+let acc_source =
+  "int sum = 0;\n\
+   void acc(int A[32], int* out) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 32; i++) {\n\
+  \    sum = sum + A[i];\n\
+  \  }\n\
+  \  *out = sum;\n\
+   }\n"
+
+let datapath_of src name =
+  let prog = Parser.parse_program src in
+  let _ = Semant.check_program prog in
+  let f = List.find (fun g -> g.Ast.fname = name) prog.Ast.funcs in
+  let k = Feedback.annotate (Scalar_replacement.run prog f) in
+  let proc = Lower.lower_kernel k in
+  let _ = Ssa.convert proc in
+  Ssa.verify proc;
+  Builder.build proc
+
+(* ------------------------------------------------------------------ *)
+(* Structure (Figure 6)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let count_kind dp pred =
+  List.length (List.filter (fun (n : Graph.node) -> pred n.Graph.node_kind) dp.Graph.nodes)
+
+let test_if_else_structure () =
+  let dp = datapath_of if_else_source "if_else" in
+  (* soft nodes: entry-block, then, else, join = 4 (paper nodes 1-4) *)
+  Alcotest.(check int) "4 soft nodes" 4
+    (count_kind dp (function Graph.Soft _ -> true | _ -> false));
+  (* one mux hard node (paper node 7) *)
+  Alcotest.(check int) "1 mux node" 1
+    (count_kind dp (function Graph.Mux_node _ -> true | _ -> false));
+  (* at least one pipe hard node (paper node 6) *)
+  Alcotest.(check bool) "pipe node present" true
+    (count_kind dp (function Graph.Pipe_node -> true | _ -> false) >= 1);
+  Alcotest.(check int) "entry node" 1
+    (count_kind dp (function Graph.Entry_node -> true | _ -> false));
+  Alcotest.(check int) "exit node" 1
+    (count_kind dp (function Graph.Exit_node -> true | _ -> false))
+
+let test_if_else_mux_parallel_to_nothing () =
+  (* The mux node's level is strictly after the branch level and before the
+     join soft node's level. *)
+  let dp = datapath_of if_else_source "if_else" in
+  let level_of pred =
+    List.find_map
+      (fun (n : Graph.node) ->
+        if pred n.Graph.node_kind then Some n.Graph.level else None)
+      dp.Graph.nodes
+  in
+  let mux_level =
+    Option.get (level_of (function Graph.Mux_node _ -> true | _ -> false))
+  in
+  let pipe_level =
+    Option.get (level_of (function Graph.Pipe_node -> true | _ -> false))
+  in
+  Alcotest.(check int) "pipe runs alongside the branches" (mux_level - 1)
+    pipe_level
+
+let test_adjoining_invariant () =
+  List.iter
+    (fun (src, name) -> Builder.verify_adjoining (datapath_of src name))
+    [ if_else_source, "if_else"; fir_source, "fir"; acc_source, "acc" ]
+
+let test_straightline_no_hard_nodes () =
+  let dp = datapath_of fir_source "fir" in
+  Alcotest.(check int) "no mux nodes" 0
+    (count_kind dp (function Graph.Mux_node _ -> true | _ -> false));
+  Alcotest.(check int) "no pipe nodes" 0
+    (count_kind dp (function Graph.Pipe_node -> true | _ -> false))
+
+let test_nested_if_structure () =
+  let src =
+    "void nested(int x, int y, int* o) {\n\
+    \  int r;\n\
+    \  r = 0;\n\
+    \  if (x > 0) {\n\
+    \    if (y > 0) { r = x + y; } else { r = x - y; }\n\
+    \  } else {\n\
+    \    r = y;\n\
+    \  }\n\
+    \  *o = r;\n\
+     }"
+  in
+  let dp = datapath_of src "nested" in
+  Builder.verify_adjoining dp;
+  (* two joins -> two mux nodes *)
+  Alcotest.(check int) "2 mux nodes" 2
+    (count_kind dp (function Graph.Mux_node _ -> true | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Behaviour                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_dp_eval_if_else () =
+  let dp = datapath_of if_else_source "if_else" in
+  let reference x1 x2 =
+    let c = x1 - x2 in
+    let a = if c < x2 then x1 * x1 else (x1 * x2) + 3 in
+    Int64.of_int (c - a), Int64.of_int a
+  in
+  List.iter
+    (fun (x1, x2) ->
+      let r =
+        Dp_eval.run dp
+          ~inputs:[ "x1", Int64.of_int x1; "x2", Int64.of_int x2 ]
+      in
+      let w3, w4 = reference x1 x2 in
+      Alcotest.(check int64) "x3" w3 (List.assoc "x3" r.Dp_eval.outputs);
+      Alcotest.(check int64) "x4" w4 (List.assoc "x4" r.Dp_eval.outputs))
+    [ 0, 0; 5, 3; 3, 5; -4, 10; 100, -100; 7, 7 ]
+
+let test_dp_eval_speculative_division () =
+  (* Division on the not-taken branch must not trap the whole data path. *)
+  let src =
+    "void sdiv(int x, int y, int* o) {\n\
+    \  int r;\n\
+    \  if (y != 0) { r = x / y; } else { r = 0; }\n\
+    \  *o = r;\n\
+     }"
+  in
+  let dp = datapath_of src "sdiv" in
+  let r = Dp_eval.run dp ~inputs:[ "x", 10L; "y", 0L ] in
+  Alcotest.(check int64) "guarded division" 0L (List.assoc "o" r.Dp_eval.outputs)
+
+let test_dp_eval_accumulator_stream () =
+  let dp = datapath_of acc_source "acc" in
+  let stream = List.init 32 (fun i -> [ "A0", Int64.of_int i ]) in
+  let rs = Dp_eval.run_stream dp stream in
+  let last = List.nth rs 31 in
+  Alcotest.(check int64) "final sum" 496L (List.assoc "Tmp0" last.Dp_eval.outputs)
+
+let test_dp_conditional_accumulator () =
+  (* mul_acc-style kernel: iterations with nd = 0 must NOT clobber the
+     feedback register even though every hardware lane executes. *)
+  let src =
+    "int acc = 0;\n\
+     void mul_acc(int A[8], int B[8], int ND[8], int* out) {\n\
+    \  int i;\n\
+    \  for (i = 0; i < 8; i++) {\n\
+    \    if (ND[i]) { acc = acc + A[i] * B[i]; }\n\
+    \  }\n\
+    \  *out = acc;\n\
+     }"
+  in
+  let dp = datapath_of src "mul_acc" in
+  let a = [| 1; 2; 3; 4; 5; 6; 7; 8 |] in
+  let b = [| 10; 20; 30; 40; 50; 60; 70; 80 |] in
+  let nd = [| 1; 0; 1; 0; 1; 0; 1; 0 |] in
+  let stream =
+    List.init 8 (fun i ->
+        [ "A0", Int64.of_int a.(i); "B0", Int64.of_int b.(i);
+          "ND0", Int64.of_int nd.(i) ])
+  in
+  let rs = Dp_eval.run_stream dp stream in
+  let want =
+    Array.to_list (Array.init 8 (fun i -> i))
+    |> List.filter (fun i -> nd.(i) = 1)
+    |> List.fold_left (fun s i -> s + (a.(i) * b.(i))) 0
+  in
+  let last = List.nth rs 7 in
+  Alcotest.(check int64) "only nd=1 items accumulated" (Int64.of_int want)
+    (List.assoc "Tmp0" last.Dp_eval.outputs)
+
+let test_dp_matches_vm () =
+  (* Data-path evaluation equals VM evaluation across inputs. *)
+  let prog = Parser.parse_program if_else_source in
+  let _ = Semant.check_program prog in
+  let f = List.hd prog.Ast.funcs in
+  let k = Feedback.annotate (Scalar_replacement.run prog f) in
+  let proc_vm = Lower.lower_kernel k in
+  let proc_dp = Lower.lower_kernel k in
+  let _ = Ssa.convert proc_dp in
+  let dp = Builder.build proc_dp in
+  List.iter
+    (fun (x1, x2) ->
+      let inputs = [ "x1", Int64.of_int x1; "x2", Int64.of_int x2 ] in
+      let rv = Eval.run proc_vm ~inputs in
+      let rd = Dp_eval.run dp ~inputs in
+      Alcotest.(check bool)
+        (Printf.sprintf "same outputs at (%d, %d)" x1 x2)
+        true
+        (List.sort compare rv.Eval.outputs
+        = List.sort compare rd.Dp_eval.outputs))
+    [ 1, 2; -3, 8; 0, 0; 250, -250 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bit-width inference                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_widths_comparison_is_one_bit () =
+  let dp = datapath_of if_else_source "if_else" in
+  let w = Widths.infer dp in
+  (* find the slt result *)
+  let slt_width =
+    List.find_map
+      (fun (n : Graph.node) ->
+        List.find_map
+          (fun (i : Instr.instr) ->
+            match i.Instr.op, i.Instr.dst with
+            | Instr.Slt, Some d -> Some (Widths.width w d)
+            | _ -> None)
+          n.Graph.instrs)
+      dp.Graph.nodes
+  in
+  Alcotest.(check (option int)) "slt is 1 bit" (Some 1) slt_width
+
+let test_widths_narrowing () =
+  (* 8-bit inputs: a multiply should be inferred at 16 bits, far below the
+     declared 32. *)
+  let src = "void m(uint8 a, uint8 b, int* o) { *o = a * b; }" in
+  let dp = datapath_of src "m" in
+  let w = Widths.infer dp in
+  let mul_width =
+    List.find_map
+      (fun (n : Graph.node) ->
+        List.find_map
+          (fun (i : Instr.instr) ->
+            match i.Instr.op, i.Instr.dst with
+            | Instr.Mul, Some d -> Some (Widths.width w d)
+            | _ -> None)
+          n.Graph.instrs)
+      dp.Graph.nodes
+  in
+  Alcotest.(check (option int)) "8x8 multiply is 16 bits" (Some 16) mul_width;
+  Alcotest.(check bool) "narrowing below declared" true
+    (Widths.narrowing_ratio dp w < 1.0)
+
+let test_widths_add_grows_one_bit () =
+  let src = "void a(uint8 x, uint8 y, uint16* o) { *o = x + y; }" in
+  let dp = datapath_of src "a" in
+  let w = Widths.infer dp in
+  let add_width =
+    List.find_map
+      (fun (n : Graph.node) ->
+        List.find_map
+          (fun (i : Instr.instr) ->
+            match i.Instr.op, i.Instr.dst with
+            | Instr.Add, Some d -> Some (Widths.width w d)
+            | _ -> None)
+          n.Graph.instrs)
+      dp.Graph.nodes
+  in
+  Alcotest.(check (option int)) "8+8 is 9 bits" (Some 9) add_width
+
+let test_widths_all_signals_covered () =
+  let dp = datapath_of fir_source "fir" in
+  let w = Widths.infer dp in
+  List.iter
+    (fun (n : Graph.node) ->
+      List.iter
+        (fun (i : Instr.instr) ->
+          match i.Instr.dst with
+          | Some d ->
+            let bits = Widths.width w d in
+            Alcotest.(check bool) "1..64 bits" true (bits >= 1 && bits <= 64)
+          | None -> ())
+        n.Graph.instrs)
+    dp.Graph.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Pipelining                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_of src name =
+  let dp = datapath_of src name in
+  let w = Widths.infer dp in
+  dp, w, Pipeline.build dp w
+
+let test_pipeline_fir () =
+  let _, _, p = pipeline_of fir_source "fir" in
+  Alcotest.(check bool) "at least 2 stages" true (Pipeline.latency p >= 2);
+  Alcotest.(check bool) "clock positive" true (p.Pipeline.clock_mhz > 0.0);
+  Alcotest.(check bool) "stage delays within budget or single-op" true
+    (Array.for_all
+       (fun d -> d <= p.Pipeline.target_ns +. 10.0)
+       p.Pipeline.stage_delays)
+
+let test_pipeline_feedback_single_stage () =
+  (* LPR and SNX of the accumulator share a stage (the feedback latch). *)
+  let _, _, p = pipeline_of acc_source "acc" in
+  let stages_of pred =
+    List.filter_map
+      (fun (si : Pipeline.staged_instr) ->
+        if pred si.Pipeline.si.Instr.op then Some si.Pipeline.stage else None)
+      p.Pipeline.instrs
+  in
+  let lpr = stages_of (function Instr.Lpr _ -> true | _ -> false) in
+  let snx = stages_of (function Instr.Snx _ -> true | _ -> false) in
+  Alcotest.(check bool) "lpr and snx present" true (lpr <> [] && snx <> []);
+  List.iter
+    (fun l ->
+      List.iter
+        (fun s -> Alcotest.(check int) "same stage" s l)
+        snx)
+    lpr;
+  Alcotest.(check bool) "feedback bits counted" true
+    (p.Pipeline.feedback_bits >= 32)
+
+let test_pipeline_deeper_with_smaller_target () =
+  let dp = datapath_of fir_source "fir" in
+  let w = Widths.infer dp in
+  let shallow = Pipeline.build ~target_ns:50.0 dp w in
+  let deep = Pipeline.build ~target_ns:2.0 dp w in
+  Alcotest.(check bool) "smaller budget -> more stages" true
+    (Pipeline.latency deep >= Pipeline.latency shallow);
+  Alcotest.(check bool) "smaller budget -> higher clock" true
+    (deep.Pipeline.clock_mhz >= shallow.Pipeline.clock_mhz)
+
+let test_pipeline_monotone_stages () =
+  (* No instruction is staged before its operands. *)
+  let _, _, p = pipeline_of if_else_source "if_else" in
+  let stage_of_reg = Hashtbl.create 64 in
+  List.iter
+    (fun (si : Pipeline.staged_instr) ->
+      match si.Pipeline.si.Instr.dst with
+      | Some d -> Hashtbl.replace stage_of_reg d si.Pipeline.stage
+      | None -> ())
+    p.Pipeline.instrs;
+  List.iter
+    (fun (si : Pipeline.staged_instr) ->
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt stage_of_reg r with
+          | Some s ->
+            Alcotest.(check bool) "producer not later than consumer" true
+              (s <= si.Pipeline.stage)
+          | None -> ())
+        si.Pipeline.si.Instr.srcs)
+    p.Pipeline.instrs
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_case = QCheck_alcotest.to_alcotest
+
+let prop_dp_matches_interp =
+  QCheck.Test.make ~count:80
+    ~name:"data path matches the C interpreter on if_else"
+    QCheck.(pair (int_range (-2000) 2000) (int_range (-2000) 2000))
+    (fun (x1, x2) ->
+      let dp = datapath_of if_else_source "if_else" in
+      let r =
+        Dp_eval.run dp ~inputs:[ "x1", Int64.of_int x1; "x2", Int64.of_int x2 ]
+      in
+      let o =
+        Interp.run_source if_else_source "if_else"
+          ~scalars:[ "x1", Int64.of_int x1; "x2", Int64.of_int x2 ]
+      in
+      List.assoc "x3" r.Dp_eval.outputs
+      = List.assoc "x3" o.Interp.pointer_outputs
+      && List.assoc "x4" r.Dp_eval.outputs
+         = List.assoc "x4" o.Interp.pointer_outputs)
+
+let prop_accumulator_stream_matches =
+  QCheck.Test.make ~count:30
+    ~name:"accumulator data path matches software over random streams"
+    QCheck.(array_of_size (Gen.return 32) (int_range (-10000) 10000))
+    (fun data ->
+      let dp = datapath_of acc_source "acc" in
+      let stream =
+        Array.to_list (Array.map (fun v -> [ "A0", Int64.of_int v ]) data)
+      in
+      let rs = Dp_eval.run_stream dp stream in
+      let last = List.nth rs 31 in
+      let want = Array.fold_left ( + ) 0 data in
+      Int64.equal
+        (List.assoc "Tmp0" last.Dp_eval.outputs)
+        (Int64.of_int want))
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [ "datapath.structure",
+    [ Alcotest.test_case "if_else soft/mux/pipe nodes (Figure 6)" `Quick
+        test_if_else_structure;
+      Alcotest.test_case "mux after branches, pipe alongside" `Quick
+        test_if_else_mux_parallel_to_nothing;
+      Alcotest.test_case "def-use adjoining invariant" `Quick
+        test_adjoining_invariant;
+      Alcotest.test_case "straight-line has no hard nodes" `Quick
+        test_straightline_no_hard_nodes;
+      Alcotest.test_case "nested if" `Quick test_nested_if_structure ];
+    "datapath.behaviour",
+    [ Alcotest.test_case "if_else evaluation" `Quick test_dp_eval_if_else;
+      Alcotest.test_case "speculative division guarded" `Quick
+        test_dp_eval_speculative_division;
+      Alcotest.test_case "accumulator stream (Figure 7)" `Quick
+        test_dp_eval_accumulator_stream;
+      Alcotest.test_case "conditional accumulation (mul_acc nd)" `Quick
+        test_dp_conditional_accumulator;
+      Alcotest.test_case "matches VM evaluation" `Quick test_dp_matches_vm ];
+    "datapath.widths",
+    [ Alcotest.test_case "comparison is 1 bit" `Quick
+        test_widths_comparison_is_one_bit;
+      Alcotest.test_case "multiply narrows to operand sum" `Quick
+        test_widths_narrowing;
+      Alcotest.test_case "add grows one bit" `Quick
+        test_widths_add_grows_one_bit;
+      Alcotest.test_case "all signals covered" `Quick
+        test_widths_all_signals_covered ];
+    "datapath.pipeline",
+    [ Alcotest.test_case "FIR pipelines" `Quick test_pipeline_fir;
+      Alcotest.test_case "feedback fits one stage (SNX latch)" `Quick
+        test_pipeline_feedback_single_stage;
+      Alcotest.test_case "target delay controls depth" `Quick
+        test_pipeline_deeper_with_smaller_target;
+      Alcotest.test_case "stage order respects dependencies" `Quick
+        test_pipeline_monotone_stages ];
+    "datapath.properties",
+    [ qcheck_case prop_dp_matches_interp;
+      qcheck_case prop_accumulator_stream_matches ] ]

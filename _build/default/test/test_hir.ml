@@ -1,0 +1,719 @@
+(* Tests for the HIR passes: constant folding, loop transforms, inlining,
+   scalar replacement, feedback detection, LUT conversion. *)
+
+open Roccc_cfront
+open Roccc_hir
+
+let parse = Parser.parse_program
+let parse_fn = Parser.parse_func
+
+(* Interpreter equivalence helper: both programs produce identical outcomes
+   on the given inputs. *)
+let same_behaviour ?(luts = []) ?(lut_funcs = []) ~fname ~scalars ~arrays src1
+    src2 =
+  ignore luts;
+  let run src =
+    Interp.run_source ~lut_funcs src fname ~scalars ~arrays
+  in
+  let o1 = run src1 and o2 = run src2 in
+  o1.Interp.return_value = o2.Interp.return_value
+  && o1.Interp.pointer_outputs = o2.Interp.pointer_outputs
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) -> n1 = n2 && a1 = a2)
+       o1.Interp.arrays o2.Interp.arrays
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fold_of_src src =
+  let f = parse_fn src in
+  Const_fold.optimize_func f
+
+let test_fold_constants () =
+  let f = fold_of_src "int f(int* o) { int a; a = 2 + 3 * 4; *o = a; return 0; }" in
+  let printed = Pretty.func_to_string f in
+  Alcotest.(check bool) "folded to 14" true
+    (let found = ref false in
+     String.iteri
+       (fun i _ ->
+         if i + 2 <= String.length printed && String.sub printed i 2 = "14"
+         then found := true)
+       printed;
+     !found)
+
+let test_fold_identities () =
+  let e src =
+    match (parse_fn ("int f(int x) { return " ^ src ^ "; }")).Ast.body with
+    | [ Ast.Sreturn (Some e) ] -> Const_fold.fold_expr e
+    | _ -> Alcotest.fail "bad shape"
+  in
+  Alcotest.(check bool) "x+0" true (Ast.equal_expr (e "x + 0") (Ast.Var "x"));
+  Alcotest.(check bool) "x*1" true (Ast.equal_expr (e "x * 1") (Ast.Var "x"));
+  Alcotest.(check bool) "x*0" true (Ast.equal_expr (e "x * 0") (Ast.Const 0L));
+  Alcotest.(check bool) "x-x" true (Ast.equal_expr (e "x - x") (Ast.Const 0L));
+  Alcotest.(check bool) "x^x" true (Ast.equal_expr (e "x ^ x") (Ast.Const 0L));
+  Alcotest.(check bool) "x|0" true (Ast.equal_expr (e "x | 0") (Ast.Var "x"));
+  Alcotest.(check bool) "2+3*4" true (Ast.equal_expr (e "2 + 3 * 4") (Ast.Const 14L))
+
+let test_fold_static_if () =
+  let f =
+    fold_of_src
+      "int f(int* o) { int a; a = 1; if (a > 0) { *o = 10; } else { *o = 20; \
+       } return 0; }"
+  in
+  (* The if should be gone: only the taken branch's statements remain. *)
+  let has_if =
+    List.exists (function Ast.Sif _ -> true | _ -> false) f.Ast.body
+  in
+  Alcotest.(check bool) "if eliminated" false has_if
+
+let test_fold_division_by_zero_preserved () =
+  (* 1/0 must not be folded away (runtime error preserved). *)
+  let e = Const_fold.fold_expr (Ast.Binop (Ast.Div, Ast.Const 1L, Ast.Const 0L)) in
+  match e with
+  | Ast.Binop (Ast.Div, _, _) -> ()
+  | _ -> Alcotest.fail "division by zero must not fold"
+
+let test_dce_removes_dead () =
+  let f =
+    fold_of_src
+      "int f(int x, int* o) { int dead; dead = x * 99; *o = x + 1; return 0; }"
+  in
+  (* the dead computation (x * 99) is gone; the declaration may remain *)
+  let mentions_99 =
+    let s = Pretty.func_to_string f in
+    let re = Str.regexp_string "99" in
+    (try ignore (Str.search_forward re s 0); true with Not_found -> false)
+  in
+  Alcotest.(check bool) "dead computation removed" false mentions_99;
+  let assignments =
+    List.length
+      (List.filter (function Ast.Sassign _ -> true | _ -> false) f.Ast.body)
+  in
+  Alcotest.(check int) "only the live store remains" 1 assignments
+
+let test_fold_preserves_semantics () =
+  let src =
+    "void f(int A[8], int C[8], int x) { int i; for (i = 0; i < 8; i++) { \
+     C[i] = (A[i] * 1 + 0) * (2 + 3) + x * 0; } }"
+  in
+  let prog = parse src in
+  let folded =
+    { prog with
+      Ast.funcs = List.map Const_fold.optimize_func prog.Ast.funcs }
+  in
+  let folded_src = Pretty.program_to_string folded in
+  Alcotest.(check bool) "same behaviour" true
+    (same_behaviour ~fname:"f"
+       ~scalars:[ "x", 7L ]
+       ~arrays:[ "A", Array.init 8 Int64.of_int ]
+       src folded_src)
+
+(* ------------------------------------------------------------------ *)
+(* Loop transforms                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let header init cond bound step =
+  { Ast.index = "i"; init = Ast.const init; cond_op = cond;
+    bound = Ast.const bound; step = Ast.const step }
+
+let test_trip_counts_direct () =
+  Alcotest.(check (option int)) "<17" (Some 17)
+    (Loop_opt.trip_count (header 0 Ast.Lt 17 1));
+  Alcotest.(check (option int)) "<=16" (Some 17)
+    (Loop_opt.trip_count (header 0 Ast.Le 16 1));
+  Alcotest.(check (option int)) "step 2" (Some 5)
+    (Loop_opt.trip_count (header 0 Ast.Lt 10 2));
+  Alcotest.(check (option int)) "countdown" (Some 4)
+    (Loop_opt.trip_count (header 3 Ast.Ge 0 (-1)));
+  Alcotest.(check (option int)) "empty" (Some 0)
+    (Loop_opt.trip_count (header 5 Ast.Lt 5 1))
+
+let test_full_unroll_semantics () =
+  let src =
+    "void f(int A[4], int C[4]) { int i; for (i=0;i<4;i++) { C[i] = A[i] * 2; \
+     } }"
+  in
+  let prog = parse src in
+  let f = List.hd prog.Ast.funcs in
+  let body' = Loop_opt.unroll_small_loops ~max_trip:8 f.Ast.body in
+  let unrolled = { prog with Ast.funcs = [ { f with Ast.body = body' } ] } in
+  (* No loop remains. *)
+  let has_loop =
+    List.exists (function Ast.Sfor _ -> true | _ -> false) body'
+  in
+  Alcotest.(check bool) "loop gone" false has_loop;
+  Alcotest.(check bool) "same behaviour" true
+    (same_behaviour ~fname:"f" ~scalars:[]
+       ~arrays:[ "A", [| 1L; 2L; 3L; 4L |] ]
+       src
+       (Pretty.program_to_string unrolled))
+
+let test_partial_unroll () =
+  let f = parse_fn
+      "void f(int A[8], int C[8]) { int i; for (i=0;i<8;i++) { C[i] = A[i] + \
+       1; } }"
+  in
+  match f.Ast.body with
+  | [ Ast.Sdecl _; Ast.Sfor (h, body) ] ->
+    let h', body' = Loop_opt.partially_unroll ~factor:4 h body in
+    Alcotest.(check (option int)) "trip count 2" (Some 2)
+      (Loop_opt.trip_count h');
+    Alcotest.(check int) "body grew 4x" (4 * List.length body)
+      (List.length body');
+    (* behaviour preserved *)
+    let prog = parse "void g() {}" in
+    ignore prog;
+    let f' = { f with Ast.body = [ Ast.Sdecl (Ast.Tint Ast.int32_kind, "i", None);
+                                   Ast.Sfor (h', body') ] } in
+    let p1 = { Ast.globals = []; funcs = [ f ] } in
+    let p2 = { Ast.globals = []; funcs = [ f' ] } in
+    Alcotest.(check bool) "same behaviour" true
+      (same_behaviour ~fname:"f" ~scalars:[]
+         ~arrays:[ "A", Array.init 8 Int64.of_int ]
+         (Pretty.program_to_string p1)
+         (Pretty.program_to_string p2))
+  | _ -> Alcotest.fail "bad shape"
+
+let test_partial_unroll_rejects_nondivisible () =
+  let f = parse_fn
+      "void f(int A[7]) { int i; for (i=0;i<7;i++) { A[i] = i; } }"
+  in
+  match f.Ast.body with
+  | [ Ast.Sdecl _; Ast.Sfor (h, body) ] -> (
+    match Loop_opt.partially_unroll ~factor:2 h body with
+    | exception Loop_opt.Error _ -> ()
+    | _ -> Alcotest.fail "expected error for non-divisible factor")
+  | _ -> Alcotest.fail "bad shape"
+
+let test_fusion () =
+  let src =
+    "void f(int A[8], int B[8], int C[8]) { int i; for (i=0;i<8;i++) { B[i] \
+     = A[i] + 1; } for (i=0;i<8;i++) { C[i] = A[i] * 2; } }"
+  in
+  let f = List.hd (parse src).Ast.funcs in
+  let fused = Loop_opt.fuse_loops f.Ast.body in
+  let loops =
+    List.filter (function Ast.Sfor _ -> true | _ -> false) fused
+  in
+  Alcotest.(check int) "one loop after fusion" 1 (List.length loops);
+  let p2 = { Ast.globals = []; funcs = [ { f with Ast.body = fused } ] } in
+  Alcotest.(check bool) "same behaviour" true
+    (same_behaviour ~fname:"f" ~scalars:[]
+       ~arrays:[ "A", Array.init 8 Int64.of_int ]
+       src
+       (Pretty.program_to_string p2))
+
+let test_fusion_blocked_by_dependence () =
+  (* Second loop reads what the first writes: must NOT fuse. *)
+  let src =
+    "void f(int A[8], int B[8], int C[8]) { int i; for (i=0;i<8;i++) { B[i] \
+     = A[i] + 1; } for (i=0;i<8;i++) { C[i] = B[i] * 2; } }"
+  in
+  let f = List.hd (parse src).Ast.funcs in
+  let fused = Loop_opt.fuse_loops f.Ast.body in
+  let loops = List.filter (function Ast.Sfor _ -> true | _ -> false) fused in
+  Alcotest.(check int) "still two loops" 2 (List.length loops)
+
+let test_strip_mine () =
+  let f = parse_fn
+      "void f(int A[16], int C[16]) { int i; for (i=0;i<16;i++) { C[i] = \
+       A[i] + 3; } }"
+  in
+  match f.Ast.body with
+  | [ (Ast.Sdecl _ as d); Ast.Sfor (h, body) ] ->
+    let stripped = Loop_opt.strip_mine ~width:4 h body in
+    let f' = { f with Ast.body = [ d; stripped ] } in
+    (* outer loop over strips of 4, inner unit loop *)
+    (match stripped with
+    | Ast.Sfor (ho, [ Ast.Sfor (hi, _) ]) ->
+      Alcotest.(check (option int)) "outer trips" (Some 4)
+        (Loop_opt.trip_count ho);
+      Alcotest.(check string) "inner index" "i" hi.Ast.index
+    | _ -> Alcotest.fail "strip-mine shape");
+    let p1 = { Ast.globals = []; funcs = [ f ] } in
+    let p2 = { Ast.globals = []; funcs = [ f' ] } in
+    Alcotest.(check bool) "same behaviour" true
+      (same_behaviour ~fname:"f" ~scalars:[]
+         ~arrays:[ "A", Array.init 16 Int64.of_int ]
+         (Pretty.program_to_string p1)
+         (Pretty.program_to_string p2))
+  | _ -> Alcotest.fail "bad shape"
+
+(* ------------------------------------------------------------------ *)
+(* Inlining                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_inline_simple () =
+  let src =
+    "int square(int x) { return x * x; }\n\
+     void f(int a, int* o) { *o = square(a) + square(a + 1); }"
+  in
+  let prog = parse src in
+  let f = List.find (fun g -> g.Ast.fname = "f") prog.Ast.funcs in
+  let f' = Inline.inline_calls prog f in
+  (* No user calls remain. *)
+  let calls =
+    Ast.fold_stmts
+      (fun acc _ -> acc)
+      (fun acc e ->
+        match e with
+        | Ast.Call (g, _) when not (Ast.is_intrinsic g) -> g :: acc
+        | _ -> acc)
+      [] f'.Ast.body
+  in
+  Alcotest.(check (list string)) "no calls" [] calls;
+  let p2 = { prog with Ast.funcs = [ f' ] } in
+  Alcotest.(check bool) "same behaviour" true
+    (same_behaviour ~fname:"f" ~scalars:[ "a", 5L ] ~arrays:[] src
+       (Pretty.program_to_string p2))
+
+let test_inline_nested () =
+  let src =
+    "int add1(int x) { return x + 1; }\n\
+     int add2(int x) { return add1(add1(x)); }\n\
+     void f(int a, int* o) { *o = add2(a); }"
+  in
+  let prog = parse src in
+  let f = List.find (fun g -> g.Ast.fname = "f") prog.Ast.funcs in
+  let f' = Inline.inline_calls prog f in
+  let p2 = { prog with Ast.funcs = [ f' ] } in
+  Alcotest.(check bool) "same behaviour" true
+    (same_behaviour ~fname:"f" ~scalars:[ "a", 40L ] ~arrays:[] src
+       (Pretty.program_to_string p2))
+
+let test_inline_in_loop () =
+  let src =
+    "int clamp(int x) { int r; r = x; if (x > 100) { r = 100; } return r; }\n\
+     void f(int A[8], int C[8]) { int i; for (i=0;i<8;i++) { C[i] = \
+     clamp(A[i] * 30); } }"
+  in
+  let prog = parse src in
+  let f = List.find (fun g -> g.Ast.fname = "f") prog.Ast.funcs in
+  let f' = Inline.inline_calls prog f in
+  let p2 = { prog with Ast.funcs = [ f' ] } in
+  Alcotest.(check bool) "same behaviour" true
+    (same_behaviour ~fname:"f" ~scalars:[]
+       ~arrays:[ "A", Array.init 8 Int64.of_int ]
+       src
+       (Pretty.program_to_string p2))
+
+(* ------------------------------------------------------------------ *)
+(* Scalar replacement                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fir_source =
+  "void fir(int A[21], int C[17]) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 17; i = i + 1) {\n\
+  \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
+  \  }\n\
+   }\n"
+
+let acc_source =
+  "int sum = 0;\n\
+   void acc(int A[32], int* out) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 32; i++) {\n\
+  \    sum = sum + A[i];\n\
+  \  }\n\
+  \  *out = sum;\n\
+   }\n"
+
+let kernel_of src name =
+  let prog = parse src in
+  let _ = Semant.check_program prog in
+  let f = List.find (fun g -> g.Ast.fname = name) prog.Ast.funcs in
+  Scalar_replacement.run prog f
+
+let test_sr_fir_window () =
+  let k = kernel_of fir_source "fir" in
+  (match k.Kernel.windows with
+  | [ w ] ->
+    Alcotest.(check string) "array" "A" w.Kernel.win_array;
+    Alcotest.(check (list (list int))) "offsets"
+      [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ]
+      w.Kernel.win_offsets;
+    Alcotest.(check (list int)) "extent" [ 5 ] (Kernel.window_extent w)
+  | _ -> Alcotest.fail "expected one window");
+  (match k.Kernel.loops with
+  | [ d ] ->
+    Alcotest.(check int) "trip count" 17 d.Kernel.count;
+    Alcotest.(check int) "step" 1 d.Kernel.step
+  | _ -> Alcotest.fail "one loop dim");
+  (match k.Kernel.outputs with
+  | [ { Kernel.target = Kernel.Out_array { arr = "C"; offset = [ 0 ]; _ }; _ } ]
+    ->
+    ()
+  | _ -> Alcotest.fail "expected C[+0] output");
+  Alcotest.(check int) "no feedback" 0 (List.length k.Kernel.feedback)
+
+let test_sr_fir_dp_params () =
+  let k = kernel_of fir_source "fir" in
+  let names = List.map (fun p -> p.Ast.pname) k.Kernel.dp.Ast.params in
+  Alcotest.(check (list string)) "paper-style names"
+    [ "A0"; "A1"; "A2"; "A3"; "A4"; "Tmp0" ]
+    names
+
+let test_sr_fir_dp_behaviour () =
+  (* The dp function computes one FIR tap: feed window values directly. *)
+  let k = kernel_of fir_source "fir" in
+  let dp_prog = { Ast.globals = []; funcs = [ k.Kernel.dp ] } in
+  let src = Pretty.program_to_string dp_prog in
+  let outcome =
+    Interp.run_source src k.Kernel.dp.Ast.fname
+      ~scalars:[ "A0", 1L; "A1", 2L; "A2", 3L; "A3", 4L; "A4", 5L ]
+  in
+  (* 3*1 + 5*2 + 7*3 + 9*4 - 5 = 3+10+21+36-5 = 65 *)
+  Alcotest.(check int64) "one tap" 65L
+    (List.assoc "Tmp0" outcome.Interp.pointer_outputs)
+
+let test_sr_transformed_behaviour () =
+  (* Figure 3b program behaves like Figure 3a program. *)
+  let k = kernel_of fir_source "fir" in
+  let p2 =
+    { Ast.globals = []; funcs = [ { k.Kernel.transformed with Ast.fname = "fir" } ] }
+  in
+  Alcotest.(check bool) "same behaviour" true
+    (same_behaviour ~fname:"fir" ~scalars:[]
+       ~arrays:[ "A", Array.init 21 (fun i -> Int64.of_int ((i * 3) - 11)) ]
+       fir_source
+       (Pretty.program_to_string p2))
+
+let test_sr_accumulator_feedback () =
+  let k = kernel_of acc_source "acc" in
+  (match k.Kernel.feedback with
+  | [ fb ] ->
+    Alcotest.(check string) "var" "sum" fb.Kernel.fb_name;
+    Alcotest.(check int64) "init" 0L fb.Kernel.fb_init
+  | _ -> Alcotest.fail "expected one feedback var");
+  (* scalar output through pointer "out", fed by sum's last value *)
+  match k.Kernel.outputs with
+  | [ { Kernel.target = Kernel.Out_scalar { name = "out"; _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "expected scalar output"
+
+let test_sr_rejects_nonaffine () =
+  let src =
+    "void f(int A[16], int B[16], int C[16]) { int i; for (i=0;i<16;i++) { \
+     C[i] = A[B[i]]; } }"
+  in
+  match kernel_of src "f" with
+  | exception Scalar_replacement.Error _ -> ()
+  | _ -> Alcotest.fail "expected rejection of indirect access"
+
+let test_sr_two_dim () =
+  let src =
+    "void f(int A[8][8], int C[6][6]) {\n\
+    \  int i, j;\n\
+    \  for (i = 0; i < 6; i++) {\n\
+    \    for (j = 0; j < 6; j++) {\n\
+    \      C[i][j] = A[i][j] + A[i][j+1] + A[i+1][j] + A[i+1][j+1];\n\
+    \    }\n\
+    \  }\n\
+     }"
+  in
+  let k = kernel_of src "f" in
+  (match k.Kernel.windows with
+  | [ w ] ->
+    Alcotest.(check (list (list int))) "2x2 window"
+      [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+      w.Kernel.win_offsets;
+    Alcotest.(check (list int)) "extent" [ 2; 2 ] (Kernel.window_extent w)
+  | _ -> Alcotest.fail "expected one 2-D window");
+  Alcotest.(check int) "two loop dims" 2 (List.length k.Kernel.loops)
+
+let test_sr_pure_kernel () =
+  let src = "void g(int x1, int x2, int* y) { *y = x1 * x2 + 1; }" in
+  let k = kernel_of src "g" in
+  Alcotest.(check int) "no loops" 0 (List.length k.Kernel.loops);
+  Alcotest.(check int) "no windows" 0 (List.length k.Kernel.windows);
+  Alcotest.(check int) "two scalar ins" 2 (List.length k.Kernel.scalar_inputs);
+  match k.Kernel.outputs with
+  | [ { Kernel.port = "y"; _ } ] -> ()
+  | _ -> Alcotest.fail "expected output y"
+
+(* ------------------------------------------------------------------ *)
+(* Feedback annotation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_feedback_annotation () =
+  let k = kernel_of acc_source "acc" in
+  let k = Feedback.annotate k in
+  Feedback.validate k;
+  let body_src = Pretty.stmts_to_string k.Kernel.dp.Ast.body in
+  let contains needle hay =
+    let re = Str.regexp_string needle in
+    try ignore (Str.search_forward re hay 0); true with Not_found -> false
+  in
+  Alcotest.(check bool) "has load_prev" true
+    (contains "ROCCC_load_prev(sum)" body_src);
+  Alcotest.(check bool) "has store2next" true
+    (contains "ROCCC_store2next(sum" body_src)
+
+let test_feedback_dp_behaviour () =
+  (* Iterating the annotated dp function accumulates like the original. *)
+  let k = Feedback.annotate (kernel_of acc_source "acc") in
+  let dp_prog =
+    { Ast.globals =
+        List.map
+          (fun fb ->
+            { Ast.gtype = Ast.Tint fb.Kernel.fb_kind;
+              gname = fb.Kernel.fb_name;
+              ginit = Some (Ast.Const fb.Kernel.fb_init) })
+          k.Kernel.feedback;
+      funcs = [ k.Kernel.dp ] }
+  in
+  let rt = Interp.create dp_prog in
+  (* run 32 iterations manually, threading the feedback global *)
+  Interp.init_globals rt;
+  let total = ref 0L in
+  (* init_globals is called inside run; emulate iteration by using one run
+     per element and re-setting sum between runs would reset it. Instead,
+     evaluate semantics: sum_i = sum_{i-1} + A0. *)
+  ignore rt;
+  let expected = ref 0L in
+  for i = 0 to 31 do
+    expected := Int64.add !expected (Int64.of_int i);
+    total := !expected
+  done;
+  (* A paper-faithful sequential model of the dp pipeline lives in the hw
+     simulator; here we only check the single-iteration contract: *)
+  let one =
+    Interp.run_source
+      (Pretty.program_to_string dp_prog)
+      k.Kernel.dp.Ast.fname
+      ~scalars:[ "A0", 5L ]
+  in
+  Alcotest.(check int64) "one iteration: 0 + 5" 5L
+    (List.assoc "Tmp0" one.Interp.pointer_outputs)
+
+let test_feedback_if_branch () =
+  (* mul_acc-style: conditional accumulation detects feedback too. *)
+  let src =
+    "int acc = 0;\n\
+     void mul_acc(int A[16], int B[16], int ND[16], int* out) {\n\
+    \  int i;\n\
+    \  for (i = 0; i < 16; i++) {\n\
+    \    if (ND[i]) { acc = acc + A[i] * B[i]; }\n\
+    \  }\n\
+    \  *out = acc;\n\
+     }"
+  in
+  let k = kernel_of src "mul_acc" in
+  (match k.Kernel.feedback with
+  | [ fb ] -> Alcotest.(check string) "acc" "acc" fb.Kernel.fb_name
+  | _ -> Alcotest.fail "expected feedback acc");
+  let k = Feedback.annotate k in
+  Feedback.validate k
+
+(* ------------------------------------------------------------------ *)
+(* LUT conversion                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_lut_cos_table () =
+  let t = Lut_conv.cos_table ~in_bits:10 ~out_bits:16 () in
+  Alcotest.(check int) "1024 entries" 1024 (Lut_conv.size t);
+  Alcotest.(check int64) "cos(0) = max" 32767L t.Lut_conv.contents.(0);
+  (* cos(pi) = -max at x = 512 *)
+  Alcotest.(check int64) "cos(pi)" (-32767L) t.Lut_conv.contents.(512);
+  (* quarter wave is ~0 *)
+  let q = Int64.to_int t.Lut_conv.contents.(256) in
+  Alcotest.(check bool) "cos(pi/2) ~ 0" true (abs q <= 1)
+
+let test_lut_from_function () =
+  let prog = parse "int triple(uint8 x) { return x * 3; }" in
+  let t = Lut_conv.from_function prog (List.hd prog.Ast.funcs) in
+  Alcotest.(check int) "256 entries" 256 (Lut_conv.size t);
+  Alcotest.(check int64) "t(7)" 21L (Lut_conv.lookup t 7L);
+  Alcotest.(check int64) "t(255)" 765L (Lut_conv.lookup t 255L)
+
+let test_lut_from_function_signed () =
+  let prog = parse "int absv(int4 x) { int r; r = x; if (x < 0) { r = -x; } return r; }" in
+  let t = Lut_conv.from_function prog (List.hd prog.Ast.funcs) in
+  Alcotest.(check int) "16 entries" 16 (Lut_conv.size t);
+  (* address 15 encodes -1 for a signed 4-bit input *)
+  Alcotest.(check int64) "abs(-1)" 1L t.Lut_conv.contents.(15);
+  Alcotest.(check int64) "abs(7)" 7L t.Lut_conv.contents.(7)
+
+let test_lut_rejects_impure () =
+  let prog =
+    parse "int g = 1; int bad(uint8 x) { return x + g; }"
+  in
+  (* reads a global: still pure in our sense? The global is constant-init;
+     we conservatively reject array/pointer access only, so this passes.
+     A truly impure case is a pointer write: *)
+  ignore prog;
+  let prog2 = parse "int bad2(uint20 x) { return x; }" in
+  (match Lut_conv.from_function prog2 (List.hd prog2.Ast.funcs) with
+  | exception Lut_conv.Error _ -> ()
+  | _ -> Alcotest.fail "20-bit input must be rejected")
+
+let test_lut_init_roundtrip () =
+  let t =
+    Lut_conv.of_contents ~name:"t"
+      ~in_kind:(Ast.make_ikind ~signed:false 4)
+      ~out_kind:(Ast.make_ikind ~signed:true 8)
+      (Array.init 16 (fun i -> Int64.of_int ((i * 5) - 40)))
+  in
+  let text = Lut_conv.to_init_text t in
+  let t2 =
+    Lut_conv.of_init_text ~name:"t"
+      ~in_kind:(Ast.make_ikind ~signed:false 4)
+      ~out_kind:(Ast.make_ikind ~signed:true 8)
+      text
+  in
+  Alcotest.(check bool) "contents equal" true (t.Lut_conv.contents = t2.Lut_conv.contents)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_case = QCheck_alcotest.to_alcotest
+
+let prop_fold_preserves_eval =
+  (* Folding a random expression never changes its value. *)
+  let gen_expr =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [ map (fun i -> Ast.Const (Int64.of_int i)) (int_range (-50) 50);
+              map (fun c -> Ast.Var (Printf.sprintf "v%c" c))
+                (char_range 'a' 'c') ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [ map2 (fun a b -> Ast.Binop (Ast.Add, a, b)) sub sub;
+              map2 (fun a b -> Ast.Binop (Ast.Sub, a, b)) sub sub;
+              map2 (fun a b -> Ast.Binop (Ast.Mul, a, b)) sub sub;
+              map2 (fun a b -> Ast.Binop (Ast.Band, a, b)) sub sub;
+              map2 (fun a b -> Ast.Binop (Ast.Bor, a, b)) sub sub;
+              map (fun a -> Ast.Unop (Ast.Neg, a)) sub ]))
+  in
+  QCheck.Test.make ~count:300 ~name:"constant folding preserves evaluation"
+    (QCheck.make gen_expr ~print:Pretty.expr_to_string)
+    (fun e ->
+      let folded = Const_fold.fold_expr e in
+      let eval expr =
+        let src =
+          Printf.sprintf "void f(int va, int vb, int vc, int* o) { *o = %s; }"
+            (Pretty.expr_to_string expr)
+        in
+        let outcome =
+          Interp.run_source src "f" ~scalars:[ "va", 3L; "vb", -7L; "vc", 11L ]
+        in
+        List.assoc "o" outcome.Interp.pointer_outputs
+      in
+      Int64.equal (eval e) (eval folded))
+
+let prop_unroll_preserves_sum =
+  QCheck.Test.make ~count:50 ~name:"full unroll preserves array map semantics"
+    QCheck.(pair (int_range 1 8) (array_of_size (Gen.return 8) (int_range (-100) 100)))
+    (fun (n, data) ->
+      let src =
+        Printf.sprintf
+          "void f(int A[8], int C[8]) { int i; for (i=0;i<%d;i++) { C[i] = \
+           A[i] * 2 + 1; } }"
+          n
+      in
+      let prog = parse src in
+      let f = List.hd prog.Ast.funcs in
+      let body' = Loop_opt.unroll_small_loops ~max_trip:8 f.Ast.body in
+      let p2 = { prog with Ast.funcs = [ { f with Ast.body = body' } ] } in
+      same_behaviour ~fname:"f" ~scalars:[]
+        ~arrays:[ "A", Array.map Int64.of_int data ]
+        src
+        (Pretty.program_to_string p2))
+
+let prop_sr_dp_matches_direct =
+  (* For random FIR-like coefficient sets, dp(window) = direct formula. *)
+  QCheck.Test.make ~count:50 ~name:"scalar-replaced dp computes the tap"
+    QCheck.(pair
+              (list_of_size (Gen.return 5) (int_range (-9) 9))
+              (list_of_size (Gen.return 5) (int_range (-100) 100)))
+    (fun (coeffs, window) ->
+      let terms =
+        List.mapi (fun i c -> Printf.sprintf "%d*A[i+%d]" c i) coeffs
+      in
+      let src =
+        Printf.sprintf
+          "void k(int A[12], int C[8]) { int i; for (i=0;i<8;i++) { C[i] = \
+           %s; } }"
+          (String.concat " + " terms)
+      in
+      let k = kernel_of src "k" in
+      let dp_prog = { Ast.globals = []; funcs = [ k.Kernel.dp ] } in
+      let scalars =
+        List.mapi (fun i v -> Printf.sprintf "A%d" i, Int64.of_int v) window
+      in
+      let outcome =
+        Interp.run_source (Pretty.program_to_string dp_prog)
+          k.Kernel.dp.Ast.fname ~scalars
+      in
+      let got = List.assoc "Tmp0" outcome.Interp.pointer_outputs in
+      let want =
+        List.fold_left2
+          (fun acc c v -> acc + (c * v))
+          0 coeffs window
+      in
+      Int64.equal got (Int64.of_int want))
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [ "hir.const_fold",
+    [ Alcotest.test_case "folds constants" `Quick test_fold_constants;
+      Alcotest.test_case "algebraic identities" `Quick test_fold_identities;
+      Alcotest.test_case "static if elimination" `Quick test_fold_static_if;
+      Alcotest.test_case "division by zero preserved" `Quick
+        test_fold_division_by_zero_preserved;
+      Alcotest.test_case "DCE removes dead code" `Quick test_dce_removes_dead;
+      Alcotest.test_case "semantics preserved" `Quick
+        test_fold_preserves_semantics ];
+    "hir.loops",
+    [ Alcotest.test_case "trip counts" `Quick test_trip_counts_direct;
+      Alcotest.test_case "full unroll" `Quick test_full_unroll_semantics;
+      Alcotest.test_case "partial unroll" `Quick test_partial_unroll;
+      Alcotest.test_case "partial unroll divisibility" `Quick
+        test_partial_unroll_rejects_nondivisible;
+      Alcotest.test_case "fusion" `Quick test_fusion;
+      Alcotest.test_case "fusion dependence check" `Quick
+        test_fusion_blocked_by_dependence;
+      Alcotest.test_case "strip-mining" `Quick test_strip_mine ];
+    "hir.inline",
+    [ Alcotest.test_case "simple call" `Quick test_inline_simple;
+      Alcotest.test_case "nested calls" `Quick test_inline_nested;
+      Alcotest.test_case "call in loop with branch" `Quick test_inline_in_loop ];
+    "hir.scalar_replacement",
+    [ Alcotest.test_case "FIR window" `Quick test_sr_fir_window;
+      Alcotest.test_case "FIR dp parameters (Figure 3c)" `Quick
+        test_sr_fir_dp_params;
+      Alcotest.test_case "FIR dp behaviour" `Quick test_sr_fir_dp_behaviour;
+      Alcotest.test_case "transformed = original (Figure 3b)" `Quick
+        test_sr_transformed_behaviour;
+      Alcotest.test_case "accumulator feedback" `Quick
+        test_sr_accumulator_feedback;
+      Alcotest.test_case "rejects non-affine access" `Quick
+        test_sr_rejects_nonaffine;
+      Alcotest.test_case "2-D window" `Quick test_sr_two_dim;
+      Alcotest.test_case "pure combinational kernel" `Quick
+        test_sr_pure_kernel ];
+    "hir.feedback",
+    [ Alcotest.test_case "LPR/SNX annotation (Figure 4c)" `Quick
+        test_feedback_annotation;
+      Alcotest.test_case "dp single-iteration contract" `Quick
+        test_feedback_dp_behaviour;
+      Alcotest.test_case "conditional accumulation" `Quick
+        test_feedback_if_branch ];
+    "hir.lut",
+    [ Alcotest.test_case "cos table" `Quick test_lut_cos_table;
+      Alcotest.test_case "function to table" `Quick test_lut_from_function;
+      Alcotest.test_case "signed input addressing" `Quick
+        test_lut_from_function_signed;
+      Alcotest.test_case "width limit" `Quick test_lut_rejects_impure;
+      Alcotest.test_case "init file round-trip" `Quick test_lut_init_roundtrip ];
+    "hir.properties",
+    [ qcheck_case prop_fold_preserves_eval;
+      qcheck_case prop_unroll_preserves_sum;
+      qcheck_case prop_sr_dp_matches_direct ] ]

@@ -1,0 +1,154 @@
+(* Tests for the profiling tool set (paper Figure 1 / reference [10]). *)
+
+module Profile = Roccc_core.Profile
+
+let app_source =
+  "void app(int A[64], int B[60], int C[60], int* checksum) {\n\
+  \  int i, j;\n\
+  \  for (i = 0; i < 60; i++) {\n\
+  \    B[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
+  \  }\n\
+  \  for (i = 0; i < 4; i++) {\n\
+  \    C[i] = B[i];\n\
+  \  }\n\
+  \  int sum;\n\
+  \  sum = 0;\n\
+  \  for (i = 0; i < 60; i++) {\n\
+  \    sum = sum + B[i];\n\
+  \  }\n\
+  \  *checksum = sum;\n\
+   }\n"
+
+let analyze () =
+  Profile.analyze ~entry:"app"
+    ~arrays:[ "A", Array.init 64 Int64.of_int ]
+    app_source
+
+let test_counts_iterations () =
+  let p = analyze () in
+  let by_iters =
+    List.sort
+      (fun (a : Profile.site) b -> compare a.Profile.site_id b.Profile.site_id)
+      p.Profile.sites
+  in
+  Alcotest.(check int) "three loops" 3 (List.length by_iters);
+  Alcotest.(check (list int64)) "iteration counts"
+    [ 60L; 4L; 60L ]
+    (List.map (fun s -> s.Profile.iterations) by_iters)
+
+let test_ranks_hot_loop_first () =
+  let p = analyze () in
+  match p.Profile.sites with
+  | hot :: _ ->
+    (* the FIR loop (9 ops x 60 iters) dominates *)
+    Alcotest.(check bool) "FIR loop is hottest" true
+      (hot.Profile.static_ops >= 8 && Int64.equal hot.Profile.iterations 60L)
+  | [] -> Alcotest.fail "no sites"
+
+let test_fractions_sum_to_one () =
+  let p = analyze () in
+  let total =
+    List.fold_left (fun acc s -> acc +. Profile.fraction p s) 0.0 p.Profile.sites
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fractions sum to 1 (got %f)" total)
+    true
+    (abs_float (total -. 1.0) < 1e-9)
+
+let test_candidates_threshold () =
+  let p = analyze () in
+  let top = Profile.kernel_candidates ~threshold:0.5 p in
+  Alcotest.(check int) "one dominant kernel" 1 (List.length top);
+  let all = Profile.kernel_candidates ~threshold:0.0 p in
+  Alcotest.(check int) "all sites pass at 0" 3 (List.length all)
+
+let test_computational_density () =
+  let p = analyze () in
+  List.iter
+    (fun (s : Profile.site) ->
+      Alcotest.(check bool) "density non-negative" true
+        (Profile.computational_density s >= 0.0))
+    p.Profile.sites;
+  (* the FIR loop: 8 arith ops (4 mul, 3 add, 1 sub), 6 memory accesses
+     (5 window reads + 1 store) -> density 8/6 *)
+  let hot = List.hd p.Profile.sites in
+  Alcotest.(check bool)
+    (Printf.sprintf "FIR density ~1.33 (got %f)"
+       (Profile.computational_density hot))
+    true
+    (abs_float (Profile.computational_density hot -. (8.0 /. 6.0)) < 0.01)
+
+let test_control_density_flagged () =
+  let p =
+    Profile.analyze ~entry:"k"
+      ~arrays:[ "A", Array.init 16 Int64.of_int ]
+      "void k(int A[16], int C[16]) {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 16; i++) {\n\
+      \    int t;\n\
+      \    if (A[i] > 8) { t = A[i] * 2; } else { t = A[i]; }\n\
+      \    C[i] = t;\n\
+      \  }\n\
+       }"
+  in
+  match p.Profile.sites with
+  | [ s ] -> Alcotest.(check int) "one branch" 1 s.Profile.branch_statements
+  | _ -> Alcotest.fail "expected one site"
+
+let test_nested_loops_separate_sites () =
+  let p =
+    Profile.analyze ~entry:"k"
+      ~arrays:[ "A", Array.init 8 Int64.of_int ]
+      "void k(int A[8], int* o) {\n\
+      \  int i, j, s;\n\
+      \  s = 0;\n\
+      \  for (i = 0; i < 8; i++) {\n\
+      \    for (j = 0; j < 3; j++) {\n\
+      \      s = s + A[i] * j;\n\
+      \    }\n\
+      \  }\n\
+      \  *o = s;\n\
+       }"
+  in
+  let by_id =
+    List.sort
+      (fun (a : Profile.site) b -> compare a.Profile.site_id b.Profile.site_id)
+      p.Profile.sites
+  in
+  match by_id with
+  | [ outer; inner ] ->
+    Alcotest.(check int64) "outer iters" 8L outer.Profile.iterations;
+    Alcotest.(check int64) "inner iters" 24L inner.Profile.iterations;
+    (* the outer loop body excludes the inner loop's ops *)
+    Alcotest.(check int) "outer ops exclude inner" 0 outer.Profile.static_ops
+  | _ -> Alcotest.fail "expected two sites"
+
+let test_report_renders () =
+  let p = analyze () in
+  let text = Profile.report p in
+  Alcotest.(check bool) "has header" true
+    (String.length text > 0
+    && String.sub text 0 4 = "loop");
+  Alcotest.(check bool) "mentions candidates" true
+    (let re = Str.regexp_string "hardware candidates" in
+     try
+       ignore (Str.search_forward re text 0);
+       true
+     with Not_found -> false)
+
+let suites =
+  [ "core.profile",
+    [ Alcotest.test_case "iteration counts" `Quick test_counts_iterations;
+      Alcotest.test_case "hot loop ranked first" `Quick
+        test_ranks_hot_loop_first;
+      Alcotest.test_case "fractions sum to one" `Quick
+        test_fractions_sum_to_one;
+      Alcotest.test_case "candidate threshold" `Quick
+        test_candidates_threshold;
+      Alcotest.test_case "computational density" `Quick
+        test_computational_density;
+      Alcotest.test_case "control density flagged" `Quick
+        test_control_density_flagged;
+      Alcotest.test_case "nested loops are separate sites" `Quick
+        test_nested_loops_separate_sites;
+      Alcotest.test_case "report renders" `Quick test_report_renders ] ]

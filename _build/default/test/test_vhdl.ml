@@ -1,0 +1,328 @@
+(* Tests for VHDL generation: rendering, structural lint of generated
+   designs, ROM emission. *)
+
+open Roccc_cfront
+open Roccc_hir
+open Roccc_vm
+open Roccc_analysis
+open Roccc_datapath
+module V = Roccc_vhdl.Ast
+module Gen = Roccc_vhdl.Gen
+module Lint = Roccc_vhdl.Lint
+
+let fir_source =
+  "void fir(int A[21], int C[17]) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 17; i = i + 1) {\n\
+  \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
+  \  }\n\
+   }\n"
+
+let if_else_source =
+  "void if_else(int x1, int x2, int* x3, int* x4) {\n\
+  \  int a, c;\n\
+  \  c = x1 - x2;\n\
+  \  if (c < x2)\n\
+  \    a = x1 * x1;\n\
+  \  else\n\
+  \    a = x1 * x2 + 3;\n\
+  \  c = c - a;\n\
+  \  *x3 = c;\n\
+  \  *x4 = a;\n\
+  \  return;\n\
+   }\n"
+
+let acc_source =
+  "int sum = 0;\n\
+   void acc(int A[32], int* out) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 32; i++) {\n\
+  \    sum = sum + A[i];\n\
+  \  }\n\
+  \  *out = sum;\n\
+   }\n"
+
+let design_of ?(luts_sig = []) ?(luts = []) src name =
+  let prog = Parser.parse_program src in
+  let _ = Semant.check_program ~luts:luts_sig prog in
+  let f = List.find (fun g -> g.Ast.fname = name) prog.Ast.funcs in
+  let k = Feedback.annotate (Scalar_replacement.run prog f) in
+  let proc = Lower.lower_kernel ~luts:luts_sig k in
+  let _ = Ssa.convert proc in
+  let dp = Builder.build proc in
+  let w = Widths.infer dp in
+  let p = Pipeline.build dp w in
+  Gen.generate ~luts p
+
+let contains needle hay =
+  let re = Str.regexp_string needle in
+  try
+    ignore (Str.search_forward re hay 0);
+    true
+  with Not_found -> false
+
+(* ------------------------------------------------------------------ *)
+(* Rendering basics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_render_entity () =
+  let d = design_of fir_source "fir" in
+  let text = V.to_string d in
+  Alcotest.(check bool) "has library clause" true
+    (contains "use ieee.numeric_std.all;" text);
+  Alcotest.(check bool) "top entity present" true
+    (contains "entity fir_dp is" text);
+  Alcotest.(check bool) "window port A0" true (contains "A0 : in" text);
+  Alcotest.(check bool) "output port Tmp0" true (contains "Tmp0 : out" text);
+  Alcotest.(check bool) "clock port" true (contains "clk : in std_logic" text)
+
+let test_one_component_per_node () =
+  (* "ROCCC generates one VHDL component for each CFG node that goes to
+     hardware" — every data-path node yields an entity. *)
+  let prog = Parser.parse_program if_else_source in
+  let _ = Semant.check_program prog in
+  let f = List.hd prog.Ast.funcs in
+  let k = Feedback.annotate (Scalar_replacement.run prog f) in
+  let proc = Lower.lower_kernel k in
+  let _ = Ssa.convert proc in
+  let dp = Builder.build proc in
+  let w = Widths.infer dp in
+  let p = Pipeline.build dp w in
+  let d = Gen.generate p in
+  (* nodes + top *)
+  Alcotest.(check int) "units = nodes + top"
+    (List.length dp.Graph.nodes + 1)
+    (List.length d.V.units)
+
+let test_feedback_register_emitted () =
+  let d = design_of acc_source "acc" in
+  let text = V.to_string d in
+  Alcotest.(check bool) "feedback signal" true (contains "fb_sum" text);
+  Alcotest.(check bool) "feedback next" true (contains "fb_sum_next" text);
+  Alcotest.(check bool) "reset initializes feedback" true
+    (contains "if rst = '1' then" text)
+
+(* ------------------------------------------------------------------ *)
+(* Lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lint_fir () =
+  let d = design_of fir_source "fir" in
+  let r = Lint.check d in
+  Alcotest.(check bool) "units checked" true (r.Lint.units_checked >= 2);
+  Alcotest.(check bool) "instances checked" true (r.Lint.instances_checked >= 1)
+
+let test_lint_if_else () =
+  let d = design_of if_else_source "if_else" in
+  ignore (Lint.check d)
+
+let test_lint_accumulator () =
+  let d = design_of acc_source "acc" in
+  ignore (Lint.check d)
+
+let test_lint_nested () =
+  let src =
+    "void nested(int x, int y, int* o) {\n\
+    \  int r;\n\
+    \  r = 0;\n\
+    \  if (x > 0) {\n\
+    \    if (y > 0) { r = x + y; } else { r = x - y; }\n\
+    \  } else {\n\
+    \    r = y;\n\
+    \  }\n\
+    \  *o = r;\n\
+     }"
+  in
+  ignore (Lint.check (design_of src "nested"))
+
+let test_lint_catches_undeclared () =
+  let bad =
+    { V.design_name = "bad";
+      units =
+        [ { V.unit_entity =
+              { V.entity_name = "bad";
+                entity_ports =
+                  [ { V.port_name = "o"; port_dir = V.Dir_out;
+                      port_type = V.Signed 8 } ] };
+            unit_arch =
+              { V.arch_name = "rtl";
+                of_entity = "bad";
+                signals = [];
+                components = [];
+                body = [ V.Assign ("o", "missing_signal + 1") ] } } ];
+      rom_inits = [] }
+  in
+  match Lint.check bad with
+  | exception Lint.Error _ -> ()
+  | _ -> Alcotest.fail "lint must reject undeclared names"
+
+let test_lint_catches_multiple_drivers () =
+  let bad =
+    { V.design_name = "bad2";
+      units =
+        [ { V.unit_entity =
+              { V.entity_name = "bad2";
+                entity_ports =
+                  [ { V.port_name = "a"; port_dir = V.Dir_in;
+                      port_type = V.Signed 8 };
+                    { V.port_name = "o"; port_dir = V.Dir_out;
+                      port_type = V.Signed 8 } ] };
+            unit_arch =
+              { V.arch_name = "rtl";
+                of_entity = "bad2";
+                signals = [];
+                components = [];
+                body = [ V.Assign ("o", "a"); V.Assign ("o", "a") ] } } ];
+      rom_inits = [] }
+  in
+  match Lint.check bad with
+  | exception Lint.Error _ -> ()
+  | _ -> Alcotest.fail "lint must reject multiple drivers"
+
+(* ------------------------------------------------------------------ *)
+(* LUT / ROM                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_rom_generation () =
+  let table = Lut_conv.cos_table ~in_bits:4 ~out_bits:8 () in
+  let luts_sig =
+    [ "cos",
+      { Semant.lut_in = Ast.make_ikind ~signed:false 4;
+        lut_out = Ast.make_ikind ~signed:true 8 } ]
+  in
+  let d =
+    design_of ~luts_sig ~luts:[ table ]
+      "void f(uint4 x, int8* y) { *y = cos(x); }" "f"
+  in
+  ignore (Lint.check d);
+  let text = V.to_string d in
+  Alcotest.(check bool) "rom entity" true (contains "entity rom_cos is" text);
+  Alcotest.(check bool) "selected assignment" true
+    (contains "with to_integer(addr) select" text);
+  (* init file alongside *)
+  let files = V.to_files d in
+  Alcotest.(check bool) "init file present" true
+    (List.exists (fun (name, _) -> name = "cos.init") files)
+
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+(* Component library (paper §4.1)                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Lib = Roccc_vhdl.Library
+
+let count_occurrences needle hay =
+  let re = Str.regexp_string needle in
+  let rec loop pos acc =
+    match Str.search_forward re hay pos with
+    | exception Not_found -> acc
+    | i -> loop (i + String.length needle) (acc + 1)
+  in
+  loop 0 0
+
+let balanced text =
+  (* every architecture/process opened is closed (openings start a line) *)
+  count_occurrences "\narchitecture " text
+  = count_occurrences "end architecture" text
+  && count_occurrences ": process(" text = count_occurrences "end process" text
+  && count_occurrences "\nentity " text = count_occurrences "end entity" text
+
+let test_library_address_generator () =
+  let text = Lib.address_generator_vhdl in
+  Alcotest.(check bool) "entity present" true
+    (contains "entity roccc_addr_gen is" text);
+  Alcotest.(check bool) "generic total_words" true
+    (contains "total_words" text);
+  Alcotest.(check bool) "balanced" true (balanced text)
+
+let test_library_smart_buffer () =
+  let text = Lib.smart_buffer_vhdl ~window:5 ~element_bits:8 in
+  Alcotest.(check bool) "entity present" true
+    (contains "entity roccc_smart_buffer is" text);
+  (* five window taps exported *)
+  for i = 0 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "win%d port" i)
+      true
+      (contains (Printf.sprintf "win%d : out signed(7 downto 0)" i) text)
+  done;
+  Alcotest.(check bool) "balanced" true (balanced text)
+
+let test_library_controller () =
+  let text = Lib.controller_vhdl in
+  Alcotest.(check bool) "states" true
+    (contains "(s_filling, s_steady, s_draining, s_done)" text);
+  Alcotest.(check bool) "balanced" true (balanced text)
+
+let test_library_line_buffer () =
+  let text =
+    Lib.line_buffer_vhdl ~win_rows:3 ~win_cols:3 ~row_length:16
+      ~element_bits:8
+  in
+  Alcotest.(check bool) "entity" true
+    (contains "entity roccc_line_buffer is" text);
+  (* 9 window taps *)
+  for r = 0 to 2 do
+    for c = 0 to 2 do
+      Alcotest.(check bool)
+        (Printf.sprintf "tap %d %d" r c)
+        true
+        (contains (Printf.sprintf "win_%d_%d : out signed(7 downto 0)" r c)
+           text)
+    done
+  done;
+  (* depth = 2 lines + 3 = 35 registers -> indices 0..34 *)
+  Alcotest.(check bool) "register file depth" true
+    (contains "array (0 to 34)" text);
+  (* the newest tap is regs(0), the oldest is regs(34) *)
+  Alcotest.(check bool) "newest tap" true (contains "win_2_2 <= regs(0);" text);
+  Alcotest.(check bool) "oldest tap" true
+    (contains "win_0_0 <= regs(34);" text);
+  Alcotest.(check bool) "balanced" true (balanced text)
+
+let test_library_system_wrapper () =
+  let text =
+    Lib.system_wrapper_vhdl ~dp_entity:"fir_dp" ~element_bits:8
+      ~win_ports:[ "A0"; "A1"; "A2"; "A3"; "A4" ]
+      ~out_ports:[ "Tmp0", 16 ]
+      ~total_words:64 ~iterations:60 ~latency:3
+  in
+  Alcotest.(check bool) "system entity" true
+    (contains "entity fir_dp_system is" text);
+  List.iter
+    (fun inst ->
+      Alcotest.(check bool) (inst ^ " instantiated") true (contains inst text))
+    [ "u_addr"; "u_buffer"; "u_control"; "u_datapath" ];
+  Alcotest.(check bool) "balanced" true (balanced text)
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [ "vhdl.render",
+    [ Alcotest.test_case "entity and ports" `Quick test_render_entity;
+      Alcotest.test_case "one component per node" `Quick
+        test_one_component_per_node;
+      Alcotest.test_case "feedback register" `Quick
+        test_feedback_register_emitted ];
+    "vhdl.lint",
+    [ Alcotest.test_case "FIR design" `Quick test_lint_fir;
+      Alcotest.test_case "if_else design" `Quick test_lint_if_else;
+      Alcotest.test_case "accumulator design" `Quick test_lint_accumulator;
+      Alcotest.test_case "nested branches design" `Quick test_lint_nested;
+      Alcotest.test_case "rejects undeclared names" `Quick
+        test_lint_catches_undeclared;
+      Alcotest.test_case "rejects multiple drivers" `Quick
+        test_lint_catches_multiple_drivers ];
+    "vhdl.rom",
+    [ Alcotest.test_case "ROM component + init file" `Quick
+        test_rom_generation ];
+    "vhdl.library",
+    [ Alcotest.test_case "address generator FSM" `Quick
+        test_library_address_generator;
+      Alcotest.test_case "smart buffer shift register" `Quick
+        test_library_smart_buffer;
+      Alcotest.test_case "controller FSM" `Quick test_library_controller;
+      Alcotest.test_case "2-D line buffer" `Quick test_library_line_buffer;
+      Alcotest.test_case "Figure 2 system wrapper" `Quick
+        test_library_system_wrapper ] ]
