@@ -559,6 +559,83 @@ let ablation_smart_buffer () =
     [ "fir", Kernels.fir; "wavelet_rows", Kernels.wavelet ]
 
 (* ------------------------------------------------------------------ *)
+(* Batch service - cache and scheduler throughput                      *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Roccc_service.Service
+module Svc_cache = Roccc_service.Cache
+
+let service_section () =
+  section "Batch service - pass cache and parallel scheduler (Table 1 jobs)";
+  let jobs = Service.table1_jobs () in
+  let n_jobs = List.length jobs in
+  let time_batch ?cache ~num_domains () =
+    let t0 = Unix.gettimeofday () in
+    let report = Service.run_batch ?cache ~num_domains jobs in
+    let wall = Unix.gettimeofday () -. t0 in
+    report, wall
+  in
+  (* cold vs warm: the same cache serves two consecutive batches *)
+  let cache = Svc_cache.create () in
+  let cold_report, cold_s = time_batch ~cache ~num_domains:1 () in
+  let warm_report, warm_s = time_batch ~cache ~num_domains:1 () in
+  let stats = Svc_cache.stats cache in
+  Printf.printf
+    "cold batch : %2d jobs in %7.1f ms (%d ok, %d failed)\n" n_jobs
+    (1e3 *. cold_s)
+    (List.length (Service.successes cold_report))
+    (List.length (Service.failures cold_report));
+  Printf.printf
+    "warm batch : %2d jobs in %7.1f ms - %.1fx faster, %d cache hits\n"
+    n_jobs (1e3 *. warm_s)
+    (cold_s /. Float.max 1e-9 warm_s)
+    stats.Svc_cache.hits;
+  (* 1 vs N domains, uncached, so every job does full compiles *)
+  let domain_counts = [ 1; 2; 4 ] in
+  let domain_walls =
+    List.map
+      (fun d ->
+        let _, wall = time_batch ~num_domains:d () in
+        Printf.printf
+          "%d domain(s): %2d jobs in %7.1f ms (%.1f jobs/s)\n" d n_jobs
+          (1e3 *. wall)
+          (float_of_int n_jobs /. wall);
+        d, wall)
+      domain_counts
+  in
+  (* machine-readable summary alongside the human-readable table *)
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" n_jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"cold_s\": %.6f,\n" cold_s);
+  Buffer.add_string buf (Printf.sprintf "  \"warm_s\": %.6f,\n" warm_s);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warm_speedup\": %.3f,\n"
+       (cold_s /. Float.max 1e-9 warm_s));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"cache\": { \"hits\": %d, \"disk_hits\": %d, \"misses\": %d, \
+        \"stores\": %d },\n"
+       stats.Svc_cache.hits stats.Svc_cache.disk_hits stats.Svc_cache.misses
+       stats.Svc_cache.stores);
+  Buffer.add_string buf "  \"domains\": [\n";
+  List.iteri
+    (fun i (d, wall) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"domains\": %d, \"wall_s\": %.6f, \"jobs_per_s\": %.3f }%s\n"
+           d wall
+           (float_of_int n_jobs /. wall)
+           (if i = List.length domain_walls - 1 then "" else ",")))
+    domain_walls;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_service.json\n";
+  ignore warm_report
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -630,5 +707,6 @@ let () =
   ablation_backend_optimize ();
   ablation_loop_fusion ();
   ablation_smart_buffer ();
+  service_section ();
   bechamel_section ();
   print_endline "\ndone."

@@ -4,11 +4,16 @@
     roccc simulate <file.c> -e <entry> --array A=1,2,3 --scalar x=5
     roccc report <file.c> -e <entry>
     roccc bench <name>         (compile + simulate a built-in Table 1 kernel)
+    roccc batch <files|dirs> [--jobs N] [--cache] [--trace out.json]
+    roccc batch <file.c> -e <entry> --sweep   (unroll x bus option grid)
 *)
 
 open Cmdliner
 module Driver = Roccc_core.Driver
 module Kernels = Roccc_core.Kernels
+module Service = Roccc_service.Service
+module Svc_cache = Roccc_service.Cache
+module Svc_trace = Roccc_service.Trace
 
 let read_file path =
   let ic = open_in_bin path in
@@ -26,6 +31,15 @@ let with_errors f =
     Printf.eprintf "roccc: parse error at %d:%d: %s\n" line col msg;
     exit 1
   | Roccc_cfront.Semant.Error msg ->
+    Printf.eprintf "roccc: %s\n" msg;
+    exit 1
+  | Roccc_vm.Instr.Vm_error msg ->
+    Printf.eprintf "roccc: vm error: %s\n" msg;
+    exit 1
+  | Roccc_cfront.Interp.Error msg ->
+    Printf.eprintf "roccc: interpreter: %s\n" msg;
+    exit 1
+  | Sys_error msg ->
     Printf.eprintf "roccc: %s\n" msg;
     exit 1
 
@@ -379,9 +393,201 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Compile and simulate a built-in Table 1 kernel.")
     (Term.(const run $ name_arg))
 
+(* ---- batch ---- *)
+
+let batch_cmd =
+  let paths_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE.c|DIR")
+  in
+  let table1_arg =
+    Arg.(
+      value & flag
+      & info [ "table1" ]
+          ~doc:"Enqueue the nine built-in Table 1 kernels as jobs.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: the machine's recommended count).")
+  in
+  let cache_arg =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Memoize stage outputs content-addressed on (source, entry, \
+             options), persisting finished artifacts under the cache \
+             directory.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value & opt string Svc_cache.default_disk_dir
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Disk cache location (with $(b,--cache)).")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write per-pass spans and batch metadata as Chrome trace_event \
+             JSON (view at chrome://tracing or ui.perfetto.dev).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR"
+          ~doc:"Write each job's VHDL into DIR/<job-label>/.")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Design-space sweep: compile the single given kernel under the \
+             grid of $(b,--sweep-unroll) x $(b,--sweep-bus) options \
+             (requires one FILE.c and $(b,-e)).")
+  in
+  let sweep_entry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "entry" ] ~docv:"FUNC"
+          ~doc:"Kernel function for $(b,--sweep).")
+  in
+  let sweep_unroll_arg =
+    Arg.(
+      value & opt (list int) [ 1; 2; 4 ]
+      & info [ "sweep-unroll" ] ~docv:"N,..."
+          ~doc:"Outer-loop unroll factors for the sweep grid.")
+  in
+  let sweep_bus_arg =
+    Arg.(
+      value & opt (list int) [ 1; 2; 4 ]
+      & info [ "sweep-bus" ] ~docv:"N,..."
+          ~doc:"Memory bus widths (elements) for the sweep grid.")
+  in
+  let c_files_of_dir dir =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".c")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+  in
+  (* One job per kernel-eligible function of each file; an unparseable file
+     still becomes a job so its error is reported per-job, not fatally. *)
+  let jobs_of_file options path =
+    let source = read_file path in
+    let base = Filename.remove_extension (Filename.basename path) in
+    match Driver.eligible_entries source with
+    | [] -> []
+    | [ entry ] ->
+      [ { Service.label = base ^ ":" ^ entry; source; entry; options;
+          luts = [] } ]
+    | entries ->
+      List.map
+        (fun entry ->
+          { Service.label = base ^ ":" ^ entry; source; entry; options;
+            luts = [] })
+        entries
+    | exception Driver.Error _ ->
+      [ { Service.label = base; source; entry = "?"; options; luts = [] } ]
+  in
+  let run paths table1 target_ns bus no_widths unroll_inner jobs use_cache
+      cache_dir trace_out out sweep sweep_entry sweep_unroll sweep_bus =
+    with_errors (fun () ->
+        let options = options_of target_ns bus no_widths unroll_inner in
+        let files =
+          List.concat_map
+            (fun p ->
+              if not (Sys.file_exists p) then begin
+                Printf.eprintf "roccc batch: no such file or directory: %s\n" p;
+                exit 2
+              end
+              else if Sys.is_directory p then c_files_of_dir p
+              else [ p ])
+            paths
+        in
+        let batch_jobs =
+          if sweep then begin
+            let file, entry =
+              match files, sweep_entry with
+              | [ f ], Some e -> f, e
+              | _ ->
+                Printf.eprintf
+                  "roccc batch --sweep needs exactly one FILE.c and -e FUNC\n";
+                exit 2
+            in
+            Service.sweep_jobs ~base:options ~source:(read_file file) ~entry
+              ~unroll_factors:sweep_unroll ~bus_widths:sweep_bus ()
+          end
+          else
+            (if table1 then Service.table1_jobs () else [])
+            @ List.concat_map (jobs_of_file options) files
+        in
+        if batch_jobs = [] then begin
+          Printf.eprintf
+            "roccc batch: no jobs (give FILE.c/DIR arguments, --table1, or \
+             --sweep)\n";
+          exit 2
+        end;
+        let cache =
+          if use_cache then Some (Svc_cache.create ~disk_dir:cache_dir ())
+          else None
+        in
+        let trace = Option.map (fun _ -> Svc_trace.create ()) trace_out in
+        let report =
+          Service.run_batch ?cache ?trace ~num_domains:jobs batch_jobs
+        in
+        print_endline (Service.summary report);
+        (match out with
+        | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let written =
+            List.fold_left
+              (fun n ((j : Service.job), (s : Service.success)) ->
+                ignore j;
+                let jdir = Filename.concat dir s.Service.r_label in
+                if not (Sys.file_exists jdir) then Sys.mkdir jdir 0o755;
+                List.iter
+                  (fun (name, contents) ->
+                    let oc = open_out (Filename.concat jdir name) in
+                    output_string oc contents;
+                    close_out oc)
+                  s.Service.r_vhdl;
+                n + List.length s.Service.r_vhdl)
+              0 (Service.successes report)
+          in
+          Printf.printf "wrote %d file(s) under %s\n" written dir
+        | None -> ());
+        (match trace_out, trace with
+        | Some path, Some tr ->
+          let oc = open_out path in
+          output_string oc
+            (Svc_trace.to_chrome_json ~meta:(Service.trace_meta report) tr);
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+        | _ -> ());
+        if Service.successes report = [] then exit 1)
+  in
+  let term =
+    Term.(
+      const run $ paths_arg $ table1_arg $ target_ns_arg $ bus_arg
+      $ no_widths_arg $ unroll_inner_arg $ jobs_arg $ cache_arg
+      $ cache_dir_arg $ trace_arg $ out_arg $ sweep_arg $ sweep_entry_arg
+      $ sweep_unroll_arg $ sweep_bus_arg)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+        "Compile many kernels in parallel with content-addressed caching \
+         and structured tracing.")
+    term
+
 let main_cmd =
   let doc = "ROCCC-style C-to-VHDL compiler (DATE 2005 reproduction)" in
   Cmd.group (Cmd.info "roccc" ~doc)
-    [ compile_cmd; compile_all_cmd; simulate_cmd; profile_cmd; bench_cmd ]
+    [ compile_cmd; compile_all_cmd; simulate_cmd; profile_cmd; bench_cmd;
+      batch_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -3,7 +3,12 @@
     C source -> parse -> semantic checks -> inlining -> loop optimizations ->
     scalar replacement -> feedback annotation -> SUIFvm lowering -> SSA/CFG ->
     data-path building -> bit-width inference -> pipelining -> VHDL
-    generation -> area/clock estimation. *)
+    generation -> area/clock estimation.
+
+    The pipeline is exposed as three explicit stages — {!front_end},
+    {!lower_to_kernel}, {!back_end} — so a caller (the batch service) can
+    memoize stage outputs content-addressed on (source, entry, options) and
+    time every named pass through the {!instrument} hook. *)
 
 module Ast = Roccc_cfront.Ast
 module Parser = Roccc_cfront.Parser
@@ -32,6 +37,30 @@ module Area = Roccc_fpga.Area
 exception Error of string
 
 let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Translate the libraries' typed exceptions into the driver's user-facing
+   [Error] so no stage lets a raw internal exception escape to a caller
+   (the CLI, the batch service). *)
+let user_message (e : exn) : string option =
+  match e with
+  | Loop_opt.Error m -> Some ("loop optimization: " ^ m)
+  | Inline.Error m -> Some ("inlining: " ^ m)
+  | Lut_conv.Error m -> Some ("lut conversion: " ^ m)
+  | Feedback.Error m -> Some ("feedback: " ^ m)
+  | Scalar_replacement.Error m -> Some ("scalar replacement: " ^ m)
+  | Ssa.Error m -> Some ("ssa: " ^ m)
+  | Builder.Error m -> Some ("datapath construction: " ^ m)
+  | Widths.Error m -> Some ("width inference: " ^ m)
+  | Pipeline.Error m -> Some ("pipelining: " ^ m)
+  | Gen.Error m -> Some ("vhdl generation: " ^ m)
+  | Lint.Error m -> Some ("vhdl lint: " ^ m)
+  | Roccc_vm.Instr.Vm_error m -> Some ("vm: " ^ m)
+  | _ -> None
+
+let guard (f : unit -> 'a) : 'a =
+  try f ()
+  with e -> (
+    match user_message e with Some m -> raise (Error m) | None -> raise e)
 
 type options = {
   unroll_inner_max : int;
@@ -62,6 +91,83 @@ let default_options =
     lut_convert_max_bits = 0;
     bus_elements = 1;
     check_vhdl = true }
+
+(* Option fingerprints: a canonical rendering of exactly the fields each
+   stage reads, so a content-addressed cache can share front-end work
+   between jobs that differ only in back-end options (e.g. a bus-width
+   sweep). Keep in sync with the stage bodies below. *)
+
+let front_options_fingerprint (o : options) : string =
+  Printf.sprintf "ui=%d;ua=%d;fuse=%b;uo=%d;lut=%d" o.unroll_inner_max
+    o.unroll_all_max o.fuse_loops o.unroll_outer_factor
+    o.lut_convert_max_bits
+
+let options_fingerprint (o : options) : string =
+  Printf.sprintf "%s;tns=%h;w=%b;ovm=%b;bus=%d;lint=%b"
+    (front_options_fingerprint o)
+    o.target_ns o.infer_widths o.optimize_vm o.bus_elements o.check_vhdl
+
+(* ------------------------------------------------------------------ *)
+(* Pass instrumentation                                                *)
+(* ------------------------------------------------------------------ *)
+
+type pass_stats = {
+  pass_name : string;
+  started_s : float;   (** absolute wall-clock, seconds since the epoch *)
+  elapsed_s : float;
+  ir_size : int;       (** size of the active IR after the pass (0 = n/a) *)
+}
+
+type instrument = pass_stats -> unit
+
+(* A pass runner shared by the stages: appends to the Figure 1 trace and,
+   when instrumented, reports wall-clock timing and an IR-size counter.
+   The polymorphic field lets one runner time passes of any result type. *)
+type runner = {
+  run : 'a. ?size:('a -> int) -> string -> (unit -> 'a) -> 'a;
+}
+
+let make_runner ?instrument (trace : string list ref) : runner =
+  { run =
+      (fun ?(size = fun _ -> 0) name f ->
+        match instrument with
+        | None ->
+          let r = f () in
+          trace := !trace @ [ name ];
+          r
+        | Some emit ->
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          let t1 = Unix.gettimeofday () in
+          trace := !trace @ [ name ];
+          emit
+            { pass_name = name;
+              started_s = t0;
+              elapsed_s = t1 -. t0;
+              ir_size = size r };
+          r) }
+
+let ast_size (f : Ast.func) : int =
+  Ast.fold_stmts (fun n _ -> n + 1) (fun n _ -> n + 1) 0 f.Ast.body
+
+(* ------------------------------------------------------------------ *)
+(* Stage results                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type front = {
+  fr_source : string;
+  fr_entry : string;
+  fr_program : Ast.program;       (** restricted to the entry function *)
+  fr_func : Ast.func;             (** after inlining and loop transforms *)
+  fr_luts : Lut_conv.table list;  (** registered + converted tables *)
+  fr_trace : string list;
+}
+
+type staged_kernel = {
+  sk_front : front;
+  sk_kernel : Kernel.t;
+  sk_trace : string list;         (** cumulative (includes the front's) *)
+}
 
 type compiled = {
   source : string;
@@ -121,23 +227,30 @@ let buffer_configs_of ~(bus_elements : int) (k : Kernel.t) :
         lower })
     k.Kernel.windows
 
-(** Compile one kernel function from C source to VHDL + estimates. *)
-let compile ?(options = default_options) ?(luts = []) ~(entry : string)
-    (source : string) : compiled =
+(* ------------------------------------------------------------------ *)
+(* Stage 1: the front end (parse .. loop-level optimization)           *)
+(* ------------------------------------------------------------------ *)
+
+let front_end ?instrument ?(options = default_options) ?(luts = [])
+    ~(entry : string) (source : string) : front =
+  guard @@ fun () ->
   let trace = ref [] in
-  let pass name = trace := !trace @ [ name ] in
-  (* ---- front end ---- *)
-  pass "parse";
-  let program =
-    try Parser.parse_program source
-    with Parser.Error (msg, line, col) ->
-      errf "parse error at %d:%d: %s" line col msg
+  let { run } = make_runner ?instrument trace in
+  let program_size (p : Ast.program) =
+    List.fold_left (fun n f -> n + ast_size f) 0 p.Ast.funcs
   in
-  pass "semantic-check";
+  (* ---- front end ---- *)
+  let program =
+    run ~size:program_size "parse" (fun () ->
+        try Parser.parse_program source
+        with Parser.Error (msg, line, col) ->
+          errf "parse error at %d:%d: %s" line col msg)
+  in
   let lut_sigs = List.map Lut_conv.signature luts in
   let _env =
-    try Semant.check_program ~luts:lut_sigs program
-    with Semant.Error msg -> errf "semantic error: %s" msg
+    run "semantic-check" (fun () ->
+        try Semant.check_program ~luts:lut_sigs program
+        with Semant.Error msg -> errf "semantic error: %s" msg)
   in
   let f =
     match List.find_opt (fun g -> String.equal g.Ast.fname entry) program.Ast.funcs with
@@ -182,13 +295,14 @@ let compile ?(options = default_options) ?(luts = []) ~(entry : string)
           called_names
       in
       if convertible = [] then luts, program
-      else begin
-        pass "lut-conversion";
-        luts @ convertible, Lut_conv.convert_calls program convertible
-      end
+      else
+        run
+          ~size:(fun (ts, _) -> List.length ts)
+          "lut-conversion"
+          (fun () ->
+            luts @ convertible, Lut_conv.convert_calls program convertible)
     end
   in
-  let lut_sigs = List.map Lut_conv.signature luts in
   let f =
     match
       List.find_opt (fun g -> String.equal g.Ast.fname entry) program.Ast.funcs
@@ -197,99 +311,148 @@ let compile ?(options = default_options) ?(luts = []) ~(entry : string)
     | None -> errf "function %s lost during LUT conversion" entry
   in
   (* ---- loop-level optimizations ---- *)
-  pass "inline";
-  let f = Inline.inline_calls program f in
-  pass "constant-fold";
+  let f = run ~size:ast_size "inline" (fun () -> Inline.inline_calls program f) in
   let global_consts = Const_fold.readonly_global_consts program f in
-  let f = Const_fold.optimize_func ~consts:global_consts f in
   let f =
-    if options.unroll_inner_max > 0 then begin
-      pass "unroll-inner-loops";
-      { f with
-        Ast.body = unroll_inner ~max_trip:options.unroll_inner_max f.Ast.body }
-    end
+    run ~size:ast_size "constant-fold" (fun () ->
+        Const_fold.optimize_func ~consts:global_consts f)
+  in
+  let f =
+    if options.unroll_inner_max > 0 then
+      run ~size:ast_size "unroll-inner-loops" (fun () ->
+          { f with
+            Ast.body =
+              unroll_inner ~max_trip:options.unroll_inner_max f.Ast.body })
     else f
   in
   let f =
-    if options.unroll_all_max > 0 then begin
-      pass "full-unroll";
-      { f with
-        Ast.body =
-          Loop_opt.unroll_small_loops ~max_trip:options.unroll_all_max
-            f.Ast.body }
-    end
+    if options.unroll_all_max > 0 then
+      run ~size:ast_size "full-unroll" (fun () ->
+          { f with
+            Ast.body =
+              Loop_opt.unroll_small_loops ~max_trip:options.unroll_all_max
+                f.Ast.body })
     else f
   in
   let f =
-    if options.unroll_outer_factor > 1 then begin
-      pass "partial-unroll";
-      let body =
-        List.map
-          (fun s ->
-            match s with
-            | Ast.Sfor (h, body) ->
-              let h', body' =
-                Loop_opt.partially_unroll ~factor:options.unroll_outer_factor
-                  h body
-              in
-              Ast.Sfor (h', body')
-            | s -> s)
-          f.Ast.body
-      in
-      { f with Ast.body }
-    end
+    if options.unroll_outer_factor > 1 then
+      run ~size:ast_size "partial-unroll" (fun () ->
+          let body =
+            List.map
+              (fun s ->
+                match s with
+                | Ast.Sfor (h, body) ->
+                  let h', body' =
+                    Loop_opt.partially_unroll
+                      ~factor:options.unroll_outer_factor h body
+                  in
+                  Ast.Sfor (h', body')
+                | s -> s)
+              f.Ast.body
+          in
+          { f with Ast.body })
     else f
   in
   let f =
-    if options.fuse_loops then begin
-      pass "loop-fusion";
-      { f with Ast.body = Loop_opt.fuse_loops f.Ast.body }
-    end
+    if options.fuse_loops then
+      run ~size:ast_size "loop-fusion" (fun () ->
+          { f with Ast.body = Loop_opt.fuse_loops f.Ast.body })
     else f
   in
-  pass "constant-fold";
-  let f = Const_fold.optimize_func ~consts:global_consts f in
+  let f =
+    run ~size:ast_size "constant-fold" (fun () ->
+        Const_fold.optimize_func ~consts:global_consts f)
+  in
   let program = { program with Ast.funcs = [ f ] } in
-  (* ---- scalar replacement & feedback (storage level) ---- *)
-  pass "scalar-replacement";
+  { fr_source = source;
+    fr_entry = entry;
+    fr_program = program;
+    fr_func = f;
+    fr_luts = luts;
+    fr_trace = !trace }
+
+(* ------------------------------------------------------------------ *)
+(* Stage 2: scalar replacement & feedback (storage level)              *)
+(* ------------------------------------------------------------------ *)
+
+let lower_to_kernel ?instrument (fr : front) : staged_kernel =
+  guard @@ fun () ->
+  let trace = ref fr.fr_trace in
+  let { run } = make_runner ?instrument trace in
+  let kernel_size (k : Kernel.t) = ast_size k.Kernel.dp in
   let kernel =
-    try Scalar_replacement.run program f
-    with Scalar_replacement.Error msg -> errf "scalar replacement: %s" msg
+    run ~size:kernel_size "scalar-replacement" (fun () ->
+        try Scalar_replacement.run fr.fr_program fr.fr_func
+        with Scalar_replacement.Error msg -> errf "scalar replacement: %s" msg)
   in
-  pass "feedback-detection";
-  let kernel = Feedback.annotate kernel in
-  Feedback.validate kernel;
-  (* ---- back end ---- *)
-  pass "lower-to-suifvm";
-  let proc = Lower.lower_kernel ~luts:lut_sigs kernel in
-  pass "ssa-and-cfg";
-  let _cfg = Ssa.convert proc in
-  Ssa.verify proc;
-  if options.optimize_vm then begin
-    pass "vm-optimize";
-    let _stats = Roccc_analysis.Optimize.run proc in
-    Ssa.verify proc
-  end;
-  pass "datapath-build";
-  let dp = Builder.build proc in
-  Builder.verify_adjoining dp;
-  pass "bit-width-inference";
+  let kernel =
+    run ~size:kernel_size "feedback-detection" (fun () ->
+        let k = Feedback.annotate kernel in
+        Feedback.validate k;
+        k)
+  in
+  { sk_front = fr; sk_kernel = kernel; sk_trace = !trace }
+
+(* ------------------------------------------------------------------ *)
+(* Stage 3: the back end (SUIFvm .. VHDL + estimates)                  *)
+(* ------------------------------------------------------------------ *)
+
+let back_end ?instrument ?(options = default_options) (sk : staged_kernel) :
+    compiled =
+  guard @@ fun () ->
+  let fr = sk.sk_front in
+  let kernel = sk.sk_kernel in
+  let luts = fr.fr_luts in
+  let trace = ref sk.sk_trace in
+  let { run } = make_runner ?instrument trace in
+  let lut_sigs = List.map Lut_conv.signature luts in
+  let proc_size (p : Proc.t) = List.length (Proc.all_instrs p) in
+  let proc =
+    run ~size:proc_size "lower-to-suifvm" (fun () ->
+        Lower.lower_kernel ~luts:lut_sigs kernel)
+  in
+  run ~size:(fun _ -> proc_size proc) "ssa-and-cfg" (fun () ->
+      let _cfg = Ssa.convert proc in
+      Ssa.verify proc);
+  if options.optimize_vm then
+    run ~size:(fun _ -> proc_size proc) "vm-optimize" (fun () ->
+        let _stats = Roccc_analysis.Optimize.run proc in
+        Ssa.verify proc);
+  let dp =
+    run ~size:Graph.instr_count "datapath-build" (fun () ->
+        let dp = Builder.build proc in
+        Builder.verify_adjoining dp;
+        dp)
+  in
   let widths =
-    if options.infer_widths then Widths.infer dp else Widths.declared dp
+    run ~size:(fun _ -> Graph.instr_count dp) "bit-width-inference" (fun () ->
+        if options.infer_widths then Widths.infer dp else Widths.declared dp)
   in
-  pass "pipelining";
-  let pipeline = Pipeline.build ~target_ns:options.target_ns dp widths in
-  pass "vhdl-generation";
-  let design = Gen.generate ~luts pipeline in
-  if options.check_vhdl then begin
-    pass "vhdl-lint";
-    match Lint.check design with
-    | _ -> ()
-    | exception Lint.Error msg -> errf "generated VHDL fails lint: %s" msg
-  end;
-  pass "area-estimation";
-  let buffer_configs = buffer_configs_of ~bus_elements:options.bus_elements kernel in
-  let area = Area.estimate ~luts ~buffers:buffer_configs pipeline in
+  let pipeline =
+    run ~size:Pipeline.latency "pipelining" (fun () ->
+        Pipeline.build ~target_ns:options.target_ns dp widths)
+  in
+  let design =
+    run
+      ~size:(fun (d : Roccc_vhdl.Ast.design) -> List.length d.Roccc_vhdl.Ast.units)
+      "vhdl-generation"
+      (fun () -> Gen.generate ~luts pipeline)
+  in
+  if options.check_vhdl then
+    run "vhdl-lint" (fun () ->
+        match Lint.check design with
+        | _ -> ()
+        | exception Lint.Error msg -> errf "generated VHDL fails lint: %s" msg);
+  let buffer_configs, area =
+    run
+      ~size:(fun (_, (a : Area.estimate)) -> a.Area.slices)
+      "area-estimation"
+      (fun () ->
+        let buffer_configs =
+          buffer_configs_of ~bus_elements:options.bus_elements kernel
+        in
+        buffer_configs, Area.estimate ~luts ~buffers:buffer_configs pipeline)
+  in
   (* Figure 2 system wrapper from the pre-existing VHDL component library,
      for the simple 1-D single-window shape. *)
   let system_vhdl =
@@ -312,14 +475,20 @@ let compile ?(options = default_options) ?(luts = []) ~(entry : string)
            ~latency:(Pipeline.latency pipeline))
     | _ -> None
   in
-  { source; entry; options; program; kernel; proc; dp; widths; pipeline;
-    design; buffer_configs; area; luts; system_vhdl; pass_trace = !trace }
+  { source = fr.fr_source; entry = fr.fr_entry; options;
+    program = fr.fr_program; kernel; proc; dp; widths; pipeline; design;
+    buffer_configs; area; luts; system_vhdl; pass_trace = !trace }
 
-(** Compile every hardware-eligible function in a source file (those with
-    array or pointer parameters — the kernels); returns successes and
-    per-function failures. *)
-let compile_all ?(options = default_options) ?(luts = []) (source : string) :
-    (string * compiled) list * (string * string) list =
+(** Compile one kernel function from C source to VHDL + estimates. *)
+let compile ?instrument ?(options = default_options) ?(luts = [])
+    ~(entry : string) (source : string) : compiled =
+  let fr = front_end ?instrument ~options ~luts ~entry source in
+  let sk = lower_to_kernel ?instrument fr in
+  back_end ?instrument ~options sk
+
+(** The kernel-eligible functions of a source file (array or pointer
+    parameters), in definition order. *)
+let eligible_entries (source : string) : string list =
   let program =
     try Parser.parse_program source
     with Parser.Error (msg, line, col) ->
@@ -333,14 +502,22 @@ let compile_all ?(options = default_options) ?(luts = []) (source : string) :
         | Ast.Tint _ | Ast.Tvoid -> false)
       f.Ast.params
   in
+  List.filter_map
+    (fun (f : Ast.func) -> if eligible f then Some f.Ast.fname else None)
+    program.Ast.funcs
+
+(** Compile every hardware-eligible function in a source file (those with
+    array or pointer parameters — the kernels); returns successes and
+    per-function failures. *)
+let compile_all ?(options = default_options) ?(luts = []) (source : string) :
+    (string * compiled) list * (string * string) list =
+  let entries = eligible_entries source in
   List.fold_left
-    (fun (oks, errs) (f : Ast.func) ->
-      if not (eligible f) then oks, errs
-      else
-        match compile ~options ~luts ~entry:f.Ast.fname source with
-        | c -> oks @ [ f.Ast.fname, c ], errs
-        | exception Error msg -> oks, errs @ [ f.Ast.fname, msg ])
-    ([], []) program.Ast.funcs
+    (fun (oks, errs) entry ->
+      match compile ~options ~luts ~entry source with
+      | c -> oks @ [ entry, c ], errs
+      | exception Error msg -> oks, errs @ [ entry, msg ])
+    ([], []) entries
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -349,16 +526,22 @@ let compile_all ?(options = default_options) ?(luts = []) (source : string) :
 (** Run the compiled circuit on the cycle-accurate execution model. *)
 let simulate ?(scalars = []) ?(arrays = []) (c : compiled) : Engine.result =
   let lut_bindings = List.map Lut_conv.interp_binding c.luts in
-  Engine.simulate ~luts:lut_bindings ~scalars ~arrays
-    ~bus_elements:c.options.bus_elements c.kernel ~dp:c.dp
-    ~pipeline:c.pipeline
+  try
+    Engine.simulate ~luts:lut_bindings ~scalars ~arrays
+      ~bus_elements:c.options.bus_elements c.kernel ~dp:c.dp
+      ~pipeline:c.pipeline
+  with
+  | Roccc_vm.Instr.Vm_error msg -> errf "simulation of %s: %s" c.entry msg
+  | Engine.Error msg -> errf "simulation of %s: %s" c.entry msg
 
 (** Run the original C through the reference interpreter (same inputs). *)
 let interpret ?(scalars = []) ?(arrays = []) (c : compiled) : Interp.outcome =
   let lut_sigs = List.map Lut_conv.signature c.luts in
   let lut_funcs = List.map Lut_conv.interp_binding c.luts in
-  Interp.run_source ~luts:lut_sigs ~lut_funcs ~scalars ~arrays c.source
-    c.entry
+  try
+    Interp.run_source ~luts:lut_sigs ~lut_funcs ~scalars ~arrays c.source
+      c.entry
+  with Interp.Error msg -> errf "interpretation of %s: %s" c.entry msg
 
 (** Co-simulation check: hardware simulation equals software semantics on
     the given inputs. Returns the diff report ([] when equivalent). *)

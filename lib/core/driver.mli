@@ -3,7 +3,13 @@
     [compile] runs the end-to-end pipeline of the paper's Figure 1 on one
     kernel function; [simulate] executes the result on the cycle-accurate
     execution model (Figure 2); [verify] checks the hardware against the C
-    semantics. *)
+    semantics.
+
+    The pipeline is also exposed stage by stage ({!front_end},
+    {!lower_to_kernel}, {!back_end}) so callers such as the batch
+    compilation service can memoize stage outputs content-addressed on
+    (source, entry, options) and observe per-pass timings through the
+    {!instrument} hook. *)
 
 exception Error of string
 
@@ -33,6 +39,53 @@ type options = {
 
 val default_options : options
 
+val front_options_fingerprint : options -> string
+(** Canonical rendering of exactly the option fields the front end
+    ({!front_end} and {!lower_to_kernel}) reads — two option records with
+    equal front fingerprints produce identical front-end results for the
+    same source and entry, which is what lets a cache share front-end work
+    across a back-end option sweep. *)
+
+val options_fingerprint : options -> string
+(** Canonical rendering of every option field (the full cache key). *)
+
+(** {1 Pass instrumentation} *)
+
+(** One executed pass, as reported to the {!instrument} hook. *)
+type pass_stats = {
+  pass_name : string;  (** the Figure 1 pass name, e.g. ["datapath-build"] *)
+  started_s : float;  (** absolute wall-clock start, seconds since epoch *)
+  elapsed_s : float;  (** wall-clock duration in seconds *)
+  ir_size : int;
+      (** a size counter for the IR the pass produced (statements,
+          instructions, datapath nodes, pipeline stages...); 0 = n/a *)
+}
+
+type instrument = pass_stats -> unit
+(** Called once per executed pass, in execution order, on the thread
+    running the compilation. *)
+
+(** {1 Staged pipeline} *)
+
+(** Front-end result: parse, semantic checks, LUT conversion, inlining and
+    loop-level optimization. Immutable — safe to share across domains. *)
+type front = {
+  fr_source : string;
+  fr_entry : string;
+  fr_program : Roccc_cfront.Ast.program;  (** restricted to the entry *)
+  fr_func : Roccc_cfront.Ast.func;
+  fr_luts : Roccc_hir.Lut_conv.table list;
+  fr_trace : string list;
+}
+
+(** Storage-level result: scalar replacement + feedback annotation.
+    Immutable — safe to share across domains. *)
+type staged_kernel = {
+  sk_front : front;
+  sk_kernel : Roccc_hir.Kernel.t;
+  sk_trace : string list;
+}
+
 (** Everything the compiler produces for one kernel. *)
 type compiled = {
   source : string;
@@ -54,17 +107,41 @@ type compiled = {
   pass_trace : string list;  (** executed passes, in order (Figure 1) *)
 }
 
+val front_end :
+  ?instrument:instrument ->
+  ?options:options ->
+  ?luts:Roccc_hir.Lut_conv.table list ->
+  entry:string ->
+  string ->
+  front
+(** Parse and optimize down to the loop level. Only the option fields in
+    {!front_options_fingerprint} are read. Raises {!Error}. *)
+
+val lower_to_kernel : ?instrument:instrument -> front -> staged_kernel
+(** Scalar replacement and feedback detection (reads no options).
+    Raises {!Error}. *)
+
+val back_end :
+  ?instrument:instrument -> ?options:options -> staged_kernel -> compiled
+(** SUIFvm lowering, SSA, data-path construction, pipelining, VHDL
+    generation and estimation. Raises {!Error}. *)
+
 val compile :
+  ?instrument:instrument ->
   ?options:options ->
   ?luts:Roccc_hir.Lut_conv.table list ->
   entry:string ->
   string ->
   compiled
-(** [compile ~entry source] compiles the function [entry] of the C [source].
-    [luts] registers pre-existing lookup tables (e.g.
-    {!Roccc_hir.Lut_conv.cos_table}) callable by name from the C code.
-    Raises {!Error} with a user-facing message on any front-end or back-end
-    failure. *)
+(** [compile ~entry source] compiles the function [entry] of the C [source]
+    ({!front_end} |> {!lower_to_kernel} |> {!back_end}). [luts] registers
+    pre-existing lookup tables (e.g. {!Roccc_hir.Lut_conv.cos_table})
+    callable by name from the C code. Raises {!Error} with a user-facing
+    message on any front-end or back-end failure. *)
+
+val eligible_entries : string -> string list
+(** The kernel-eligible functions (array or pointer parameters) of a C
+    source file, in definition order. Raises {!Error} on parse failure. *)
 
 val compile_all :
   ?options:options ->
@@ -81,7 +158,8 @@ val simulate :
   Roccc_hw.Engine.result
 (** Run the compiled circuit on the cycle-accurate execution model.
     [arrays] supplies input array contents by parameter name; [scalars] the
-    live-in scalar parameters. *)
+    live-in scalar parameters. Raises {!Error} (not a bare [Failure]) when
+    the model traps — e.g. a division by zero in the data path. *)
 
 val interpret :
   ?scalars:(string * int64) list ->

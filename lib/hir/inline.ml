@@ -7,12 +7,13 @@ exception Error of string
 
 let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
-(* Fresh-name generator for inlined locals/params: <fname>_<n>_<orig>. *)
-let rename_counter = Roccc_util.Id_gen.create ()
-
 (* Rename every local/param of [callee] with a unique prefix so inlined
-   copies never collide with caller names or with each other. *)
-let freshen_body (callee : func) : (string * string) list * stmt list =
+   copies never collide with caller names or with each other. The counter
+   is per-[inline_calls] invocation, not global: inlined names must not
+   depend on what else the process compiled before (reproducible output),
+   and a module-level counter would race under parallel compilation. *)
+let freshen_body rename_counter (callee : func) :
+    (string * string) list * stmt list =
   let n = Roccc_util.Id_gen.fresh rename_counter in
   let prefix name = Printf.sprintf "%s_%d_%s" callee.fname n name in
   let declared =
@@ -115,6 +116,7 @@ let inline_calls (prog : program) (f : func) : func =
   let find_callee name =
     List.find_opt (fun g -> String.equal g.fname name) prog.funcs
   in
+  let rename_counter = Roccc_util.Id_gen.create () in
   let result_counter = Roccc_util.Id_gen.create () in
   (* Rewrite one statement list; hoists call setups before each statement. *)
   let rec rewrite_stmts stmts = List.concat_map rewrite_stmt stmts
@@ -168,7 +170,7 @@ let inline_calls (prog : program) (f : func) : func =
           let args' = List.map walk args in
           if returns_anywhere_but_last callee.body then
             errf "cannot inline %s: return is not the final statement" g;
-          let mapping, body = freshen_body callee in
+          let mapping, body = freshen_body rename_counter callee in
           let scalar_params =
             List.filter
               (fun p -> match p.ptype with Tint _ -> true | _ -> false)

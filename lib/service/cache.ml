@@ -1,0 +1,145 @@
+(* The content-addressed pass cache.
+
+   In memory it maps fingerprints to stage outputs of three granularities:
+   the front-end result, the scalar-replaced kernel, and the finished
+   artifact (VHDL + estimates). On disk (optional, under _roccc_cache/)
+   only artifacts are persisted: they are plain strings and numbers, so a
+   marshalled artifact is safe to reload in any later process, whereas the
+   in-memory IR values are not worth the versioning hazard.
+
+   All operations are thread-safe; the cache is shared by the scheduler's
+   worker domains. *)
+
+module Driver = Roccc_core.Driver
+
+type artifact = {
+  art_entry : string;
+  art_vhdl : (string * string) list;
+      (* filename -> contents: the design's files plus the optional system
+         wrapper, exactly what a batch compile writes out *)
+  art_slices : int;
+  art_operator_slices : int;
+  art_clock_mhz : float;
+  art_latency : int;
+  art_pass_trace : string list;
+}
+
+type value =
+  | Front of Driver.front
+  | Kernel of Driver.staged_kernel
+  | Artifact of artifact
+
+type stats = {
+  hits : int;       (* in-memory fingerprint hits *)
+  disk_hits : int;  (* artifact loaded from _roccc_cache/ *)
+  misses : int;
+  stores : int;
+}
+
+type t = {
+  mem : (string, value) Hashtbl.t;
+  lock : Mutex.t;
+  disk_dir : string option;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+(* Bump when the artifact record changes shape: a stale marshalled value
+   from an older build must be ignored, not mis-read. *)
+let disk_magic = "ROCCC-ART1"
+
+let create ?disk_dir () =
+  (match disk_dir with
+  | Some dir when not (Sys.file_exists dir) -> (
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  | _ -> ());
+  { mem = Hashtbl.create 64;
+    lock = Mutex.create ();
+    disk_dir;
+    hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    stores = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let disk_path t key =
+  Option.map
+    (fun dir -> Filename.concat dir (Fingerprint.to_hex key ^ ".art"))
+    t.disk_dir
+
+let load_artifact path : artifact option =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (String.length disk_magic) with
+        | magic when String.equal magic disk_magic -> (
+          match (Marshal.from_channel ic : artifact) with
+          | a -> Some a
+          | exception _ -> None)
+        | _ -> None
+        | exception End_of_file -> None)
+
+let save_artifact path (a : artifact) =
+  (* Write-then-rename so a concurrent reader never sees a torn file. *)
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> ()
+  | oc ->
+    output_string oc disk_magic;
+    Marshal.to_channel oc a [];
+    close_out oc;
+    (try Sys.rename tmp path with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ()))
+
+type origin = Memory | Disk
+
+let find (t : t) (key : Fingerprint.t) : (value * origin) option =
+  let mem_hit =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.mem (Fingerprint.to_hex key) with
+        | Some v ->
+          t.hits <- t.hits + 1;
+          Some (v, Memory)
+        | None -> None)
+  in
+  match mem_hit with
+  | Some _ as v -> v
+  | None -> (
+    match disk_path t key with
+    | Some path when Sys.file_exists path -> (
+      match load_artifact path with
+      | Some a ->
+        locked t (fun () ->
+            t.disk_hits <- t.disk_hits + 1;
+            Hashtbl.replace t.mem (Fingerprint.to_hex key) (Artifact a));
+        Some (Artifact a, Disk)
+      | None ->
+        locked t (fun () -> t.misses <- t.misses + 1);
+        None)
+    | _ ->
+      locked t (fun () -> t.misses <- t.misses + 1);
+      None)
+
+let store (t : t) (key : Fingerprint.t) (v : value) : unit =
+  locked t (fun () ->
+      t.stores <- t.stores + 1;
+      Hashtbl.replace t.mem (Fingerprint.to_hex key) v);
+  match v, disk_path t key with
+  | Artifact a, Some path -> save_artifact path a
+  | _ -> ()
+
+let stats (t : t) : stats =
+  locked t (fun () ->
+      { hits = t.hits;
+        disk_hits = t.disk_hits;
+        misses = t.misses;
+        stores = t.stores })
+
+let default_disk_dir = "_roccc_cache"

@@ -1,0 +1,48 @@
+(** Content-addressed pass cache: fingerprints to stage outputs, shared by
+    the scheduler's worker domains (all operations are thread-safe).
+
+    Front-end and kernel stage results are memoized in memory only (they
+    hold compiler IR); finished artifacts — the VHDL text plus estimates —
+    are additionally persisted under a disk directory when one is given,
+    surviving the process. *)
+
+(** A finished compilation, reduced to plain data (safe to marshal). *)
+type artifact = {
+  art_entry : string;
+  art_vhdl : (string * string) list;  (** filename -> contents *)
+  art_slices : int;
+  art_operator_slices : int;
+  art_clock_mhz : float;
+  art_latency : int;
+  art_pass_trace : string list;
+}
+
+type value =
+  | Front of Roccc_core.Driver.front
+  | Kernel of Roccc_core.Driver.staged_kernel
+  | Artifact of artifact
+
+type stats = {
+  hits : int;  (** in-memory fingerprint hits *)
+  disk_hits : int;  (** artifacts reloaded from the disk directory *)
+  misses : int;
+  stores : int;
+}
+
+type t
+
+val create : ?disk_dir:string -> unit -> t
+(** [create ()] is an in-memory cache; [create ~disk_dir ()] additionally
+    persists artifacts under [disk_dir] (created if missing). *)
+
+type origin = Memory | Disk
+
+val find : t -> Fingerprint.t -> (value * origin) option
+(** Memory first, then disk (artifacts only); counts a hit or miss. *)
+
+val store : t -> Fingerprint.t -> value -> unit
+
+val stats : t -> stats
+
+val default_disk_dir : string
+(** ["_roccc_cache"] — the conventional disk cache location. *)

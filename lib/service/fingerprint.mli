@@ -1,0 +1,19 @@
+(** Content-addressed cache keys for compilation stage outputs. *)
+
+type t = private string
+(** A hex digest; equal fingerprints mean "same stage output". *)
+
+val make :
+  stage:string ->
+  source:string ->
+  entry:string ->
+  options_fp:string ->
+  luts:Roccc_hir.Lut_conv.table list ->
+  t
+(** Digest of everything that determines a stage's output. [options_fp]
+    should be {!Roccc_core.Driver.front_options_fingerprint} for front-end
+    stages and {!Roccc_core.Driver.options_fingerprint} for full results,
+    so that back-end-only option changes still share front-end work. *)
+
+val to_hex : t -> string
+(** The key as a filesystem-safe hex string. *)

@@ -1,0 +1,51 @@
+(* A work-stealing-free parallel job scheduler over OCaml 5 domains.
+
+   Jobs are drained from a shared atomic counter by [num_domains] workers
+   (the calling domain is worker 0). Results land in a slot array indexed
+   by submission order, so the output is deterministic regardless of which
+   domain ran which job; Domain.join provides the happens-before edge that
+   makes the slots safely readable afterwards. A job that raises is
+   captured as [Error] in its own slot — one failing kernel cannot take
+   down the batch. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let parallel_map ?(num_domains = 0) ?(describe_error = fun _ -> None)
+    ~(f : tid:int -> 'a -> 'b) (jobs : 'a array) : ('b, string) result array =
+  let n = Array.length jobs in
+  let num_domains = if num_domains <= 0 then default_domains () else num_domains in
+  let workers = max 1 (min num_domains n) in
+  let results : ('b, string) result option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker tid () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r =
+          match f ~tid jobs.(i) with
+          | v -> Ok v
+          | exception e ->
+            let msg =
+              match describe_error e with
+              | Some msg -> msg
+              | None -> Printexc.to_string e
+            in
+            Error msg
+        in
+        results.(i) <- Some r;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if workers = 1 then worker 0 ()
+  else begin
+    let spawned =
+      Array.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    worker 0 ();
+    Array.iter Domain.join spawned
+  end;
+  Array.map
+    (function Some r -> r | None -> Error "job was never scheduled")
+    results

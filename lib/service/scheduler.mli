@@ -1,0 +1,21 @@
+(** Parallel job scheduler over OCaml 5 domains: deterministic result
+    ordering, per-job fault isolation. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count], floored at 1. *)
+
+val parallel_map :
+  ?num_domains:int ->
+  ?describe_error:(exn -> string option) ->
+  f:(tid:int -> 'a -> 'b) ->
+  'a array ->
+  ('b, string) result array
+(** [parallel_map ~f jobs] fans [jobs] across up to [num_domains] workers
+    (default {!default_domains}; [<= 0] means the default; the calling
+    domain participates as worker 0, so [num_domains = 1] is plain
+    sequential execution). [f] receives the worker slot as [tid].
+
+    Result [i] always corresponds to job [i]. A job that raises yields
+    [Error msg] in its slot — [describe_error] may translate known
+    exceptions into clean messages (return [None] to fall back to
+    [Printexc.to_string]) — and the remaining jobs still run. *)

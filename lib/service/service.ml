@@ -1,0 +1,338 @@
+(* The batch compilation service: content-addressed caching + the domain
+   scheduler + structured tracing, over the staged driver pipeline.
+
+   A job is (source, entry, options, luts). Compilation consults the cache
+   at three fingerprints, deepest first:
+
+     full    (all options)        -> finished artifact, memory or disk
+     kernel  (front options only) -> scalar-replaced kernel
+     front   (front options only) -> parsed/optimized AST
+
+   so a warm rerun costs one lookup, and a back-end option sweep (bus
+   width, stage budget, width inference) re-runs only the back end. *)
+
+module Driver = Roccc_core.Driver
+module Kernels = Roccc_core.Kernels
+module Lut_conv = Roccc_hir.Lut_conv
+module Area = Roccc_fpga.Area
+module Pipeline = Roccc_datapath.Pipeline
+
+let now = Unix.gettimeofday
+
+type job = {
+  label : string;          (* display name, unique within a batch *)
+  source : string;
+  entry : string;
+  options : Driver.options;
+  luts : Lut_conv.table list;
+}
+
+type origin =
+  | Cold            (* every stage ran *)
+  | Warm_stage      (* front/kernel stage reused; back end ran *)
+  | Warm_memory     (* finished artifact from the in-memory cache *)
+  | Warm_disk       (* finished artifact reloaded from _roccc_cache/ *)
+
+let origin_name = function
+  | Cold -> "cold"
+  | Warm_stage -> "warm-stage"
+  | Warm_memory -> "warm"
+  | Warm_disk -> "warm-disk"
+
+type success = {
+  r_label : string;
+  r_entry : string;
+  r_vhdl : (string * string) list;   (* filename -> contents *)
+  r_slices : int;
+  r_operator_slices : int;
+  r_clock_mhz : float;
+  r_latency : int;
+  r_pass_trace : string list;
+  r_elapsed_s : float;
+  r_origin : origin;
+}
+
+type report = {
+  rp_results : (job * (success, string) result) array;  (* submission order *)
+  rp_wall_s : float;
+  rp_domains : int;
+  rp_cache : Cache.stats option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* One job                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let vhdl_files (c : Driver.compiled) : (string * string) list =
+  Roccc_vhdl.Ast.to_files c.Driver.design
+  @
+  match c.Driver.system_vhdl with
+  | Some text -> [ c.Driver.entry ^ "_system.vhd", text ]
+  | None -> []
+
+let artifact_of (c : Driver.compiled) : Cache.artifact =
+  { Cache.art_entry = c.Driver.entry;
+    art_vhdl = vhdl_files c;
+    art_slices = c.Driver.area.Area.slices;
+    art_operator_slices = c.Driver.area.Area.operator_slices;
+    art_clock_mhz = c.Driver.area.Area.clock_mhz;
+    art_latency = Pipeline.latency c.Driver.pipeline;
+    art_pass_trace = c.Driver.pass_trace }
+
+let success_of_artifact ~label ~elapsed ~origin (a : Cache.artifact) : success
+    =
+  { r_label = label;
+    r_entry = a.Cache.art_entry;
+    r_vhdl = a.Cache.art_vhdl;
+    r_slices = a.Cache.art_slices;
+    r_operator_slices = a.Cache.art_operator_slices;
+    r_clock_mhz = a.Cache.art_clock_mhz;
+    r_latency = a.Cache.art_latency;
+    r_pass_trace = a.Cache.art_pass_trace;
+    r_elapsed_s = elapsed;
+    r_origin = origin }
+
+let keys (job : job) =
+  let front_fp = Driver.front_options_fingerprint job.options in
+  let full_fp = Driver.options_fingerprint job.options in
+  let key stage options_fp =
+    Fingerprint.make ~stage ~source:job.source ~entry:job.entry ~options_fp
+      ~luts:job.luts
+  in
+  key "front" front_fp, key "kernel" front_fp, key "full" full_fp
+
+(** Compile one job, consulting [cache] deepest-stage-first and reporting
+    per-pass spans to [trace]. Raises {!Driver.Error} on failure. *)
+let compile_cached ?cache ?trace ?(tid = 0) (job : job) : success =
+  let t0 = now () in
+  let instrument =
+    Option.map
+      (fun tr (ps : Driver.pass_stats) ->
+        Trace.add_span tr ~cat:"pass" ~tid ~name:ps.Driver.pass_name
+          ~start_s:ps.Driver.started_s ~dur_s:ps.Driver.elapsed_s
+          ~args:
+            [ "job", Trace.Str job.label;
+              "ir_size", Trace.Int ps.Driver.ir_size ]
+          ())
+      trace
+  in
+  let front_key, kernel_key, full_key = keys job in
+  let finish origin (c : Driver.compiled) =
+    let art = artifact_of c in
+    Option.iter (fun cache -> Cache.store cache full_key (Cache.Artifact art)) cache;
+    success_of_artifact ~label:job.label ~elapsed:(now () -. t0) ~origin art
+  in
+  match Option.bind cache (fun c -> Cache.find c full_key) with
+  | Some (Cache.Artifact a, where) ->
+    let origin =
+      match where with Cache.Memory -> Warm_memory | Cache.Disk -> Warm_disk
+    in
+    success_of_artifact ~label:job.label ~elapsed:(now () -. t0) ~origin a
+  | Some _ | None ->
+    let staged, stage_hit =
+      match Option.bind cache (fun c -> Cache.find c kernel_key) with
+      | Some (Cache.Kernel sk, _) -> sk, true
+      | _ ->
+        let front, front_hit =
+          match Option.bind cache (fun c -> Cache.find c front_key) with
+          | Some (Cache.Front fr, _) -> fr, true
+          | _ ->
+            let fr =
+              Driver.front_end ?instrument ~options:job.options
+                ~luts:job.luts ~entry:job.entry job.source
+            in
+            Option.iter
+              (fun c -> Cache.store c front_key (Cache.Front fr))
+              cache;
+            fr, false
+        in
+        let sk = Driver.lower_to_kernel ?instrument front in
+        Option.iter (fun c -> Cache.store c kernel_key (Cache.Kernel sk)) cache;
+        sk, front_hit
+    in
+    let c = Driver.back_end ?instrument ~options:job.options staged in
+    finish (if stage_hit then Warm_stage else Cold) c
+
+(* ------------------------------------------------------------------ *)
+(* Batches                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let describe_error (e : exn) : string option =
+  match e with
+  | Driver.Error msg -> Some msg
+  | Roccc_cfront.Parser.Error (msg, line, col) ->
+    Some (Printf.sprintf "parse error at %d:%d: %s" line col msg)
+  | Roccc_cfront.Semant.Error msg -> Some ("semantic error: " ^ msg)
+  | Roccc_vm.Instr.Vm_error msg -> Some ("vm error: " ^ msg)
+  | _ -> None
+
+let run_batch ?cache ?trace ?(num_domains = 0) (jobs : job list) : report =
+  let t0 = now () in
+  let arr = Array.of_list jobs in
+  let domains =
+    let d = if num_domains <= 0 then Scheduler.default_domains () else num_domains in
+    max 1 (min d (max 1 (Array.length arr)))
+  in
+  let f ~tid (job : job) : success =
+    let j0 = now () in
+    match compile_cached ?cache ?trace ~tid job with
+    | s ->
+      Option.iter
+        (fun tr ->
+          Trace.add_span tr ~cat:"job" ~tid ~name:job.label ~start_s:j0
+            ~dur_s:(now () -. j0)
+            ~args:
+              [ "status", Trace.Str "ok";
+                "origin", Trace.Str (origin_name s.r_origin);
+                "slices", Trace.Int s.r_slices ]
+            ())
+        trace;
+      s
+    | exception e ->
+      Option.iter
+        (fun tr ->
+          Trace.add_span tr ~cat:"job" ~tid ~name:job.label ~start_s:j0
+            ~dur_s:(now () -. j0)
+            ~args:
+              [ "status", Trace.Str "error";
+                "message",
+                Trace.Str
+                  (Option.value (describe_error e)
+                     ~default:(Printexc.to_string e)) ]
+            ())
+        trace;
+      raise e
+  in
+  let results = Scheduler.parallel_map ~num_domains:domains ~describe_error ~f arr in
+  { rp_results = Array.map2 (fun j r -> j, r) arr results;
+    rp_wall_s = now () -. t0;
+    rp_domains = domains;
+    rp_cache = Option.map Cache.stats cache }
+
+(* ------------------------------------------------------------------ *)
+(* Job builders                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let table1_jobs () : job list =
+  List.map
+    (fun (b : Kernels.benchmark) ->
+      { label = b.Kernels.bench_name;
+        source = b.Kernels.source;
+        entry = b.Kernels.entry;
+        options = b.Kernels.tune Driver.default_options;
+        luts = b.Kernels.luts })
+    Kernels.table1
+
+let sweep_jobs ?(base = Driver.default_options) ?(luts = []) ~(source : string)
+    ~(entry : string) ~(unroll_factors : int list) ~(bus_widths : int list) ()
+    : job list =
+  List.concat_map
+    (fun unroll ->
+      List.map
+        (fun bus ->
+          { label = Printf.sprintf "%s.u%d.b%d" entry unroll bus;
+            source;
+            entry;
+            options =
+              { base with
+                Driver.unroll_outer_factor = unroll;
+                bus_elements = bus };
+            luts })
+        bus_widths)
+    unroll_factors
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let successes (r : report) : (job * success) list =
+  Array.to_list r.rp_results
+  |> List.filter_map (fun (j, res) ->
+         match res with Ok s -> Some (j, s) | Error _ -> None)
+
+let failures (r : report) : (job * string) list =
+  Array.to_list r.rp_results
+  |> List.filter_map (fun (j, res) ->
+         match res with Ok _ -> None | Error msg -> Some (j, msg))
+
+let trace_meta (r : report) : (string * Trace.arg) list =
+  let cache_meta =
+    match r.rp_cache with
+    | None -> [ "cache_enabled", Trace.Int 0 ]
+    | Some s ->
+      [ "cache_enabled", Trace.Int 1;
+        "cache_hits", Trace.Int s.Cache.hits;
+        "cache_disk_hits", Trace.Int s.Cache.disk_hits;
+        "cache_misses", Trace.Int s.Cache.misses;
+        "cache_stores", Trace.Int s.Cache.stores ]
+  in
+  [ "wall_s", Trace.Float r.rp_wall_s;
+    "domains", Trace.Int r.rp_domains;
+    "jobs", Trace.Int (Array.length r.rp_results);
+    "failed", Trace.Int (List.length (failures r)) ]
+  @ cache_meta
+
+let report_json (r : report) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{";
+  Buffer.add_string buf (Printf.sprintf "\"wall_s\":%.6f," r.rp_wall_s);
+  Buffer.add_string buf (Printf.sprintf "\"domains\":%d," r.rp_domains);
+  (match r.rp_cache with
+  | None -> Buffer.add_string buf "\"cache\":null,"
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\"cache\":{\"hits\":%d,\"disk_hits\":%d,\"misses\":%d,\"stores\":%d},"
+         s.Cache.hits s.Cache.disk_hits s.Cache.misses s.Cache.stores));
+  Buffer.add_string buf "\"jobs\":[";
+  Array.iteri
+    (fun i (j, res) ->
+      if i > 0 then Buffer.add_char buf ',';
+      match res with
+      | Ok s ->
+        Buffer.add_string buf
+          (Trace.args_json
+             [ "label", Trace.Str j.label;
+               "status", Trace.Str "ok";
+               "origin", Trace.Str (origin_name s.r_origin);
+               "elapsed_s", Trace.Float s.r_elapsed_s;
+               "slices", Trace.Int s.r_slices;
+               "clock_mhz", Trace.Float s.r_clock_mhz;
+               "latency", Trace.Int s.r_latency ])
+      | Error msg ->
+        Buffer.add_string buf
+          (Trace.args_json
+             [ "label", Trace.Str j.label;
+               "status", Trace.Str "error";
+               "message", Trace.Str msg ]))
+    r.rp_results;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let summary (r : report) : string =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun (j, res) ->
+      match res with
+      | Ok s ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%-24s ok    %5d slices @ %6.1f MHz, %2d-stage, %7.1f ms (%s)\n"
+             j.label s.r_slices s.r_clock_mhz s.r_latency
+             (s.r_elapsed_s *. 1e3)
+             (origin_name s.r_origin))
+      | Error msg ->
+        Buffer.add_string buf (Printf.sprintf "%-24s ERROR %s\n" j.label msg))
+    r.rp_results;
+  let nfail = List.length (failures r) in
+  Buffer.add_string buf
+    (Printf.sprintf "%d job(s), %d failed, %d domain(s), %.1f ms wall"
+       (Array.length r.rp_results) nfail r.rp_domains (r.rp_wall_s *. 1e3));
+  (match r.rp_cache with
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf "; cache: %d hit(s) (%d disk), %d miss(es)"
+         (s.Cache.hits + s.Cache.disk_hits)
+         s.Cache.disk_hits s.Cache.misses)
+  | None -> ());
+  Buffer.contents buf

@@ -1,0 +1,91 @@
+(** The batch compilation service: fans (source, entry, options) jobs
+    across worker domains, memoizing stage outputs in a content-addressed
+    {!Cache} and collecting per-pass timings in a {!Trace}.
+
+    Results are deterministic: job [i]'s slot in the report is job [i]'s
+    result no matter how many domains ran the batch, and the generated
+    VHDL is byte-identical to a sequential uncached compilation. *)
+
+type job = {
+  label : string;  (** display name, unique within a batch *)
+  source : string;
+  entry : string;
+  options : Roccc_core.Driver.options;
+  luts : Roccc_hir.Lut_conv.table list;
+}
+
+(** Where a job's result came from. *)
+type origin =
+  | Cold  (** every stage ran *)
+  | Warm_stage  (** front-end/kernel stages reused; back end ran *)
+  | Warm_memory  (** finished artifact from the in-memory cache *)
+  | Warm_disk  (** finished artifact reloaded from the disk cache *)
+
+val origin_name : origin -> string
+
+type success = {
+  r_label : string;
+  r_entry : string;
+  r_vhdl : (string * string) list;  (** filename -> contents *)
+  r_slices : int;
+  r_operator_slices : int;
+  r_clock_mhz : float;
+  r_latency : int;
+  r_pass_trace : string list;
+  r_elapsed_s : float;
+  r_origin : origin;
+}
+
+type report = {
+  rp_results : (job * (success, string) result) array;
+      (** in submission order; [Error] is one job's failure message *)
+  rp_wall_s : float;
+  rp_domains : int;
+  rp_cache : Cache.stats option;
+}
+
+val compile_cached :
+  ?cache:Cache.t -> ?trace:Trace.t -> ?tid:int -> job -> success
+(** Compile one job, consulting the cache deepest-stage-first (full
+    artifact, then kernel, then front end) and tracing each executed pass.
+    Raises {!Roccc_core.Driver.Error} on failure. *)
+
+val run_batch :
+  ?cache:Cache.t -> ?trace:Trace.t -> ?num_domains:int -> job list -> report
+(** Run a batch across up to [num_domains] workers ([<= 0] or omitted:
+    {!Scheduler.default_domains}). One kernel's failure does not affect
+    the other jobs. *)
+
+val describe_error : exn -> string option
+(** User-facing message for the compiler's known exceptions. *)
+
+val table1_jobs : unit -> job list
+(** The paper's nine Table 1 kernels, with their per-kernel tuned options. *)
+
+val sweep_jobs :
+  ?base:Roccc_core.Driver.options ->
+  ?luts:Roccc_hir.Lut_conv.table list ->
+  source:string ->
+  entry:string ->
+  unroll_factors:int list ->
+  bus_widths:int list ->
+  unit ->
+  job list
+(** The design-space grid: one job per (unroll factor, bus width) pair,
+    labelled ["<entry>.u<f>.b<w>"]. *)
+
+val vhdl_files : Roccc_core.Driver.compiled -> (string * string) list
+(** The files a compile produces: the design's VHDL + ROM inits + the
+    optional system wrapper. *)
+
+val successes : report -> (job * success) list
+val failures : report -> (job * string) list
+
+val summary : report -> string
+(** Human-readable per-job lines plus batch totals. *)
+
+val report_json : report -> string
+(** Batch summary as a JSON object (wall time, cache stats, per-job rows). *)
+
+val trace_meta : report -> (string * Trace.arg) list
+(** Batch-level metadata for {!Trace.to_chrome_json}'s [meta] object. *)

@@ -1,0 +1,43 @@
+(** Structured tracing: per-pass and per-job spans collected across worker
+    domains (thread-safe), exported as Chrome [trace_event] JSON. *)
+
+type arg = Int of int | Float of float | Str of string
+
+type span = {
+  sp_name : string;
+  sp_cat : string;  (** ["pass"], ["job"], ... *)
+  sp_tid : int;  (** worker slot *)
+  sp_start_s : float;  (** absolute wall-clock seconds *)
+  sp_dur_s : float;
+  sp_args : (string * arg) list;
+}
+
+type t
+
+val create : unit -> t
+
+val add_span :
+  t ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  tid:int ->
+  name:string ->
+  start_s:float ->
+  dur_s:float ->
+  unit ->
+  unit
+
+val spans : t -> span list
+(** All spans, in chronological order. *)
+
+val to_chrome_json : ?meta:(string * arg) list -> t -> string
+(** The Chrome trace_event document: [{"traceEvents": [...], "meta": ...}].
+    Load it at chrome://tracing or ui.perfetto.dev. [meta] carries
+    batch-level summary values (wall time, cache hits, ...). *)
+
+val pass_totals : t -> (string * int * float) list
+(** Aggregate over ["pass"] spans: (pass name, run count, total seconds),
+    hottest pass first. *)
+
+val args_json : (string * arg) list -> string
+(** Render an argument list as one JSON object (shared JSON helper). *)

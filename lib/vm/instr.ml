@@ -7,6 +7,13 @@ type vreg = int
 
 type ikind = Roccc_cfront.Ast.ikind
 
+exception Vm_error of string
+(** A runtime trap during VM/data-path evaluation (division by zero,
+    malformed operand list). Raised instead of a bare [Failure] so the
+    driver and CLI can surface it as a user-facing message. *)
+
+let vm_errf fmt = Printf.ksprintf (fun s -> raise (Vm_error s)) fmt
+
 type opcode =
   | Add | Sub | Mul | Div | Rem
   | Shl | Shr
@@ -88,9 +95,9 @@ let eval_op ~(lut : string -> int64 -> int64) ~(lpr : string -> int64)
   | Sub, [ a; b ] -> Int64.sub a b
   | Mul, [ a; b ] -> Int64.mul a b
   | Div, [ a; b ] ->
-    if Int64.equal b 0L then failwith "vm: division by zero" else Int64.div a b
+    if Int64.equal b 0L then vm_errf "division by zero" else Int64.div a b
   | Rem, [ a; b ] ->
-    if Int64.equal b 0L then failwith "vm: modulo by zero" else Int64.rem a b
+    if Int64.equal b 0L then vm_errf "modulo by zero" else Int64.rem a b
   | Shl, [ a; b ] -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
   | Shr, [ a; b ] -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
   | Band, [ a; b ] -> Int64.logand a b
@@ -112,5 +119,7 @@ let eval_op ~(lut : string -> int64 -> int64) ~(lpr : string -> int64)
   | Mux, [ sel; a; b ] -> if nonzero sel then a else b
   | Lpr name, [] -> lpr name
   | Lut name, [ a ] -> lut name a
-  | Snx _, [ _ ] -> failwith "vm: snx handled by the evaluator"
-  | _ -> failwith ("vm: arity mismatch for " ^ opcode_name op)
+  | Snx _, [ _ ] -> vm_errf "snx handled by the evaluator"
+  | _ ->
+    vm_errf "arity mismatch for %s: got %d operand(s), expected %d"
+      (opcode_name op) (List.length operands) (arity op)

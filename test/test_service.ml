@@ -1,0 +1,337 @@
+(* Tests for the batch compilation service (lib/service): the
+   content-addressed pass cache, the domain scheduler, structured tracing
+   and the typed VM error. *)
+
+module Driver = Roccc_core.Driver
+module Service = Roccc_service.Service
+module Cache = Roccc_service.Cache
+module Trace = Roccc_service.Trace
+module Scheduler = Roccc_service.Scheduler
+module Instr = Roccc_vm.Instr
+
+let fir_source =
+  "void fir(int A[21], int C[17]) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 17; i = i + 1) {\n\
+  \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
+  \  }\n\
+   }\n"
+
+let acc_source =
+  "int sum = 0;\n\
+   void acc(int A[32], int* out) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 32; i++) {\n\
+  \    sum = sum + A[i];\n\
+  \  }\n\
+  \  *out = sum;\n\
+   }\n"
+
+let bad_source = "void broken(int A[8], int* out) {\n  int i\n  *out = 1;\n}\n"
+
+let fir_job ?(label = "fir") ?(options = Driver.default_options) () =
+  { Service.label; source = fir_source; entry = "fir"; options; luts = [] }
+
+let origin = Alcotest.testable
+    (fun ppf o -> Format.pp_print_string ppf (Service.origin_name o))
+    (fun a b -> a = b)
+
+(* ---- cache ---- *)
+
+let test_cache_hit_identical () =
+  let cache = Cache.create () in
+  let r1 = Service.compile_cached ~cache (fir_job ()) in
+  let r2 = Service.compile_cached ~cache (fir_job ()) in
+  Alcotest.check origin "first compile is cold" Service.Cold
+    r1.Service.r_origin;
+  Alcotest.check origin "identical job hits memory" Service.Warm_memory
+    r2.Service.r_origin;
+  Alcotest.(check bool) "same VHDL" true
+    (r1.Service.r_vhdl = r2.Service.r_vhdl);
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "hits counted" true (s.Cache.hits > 0)
+
+let test_cache_miss_on_option_change () =
+  let cache = Cache.create () in
+  let _ = Service.compile_cached ~cache (fir_job ()) in
+  (* a back-end option change misses the full artifact but reuses the
+     front-end stages *)
+  let bus2 =
+    fir_job ~options:{ Driver.default_options with Driver.bus_elements = 2 } ()
+  in
+  let r2 = Service.compile_cached ~cache bus2 in
+  Alcotest.check origin "bus change reuses stages only" Service.Warm_stage
+    r2.Service.r_origin;
+  (* a front-end option change misses every fingerprint *)
+  let unrolled =
+    fir_job
+      ~options:{ Driver.default_options with Driver.unroll_inner_max = 4 } ()
+  in
+  let r3 = Service.compile_cached ~cache unrolled in
+  Alcotest.check origin "front option change is cold" Service.Cold
+    r3.Service.r_origin;
+  (* and a source change too *)
+  let other =
+    { (fir_job ()) with Service.source = acc_source; entry = "acc";
+      label = "acc" }
+  in
+  let r4 = Service.compile_cached ~cache other in
+  Alcotest.check origin "source change is cold" Service.Cold
+    r4.Service.r_origin
+
+let test_option_fingerprints () =
+  let base = Driver.default_options in
+  let bus2 = { base with Driver.bus_elements = 2 } in
+  let unroll2 = { base with Driver.unroll_outer_factor = 2 } in
+  Alcotest.(check string) "bus width is not a front-end option"
+    (Driver.front_options_fingerprint base)
+    (Driver.front_options_fingerprint bus2);
+  Alcotest.(check bool) "unroll factor is a front-end option" false
+    (String.equal
+       (Driver.front_options_fingerprint base)
+       (Driver.front_options_fingerprint unroll2));
+  Alcotest.(check bool) "full fingerprint sees the bus width" false
+    (String.equal (Driver.options_fingerprint base)
+       (Driver.options_fingerprint bus2))
+
+let test_disk_cache_survives_process () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "roccc_cache_test_%d" (Unix.getpid ()))
+  in
+  let cache1 = Cache.create ~disk_dir:dir () in
+  let r1 = Service.compile_cached ~cache:cache1 (fir_job ()) in
+  Alcotest.check origin "cold in the first cache" Service.Cold
+    r1.Service.r_origin;
+  (* a fresh cache over the same directory models a new process *)
+  let cache2 = Cache.create ~disk_dir:dir () in
+  let r2 = Service.compile_cached ~cache:cache2 (fir_job ()) in
+  Alcotest.check origin "artifact reloaded from disk" Service.Warm_disk
+    r2.Service.r_origin;
+  Alcotest.(check bool) "identical VHDL from disk" true
+    (r1.Service.r_vhdl = r2.Service.r_vhdl);
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  (try Sys.rmdir dir with Sys_error _ -> ())
+
+(* ---- batches ---- *)
+
+let test_batch_isolates_failure () =
+  let jobs =
+    [ fir_job ();
+      { Service.label = "broken"; source = bad_source; entry = "broken";
+        options = Driver.default_options; luts = [] };
+      { Service.label = "acc"; source = acc_source; entry = "acc";
+        options = Driver.default_options; luts = [] } ]
+  in
+  let report = Service.run_batch ~num_domains:2 jobs in
+  Alcotest.(check int) "three slots" 3 (Array.length report.Service.rp_results);
+  (match report.Service.rp_results.(0) with
+  | _, Ok s -> Alcotest.(check string) "fir ok" "fir" s.Service.r_entry
+  | _, Error msg -> Alcotest.failf "fir failed: %s" msg);
+  (match report.Service.rp_results.(1) with
+  | _, Ok _ -> Alcotest.fail "broken kernel unexpectedly compiled"
+  | _, Error msg ->
+    Alcotest.(check bool) "parse error reported" true
+      (String.length msg > 0
+      && String.length msg >= 5
+      && String.sub msg 0 5 = "parse"));
+  (match report.Service.rp_results.(2) with
+  | _, Ok s -> Alcotest.(check string) "acc ok" "acc" s.Service.r_entry
+  | _, Error msg -> Alcotest.failf "acc failed: %s" msg);
+  Alcotest.(check int) "one failure listed" 1
+    (List.length (Service.failures report))
+
+let test_parallel_matches_sequential () =
+  let jobs = Service.table1_jobs () in
+  let seq = Service.run_batch ~num_domains:1 jobs in
+  let par = Service.run_batch ~num_domains:4 jobs in
+  Array.iter2
+    (fun (j1, r1) (_, r2) ->
+      match r1, r2 with
+      | Ok s1, Ok s2 ->
+        Alcotest.(check bool)
+          (j1.Service.label ^ " VHDL byte-identical across domain counts")
+          true
+          (s1.Service.r_vhdl = s2.Service.r_vhdl)
+      | Error m, _ | _, Error m ->
+        Alcotest.failf "%s failed: %s" j1.Service.label m)
+    seq.Service.rp_results par.Service.rp_results
+
+let test_warm_batch_faster_with_hits () =
+  let cache = Cache.create () in
+  let jobs = Service.table1_jobs () in
+  let cold = Service.run_batch ~cache ~num_domains:1 jobs in
+  let warm = Service.run_batch ~cache ~num_domains:1 jobs in
+  let stats = Option.get warm.Service.rp_cache in
+  Alcotest.(check bool) "warm run hit the cache" true
+    (stats.Cache.hits >= List.length jobs);
+  Alcotest.(check bool) "warm run is faster" true
+    (warm.Service.rp_wall_s < cold.Service.rp_wall_s);
+  List.iter
+    (fun ((_ : Service.job), (s : Service.success)) ->
+      Alcotest.check origin "every warm job came from memory"
+        Service.Warm_memory s.Service.r_origin)
+    (Service.successes warm)
+
+let test_sweep_grid () =
+  let jobs =
+    Service.sweep_jobs ~source:fir_source ~entry:"fir"
+      ~unroll_factors:[ 1 ] ~bus_widths:[ 1; 2; 4 ] ()
+  in
+  Alcotest.(check int) "grid size" 3 (List.length jobs);
+  let cache = Cache.create () in
+  let report = Service.run_batch ~cache ~num_domains:1 jobs in
+  Alcotest.(check int) "no failures" 0
+    (List.length (Service.failures report));
+  match Array.to_list report.Service.rp_results with
+  | (_, Ok first) :: rest ->
+    Alcotest.check origin "first grid point is cold" Service.Cold
+      first.Service.r_origin;
+    List.iter
+      (fun (_, r) ->
+        match r with
+        | Ok s ->
+          Alcotest.check origin "bus-only variants reuse the front end"
+            Service.Warm_stage s.Service.r_origin
+        | Error m -> Alcotest.failf "sweep job failed: %s" m)
+      rest
+  | _ -> Alcotest.fail "unexpected sweep report shape"
+
+(* ---- scheduler ---- *)
+
+let test_scheduler_deterministic_slots () =
+  let jobs = Array.init 20 (fun i -> i) in
+  let results =
+    Scheduler.parallel_map ~num_domains:4
+      ~f:(fun ~tid x ->
+        ignore tid;
+        if x mod 5 = 3 then failwith (Printf.sprintf "boom %d" x) else x * x)
+      jobs
+  in
+  Array.iteri
+    (fun i r ->
+      if i mod 5 = 3 then
+        match r with
+        | Error msg ->
+          Alcotest.(check bool) "failure message kept" true
+            (String.length msg > 0)
+        | Ok _ -> Alcotest.failf "slot %d should have failed" i
+      else
+        match r with
+        | Ok v -> Alcotest.(check int) "slot value" (i * i) v
+        | Error msg -> Alcotest.failf "slot %d failed: %s" i msg)
+    results
+
+(* ---- tracing ---- *)
+
+let test_trace_export () =
+  let trace = Trace.create () in
+  let cache = Cache.create () in
+  let report =
+    Service.run_batch ~cache ~trace ~num_domains:2 [ fir_job () ]
+  in
+  let spans = Trace.spans trace in
+  Alcotest.(check bool) "pass spans recorded" true
+    (List.exists
+       (fun (sp : Trace.span) -> sp.Trace.sp_name = "datapath-build")
+       spans);
+  Alcotest.(check bool) "job span recorded" true
+    (List.exists (fun (sp : Trace.span) -> sp.Trace.sp_cat = "job") spans);
+  let json = Trace.to_chrome_json ~meta:(Service.trace_meta report) trace in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "chrome envelope" true
+    (contains "\"traceEvents\"" json);
+  Alcotest.(check bool) "meta carries wall time" true
+    (contains "\"wall_s\"" json);
+  Alcotest.(check bool) "meta carries cache hits" true
+    (contains "\"cache_hits\"" json);
+  let totals = Trace.pass_totals trace in
+  Alcotest.(check bool) "pass totals non-empty" true (totals <> []);
+  let json2 = Service.report_json report in
+  Alcotest.(check bool) "report json lists jobs" true
+    (contains "\"jobs\"" json2)
+
+(* ---- instrumented driver ---- *)
+
+let test_driver_instrument_hook () =
+  let seen = ref [] in
+  let c =
+    Driver.compile
+      ~instrument:(fun ps -> seen := ps.Driver.pass_name :: !seen)
+      ~entry:"fir" fir_source
+  in
+  Alcotest.(check (list string)) "hook saw exactly the pass trace"
+    c.Driver.pass_trace (List.rev !seen)
+
+(* ---- typed VM error ---- *)
+
+let test_vm_error_typed () =
+  Alcotest.check_raises "division by zero is a typed error"
+    (Instr.Vm_error "division by zero")
+    (fun () ->
+      ignore
+        (Instr.eval_op
+           ~lut:(fun _ v -> v)
+           ~lpr:(fun _ -> 0L)
+           Instr.Div [ 1L; 0L ]));
+  Alcotest.check_raises "arity mismatch is a typed error"
+    (Instr.Vm_error "arity mismatch for add: got 1 operand(s), expected 2")
+    (fun () ->
+      ignore
+        (Instr.eval_op
+           ~lut:(fun _ v -> v)
+           ~lpr:(fun _ -> 0L)
+           Instr.Add [ 1L ]))
+
+let test_interp_div_zero_is_driver_error () =
+  let src =
+    "void divk(int A[4], int B[4], int C[4]) {\n\
+    \  int i;\n\
+    \  for (i = 0; i < 4; i++) {\n\
+    \    C[i] = A[i] / B[i];\n\
+    \  }\n\
+     }\n"
+  in
+  let c = Driver.compile ~entry:"divk" src in
+  let arrays =
+    [ "A", [| 8L; 6L; 4L; 2L |]; "B", [| 2L; 1L; 0L; 1L |] ]
+  in
+  match Driver.interpret ~arrays c with
+  | _ -> Alcotest.fail "interpreting a division by zero should not succeed"
+  | exception Driver.Error msg ->
+    Alcotest.(check bool) "user-facing message" true
+      (String.length msg > 0)
+
+let suites =
+  [ "service",
+    [ Alcotest.test_case "cache hit on identical job" `Quick
+        test_cache_hit_identical;
+      Alcotest.test_case "cache miss on option change" `Quick
+        test_cache_miss_on_option_change;
+      Alcotest.test_case "option fingerprints" `Quick
+        test_option_fingerprints;
+      Alcotest.test_case "disk cache survives a restart" `Quick
+        test_disk_cache_survives_process;
+      Alcotest.test_case "batch isolates a failing kernel" `Quick
+        test_batch_isolates_failure;
+      Alcotest.test_case "parallel VHDL = sequential VHDL" `Slow
+        test_parallel_matches_sequential;
+      Alcotest.test_case "warm batch reports hits and is faster" `Slow
+        test_warm_batch_faster_with_hits;
+      Alcotest.test_case "sweep grid reuses the front end" `Quick
+        test_sweep_grid;
+      Alcotest.test_case "scheduler slots are deterministic" `Quick
+        test_scheduler_deterministic_slots;
+      Alcotest.test_case "trace exports chrome JSON" `Quick
+        test_trace_export;
+      Alcotest.test_case "driver instrument hook" `Quick
+        test_driver_instrument_hook;
+      Alcotest.test_case "typed vm error" `Quick test_vm_error_typed;
+      Alcotest.test_case "interp div-by-zero is a driver error" `Quick
+        test_interp_div_zero_is_driver_error ] ]
