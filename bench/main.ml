@@ -162,37 +162,11 @@ let print_table1 rows =
 (* Figures                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let paper_fir_source =
-  "void fir(int A[21], int C[17]) {\n\
-  \  int i;\n\
-  \  for (i = 0; i < 17; i = i + 1) {\n\
-  \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
-  \  }\n\
-   }\n"
+let paper_fir_source = Kernels.paper_fir_source
 
-let paper_acc_source =
-  "int sum = 0;\n\
-   void acc(int A[32], int* out) {\n\
-  \  int i;\n\
-  \  for (i = 0; i < 32; i++) {\n\
-  \    sum = sum + A[i];\n\
-  \  }\n\
-  \  *out = sum;\n\
-   }\n"
+let paper_acc_source = Kernels.paper_acc_source
 
-let paper_if_else_source =
-  "void if_else(int x1, int x2, int* x3, int* x4) {\n\
-  \  int a, c;\n\
-  \  c = x1 - x2;\n\
-  \  if (c < x2)\n\
-  \    a = x1 * x1;\n\
-  \  else\n\
-  \    a = x1 * x2 + 3;\n\
-  \  c = c - a;\n\
-  \  *x3 = c;\n\
-  \  *x4 = a;\n\
-  \  return;\n\
-   }\n"
+let paper_if_else_source = Kernels.paper_if_else_source
 
 let figure1 () =
   section "Figure 1 - ROCCC system overview (executed pass pipeline)";

@@ -83,6 +83,59 @@ let options_of target_ns bus no_widths unroll_inner =
     infer_widths = not no_widths;
     unroll_inner_max = unroll_inner }
 
+(* ---- pass-manager configuration ---- *)
+
+let verify_ir_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-ir" ]
+        ~doc:
+          "Run each pass's IR invariant verifier after the pass (also \
+           enabled by ROCCC_VERIFY_IR=1).")
+
+let differential_arg =
+  Arg.(
+    value & flag
+    & info [ "differential" ]
+        ~doc:
+          "Co-run the C interpreter, VM evaluator and data-path evaluator \
+           on deterministic vectors after layer boundaries, reporting the \
+           first diverging pass (also ROCCC_DIFFERENTIAL=1).")
+
+let passes_arg =
+  Arg.(
+    value & opt (some (list string)) None
+    & info [ "passes" ] ~docv:"PASS,..."
+        ~doc:
+          "Run only these optional passes (required passes always run). \
+           See the pass names in $(b,--dump passes).")
+
+let disable_pass_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "disable-pass" ] ~docv:"PASS"
+        ~doc:"Skip an optional pass (repeatable).")
+
+let dump_after_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "dump-after" ] ~docv:"PASS"
+        ~doc:"Print the active IR after PASS runs (repeatable).")
+
+let config_of verify_ir differential passes disable dump_after =
+  let base = Roccc_core.Pass.default_config () in
+  { base with
+    Roccc_core.Pass.verify_ir = verify_ir || base.Roccc_core.Pass.verify_ir;
+    differential = differential || base.Roccc_core.Pass.differential;
+    only_passes = passes;
+    disabled_passes = disable;
+    dump_after }
+
+let config_term =
+  Term.(
+    const config_of $ verify_ir_arg $ differential_arg $ passes_arg
+    $ disable_pass_arg $ dump_after_arg)
+
 let kv_list_conv =
   let parse s =
     match String.index_opt s '=' with
@@ -129,11 +182,12 @@ let compile_cmd =
             "Print an intermediate stage: kernel, transformed, dp-function, \
              vm, datapath, dot, pipeline, vhdl, passes.")
   in
-  let run file entry target_ns bus no_widths unroll_inner out dumps testbench =
+  let run file entry target_ns bus no_widths unroll_inner out dumps testbench
+      config =
     with_errors (fun () ->
         let source = read_file file in
         let options = options_of target_ns bus no_widths unroll_inner in
-        let c = Driver.compile ~options ~entry source in
+        let c = Driver.compile ~config ~options ~entry source in
         ignore testbench;
         List.iter
           (fun d ->
@@ -191,16 +245,19 @@ let compile_cmd =
             "Also emit a self-checking testbench (<entry>_tb.vhd) driving \
              the data path with this input array (repeatable).")
   in
-  let run' file entry target_ns bus no_widths unroll_inner out dumps tb_arrays =
+  let run' file entry target_ns bus no_widths unroll_inner out dumps tb_arrays
+      config =
     let testbench =
       if tb_arrays = [] then None else Some (tb_arrays, [])
     in
     run file entry target_ns bus no_widths unroll_inner out dumps testbench
+      config
   in
   let term =
     Term.(
       const run' $ file_arg $ entry_arg $ target_ns_arg $ bus_arg
-      $ no_widths_arg $ unroll_inner_arg $ out_arg $ dump_arg $ testbench_arg)
+      $ no_widths_arg $ unroll_inner_arg $ out_arg $ dump_arg $ testbench_arg
+      $ config_term)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a C kernel to VHDL.") term
 
@@ -494,7 +551,7 @@ let batch_cmd =
       [ { Service.label = base; source; entry = "?"; options; luts = [] } ]
   in
   let run paths table1 target_ns bus no_widths unroll_inner jobs use_cache
-      cache_dir trace_out out sweep sweep_entry sweep_unroll sweep_bus =
+      cache_dir trace_out out sweep sweep_entry sweep_unroll sweep_bus config =
     with_errors (fun () ->
         let options = options_of target_ns bus no_widths unroll_inner in
         let files =
@@ -537,7 +594,7 @@ let batch_cmd =
         in
         let trace = Option.map (fun _ -> Svc_trace.create ()) trace_out in
         let report =
-          Service.run_batch ?cache ?trace ~num_domains:jobs batch_jobs
+          Service.run_batch ?cache ~config ?trace ~num_domains:jobs batch_jobs
         in
         print_endline (Service.summary report);
         (match out with
@@ -575,7 +632,7 @@ let batch_cmd =
       const run $ paths_arg $ table1_arg $ target_ns_arg $ bus_arg
       $ no_widths_arg $ unroll_inner_arg $ jobs_arg $ cache_arg
       $ cache_dir_arg $ trace_arg $ out_arg $ sweep_arg $ sweep_entry_arg
-      $ sweep_unroll_arg $ sweep_bus_arg)
+      $ sweep_unroll_arg $ sweep_bus_arg $ config_term)
   in
   Cmd.v
     (Cmd.info "batch"

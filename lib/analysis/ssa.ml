@@ -234,3 +234,89 @@ let verify (proc : Proc.t) : unit =
           | None -> ())
         b.Proc.instrs)
     proc.Proc.blocks
+
+(* Defs-dominate-uses: the other half of the SSA invariant. Input ports
+   (and the inputs' registers) define at entry; a same-block definition
+   must textually precede the use; a cross-block definition must dominate
+   the using block. Phi uses are checked against the corresponding
+   predecessor, where the value actually flows in. *)
+let verify_dominance (proc : Proc.t) : unit =
+  let cfg = Cfg.build proc in
+  (* def site per register: (block label, position). Phis define at the
+     top of their block (position -1); instruction k defines at k. *)
+  let defs : (Instr.vreg, Proc.label * int) Hashtbl.t = Hashtbl.create 64 in
+  let entry_label = Cfg.entry_label cfg in
+  List.iter
+    (fun (port : Proc.port) ->
+      Hashtbl.replace defs port.Proc.port_reg (entry_label, -1))
+    proc.Proc.inputs;
+  List.iter
+    (fun (b : Proc.block) ->
+      List.iter
+        (fun (phi : Proc.phi) ->
+          Hashtbl.replace defs phi.Proc.phi_dst (b.Proc.label, -1))
+        b.Proc.phis;
+      List.iteri
+        (fun k (i : Instr.instr) ->
+          match i.Instr.dst with
+          | Some d -> Hashtbl.replace defs d (b.Proc.label, k)
+          | None -> ())
+        b.Proc.instrs)
+    proc.Proc.blocks;
+  let check_use ~block ~pos ~what r =
+    match Hashtbl.find_opt defs r with
+    | None -> errf "ssa: %s uses v%d, which has no definition" what r
+    | Some (dl, dpos) ->
+      if dl = block then begin
+        if dpos >= pos then
+          errf "ssa: %s uses v%d before its definition in L%d" what r block
+      end
+      else if not (Cfg.dominates cfg dl block) then
+        errf "ssa: %s uses v%d, defined in L%d which does not dominate L%d"
+          what r dl block
+  in
+  List.iter
+    (fun (b : Proc.block) ->
+      List.iter
+        (fun (phi : Proc.phi) ->
+          List.iter
+            (fun (pred, r) ->
+              (* the value must be available at the end of the predecessor *)
+              check_use ~block:pred
+                ~pos:(List.length (Proc.find_block proc pred).Proc.instrs)
+                ~what:
+                  (Printf.sprintf "phi v%d in L%d (edge from L%d)"
+                     phi.Proc.phi_dst b.Proc.label pred)
+                r)
+            phi.Proc.phi_args)
+        b.Proc.phis;
+      List.iteri
+        (fun k (i : Instr.instr) ->
+          List.iter
+            (check_use ~block:b.Proc.label ~pos:k
+               ~what:(Printf.sprintf "instr %d in L%d" k b.Proc.label))
+            i.Instr.srcs)
+        b.Proc.instrs;
+      match b.Proc.term with
+      | Proc.Branch (r, _, _) ->
+        check_use ~block:b.Proc.label
+          ~pos:(List.length b.Proc.instrs)
+          ~what:(Printf.sprintf "branch in L%d" b.Proc.label)
+          r
+      | Proc.Jump _ | Proc.Ret -> ())
+    proc.Proc.blocks;
+  (* output ports read at Ret: their definition must dominate every Ret
+     block (SSA conversion rebinds them to the names reaching the exit) *)
+  List.iter
+    (fun (b : Proc.block) ->
+      match b.Proc.term with
+      | Proc.Ret ->
+        List.iter
+          (fun (port : Proc.port) ->
+            check_use ~block:b.Proc.label
+              ~pos:(List.length b.Proc.instrs)
+              ~what:(Printf.sprintf "output port %s" port.Proc.port_name)
+              port.Proc.port_reg)
+          proc.Proc.outputs
+      | Proc.Jump _ | Proc.Branch _ -> ())
+    proc.Proc.blocks

@@ -13,3 +13,8 @@ val convert : Roccc_vm.Proc.t -> Cfg.t
 val verify : Roccc_vm.Proc.t -> unit
 (** Check the single-assignment invariant; raises {!Error} if any register
     has two definitions. *)
+
+val verify_dominance : Roccc_vm.Proc.t -> unit
+(** Check that every definition dominates its uses (phi uses checked at
+    the corresponding predecessor, output ports at each return block).
+    Raises {!Error} on violation. *)

@@ -5,150 +5,55 @@
     data-path building -> bit-width inference -> pipelining -> VHDL
     generation -> area/clock estimation.
 
-    The pipeline is exposed as three explicit stages — {!front_end},
-    {!lower_to_kernel}, {!back_end} — so a caller (the batch service) can
-    memoize stage outputs content-addressed on (source, entry, options) and
-    time every named pass through the {!instrument} hook. *)
+    Every transformation is a first-class {!Pass.pass} value; the driver is
+    a thin projection layer that runs the declarative pipelines
+    ({!Pass.front_passes}, {!Pass.kernel_passes}, {!Pass.back_passes}) and
+    converts between the {!Pass.state} threaded through them and the staged
+    result records ({!front}, {!staged_kernel}, {!compiled}) that callers
+    such as the batch service memoize. *)
 
 module Ast = Roccc_cfront.Ast
 module Parser = Roccc_cfront.Parser
-module Semant = Roccc_cfront.Semant
 module Interp = Roccc_cfront.Interp
-module Const_fold = Roccc_hir.Const_fold
-module Loop_opt = Roccc_hir.Loop_opt
-module Inline = Roccc_hir.Inline
 module Lut_conv = Roccc_hir.Lut_conv
-module Scalar_replacement = Roccc_hir.Scalar_replacement
-module Feedback = Roccc_hir.Feedback
 module Kernel = Roccc_hir.Kernel
-module Lower = Roccc_vm.Lower
 module Proc = Roccc_vm.Proc
-module Ssa = Roccc_analysis.Ssa
-module Builder = Roccc_datapath.Builder
 module Graph = Roccc_datapath.Graph
 module Widths = Roccc_datapath.Widths
 module Pipeline = Roccc_datapath.Pipeline
-module Gen = Roccc_vhdl.Gen
-module Lint = Roccc_vhdl.Lint
 module Smart_buffer = Roccc_buffers.Smart_buffer
 module Engine = Roccc_hw.Engine
 module Area = Roccc_fpga.Area
 
-exception Error of string
+exception Error = Pass.Error
 
 let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
-(* Translate the libraries' typed exceptions into the driver's user-facing
-   [Error] so no stage lets a raw internal exception escape to a caller
-   (the CLI, the batch service). *)
-let user_message (e : exn) : string option =
-  match e with
-  | Loop_opt.Error m -> Some ("loop optimization: " ^ m)
-  | Inline.Error m -> Some ("inlining: " ^ m)
-  | Lut_conv.Error m -> Some ("lut conversion: " ^ m)
-  | Feedback.Error m -> Some ("feedback: " ^ m)
-  | Scalar_replacement.Error m -> Some ("scalar replacement: " ^ m)
-  | Ssa.Error m -> Some ("ssa: " ^ m)
-  | Builder.Error m -> Some ("datapath construction: " ^ m)
-  | Widths.Error m -> Some ("width inference: " ^ m)
-  | Pipeline.Error m -> Some ("pipelining: " ^ m)
-  | Gen.Error m -> Some ("vhdl generation: " ^ m)
-  | Lint.Error m -> Some ("vhdl lint: " ^ m)
-  | Roccc_vm.Instr.Vm_error m -> Some ("vm: " ^ m)
-  | _ -> None
-
-let guard (f : unit -> 'a) : 'a =
-  try f ()
-  with e -> (
-    match user_message e with Some m -> raise (Error m) | None -> raise e)
-
-type options = {
+type options = Pass.options = {
   unroll_inner_max : int;
-      (** fully unroll inner loops with at most this trip count *)
   unroll_all_max : int;
-      (** fully unroll any constant loop with at most this trip count
-          (turns small kernels into block kernels, as for the DCT) *)
   fuse_loops : bool;
-  target_ns : float;             (** pipeline stage budget *)
-  infer_widths : bool;           (** bit-width inference (ablation switch) *)
-  optimize_vm : bool;            (** back-end CSE/copy-prop/DCE (ablation) *)
-  unroll_outer_factor : int;     (** partial unrolling of the outer loop *)
+  target_ns : float;
+  infer_widths : bool;
+  optimize_vm : bool;
+  unroll_outer_factor : int;
   lut_convert_max_bits : int;
-      (** convert pure called functions with inputs up to this width into
-          ROM lookup tables instead of inlining (0 = always inline) *)
-  bus_elements : int;            (** memory bus width, in elements *)
-  check_vhdl : bool;             (** run the structural linter *)
+  bus_elements : int;
+  check_vhdl : bool;
 }
 
-let default_options =
-  { unroll_inner_max = 0;
-    unroll_all_max = 0;
-    fuse_loops = true;
-    target_ns = Pipeline.default_target_ns;
-    infer_widths = true;
-    optimize_vm = true;
-    unroll_outer_factor = 1;
-    lut_convert_max_bits = 0;
-    bus_elements = 1;
-    check_vhdl = true }
+let default_options = Pass.default_options
+let front_options_fingerprint = Pass.front_options_fingerprint
+let options_fingerprint = Pass.options_fingerprint
 
-(* Option fingerprints: a canonical rendering of exactly the fields each
-   stage reads, so a content-addressed cache can share front-end work
-   between jobs that differ only in back-end options (e.g. a bus-width
-   sweep). Keep in sync with the stage bodies below. *)
-
-let front_options_fingerprint (o : options) : string =
-  Printf.sprintf "ui=%d;ua=%d;fuse=%b;uo=%d;lut=%d" o.unroll_inner_max
-    o.unroll_all_max o.fuse_loops o.unroll_outer_factor
-    o.lut_convert_max_bits
-
-let options_fingerprint (o : options) : string =
-  Printf.sprintf "%s;tns=%h;w=%b;ovm=%b;bus=%d;lint=%b"
-    (front_options_fingerprint o)
-    o.target_ns o.infer_widths o.optimize_vm o.bus_elements o.check_vhdl
-
-(* ------------------------------------------------------------------ *)
-(* Pass instrumentation                                                *)
-(* ------------------------------------------------------------------ *)
-
-type pass_stats = {
+type pass_stats = Pass.pass_stats = {
   pass_name : string;
-  started_s : float;   (** absolute wall-clock, seconds since the epoch *)
+  started_s : float;
   elapsed_s : float;
-  ir_size : int;       (** size of the active IR after the pass (0 = n/a) *)
+  ir_size : int;
 }
 
 type instrument = pass_stats -> unit
-
-(* A pass runner shared by the stages: appends to the Figure 1 trace and,
-   when instrumented, reports wall-clock timing and an IR-size counter.
-   The polymorphic field lets one runner time passes of any result type. *)
-type runner = {
-  run : 'a. ?size:('a -> int) -> string -> (unit -> 'a) -> 'a;
-}
-
-let make_runner ?instrument (trace : string list ref) : runner =
-  { run =
-      (fun ?(size = fun _ -> 0) name f ->
-        match instrument with
-        | None ->
-          let r = f () in
-          trace := !trace @ [ name ];
-          r
-        | Some emit ->
-          let t0 = Unix.gettimeofday () in
-          let r = f () in
-          let t1 = Unix.gettimeofday () in
-          trace := !trace @ [ name ];
-          emit
-            { pass_name = name;
-              started_s = t0;
-              elapsed_s = t1 -. t0;
-              ir_size = size r };
-          r) }
-
-let ast_size (f : Ast.func) : int =
-  Ast.fold_stmts (fun n _ -> n + 1) (fun n _ -> n + 1) 0 f.Ast.body
 
 (* ------------------------------------------------------------------ *)
 (* Stage results                                                       *)
@@ -160,6 +65,7 @@ type front = {
   fr_program : Ast.program;       (** restricted to the entry function *)
   fr_func : Ast.func;             (** after inlining and loop transforms *)
   fr_luts : Lut_conv.table list;  (** registered + converted tables *)
+  fr_seed_luts : Lut_conv.table list;  (** registered before compilation *)
   fr_trace : string list;
 }
 
@@ -189,302 +95,124 @@ type compiled = {
   pass_trace : string list;       (** executed passes, in order (Figure 1) *)
 }
 
-(* Unroll loops nested inside other loops (the udiv/sqrt bit-step loops)
-   while keeping the outer streaming loop. *)
-let unroll_inner ~max_trip stmts =
-  List.map
-    (fun s ->
-      match s with
-      | Ast.Sfor (h, body) ->
-        Ast.Sfor (h, Loop_opt.unroll_small_loops ~max_trip body)
-      | s -> s)
-    stmts
-
-(* Smart-buffer configurations for the kernel's window inputs — shared by
-   the simulator and the area estimator. *)
-let buffer_configs_of ~(bus_elements : int) (k : Kernel.t) :
-    Smart_buffer.config list =
-  List.map
-    (fun (w : Kernel.window_input) ->
-      let ndims = List.length w.Kernel.win_dims in
-      let iterations, stride, lower =
-        if k.Kernel.loops = [] then
-          ( List.init ndims (fun _ -> 1),
-            List.init ndims (fun _ -> 0),
-            List.init ndims (fun _ -> 0) )
-        else
-          ( List.map (fun d -> d.Kernel.count) k.Kernel.loops,
-            List.map (fun d -> d.Kernel.step) k.Kernel.loops,
-            List.map (fun d -> d.Kernel.lower) k.Kernel.loops )
-      in
-      { Smart_buffer.element_bits = w.Kernel.win_kind.Ast.bits;
-        element_signed = w.Kernel.win_kind.Ast.signed;
-        bus_elements;
-        array_dims = w.Kernel.win_dims;
-        window_offsets = w.Kernel.win_offsets;
-        stride;
-        iterations;
-        lower })
-    k.Kernel.windows
-
 (* ------------------------------------------------------------------ *)
-(* Stage 1: the front end (parse .. loop-level optimization)           *)
+(* State projections                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let front_end ?instrument ?(options = default_options) ?(luts = [])
-    ~(entry : string) (source : string) : front =
-  guard @@ fun () ->
-  let trace = ref [] in
-  let { run } = make_runner ?instrument trace in
-  let program_size (p : Ast.program) =
-    List.fold_left (fun n f -> n + ast_size f) 0 p.Ast.funcs
-  in
-  (* ---- front end ---- *)
-  let program =
-    run ~size:program_size "parse" (fun () ->
-        try Parser.parse_program source
-        with Parser.Error (msg, line, col) ->
-          errf "parse error at %d:%d: %s" line col msg)
-  in
-  let lut_sigs = List.map Lut_conv.signature luts in
-  let _env =
-    run "semantic-check" (fun () ->
-        try Semant.check_program ~luts:lut_sigs program
-        with Semant.Error msg -> errf "semantic error: %s" msg)
-  in
-  let f =
-    match List.find_opt (fun g -> String.equal g.Ast.fname entry) program.Ast.funcs with
-    | Some f -> f
-    | None -> errf "no function named %s" entry
-  in
-  (* ---- function calls: lookup tables where feasible, else inlining ----
-     "Function calls will either be inlined or whenever feasible made into
-     a lookup table" (paper §2). A called function is tabulated when it is
-     pure, takes one scalar of at most [lut_convert_max_bits], and returns
-     an integer; otherwise it is inlined. *)
-  let luts, program =
-    if options.lut_convert_max_bits = 0 then luts, program
-    else begin
-      let called_names =
-        Ast.fold_stmts
-          (fun acc _ -> acc)
-          (fun acc e ->
-            match e with
-            | Ast.Call (g, _) when not (Ast.is_intrinsic g) -> g :: acc
-            | _ -> acc)
-          [] f.Ast.body
-        |> List.sort_uniq String.compare
-      in
-      let convertible =
-        List.filter_map
-          (fun name ->
-            match
-              List.find_opt
-                (fun g -> String.equal g.Ast.fname name)
-                program.Ast.funcs
-            with
-            | Some callee -> (
-              match callee.Ast.params, callee.Ast.ret with
-              | [ { Ast.ptype = Ast.Tint k; _ } ], Ast.Tint _
-                when k.Ast.bits <= options.lut_convert_max_bits -> (
-                match Lut_conv.from_function program callee with
-                | table -> Some table
-                | exception Lut_conv.Error _ -> None)
-              | _ -> None)
-            | None -> None)
-          called_names
-      in
-      if convertible = [] then luts, program
-      else
-        run
-          ~size:(fun (ts, _) -> List.length ts)
-          "lut-conversion"
-          (fun () ->
-            luts @ convertible, Lut_conv.convert_calls program convertible)
-    end
-  in
-  let f =
-    match
-      List.find_opt (fun g -> String.equal g.Ast.fname entry) program.Ast.funcs
-    with
-    | Some f -> f
-    | None -> errf "function %s lost during LUT conversion" entry
-  in
-  (* ---- loop-level optimizations ---- *)
-  let f = run ~size:ast_size "inline" (fun () -> Inline.inline_calls program f) in
-  let global_consts = Const_fold.readonly_global_consts program f in
-  let f =
-    run ~size:ast_size "constant-fold" (fun () ->
-        Const_fold.optimize_func ~consts:global_consts f)
-  in
-  let f =
-    if options.unroll_inner_max > 0 then
-      run ~size:ast_size "unroll-inner-loops" (fun () ->
-          { f with
-            Ast.body =
-              unroll_inner ~max_trip:options.unroll_inner_max f.Ast.body })
-    else f
-  in
-  let f =
-    if options.unroll_all_max > 0 then
-      run ~size:ast_size "full-unroll" (fun () ->
-          { f with
-            Ast.body =
-              Loop_opt.unroll_small_loops ~max_trip:options.unroll_all_max
-                f.Ast.body })
-    else f
-  in
-  let f =
-    if options.unroll_outer_factor > 1 then
-      run ~size:ast_size "partial-unroll" (fun () ->
-          let body =
-            List.map
-              (fun s ->
-                match s with
-                | Ast.Sfor (h, body) ->
-                  let h', body' =
-                    Loop_opt.partially_unroll
-                      ~factor:options.unroll_outer_factor h body
-                  in
-                  Ast.Sfor (h', body')
-                | s -> s)
-              f.Ast.body
-          in
-          { f with Ast.body })
-    else f
-  in
-  let f =
-    if options.fuse_loops then
-      run ~size:ast_size "loop-fusion" (fun () ->
-          { f with Ast.body = Loop_opt.fuse_loops f.Ast.body })
-    else f
-  in
-  let f =
-    run ~size:ast_size "constant-fold" (fun () ->
-        Const_fold.optimize_func ~consts:global_consts f)
-  in
-  let program = { program with Ast.funcs = [ f ] } in
-  { fr_source = source;
-    fr_entry = entry;
-    fr_program = program;
+let need what = function
+  | Some v -> v
+  | None -> errf "pipeline state is missing the %s" what
+
+let front_of_state (st : Pass.state) : front =
+  let f = need "entry function" st.Pass.st_func in
+  let program = need "program" st.Pass.st_program in
+  { fr_source = st.Pass.st_source;
+    fr_entry = st.Pass.st_entry;
+    fr_program = { program with Ast.funcs = [ f ] };
     fr_func = f;
-    fr_luts = luts;
-    fr_trace = !trace }
+    fr_luts = st.Pass.st_luts;
+    fr_seed_luts = st.Pass.st_seed_luts;
+    fr_trace = st.Pass.st_trace }
+
+let staged_of_state (st : Pass.state) : staged_kernel =
+  { sk_front = front_of_state st;
+    sk_kernel = need "kernel" st.Pass.st_kernel;
+    sk_trace = st.Pass.st_trace }
+
+let state_of_front ?(options = default_options) (fr : front) : Pass.state =
+  { (Pass.initial ~luts:fr.fr_luts ~options ~entry:fr.fr_entry fr.fr_source) with
+    Pass.st_seed_luts = fr.fr_seed_luts;
+    st_program = Some fr.fr_program;
+    st_func = Some fr.fr_func;
+    st_trace = fr.fr_trace }
+
+let state_of_staged ~(options : options) (sk : staged_kernel) : Pass.state =
+  { (state_of_front ~options sk.sk_front) with
+    Pass.st_kernel = Some sk.sk_kernel;
+    st_trace = sk.sk_trace }
+
+(* Figure 2 system wrapper from the pre-existing VHDL component library,
+   for the simple 1-D single-window shape. *)
+let system_vhdl_of (kernel : Kernel.t) (proc : Proc.t) (pipeline : Pipeline.t)
+    : string option =
+  match kernel.Kernel.windows, kernel.Kernel.loops with
+  | [ w ], [ _ ] when List.for_all (fun o -> List.length o = 1) w.Kernel.win_offsets
+    ->
+    let win_ports = List.map snd w.Kernel.win_scalars in
+    let out_ports =
+      List.map
+        (fun (o : Kernel.output) ->
+          o.Kernel.port, o.Kernel.port_kind.Ast.bits)
+        kernel.Kernel.outputs
+    in
+    Some
+      (Roccc_vhdl.Library.system_wrapper_vhdl
+         ~dp_entity:proc.Proc.pname
+         ~element_bits:w.Kernel.win_kind.Ast.bits ~win_ports ~out_ports
+         ~total_words:(List.fold_left ( * ) 1 w.Kernel.win_dims)
+         ~iterations:(Kernel.iteration_space kernel)
+         ~latency:(Pipeline.latency pipeline))
+  | _ -> None
+
+let compiled_of_state (st : Pass.state) : compiled =
+  let kernel = need "kernel" st.Pass.st_kernel in
+  let proc = need "vm procedure" st.Pass.st_proc in
+  let pipeline = need "pipeline" st.Pass.st_pipeline in
+  let f = need "entry function" st.Pass.st_func in
+  let program = need "program" st.Pass.st_program in
+  { source = st.Pass.st_source;
+    entry = st.Pass.st_entry;
+    options = st.Pass.st_options;
+    program = { program with Ast.funcs = [ f ] };
+    kernel;
+    proc;
+    dp = need "data path" st.Pass.st_dp;
+    widths = need "signal widths" st.Pass.st_widths;
+    pipeline;
+    design = need "design" st.Pass.st_design;
+    buffer_configs = st.Pass.st_buffer_configs;
+    area = need "area estimate" st.Pass.st_area;
+    luts = st.Pass.st_luts;
+    system_vhdl = system_vhdl_of kernel proc pipeline;
+    pass_trace = st.Pass.st_trace }
+
+(* The explicit [?instrument] argument (the historical hook) overrides the
+   one carried by [?config]. *)
+let resolve_config ?instrument ?config () : Pass.config =
+  let c =
+    match config with Some c -> c | None -> Pass.default_config ()
+  in
+  match instrument with
+  | Some _ -> { c with Pass.instrument }
+  | None -> c
 
 (* ------------------------------------------------------------------ *)
-(* Stage 2: scalar replacement & feedback (storage level)              *)
+(* Stages                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let lower_to_kernel ?instrument (fr : front) : staged_kernel =
-  guard @@ fun () ->
-  let trace = ref fr.fr_trace in
-  let { run } = make_runner ?instrument trace in
-  let kernel_size (k : Kernel.t) = ast_size k.Kernel.dp in
-  let kernel =
-    run ~size:kernel_size "scalar-replacement" (fun () ->
-        try Scalar_replacement.run fr.fr_program fr.fr_func
-        with Scalar_replacement.Error msg -> errf "scalar replacement: %s" msg)
-  in
-  let kernel =
-    run ~size:kernel_size "feedback-detection" (fun () ->
-        let k = Feedback.annotate kernel in
-        Feedback.validate k;
-        k)
-  in
-  { sk_front = fr; sk_kernel = kernel; sk_trace = !trace }
+let front_end ?instrument ?config ?(options = default_options) ?(luts = [])
+    ~(entry : string) (source : string) : front =
+  let config = resolve_config ?instrument ?config () in
+  let st = Pass.initial ~luts ~options ~entry source in
+  front_of_state (Pass.run ~config Pass.front_passes st)
 
-(* ------------------------------------------------------------------ *)
-(* Stage 3: the back end (SUIFvm .. VHDL + estimates)                  *)
-(* ------------------------------------------------------------------ *)
+let lower_to_kernel ?instrument ?config (fr : front) : staged_kernel =
+  let config = resolve_config ?instrument ?config () in
+  let st = state_of_front fr in
+  staged_of_state (Pass.run ~config Pass.kernel_passes st)
 
-let back_end ?instrument ?(options = default_options) (sk : staged_kernel) :
-    compiled =
-  guard @@ fun () ->
-  let fr = sk.sk_front in
-  let kernel = sk.sk_kernel in
-  let luts = fr.fr_luts in
-  let trace = ref sk.sk_trace in
-  let { run } = make_runner ?instrument trace in
-  let lut_sigs = List.map Lut_conv.signature luts in
-  let proc_size (p : Proc.t) = List.length (Proc.all_instrs p) in
-  let proc =
-    run ~size:proc_size "lower-to-suifvm" (fun () ->
-        Lower.lower_kernel ~luts:lut_sigs kernel)
-  in
-  run ~size:(fun _ -> proc_size proc) "ssa-and-cfg" (fun () ->
-      let _cfg = Ssa.convert proc in
-      Ssa.verify proc);
-  if options.optimize_vm then
-    run ~size:(fun _ -> proc_size proc) "vm-optimize" (fun () ->
-        let _stats = Roccc_analysis.Optimize.run proc in
-        Ssa.verify proc);
-  let dp =
-    run ~size:Graph.instr_count "datapath-build" (fun () ->
-        let dp = Builder.build proc in
-        Builder.verify_adjoining dp;
-        dp)
-  in
-  let widths =
-    run ~size:(fun _ -> Graph.instr_count dp) "bit-width-inference" (fun () ->
-        if options.infer_widths then Widths.infer dp else Widths.declared dp)
-  in
-  let pipeline =
-    run ~size:Pipeline.latency "pipelining" (fun () ->
-        Pipeline.build ~target_ns:options.target_ns dp widths)
-  in
-  let design =
-    run
-      ~size:(fun (d : Roccc_vhdl.Ast.design) -> List.length d.Roccc_vhdl.Ast.units)
-      "vhdl-generation"
-      (fun () -> Gen.generate ~luts pipeline)
-  in
-  if options.check_vhdl then
-    run "vhdl-lint" (fun () ->
-        match Lint.check design with
-        | _ -> ()
-        | exception Lint.Error msg -> errf "generated VHDL fails lint: %s" msg);
-  let buffer_configs, area =
-    run
-      ~size:(fun (_, (a : Area.estimate)) -> a.Area.slices)
-      "area-estimation"
-      (fun () ->
-        let buffer_configs =
-          buffer_configs_of ~bus_elements:options.bus_elements kernel
-        in
-        buffer_configs, Area.estimate ~luts ~buffers:buffer_configs pipeline)
-  in
-  (* Figure 2 system wrapper from the pre-existing VHDL component library,
-     for the simple 1-D single-window shape. *)
-  let system_vhdl =
-    match kernel.Kernel.windows, kernel.Kernel.loops with
-    | [ w ], [ _ ] when List.for_all (fun o -> List.length o = 1) w.Kernel.win_offsets
-      ->
-      let win_ports = List.map snd w.Kernel.win_scalars in
-      let out_ports =
-        List.map
-          (fun (o : Kernel.output) ->
-            o.Kernel.port, o.Kernel.port_kind.Ast.bits)
-          kernel.Kernel.outputs
-      in
-      Some
-        (Roccc_vhdl.Library.system_wrapper_vhdl
-           ~dp_entity:proc.Proc.pname
-           ~element_bits:w.Kernel.win_kind.Ast.bits ~win_ports ~out_ports
-           ~total_words:(List.fold_left ( * ) 1 w.Kernel.win_dims)
-           ~iterations:(Kernel.iteration_space kernel)
-           ~latency:(Pipeline.latency pipeline))
-    | _ -> None
-  in
-  { source = fr.fr_source; entry = fr.fr_entry; options;
-    program = fr.fr_program; kernel; proc; dp; widths; pipeline; design;
-    buffer_configs; area; luts; system_vhdl; pass_trace = !trace }
+let back_end ?instrument ?config ?(options = default_options)
+    (sk : staged_kernel) : compiled =
+  let config = resolve_config ?instrument ?config () in
+  let st = state_of_staged ~options sk in
+  compiled_of_state (Pass.run ~config Pass.back_passes st)
 
 (** Compile one kernel function from C source to VHDL + estimates. *)
-let compile ?instrument ?(options = default_options) ?(luts = [])
+let compile ?instrument ?config ?(options = default_options) ?(luts = [])
     ~(entry : string) (source : string) : compiled =
-  let fr = front_end ?instrument ~options ~luts ~entry source in
-  let sk = lower_to_kernel ?instrument fr in
-  back_end ?instrument ~options sk
+  let fr = front_end ?instrument ?config ~options ~luts ~entry source in
+  let sk = lower_to_kernel ?instrument ?config fr in
+  back_end ?instrument ?config ~options sk
 
 (** The kernel-eligible functions of a source file (array or pointer
     parameters), in definition order. *)
@@ -509,12 +237,12 @@ let eligible_entries (source : string) : string list =
 (** Compile every hardware-eligible function in a source file (those with
     array or pointer parameters — the kernels); returns successes and
     per-function failures. *)
-let compile_all ?(options = default_options) ?(luts = []) (source : string) :
-    (string * compiled) list * (string * string) list =
+let compile_all ?config ?(options = default_options) ?(luts = [])
+    (source : string) : (string * compiled) list * (string * string) list =
   let entries = eligible_entries source in
   List.fold_left
     (fun (oks, errs) entry ->
-      match compile ~options ~luts ~entry source with
+      match compile ?config ~options ~luts ~entry source with
       | c -> oks @ [ entry, c ], errs
       | exception Error msg -> oks, errs @ [ entry, msg ])
     ([], []) entries

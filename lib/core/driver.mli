@@ -12,9 +12,11 @@
     {!instrument} hook. *)
 
 exception Error of string
+(** Equal to {!Pass.Error}: every failure carries the failing pass's name. *)
 
-(** Compilation options. Start from {!default_options} and override. *)
-type options = {
+(** Compilation options. Start from {!default_options} and override.
+    Equal to {!Pass.options}. *)
+type options = Pass.options = {
   unroll_inner_max : int;
       (** fully unroll inner loops with at most this trip count (for
           bit-step algorithms like division and square root); 0 = off *)
@@ -51,8 +53,9 @@ val options_fingerprint : options -> string
 
 (** {1 Pass instrumentation} *)
 
-(** One executed pass, as reported to the {!instrument} hook. *)
-type pass_stats = {
+(** One executed pass, as reported to the {!instrument} hook.
+    Equal to {!Pass.pass_stats}. *)
+type pass_stats = Pass.pass_stats = {
   pass_name : string;  (** the Figure 1 pass name, e.g. ["datapath-build"] *)
   started_s : float;  (** absolute wall-clock start, seconds since epoch *)
   elapsed_s : float;  (** wall-clock duration in seconds *)
@@ -74,7 +77,9 @@ type front = {
   fr_entry : string;
   fr_program : Roccc_cfront.Ast.program;  (** restricted to the entry *)
   fr_func : Roccc_cfront.Ast.func;
-  fr_luts : Roccc_hir.Lut_conv.table list;
+  fr_luts : Roccc_hir.Lut_conv.table list;  (** registered + converted *)
+  fr_seed_luts : Roccc_hir.Lut_conv.table list;
+      (** the tables registered before compilation began *)
   fr_trace : string list;
 }
 
@@ -109,6 +114,7 @@ type compiled = {
 
 val front_end :
   ?instrument:instrument ->
+  ?config:Pass.config ->
   ?options:options ->
   ?luts:Roccc_hir.Lut_conv.table list ->
   entry:string ->
@@ -117,17 +123,23 @@ val front_end :
 (** Parse and optimize down to the loop level. Only the option fields in
     {!front_options_fingerprint} are read. Raises {!Error}. *)
 
-val lower_to_kernel : ?instrument:instrument -> front -> staged_kernel
+val lower_to_kernel :
+  ?instrument:instrument -> ?config:Pass.config -> front -> staged_kernel
 (** Scalar replacement and feedback detection (reads no options).
     Raises {!Error}. *)
 
 val back_end :
-  ?instrument:instrument -> ?options:options -> staged_kernel -> compiled
+  ?instrument:instrument ->
+  ?config:Pass.config ->
+  ?options:options ->
+  staged_kernel ->
+  compiled
 (** SUIFvm lowering, SSA, data-path construction, pipelining, VHDL
     generation and estimation. Raises {!Error}. *)
 
 val compile :
   ?instrument:instrument ->
+  ?config:Pass.config ->
   ?options:options ->
   ?luts:Roccc_hir.Lut_conv.table list ->
   entry:string ->
@@ -144,12 +156,31 @@ val eligible_entries : string -> string list
     source file, in definition order. Raises {!Error} on parse failure. *)
 
 val compile_all :
+  ?config:Pass.config ->
   ?options:options ->
   ?luts:Roccc_hir.Lut_conv.table list ->
   string ->
   (string * compiled) list * (string * string) list
 (** Compile every hardware-eligible function (array/pointer parameters) in
     a source file: (name, compiled) successes and (name, error) failures. *)
+
+(** {1 Pipeline-state conversions}
+
+    Used by callers that drive the {!Pass} pipelines directly (the batch
+    service resumes compilation from per-pass cached states). *)
+
+val front_of_state : Pass.state -> front
+(** Project a state that has completed {!Pass.front_passes} (restricts the
+    program to the entry function). Raises {!Error} on missing fields. *)
+
+val staged_of_state : Pass.state -> staged_kernel
+(** Project a state that has completed {!Pass.kernel_passes}. *)
+
+val state_of_front : ?options:options -> front -> Pass.state
+(** Rebuild the pipeline state from a front-end result. *)
+
+val state_of_staged : options:options -> staged_kernel -> Pass.state
+(** Rebuild the pipeline state from a staged kernel. *)
 
 val simulate :
   ?scalars:(string * int64) list ->

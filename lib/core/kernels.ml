@@ -31,6 +31,44 @@ type benchmark = {
 let no_tune o = o
 
 (* ------------------------------------------------------------------ *)
+(* The running examples from the paper's figures (the Figure 2 FIR,    *)
+(* the global accumulator, and the if-conversion example) -- shared by *)
+(* the benches and the test suite.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let paper_fir_source =
+  "void fir(int A[21], int C[17]) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 17; i = i + 1) {\n\
+  \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
+  \  }\n\
+   }\n"
+
+let paper_acc_source =
+  "int sum = 0;\n\
+   void acc(int A[32], int* out) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 32; i++) {\n\
+  \    sum = sum + A[i];\n\
+  \  }\n\
+  \  *out = sum;\n\
+   }\n"
+
+let paper_if_else_source =
+  "void if_else(int x1, int x2, int* x3, int* x4) {\n\
+  \  int a, c;\n\
+  \  c = x1 - x2;\n\
+  \  if (c < x2)\n\
+  \    a = x1 * x1;\n\
+  \  else\n\
+  \    a = x1 * x2 + 3;\n\
+  \  c = c - a;\n\
+  \  *x3 = c;\n\
+  \  *x4 = a;\n\
+  \  return;\n\
+   }\n"
+
+(* ------------------------------------------------------------------ *)
 (* bit_correlator: bits of an 8-bit input equal to the constant mask    *)
 (* ------------------------------------------------------------------ *)
 

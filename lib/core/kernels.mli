@@ -13,6 +13,15 @@ type benchmark = {
   scalars : (string * int64) list;
 }
 
+val paper_fir_source : string
+(** The running FIR example from the paper's Figure 2. *)
+
+val paper_acc_source : string
+(** The global-accumulator (scalar feedback) example. *)
+
+val paper_if_else_source : string
+(** The if-conversion (predicated mux) example. *)
+
 val bit_correlator : benchmark
 val bit_correlator_mask : int
 val mul_acc : benchmark

@@ -94,6 +94,97 @@ let constant_values (dp : t) : (Instr.vreg, int64) Hashtbl.t =
 let instr_count (dp : t) : int =
   List.fold_left (fun acc n -> acc + List.length n.instrs) 0 dp.nodes
 
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Ill_formed of string
+
+let illf fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+(** Structural invariants of a built data path: node ids unique, the
+    [levels] index consistent with each node's [level], single assignment
+    across the whole graph, and forward dataflow — every operand is an
+    external input or is defined at a strictly earlier level, or earlier
+    within the same node. Feedback enters through LPR results (ordinary
+    definitions), so a well-formed graph is acyclic modulo the LPR/SNX
+    feedback registers. Raises {!Ill_formed} on the first violation. *)
+let verify (dp : t) : unit =
+  let ids = Hashtbl.create 32 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem ids n.id then illf "datapath: duplicate node id %d" n.id;
+      Hashtbl.replace ids n.id ())
+    dp.nodes;
+  let nlevels = Array.length dp.levels in
+  List.iter
+    (fun n ->
+      if n.level < 0 || n.level >= nlevels then
+        illf "datapath: node %d at level %d outside [0,%d)" n.id n.level nlevels;
+      if not (List.memq n dp.levels.(n.level)) then
+        illf "datapath: node %d missing from its level %d" n.id n.level)
+    dp.nodes;
+  Array.iteri
+    (fun lvl nodes ->
+      List.iter
+        (fun n ->
+          if n.level <> lvl then
+            illf "datapath: node %d indexed at level %d but labeled %d" n.id
+              lvl n.level)
+        nodes)
+    dp.levels;
+  (* single assignment + definition site (level, node, index) per register *)
+  let def_level : (Instr.vreg, int * int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      List.iteri
+        (fun k (i : Instr.instr) ->
+          match i.Instr.dst with
+          | Some d ->
+            if Hashtbl.mem def_level d then
+              illf "datapath: register v%d defined twice (node %d)" d n.id;
+            Hashtbl.replace def_level d (n.level, n.id, k)
+          | None -> ())
+        n.instrs)
+    dp.nodes;
+  let inputs = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Proc.port) -> Hashtbl.replace inputs p.Proc.port_reg ())
+    dp.input_ports;
+  List.iter
+    (fun n ->
+      List.iteri
+        (fun k (i : Instr.instr) ->
+          List.iter
+            (fun r ->
+              if not (Hashtbl.mem inputs r) then
+                match Hashtbl.find_opt def_level r with
+                | None ->
+                  illf "datapath: node %d uses undefined register v%d" n.id r
+                | Some (dl, dnode, dpos) ->
+                  if dl > n.level then
+                    illf
+                      "datapath: node %d (level %d) uses v%d defined at later \
+                       level %d"
+                      n.id n.level r dl
+                  else if dnode = n.id && dpos >= k then
+                    illf
+                      "datapath: node %d uses v%d before its definition at \
+                       level %d"
+                      n.id r dl)
+            i.Instr.srcs)
+        n.instrs)
+    dp.nodes;
+  List.iter
+    (fun (p : Proc.port) ->
+      if
+        (not (Hashtbl.mem def_level p.Proc.port_reg))
+        && not (Hashtbl.mem inputs p.Proc.port_reg)
+      then
+        illf "datapath: output port %s reads undefined register v%d"
+          p.Proc.port_name p.Proc.port_reg)
+    dp.output_ports
+
 let copy_count (dp : t) : int =
   List.fold_left
     (fun acc n ->

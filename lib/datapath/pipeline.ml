@@ -312,3 +312,118 @@ let describe (p : t) : string =
         (Printf.sprintf "  stage %d: %d instr(s), %.2f ns\n" s count d))
     p.stage_delays;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Invariants of a staged pipeline: every data-path instruction is staged
+    exactly once, stages lie in [0, stage_count), dataflow is forward
+    (a producer's stage never exceeds its consumer's, LPRs excepted — they
+    read the previous iteration), each feedback's LPR/SNX pair shares one
+    stage, and the recorded latch/feedback bit counts balance against a
+    recomputation from the stage assignment. Raises {!Error}. *)
+let verify (p : t) : unit =
+  let n_staged = List.length p.instrs in
+  let n_graph = Graph.instr_count p.dp in
+  if n_staged <> n_graph then
+    errf "pipeline: %d staged instruction(s) but the data path has %d"
+      n_staged n_graph;
+  if Array.length p.stage_delays <> p.stage_count then
+    errf "pipeline: %d stage delay(s) for %d stage(s)"
+      (Array.length p.stage_delays) p.stage_count;
+  List.iter
+    (fun si ->
+      if si.stage < 0 || si.stage >= p.stage_count then
+        errf "pipeline: instruction staged at %d outside [0,%d)" si.stage
+          p.stage_count)
+    p.instrs;
+  let producer : (Instr.vreg, staged_instr) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun si ->
+      match si.si.Instr.dst with
+      | Some d -> Hashtbl.replace producer d si
+      | None -> ())
+    p.instrs;
+  List.iter
+    (fun si ->
+      match si.si.Instr.op with
+      | Instr.Lpr _ -> ()  (* reads the feedback register, not a wire *)
+      | _ ->
+        List.iter
+          (fun r ->
+            match Hashtbl.find_opt producer r with
+            | Some prod when prod.stage > si.stage ->
+              errf
+                "pipeline: value v%d produced at stage %d but consumed at \
+                 stage %d"
+                r prod.stage si.stage
+            | Some _ | None -> ())
+          si.si.Instr.srcs)
+    p.instrs;
+  List.iter
+    (fun (name, _, _) ->
+      let stages op_match =
+        List.filter_map
+          (fun si ->
+            match si.si.Instr.op with
+            | op when op_match op -> Some si.stage
+            | _ -> None)
+          p.instrs
+      in
+      let lpr_stages =
+        stages (function Instr.Lpr n -> String.equal n name | _ -> false)
+      in
+      let snx_stages =
+        stages (function Instr.Snx n -> String.equal n name | _ -> false)
+      in
+      match lpr_stages, snx_stages with
+      | _, [] | [], _ -> ()
+      | ls, ss ->
+        List.iter
+          (fun l ->
+            List.iter
+              (fun s ->
+                if l <> s then
+                  errf "pipeline: feedback %s latched across stages %d and %d"
+                    name l s)
+              ss)
+          ls)
+    p.dp.Graph.proc.Proc.feedbacks;
+  (* latch balance: recompute register crossings from the stage assignment *)
+  let last_use : (Instr.vreg, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun si ->
+      List.iter
+        (fun r ->
+          let cur = Option.value (Hashtbl.find_opt last_use r) ~default:(-1) in
+          if si.stage > cur then Hashtbl.replace last_use r si.stage)
+        si.si.Instr.srcs)
+    p.instrs;
+  List.iter
+    (fun (port : Proc.port) ->
+      Hashtbl.replace last_use port.Proc.port_reg p.stage_count)
+    p.dp.Graph.output_ports;
+  let latch_bits =
+    Hashtbl.fold
+      (fun r use_stage acc ->
+        let def_stage =
+          match Hashtbl.find_opt producer r with
+          | Some prod -> prod.stage
+          | None -> 0
+        in
+        let crossings = max 0 (use_stage - def_stage) in
+        acc + (crossings * (try Widths.width p.widths r with _ -> 32)))
+      last_use 0
+  in
+  if latch_bits <> p.latch_bits then
+    errf "pipeline: latch bits out of balance — recorded %d, stages imply %d"
+      p.latch_bits latch_bits;
+  let feedback_bits =
+    List.fold_left
+      (fun acc (_, kind, _) -> acc + kind.Roccc_cfront.Ast.bits)
+      0 p.dp.Graph.proc.Proc.feedbacks
+  in
+  if feedback_bits <> p.feedback_bits then
+    errf "pipeline: feedback bits out of balance — recorded %d, expected %d"
+      p.feedback_bits feedback_bits

@@ -41,3 +41,10 @@ val build : ?target_ns:float -> Graph.t -> Widths.t -> t
     single stage. *)
 
 val describe : t -> string
+
+val verify : t -> unit
+(** Invariant check on a staged pipeline: every data-path instruction
+    staged once within [0, stage_count), forward dataflow across stages
+    (LPRs excepted), each feedback LPR/SNX pair in a single stage, and the
+    recorded latch/feedback bit totals balancing a recomputation from the
+    stage assignment. Raises {!Error}. *)

@@ -1,16 +1,17 @@
 (* The content-addressed pass cache.
 
-   In memory it maps fingerprints to stage outputs of three granularities:
-   the front-end result, the scalar-replaced kernel, and the finished
-   artifact (VHDL + estimates). On disk (optional, under _roccc_cache/)
-   only artifacts are persisted: they are plain strings and numbers, so a
-   marshalled artifact is safe to reload in any later process, whereas the
-   in-memory IR values are not worth the versioning hazard.
+   In memory it maps fingerprints to intermediate pipeline states — one per
+   executed mid-end pass, keyed by the chained per-pass fingerprints — and
+   to finished artifacts (VHDL + estimates). On disk (optional, under
+   _roccc_cache/) only artifacts are persisted: they are plain strings and
+   numbers, so a marshalled artifact is safe to reload in any later
+   process, whereas the in-memory IR values are not worth the versioning
+   hazard.
 
    All operations are thread-safe; the cache is shared by the scheduler's
    worker domains. *)
 
-module Driver = Roccc_core.Driver
+module Pass = Roccc_core.Pass
 
 type artifact = {
   art_entry : string;
@@ -25,8 +26,8 @@ type artifact = {
 }
 
 type value =
-  | Front of Driver.front
-  | Kernel of Driver.staged_kernel
+  | State of Pass.state
+      (* mid-end pipeline state (immutable IR only) after one pass *)
   | Artifact of artifact
 
 type stats = {

@@ -1,10 +1,12 @@
-(** Content-addressed pass cache: fingerprints to stage outputs, shared by
-    the scheduler's worker domains (all operations are thread-safe).
+(** Content-addressed pass cache: fingerprints to pipeline states and
+    artifacts, shared by the scheduler's worker domains (all operations
+    are thread-safe).
 
-    Front-end and kernel stage results are memoized in memory only (they
-    hold compiler IR); finished artifacts — the VHDL text plus estimates —
-    are additionally persisted under a disk directory when one is given,
-    surviving the process. *)
+    Mid-end pipeline states (one per executed pass, keyed by chained
+    per-pass fingerprints) are memoized in memory only — they hold
+    immutable compiler IR; finished artifacts — the VHDL text plus
+    estimates — are additionally persisted under a disk directory when one
+    is given, surviving the process. *)
 
 (** A finished compilation, reduced to plain data (safe to marshal). *)
 type artifact = {
@@ -18,8 +20,8 @@ type artifact = {
 }
 
 type value =
-  | Front of Roccc_core.Driver.front
-  | Kernel of Roccc_core.Driver.staged_kernel
+  | State of Roccc_core.Pass.state
+      (** mid-end pipeline state (immutable IR only) after one pass *)
   | Artifact of artifact
 
 type stats = {

@@ -37,4 +37,22 @@ let make ~(stage : string) ~(source : string) ~(entry : string)
   in
   Digest.to_hex (Digest.string (String.concat "\x00" parts))
 
+(* Per-pass chained keys: the key after pass N is a digest of the key
+   after pass N-1, the pass name and that pass's own option fingerprint.
+   Equal chains mean "same pipeline state" — a back-end option sweep keeps
+   every mid-end chain link equal, so all mid-end states are shared. *)
+
+let seed ~(source : string) ~(entry : string)
+    ~(luts : Lut_conv.table list) : t =
+  let parts =
+    [ "roccc-cache-v1"; "seed"; entry;
+      Digest.to_hex (Digest.string source) ]
+    @ List.map lut_part luts
+  in
+  Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let chain (prev : t) ~(pass : string) ~(options_fp : string) : t =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" [ prev; pass; options_fp ]))
+
 let to_hex (t : t) : string = t

@@ -15,5 +15,15 @@ val make :
     stages and {!Roccc_core.Driver.options_fingerprint} for full results,
     so that back-end-only option changes still share front-end work. *)
 
+val seed :
+  source:string -> entry:string -> luts:Roccc_hir.Lut_conv.table list -> t
+(** The chain origin for per-pass keys: everything that determines the
+    initial pipeline state of a compilation. *)
+
+val chain : t -> pass:string -> options_fp:string -> t
+(** [chain prev ~pass ~options_fp] is the key of the pipeline state after
+    running [pass] (with its per-pass option fingerprint) on the state
+    keyed by [prev]. *)
+
 val to_hex : t -> string
 (** The key as a filesystem-safe hex string. *)

@@ -1,17 +1,21 @@
 (* The batch compilation service: content-addressed caching + the domain
-   scheduler + structured tracing, over the staged driver pipeline.
+   scheduler + structured tracing, over the pass-manager pipeline.
 
    A job is (source, entry, options, luts). Compilation consults the cache
-   at three fingerprints, deepest first:
+   deepest-first at per-pass granularity:
 
-     full    (all options)        -> finished artifact, memory or disk
-     kernel  (front options only) -> scalar-replaced kernel
-     front   (front options only) -> parsed/optimized AST
+     full artifact (all options)          -> memory or disk
+     one chained key per mid-end pass     -> pipeline state, memory only
 
-   so a warm rerun costs one lookup, and a back-end option sweep (bus
-   width, stage budget, width inference) re-runs only the back end. *)
+   The chained keys cover the front + kernel pipelines (parse through
+   feedback-detection); each link digests the previous link, the pass name
+   and that pass's own option fingerprint, so a warm rerun costs one
+   lookup, a front option change re-runs only from the first affected
+   pass, and a back-end option sweep (bus width, stage budget, width
+   inference) reuses every mid-end pass and re-runs only the back end. *)
 
 module Driver = Roccc_core.Driver
+module Pass = Roccc_core.Pass
 module Kernels = Roccc_core.Kernels
 module Lut_conv = Roccc_hir.Lut_conv
 module Area = Roccc_fpga.Area
@@ -92,31 +96,64 @@ let success_of_artifact ~label ~elapsed ~origin (a : Cache.artifact) : success
     r_elapsed_s = elapsed;
     r_origin = origin }
 
-let keys (job : job) =
-  let front_fp = Driver.front_options_fingerprint job.options in
-  let full_fp = Driver.options_fingerprint job.options in
-  let key stage options_fp =
-    Fingerprint.make ~stage ~source:job.source ~entry:job.entry ~options_fp
-      ~luts:job.luts
-  in
-  key "front" front_fp, key "kernel" front_fp, key "full" full_fp
+(* The mid-end pipeline whose states are cached per pass: everything up to
+   (and including) the storage-level kernel passes. The back end mutates
+   its procedure in place, so its states are never shared. *)
+let mid_passes = Pass.front_passes @ Pass.kernel_passes
 
-(** Compile one job, consulting [cache] deepest-stage-first and reporting
-    per-pass spans to [trace]. Raises {!Driver.Error} on failure. *)
-let compile_cached ?cache ?trace ?(tid = 0) (job : job) : success =
-  let t0 = now () in
-  let instrument =
-    Option.map
-      (fun tr (ps : Driver.pass_stats) ->
-        Trace.add_span tr ~cat:"pass" ~tid ~name:ps.Driver.pass_name
-          ~start_s:ps.Driver.started_s ~dur_s:ps.Driver.elapsed_s
-          ~args:
-            [ "job", Trace.Str job.label;
-              "ir_size", Trace.Int ps.Driver.ir_size ]
-          ())
-      trace
+let full_key (job : job) : Fingerprint.t =
+  Fingerprint.make ~stage:"full" ~source:job.source ~entry:job.entry
+    ~options_fp:(Driver.options_fingerprint job.options)
+    ~luts:job.luts
+
+(** The chained per-pass fingerprints of the job's mid-end pipeline, in
+    execution order: one (pass, key-of-state-after-it) per statically
+    selected pass. *)
+let pass_keys ?config (job : job) : (Pass.pass * Fingerprint.t) list =
+  let selected = Pass.executed ?config job.options mid_passes in
+  let seed =
+    Fingerprint.seed ~source:job.source ~entry:job.entry ~luts:job.luts
   in
-  let front_key, kernel_key, full_key = keys job in
+  let _, keyed =
+    List.fold_left
+      (fun (fp, acc) (p : Pass.pass) ->
+        let fp =
+          Fingerprint.chain fp ~pass:p.Pass.name
+            ~options_fp:(p.Pass.fingerprint job.options)
+        in
+        fp, (p, fp) :: acc)
+      (seed, []) selected
+  in
+  List.rev keyed
+
+(** Compile one job, consulting [cache] deepest-first — the full artifact,
+    then the chained per-pass states of the mid-end pipeline — resuming
+    from the deepest cached state and reporting per-pass spans to [trace]
+    (reused passes appear with a [cached] argument and zero duration).
+    Raises {!Driver.Error} on failure. *)
+let compile_cached ?cache ?config ?trace ?(tid = 0) (job : job) : success =
+  let t0 = now () in
+  let base_config =
+    match config with Some c -> c | None -> Pass.default_config ()
+  in
+  Pass.validate_selection base_config;
+  let config =
+    { base_config with
+      Pass.instrument =
+        Some
+          (fun (ps : Driver.pass_stats) ->
+            Option.iter (fun f -> f ps) base_config.Pass.instrument;
+            Option.iter
+              (fun tr ->
+                Trace.add_span tr ~cat:"pass" ~tid ~name:ps.Driver.pass_name
+                  ~start_s:ps.Driver.started_s ~dur_s:ps.Driver.elapsed_s
+                  ~args:
+                    [ "job", Trace.Str job.label;
+                      "ir_size", Trace.Int ps.Driver.ir_size ]
+                  ())
+              trace) }
+  in
+  let full_key = full_key job in
   let finish origin (c : Driver.compiled) =
     let art = artifact_of c in
     Option.iter (fun cache -> Cache.store cache full_key (Cache.Artifact art)) cache;
@@ -129,29 +166,51 @@ let compile_cached ?cache ?trace ?(tid = 0) (job : job) : success =
     in
     success_of_artifact ~label:job.label ~elapsed:(now () -. t0) ~origin a
   | Some _ | None ->
-    let staged, stage_hit =
-      match Option.bind cache (fun c -> Cache.find c kernel_key) with
-      | Some (Cache.Kernel sk, _) -> sk, true
-      | _ ->
-        let front, front_hit =
-          match Option.bind cache (fun c -> Cache.find c front_key) with
-          | Some (Cache.Front fr, _) -> fr, true
-          | _ ->
-            let fr =
-              Driver.front_end ?instrument ~options:job.options
-                ~luts:job.luts ~entry:job.entry job.source
-            in
-            Option.iter
-              (fun c -> Cache.store c front_key (Cache.Front fr))
-              cache;
-            fr, false
-        in
-        let sk = Driver.lower_to_kernel ?instrument front in
-        Option.iter (fun c -> Cache.store c kernel_key (Cache.Kernel sk)) cache;
-        sk, front_hit
+    let keyed = Array.of_list (pass_keys ~config:base_config job) in
+    let n = Array.length keyed in
+    (* deepest cached state first *)
+    let rec probe i =
+      if i < 0 then None
+      else
+        match
+          Option.bind cache (fun c -> Cache.find c (snd keyed.(i)))
+        with
+        | Some (Cache.State st, _) -> Some (i, st)
+        | _ -> probe (i - 1)
     in
-    let c = Driver.back_end ?instrument ~options:job.options staged in
-    finish (if stage_hit then Warm_stage else Cold) c
+    let st, start_idx =
+      match if cache = None then None else probe (n - 1) with
+      | Some (idx, st) ->
+        (* Cached mid-end states hold only immutable IR; re-bind the
+           job-specific options (the chain guarantees every option field a
+           reused pass reads is equal). Reused passes get zero-duration
+           spans so the trace still shows the full Figure 1 pipeline. *)
+        Option.iter
+          (fun tr ->
+            let t = now () in
+            List.iter
+              (fun name ->
+                Trace.add_span tr ~cat:"pass" ~tid ~name ~start_s:t
+                  ~dur_s:0.0
+                  ~args:
+                    [ "job", Trace.Str job.label; "cached", Trace.Int 1 ]
+                  ())
+              st.Pass.st_trace)
+          trace;
+        { st with Pass.st_options = job.options }, idx + 1
+      | None ->
+        ( Pass.initial ~luts:job.luts ~options:job.options ~entry:job.entry
+            job.source,
+          0 )
+    in
+    let st = ref st in
+    for i = start_idx to n - 1 do
+      let p, key = keyed.(i) in
+      st := Pass.step ~config p !st;
+      Option.iter (fun c -> Cache.store c key (Cache.State !st)) cache
+    done;
+    let c = Driver.back_end ~config ~options:job.options (Driver.staged_of_state !st) in
+    finish (if start_idx < n then Cold else Warm_stage) c
 
 (* ------------------------------------------------------------------ *)
 (* Batches                                                             *)
@@ -166,7 +225,8 @@ let describe_error (e : exn) : string option =
   | Roccc_vm.Instr.Vm_error msg -> Some ("vm error: " ^ msg)
   | _ -> None
 
-let run_batch ?cache ?trace ?(num_domains = 0) (jobs : job list) : report =
+let run_batch ?cache ?config ?trace ?(num_domains = 0) (jobs : job list) :
+    report =
   let t0 = now () in
   let arr = Array.of_list jobs in
   let domains =
@@ -175,7 +235,7 @@ let run_batch ?cache ?trace ?(num_domains = 0) (jobs : job list) : report =
   in
   let f ~tid (job : job) : success =
     let j0 = now () in
-    match compile_cached ?cache ?trace ~tid job with
+    match compile_cached ?cache ?config ?trace ~tid job with
     | s ->
       Option.iter
         (fun tr ->

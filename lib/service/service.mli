@@ -45,13 +45,27 @@ type report = {
 }
 
 val compile_cached :
-  ?cache:Cache.t -> ?trace:Trace.t -> ?tid:int -> job -> success
-(** Compile one job, consulting the cache deepest-stage-first (full
-    artifact, then kernel, then front end) and tracing each executed pass.
-    Raises {!Roccc_core.Driver.Error} on failure. *)
+  ?cache:Cache.t ->
+  ?config:Roccc_core.Pass.config ->
+  ?trace:Trace.t ->
+  ?tid:int ->
+  job ->
+  success
+(** Compile one job, consulting the cache deepest-first — the finished
+    artifact, then one chained fingerprint per mid-end pass (parse through
+    feedback-detection) — resuming compilation from the deepest cached
+    pipeline state and tracing each pass (reused passes appear with a
+    [cached] argument and zero duration). [config] selects passes and
+    enables IR verification / differential checks. Raises
+    {!Roccc_core.Driver.Error} on failure. *)
 
 val run_batch :
-  ?cache:Cache.t -> ?trace:Trace.t -> ?num_domains:int -> job list -> report
+  ?cache:Cache.t ->
+  ?config:Roccc_core.Pass.config ->
+  ?trace:Trace.t ->
+  ?num_domains:int ->
+  job list ->
+  report
 (** Run a batch across up to [num_domains] workers ([<= 0] or omitted:
     {!Scheduler.default_domains}). One kernel's failure does not affect
     the other jobs. *)

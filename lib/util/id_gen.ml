@@ -2,11 +2,29 @@
 
     Every IR in the compiler (virtual registers, CFG blocks, datapath nodes,
     VHDL signals) needs fresh ids. A generator is a value, not global state,
-    so independent compilations are reproducible. *)
+    so independent compilations are reproducible.
 
-type t = { mutable next : int }
+    Any generator that nonetheless must outlive one compilation (a
+    process-wide counter) is required to be {!register}ed; the driver calls
+    {!reset_registered} at the start of every compilation so repeated
+    compiles in one process — and cache replays — produce byte-identical IR
+    and VHDL. All generators in the compiler today are function-local or
+    per-procedure; the registry is the guard that keeps any future global
+    counter deterministic too. *)
 
-let create ?(start = 0) () = { next = start }
+type t = { mutable next : int; start : int }
+
+(* Process-wide generators, reset at the start of every compilation.
+   Registration is rare (normally never) but must be safe from any domain. *)
+let registry : t list ref = ref []
+let registry_lock = Mutex.create ()
+
+let create ?(start = 0) () = { next = start; start }
+
+let register t =
+  Mutex.lock registry_lock;
+  if not (List.memq t !registry) then registry := t :: !registry;
+  Mutex.unlock registry_lock
 
 let fresh t =
   let id = t.next in
@@ -15,4 +33,10 @@ let fresh t =
 
 let peek t = t.next
 
-let reset t = t.next <- 0
+let reset t = t.next <- t.start
+
+let reset_registered () =
+  Mutex.lock registry_lock;
+  let gens = !registry in
+  Mutex.unlock registry_lock;
+  List.iter reset gens

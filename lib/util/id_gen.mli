@@ -12,4 +12,14 @@ val peek : t -> int
 (** [peek t] is the id the next [fresh] call would return. *)
 
 val reset : t -> unit
-(** [reset t] restarts the generator at 0. *)
+(** [reset t] restarts the generator at its start value. *)
+
+val register : t -> unit
+(** Enroll a process-wide generator in the reset registry. Generators
+    should normally be function-local values; any generator that outlives
+    one compilation must be registered so {!reset_registered} restores it
+    between compilations, keeping repeated compiles byte-identical. *)
+
+val reset_registered : unit -> unit
+(** Reset every registered generator to its start value. The driver calls
+    this at the start of each compilation. *)

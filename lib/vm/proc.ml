@@ -103,6 +103,130 @@ let block_uses (b : block) : Instr.vreg list =
 let all_instrs (p : t) : Instr.instr list =
   List.concat_map (fun b -> b.instrs) p.blocks
 
+(** Deep copy: mutating the copy (SSA conversion, the optimizer) leaves the
+    original untouched. Instructions and phis are immutable records, so the
+    lists are shared; blocks and the kind table are fresh. *)
+let copy (p : t) : t =
+  { pname = p.pname;
+    blocks =
+      List.map
+        (fun b ->
+          { label = b.label; phis = b.phis; instrs = b.instrs; term = b.term })
+        p.blocks;
+    inputs = p.inputs;
+    outputs = p.outputs;
+    reg_kinds = Hashtbl.copy p.reg_kinds;
+    reg_gen = Roccc_util.Id_gen.create ~start:(Roccc_util.Id_gen.peek p.reg_gen) ();
+    label_gen =
+      Roccc_util.Id_gen.create ~start:(Roccc_util.Id_gen.peek p.label_gen) ();
+    feedbacks = p.feedbacks }
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Ill_formed of string
+
+let illf fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+(** Structural CFG invariants, independent of SSA form: non-empty, unique
+    block labels, terminator targets resolve, phi arguments come from
+    actual predecessors and cover every predecessor, and every used
+    register has a definition (an instruction, a phi, or an input port).
+    Raises {!Ill_formed} on the first violation. *)
+let verify_cfg (p : t) : unit =
+  if p.blocks = [] then illf "proc %s has no blocks" p.pname;
+  let labels = List.map (fun b -> b.label) p.blocks in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      if Hashtbl.mem seen l then illf "proc %s: duplicate block L%d" p.pname l;
+      Hashtbl.replace seen l ())
+    labels;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem seen l) then
+            illf "proc %s: L%d jumps to missing block L%d" p.pname b.label l)
+        (successors b))
+    p.blocks;
+  (* predecessor map *)
+  let preds : (label, label list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          Hashtbl.replace preds s
+            (b.label :: Option.value (Hashtbl.find_opt preds s) ~default:[]))
+        (successors b))
+    p.blocks;
+  List.iter
+    (fun b ->
+      let bpreds = Option.value (Hashtbl.find_opt preds b.label) ~default:[] in
+      List.iter
+        (fun phi ->
+          let arg_labels = List.map fst phi.phi_args in
+          let uniq = List.sort_uniq compare arg_labels in
+          if List.length uniq <> List.length arg_labels then
+            illf "proc %s: phi v%d in L%d repeats a predecessor" p.pname
+              phi.phi_dst b.label;
+          List.iter
+            (fun l ->
+              if not (List.mem l bpreds) then
+                illf "proc %s: phi v%d in L%d names non-predecessor L%d"
+                  p.pname phi.phi_dst b.label l)
+            arg_labels;
+          List.iter
+            (fun l ->
+              if not (List.mem l arg_labels) then
+                illf "proc %s: phi v%d in L%d misses predecessor L%d" p.pname
+                  phi.phi_dst b.label l)
+            bpreds)
+        b.phis)
+    p.blocks;
+  (* every use has some definition *)
+  let defined = Hashtbl.create 64 in
+  List.iter (fun port -> Hashtbl.replace defined port.port_reg ()) p.inputs;
+  List.iter
+    (fun b ->
+      List.iter (fun phi -> Hashtbl.replace defined phi.phi_dst ()) b.phis;
+      List.iter
+        (fun (i : Instr.instr) ->
+          match i.Instr.dst with
+          | Some d -> Hashtbl.replace defined d ()
+          | None -> ())
+        b.instrs)
+    p.blocks;
+  let check_use where r =
+    if not (Hashtbl.mem defined r) then
+      illf "proc %s: %s uses undefined register v%d" p.pname where r
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun phi ->
+          List.iter
+            (fun (_, r) ->
+              check_use (Printf.sprintf "phi v%d in L%d" phi.phi_dst b.label) r)
+            phi.phi_args)
+        b.phis;
+      List.iter
+        (fun (i : Instr.instr) ->
+          List.iter
+            (check_use (Printf.sprintf "instruction in L%d" b.label))
+            i.Instr.srcs)
+        b.instrs;
+      match b.term with
+      | Branch (r, _, _) ->
+        check_use (Printf.sprintf "branch in L%d" b.label) r
+      | Jump _ | Ret -> ())
+    p.blocks;
+  List.iter
+    (fun port ->
+      check_use (Printf.sprintf "output port %s" port.port_name) port.port_reg)
+    p.outputs
+
 let to_string (p : t) : string =
   let buf = Buffer.create 512 in
   Buffer.add_string buf (Printf.sprintf "proc %s\n" p.pname);

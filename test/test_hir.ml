@@ -303,23 +303,9 @@ let test_inline_in_loop () =
 (* Scalar replacement                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let fir_source =
-  "void fir(int A[21], int C[17]) {\n\
-  \  int i;\n\
-  \  for (i = 0; i < 17; i = i + 1) {\n\
-  \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
-  \  }\n\
-   }\n"
+let fir_source = Roccc_core.Kernels.paper_fir_source
 
-let acc_source =
-  "int sum = 0;\n\
-   void acc(int A[32], int* out) {\n\
-  \  int i;\n\
-  \  for (i = 0; i < 32; i++) {\n\
-  \    sum = sum + A[i];\n\
-  \  }\n\
-  \  *out = sum;\n\
-   }\n"
+let acc_source = Roccc_core.Kernels.paper_acc_source
 
 let kernel_of src name =
   let prog = parse src in

@@ -9,23 +9,9 @@ open Roccc_datapath
 open Roccc_buffers
 open Roccc_hw
 
-let fir_source =
-  "void fir(int A[21], int C[17]) {\n\
-  \  int i;\n\
-  \  for (i = 0; i < 17; i = i + 1) {\n\
-  \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
-  \  }\n\
-   }\n"
+let fir_source = Roccc_core.Kernels.paper_fir_source
 
-let acc_source =
-  "int sum = 0;\n\
-   void acc(int A[32], int* out) {\n\
-  \  int i;\n\
-  \  for (i = 0; i < 32; i++) {\n\
-  \    sum = sum + A[i];\n\
-  \  }\n\
-  \  *out = sum;\n\
-   }\n"
+let acc_source = Roccc_core.Kernels.paper_acc_source
 
 (* Compile a kernel all the way to datapath + pipeline. *)
 let compile src name =

@@ -9,23 +9,9 @@ module Trace = Roccc_service.Trace
 module Scheduler = Roccc_service.Scheduler
 module Instr = Roccc_vm.Instr
 
-let fir_source =
-  "void fir(int A[21], int C[17]) {\n\
-  \  int i;\n\
-  \  for (i = 0; i < 17; i = i + 1) {\n\
-  \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
-  \  }\n\
-   }\n"
+let fir_source = Roccc_core.Kernels.paper_fir_source
 
-let acc_source =
-  "int sum = 0;\n\
-   void acc(int A[32], int* out) {\n\
-  \  int i;\n\
-  \  for (i = 0; i < 32; i++) {\n\
-  \    sum = sum + A[i];\n\
-  \  }\n\
-  \  *out = sum;\n\
-   }\n"
+let acc_source = Roccc_core.Kernels.paper_acc_source
 
 let bad_source = "void broken(int A[8], int* out) {\n  int i\n  *out = 1;\n}\n"
 
@@ -199,6 +185,49 @@ let test_sweep_grid () =
       rest
   | _ -> Alcotest.fail "unexpected sweep report shape"
 
+(* Acceptance criterion: a back-end option sweep reuses every mid-end
+   pass — the trace shows one cached span per mid-end pass. *)
+let test_sweep_per_pass_cache_hits () =
+  let cache = Cache.create () in
+  let _ = Service.compile_cached ~cache (fir_job ()) in
+  let trace = Trace.create () in
+  let bus2 =
+    fir_job ~label:"fir.b2"
+      ~options:{ Driver.default_options with Driver.bus_elements = 2 } ()
+  in
+  let r = Service.compile_cached ~cache ~trace bus2 in
+  Alcotest.check origin "bus sweep only re-runs the back end"
+    Service.Warm_stage r.Service.r_origin;
+  let spans = Trace.spans trace in
+  let cached_names =
+    List.filter_map
+      (fun (sp : Trace.span) ->
+        if sp.Trace.sp_cat = "pass" && List.mem_assoc "cached" sp.Trace.sp_args
+        then Some sp.Trace.sp_name
+        else None)
+      spans
+  in
+  let mid_names =
+    List.map
+      (fun (p : Roccc_core.Pass.pass) -> p.Roccc_core.Pass.name)
+      (Roccc_core.Pass.executed Driver.default_options
+         (Roccc_core.Pass.front_passes @ Roccc_core.Pass.kernel_passes))
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mid-end pass %s hit the cache" name)
+        true (List.mem name cached_names))
+    mid_names;
+  (* back-end passes actually ran: live spans without the cached marker *)
+  Alcotest.(check bool) "back end ran live" true
+    (List.exists
+       (fun (sp : Trace.span) ->
+         sp.Trace.sp_cat = "pass"
+         && sp.Trace.sp_name = "vhdl-generation"
+         && not (List.mem_assoc "cached" sp.Trace.sp_args))
+       spans)
+
 (* ---- scheduler ---- *)
 
 let test_scheduler_deterministic_slots () =
@@ -326,6 +355,8 @@ let suites =
         test_warm_batch_faster_with_hits;
       Alcotest.test_case "sweep grid reuses the front end" `Quick
         test_sweep_grid;
+      Alcotest.test_case "sweep hits the cache for every mid-end pass" `Quick
+        test_sweep_per_pass_cache_hits;
       Alcotest.test_case "scheduler slots are deterministic" `Quick
         test_scheduler_deterministic_slots;
       Alcotest.test_case "trace exports chrome JSON" `Quick

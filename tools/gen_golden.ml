@@ -1,0 +1,37 @@
+(* Regenerate the test/golden IR dump files:
+     dune exec tools/gen_golden.exe -- test/golden
+   Run from the repository root after an intentional IR or printer change,
+   then review the diff. *)
+
+module Pass = Roccc_core.Pass
+module Driver = Roccc_core.Driver
+module Kernels = Roccc_core.Kernels
+
+let dump_passes =
+  [ "parse"; "constant-fold"; "lower-to-suifvm"; "datapath-build" ]
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  let b = Kernels.fir in
+  let dumps = ref [] in
+  let config =
+    { (Pass.default_config ()) with
+      Pass.dump_after = dump_passes;
+      on_dump = (fun name text -> dumps := !dumps @ [ name, text ]) }
+  in
+  let (_ : Driver.compiled) =
+    Driver.compile ~config
+      ~options:(b.Kernels.tune Driver.default_options)
+      ~luts:b.Kernels.luts ~entry:b.Kernels.entry b.Kernels.source
+  in
+  List.iter
+    (fun name ->
+      match List.rev (List.filter (fun (n, _) -> n = name) !dumps) with
+      | (_, text) :: _ ->
+        let path = Filename.concat dir (Printf.sprintf "fir.%s.txt" name) in
+        let oc = open_out_bin path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
+      | [] -> failwith ("no dump for " ^ name))
+    dump_passes
