@@ -176,6 +176,9 @@ type state = {
 
 let initial ?(luts = []) ~(options : options) ~(entry : string)
     (source : string) : state =
+  (* Reset this domain's registered id generators at compilation start so
+     repeated compiles in one process produce byte-identical IR. *)
+  Roccc_util.Id_gen.reset_registered ();
   { st_source = source;
     st_entry = entry;
     st_options = options;
@@ -289,14 +292,15 @@ let diff_iterations = 4
 
 (* Small positive values inside the kind's range: enough to exercise the
    arithmetic (including width truncation) without tripping division by
-   zero on kernels that divide by an input. *)
+   zero on kernels that divide by an input. Kinds too narrow to hold a
+   positive value (signed 1-bit, whose range is [-1, 0]) get 0. *)
 let det_value ~(seed : int) ~(i : int) (kind : Ast.ikind) : int64 =
   let h = ((seed * 1103515245) + ((i + 1) * 12345)) land 0x3FFFFFFF in
   let cap =
     if kind.Ast.signed then (1 lsl (min 30 (kind.Ast.bits - 1))) - 1
     else (1 lsl min 30 kind.Ast.bits) - 1
   in
-  Int64.of_int (1 + (h mod max 1 (min 96 cap)))
+  if cap < 1 then 0L else Int64.of_int (1 + (h mod min 96 cap))
 
 let seed_of (s : string) : int = Hashtbl.hash s land 0xFFFFFF
 
@@ -1115,6 +1119,18 @@ let executed ?config (options : options) (passes : pass list) : pass list =
   in
   List.filter (fun p -> p.enabled options && selected_in config p) passes
 
+(** Canonical rendering of the config's pass selection — the part of a
+    finished artifact's cache identity that [options_fingerprint] cannot
+    see (disabling [vm-optimize] changes the generated VHDL without
+    changing any option field). Order-insensitive: selections that execute
+    the same passes render identically. *)
+let selection_fingerprint (config : config) : string =
+  let canon names = String.concat "," (List.sort_uniq String.compare names) in
+  let only =
+    match config.only_passes with None -> "*" | Some names -> canon names
+  in
+  Printf.sprintf "only=%s;disabled=%s" only (canon config.disabled_passes)
+
 let validate_selection (config : config) : unit =
   let known = pass_names () in
   let check_known what n =
@@ -1143,9 +1159,6 @@ let step ?config (p : pass) (st : state) : state =
   if not (p.enabled st.st_options && selected_in config p) then st
   else if not (with_pass_name p.name (fun () -> p.applicable st)) then st
   else begin
-    (* Reset any registered process-wide id generator so a resumed (cache
-       replay) run generates the same ids as a cold one from this point. *)
-    Roccc_util.Id_gen.reset_registered ();
     let t0 = Unix.gettimeofday () in
     let st' = with_pass_name p.name (fun () -> p.transform st) in
     let t1 = Unix.gettimeofday () in

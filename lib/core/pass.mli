@@ -92,7 +92,9 @@ val initial :
   entry:string ->
   string ->
   state
-(** Fresh pipeline state for one compilation of [source]. *)
+(** Fresh pipeline state for one compilation of [source]. Also resets the
+    calling domain's registered {!Roccc_util.Id_gen} generators, keeping
+    repeated compiles in one process byte-identical. *)
 
 val buffer_configs_of :
   bus_elements:int -> Roccc_hir.Kernel.t -> Roccc_buffers.Smart_buffer.config list
@@ -156,6 +158,12 @@ type config = {
 val default_config : unit -> config
 (** [verify_ir] / [differential] default from the [ROCCC_VERIFY_IR] /
     [ROCCC_DIFFERENTIAL] environment variables; dumps go to stdout. *)
+
+val selection_fingerprint : config -> string
+(** Canonical, order-insensitive rendering of the config's pass selection
+    ([only_passes] / [disabled_passes]) — a cache-key component alongside
+    {!options_fingerprint}, since selection changes the generated artifact
+    without changing any option field. *)
 
 val validate_selection : config -> unit
 (** Reject unknown pass names and attempts to disable required passes. *)

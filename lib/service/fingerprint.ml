@@ -28,10 +28,11 @@ let lut_part (t : Lut_conv.table) : string =
     t.Lut_conv.contents;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let make ~(stage : string) ~(source : string) ~(entry : string)
-    ~(options_fp : string) ~(luts : Lut_conv.table list) : t =
+let make ~(selection : string) ~(stage : string) ~(source : string)
+    ~(entry : string) ~(options_fp : string) ~(luts : Lut_conv.table list) :
+    t =
   let parts =
-    [ "roccc-cache-v1"; stage; entry; options_fp;
+    [ "roccc-cache-v2"; stage; entry; options_fp; selection;
       Digest.to_hex (Digest.string source) ]
     @ List.map lut_part luts
   in
@@ -45,7 +46,7 @@ let make ~(stage : string) ~(source : string) ~(entry : string)
 let seed ~(source : string) ~(entry : string)
     ~(luts : Lut_conv.table list) : t =
   let parts =
-    [ "roccc-cache-v1"; "seed"; entry;
+    [ "roccc-cache-v2"; "seed"; entry;
       Digest.to_hex (Digest.string source) ]
     @ List.map lut_part luts
   in

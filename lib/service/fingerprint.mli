@@ -4,6 +4,7 @@ type t = private string
 (** A hex digest; equal fingerprints mean "same stage output". *)
 
 val make :
+  selection:string ->
   stage:string ->
   source:string ->
   entry:string ->
@@ -13,7 +14,11 @@ val make :
 (** Digest of everything that determines a stage's output. [options_fp]
     should be {!Roccc_core.Driver.front_options_fingerprint} for front-end
     stages and {!Roccc_core.Driver.options_fingerprint} for full results,
-    so that back-end-only option changes still share front-end work. *)
+    so that back-end-only option changes still share front-end work.
+    [selection] is the normalized pass selection
+    ({!Roccc_core.Pass.selection_fingerprint}) — selection changes the
+    generated artifact without changing any option field, so it must be
+    part of a finished artifact's identity. *)
 
 val seed :
   source:string -> entry:string -> luts:Roccc_hir.Lut_conv.table list -> t

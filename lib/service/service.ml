@@ -32,13 +32,15 @@ type job = {
 }
 
 type origin =
-  | Cold            (* every stage ran *)
-  | Warm_stage      (* front/kernel stage reused; back end ran *)
+  | Cold            (* every pass ran *)
+  | Warm_partial    (* a mid-end prefix reused; the rest re-ran *)
+  | Warm_stage      (* every mid-end pass reused; back end ran *)
   | Warm_memory     (* finished artifact from the in-memory cache *)
   | Warm_disk       (* finished artifact reloaded from _roccc_cache/ *)
 
 let origin_name = function
   | Cold -> "cold"
+  | Warm_partial -> "warm-partial"
   | Warm_stage -> "warm-stage"
   | Warm_memory -> "warm"
   | Warm_disk -> "warm-disk"
@@ -101,8 +103,16 @@ let success_of_artifact ~label ~elapsed ~origin (a : Cache.artifact) : success
    its procedure in place, so its states are never shared. *)
 let mid_passes = Pass.front_passes @ Pass.kernel_passes
 
-let full_key (job : job) : Fingerprint.t =
-  Fingerprint.make ~stage:"full" ~source:job.source ~entry:job.entry
+(* The finished artifact's identity includes the pass selection: disabling
+   an optional pass changes the generated VHDL without changing any option
+   field, and artifacts persist in the disk cache across processes. *)
+let full_key ?config (job : job) : Fingerprint.t =
+  let config =
+    match config with Some c -> c | None -> Pass.default_config ()
+  in
+  Fingerprint.make ~stage:"full"
+    ~selection:(Pass.selection_fingerprint config)
+    ~source:job.source ~entry:job.entry
     ~options_fp:(Driver.options_fingerprint job.options)
     ~luts:job.luts
 
@@ -153,7 +163,7 @@ let compile_cached ?cache ?config ?trace ?(tid = 0) (job : job) : success =
                   ())
               trace) }
   in
-  let full_key = full_key job in
+  let full_key = full_key ~config:base_config job in
   let finish origin (c : Driver.compiled) =
     let art = artifact_of c in
     Option.iter (fun cache -> Cache.store cache full_key (Cache.Artifact art)) cache;
@@ -210,7 +220,12 @@ let compile_cached ?cache ?config ?trace ?(tid = 0) (job : job) : success =
       Option.iter (fun c -> Cache.store c key (Cache.State !st)) cache
     done;
     let c = Driver.back_end ~config ~options:job.options (Driver.staged_of_state !st) in
-    finish (if start_idx < n then Cold else Warm_stage) c
+    let origin =
+      if start_idx = 0 then Cold
+      else if start_idx < n then Warm_partial
+      else Warm_stage
+    in
+    finish origin c
 
 (* ------------------------------------------------------------------ *)
 (* Batches                                                             *)

@@ -16,8 +16,10 @@ type job = {
 
 (** Where a job's result came from. *)
 type origin =
-  | Cold  (** every stage ran *)
-  | Warm_stage  (** front-end/kernel stages reused; back end ran *)
+  | Cold  (** every pass ran *)
+  | Warm_partial
+      (** a prefix of the mid-end passes was reused; the rest re-ran *)
+  | Warm_stage  (** every mid-end pass reused; only the back end ran *)
   | Warm_memory  (** finished artifact from the in-memory cache *)
   | Warm_disk  (** finished artifact reloaded from the disk cache *)
 

@@ -5,26 +5,29 @@
     so independent compilations are reproducible.
 
     Any generator that nonetheless must outlive one compilation (a
-    process-wide counter) is required to be {!register}ed; the driver calls
-    {!reset_registered} at the start of every compilation so repeated
-    compiles in one process — and cache replays — produce byte-identical IR
-    and VHDL. All generators in the compiler today are function-local or
-    per-procedure; the registry is the guard that keeps any future global
-    counter deterministic too. *)
+    long-lived counter) is required to be {!register}ed; the pass manager
+    calls {!reset_registered} at the start of every compilation
+    ([Pass.initial]) so repeated compiles in one process — and cache
+    replays — produce byte-identical IR and VHDL. The registry is
+    domain-local: a batch worker resets only its own generators, never
+    another domain's mid-compilation. All generators in the compiler today
+    are function-local or per-procedure; the registry is the guard that
+    keeps any future long-lived counter deterministic too. *)
 
 type t = { mutable next : int; start : int }
 
-(* Process-wide generators, reset at the start of every compilation.
-   Registration is rare (normally never) but must be safe from any domain. *)
-let registry : t list ref = ref []
-let registry_lock = Mutex.create ()
+(* Domain-local registry of long-lived generators, reset at the start of
+   every compilation. Registration is rare (normally never); keeping the
+   registry per-domain means concurrent batch workers cannot reset each
+   other's generators. *)
+let registry : t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let create ?(start = 0) () = { next = start; start }
 
 let register t =
-  Mutex.lock registry_lock;
-  if not (List.memq t !registry) then registry := t :: !registry;
-  Mutex.unlock registry_lock
+  let r = Domain.DLS.get registry in
+  if not (List.memq t !r) then r := t :: !r
 
 let fresh t =
   let id = t.next in
@@ -35,8 +38,4 @@ let peek t = t.next
 
 let reset t = t.next <- t.start
 
-let reset_registered () =
-  Mutex.lock registry_lock;
-  let gens = !registry in
-  Mutex.unlock registry_lock;
-  List.iter reset gens
+let reset_registered () = List.iter reset !(Domain.DLS.get registry)

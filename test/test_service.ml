@@ -3,6 +3,7 @@
    and the typed VM error. *)
 
 module Driver = Roccc_core.Driver
+module Pass = Roccc_core.Pass
 module Service = Roccc_service.Service
 module Cache = Roccc_service.Cache
 module Trace = Roccc_service.Trace
@@ -48,14 +49,16 @@ let test_cache_miss_on_option_change () =
   let r2 = Service.compile_cached ~cache bus2 in
   Alcotest.check origin "bus change reuses stages only" Service.Warm_stage
     r2.Service.r_origin;
-  (* a front-end option change misses every fingerprint *)
+  (* a front-end option change invalidates the chain from the first
+     affected pass but still resumes from the shared prefix (parse through
+     the first constant-fold) *)
   let unrolled =
     fir_job
       ~options:{ Driver.default_options with Driver.unroll_inner_max = 4 } ()
   in
   let r3 = Service.compile_cached ~cache unrolled in
-  Alcotest.check origin "front option change is cold" Service.Cold
-    r3.Service.r_origin;
+  Alcotest.check origin "front option change resumes mid-pipeline"
+    Service.Warm_partial r3.Service.r_origin;
   (* and a source change too *)
   let other =
     { (fir_job ()) with Service.source = acc_source; entry = "acc";
@@ -79,6 +82,31 @@ let test_option_fingerprints () =
   Alcotest.(check bool) "full fingerprint sees the bus width" false
     (String.equal (Driver.options_fingerprint base)
        (Driver.options_fingerprint bus2))
+
+(* Regression: the finished artifact's key includes the pass selection — a
+   run disabling an optional pass must not be served the default run's
+   artifact, and vice versa. *)
+let test_artifact_key_sees_pass_selection () =
+  let cache = Cache.create () in
+  let r1 = Service.compile_cached ~cache (fir_job ()) in
+  Alcotest.check origin "default compile is cold" Service.Cold
+    r1.Service.r_origin;
+  let no_opt =
+    { (Pass.default_config ()) with Pass.disabled_passes = [ "vm-optimize" ] }
+  in
+  let r2 = Service.compile_cached ~cache ~config:no_opt (fir_job ()) in
+  (match r2.Service.r_origin with
+  | Service.Warm_memory | Service.Warm_disk ->
+    Alcotest.fail "selection change was served the default artifact"
+  | Service.Cold | Service.Warm_partial | Service.Warm_stage -> ());
+  Alcotest.(check bool) "disabled pass absent from the trace" false
+    (List.mem "vm-optimize" r2.Service.r_pass_trace);
+  let r3 = Service.compile_cached ~cache ~config:no_opt (fir_job ()) in
+  Alcotest.check origin "identical selection hits the artifact"
+    Service.Warm_memory r3.Service.r_origin;
+  let r4 = Service.compile_cached ~cache (fir_job ()) in
+  Alcotest.check origin "default selection still has its own artifact"
+    Service.Warm_memory r4.Service.r_origin
 
 let test_disk_cache_survives_process () =
   let dir =
@@ -345,6 +373,8 @@ let suites =
         test_cache_miss_on_option_change;
       Alcotest.test_case "option fingerprints" `Quick
         test_option_fingerprints;
+      Alcotest.test_case "artifact key sees pass selection" `Quick
+        test_artifact_key_sees_pass_selection;
       Alcotest.test_case "disk cache survives a restart" `Quick
         test_disk_cache_survives_process;
       Alcotest.test_case "batch isolates a failing kernel" `Quick
