@@ -13,9 +13,21 @@ type t = {
   rpo : Proc.label array;  (** reverse postorder from entry *)
   rpo_index : (Proc.label, int) Hashtbl.t;
   idom : (Proc.label, Proc.label) Hashtbl.t;
+  order : Proc.label array;
+      (** dense block order: reverse postorder, then unreachable blocks in
+          program order — the index space of the data-flow engine *)
+  order_index : (Proc.label, int) Hashtbl.t;
+  succ_idx : int array array;  (** successors of [order.(i)], as indices *)
+  pred_idx : int array array;  (** predecessors of [order.(i)], as indices *)
 }
 
 val build : Proc.t -> t
+
+val num_blocks : t -> int
+(** Blocks in the dense order (reachable and unreachable). *)
+
+val index_of : t -> Proc.label -> int
+(** A label's dense order index. Raises [Not_found] for unknown labels. *)
 
 val successors : t -> Proc.label -> Proc.label list
 val predecessors : t -> Proc.label -> Proc.label list

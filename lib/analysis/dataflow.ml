@@ -1,10 +1,23 @@
 (** Bit-vector data-flow analysis framework — the Machine-SUIF DFA library
-    equivalent (paper reference [15]). A generic worklist solver over integer
-    sets, instantiated below for live variables, reaching definitions and
-    available expressions. *)
+    equivalent (paper reference [15]).
+
+    The engine solves block-level GEN/KILL problems on packed bit-vectors
+    ({!Roccc_util.Bitset}) over an interned fact universe, with a true
+    worklist seeded in reverse postorder for forward problems and postorder
+    for backward ones. Successors and predecessors come from the dense
+    index arrays {!Cfg.t.succ_idx}/{!Cfg.t.pred_idx}, so the hot loop does
+    no hashing and terminates on worklist emptiness — there is no sweep
+    budget.
+
+    The classic set-based interface ([problem] over [Set.Make(Int)]) is
+    kept as the specification layer: {!solve} lowers such a problem onto
+    the dense engine. {!Reference} preserves the original naive full-sweep
+    solver and analysis shapes for differential testing and benchmarking
+    against the engine. *)
 
 module Proc = Roccc_vm.Proc
 module Instr = Roccc_vm.Instr
+module Bitset = Roccc_util.Bitset
 module IS = Set.Make (Int)
 
 type direction = Forward | Backward
@@ -28,73 +41,162 @@ type solution = {
 let in_of (s : solution) l = Option.value (Hashtbl.find_opt s.live_in l) ~default:IS.empty
 let out_of (s : solution) l = Option.value (Hashtbl.find_opt s.live_out l) ~default:IS.empty
 
-(** Iterative worklist solver. *)
-let solve (g : Cfg.t) (p : problem) : solution =
-  let blocks = g.Cfg.proc.Proc.blocks in
-  let in_sets = Hashtbl.create 16 and out_sets = Hashtbl.create 16 in
-  let start_value =
-    match p.confluence with Union -> IS.empty | Intersection -> p.universe
+(* ------------------------------------------------------------------ *)
+(* Dense engine                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** A problem already lowered onto bit-vectors: one GEN/KILL vector per
+    {!Cfg.t.order} index over an interned universe of [dp_universe] facts. *)
+type dense_problem = {
+  dp_direction : direction;
+  dp_confluence : confluence;
+  dp_universe : int;
+  dp_gen : Bitset.t array;
+  dp_kill : Bitset.t array;
+  dp_init : Bitset.t;    (** boundary value (entry or exit) *)
+}
+
+type dense_solution = {
+  ds_in : Bitset.t array;     (* per Cfg order index *)
+  ds_out : Bitset.t array;
+  ds_order : Proc.label array;
+  ds_index : (Proc.label, int) Hashtbl.t;
+  ds_visits : int;            (* nodes dequeued before the worklist drained *)
+}
+
+let ds_in_of (s : dense_solution) (l : Proc.label) : Bitset.t =
+  s.ds_in.(Hashtbl.find s.ds_index l)
+
+let ds_out_of (s : dense_solution) (l : Proc.label) : Bitset.t =
+  s.ds_out.(Hashtbl.find s.ds_index l)
+
+(** Worklist solver. The worklist is a FIFO of order indices with on-work
+    flags, seeded in reverse postorder (forward) or postorder (backward);
+    a node is requeued only when the value feeding its dependents changed,
+    and the solver stops when the list drains. *)
+let solve_dense (g : Cfg.t) (p : dense_problem) : dense_solution =
+  let n = Array.length g.Cfg.order in
+  let u = p.dp_universe in
+  let start () =
+    let b = Bitset.create u in
+    (match p.dp_confluence with
+    | Union -> ()
+    | Intersection -> Bitset.fill_all b);
+    b
   in
-  List.iter
-    (fun (b : Proc.block) ->
-      Hashtbl.replace in_sets b.Proc.label start_value;
-      Hashtbl.replace out_sets b.Proc.label start_value)
-    blocks;
-  let meet values =
-    match values, p.confluence with
-    | [], Union -> IS.empty
-    | [], Intersection -> p.init
-    | v :: vs, Union -> List.fold_left IS.union v vs
-    | v :: vs, Intersection -> List.fold_left IS.inter v vs
+  let in_sets = Array.init n (fun _ -> start ()) in
+  let out_sets = Array.init n (fun _ -> start ()) in
+  let queue = Queue.create () in
+  let on_work = Array.make n false in
+  let enqueue i =
+    if not on_work.(i) then begin
+      on_work.(i) <- true;
+      Queue.add i queue
+    end
   in
-  let transfer (b : Proc.block) x =
-    IS.union (p.gen b) (IS.diff x (p.kill b))
+  (* Seed order: the order array is reverse postorder followed by the
+     unreachable blocks, so forward problems enqueue it as-is and backward
+     problems enqueue it reversed (postorder first). *)
+  (match p.dp_direction with
+  | Forward -> for i = 0 to n - 1 do enqueue i done
+  | Backward -> for i = n - 1 downto 0 do enqueue i done);
+  let visits = ref 0 in
+  (* meet into [dst] over the given neighbor values; boundary nodes (no
+     neighbors) take the problem's init value, matching the set-based
+     specification. *)
+  let meet_into dst (neighbors : int array) (values : Bitset.t array) =
+    if Array.length neighbors = 0 then Bitset.blit ~src:p.dp_init ~dst
+    else begin
+      Bitset.blit ~src:values.(neighbors.(0)) ~dst;
+      for k = 1 to Array.length neighbors - 1 do
+        match p.dp_confluence with
+        | Union -> ignore (Bitset.union_into ~dst values.(neighbors.(k)))
+        | Intersection -> ignore (Bitset.inter_into ~dst values.(neighbors.(k)))
+      done
+    end
   in
-  let changed = ref true in
-  let iteration_budget = ref (List.length blocks * List.length blocks * 4 + 64) in
-  while !changed && !iteration_budget > 0 do
-    changed := false;
-    decr iteration_budget;
-    List.iter
-      (fun (b : Proc.block) ->
-        let l = b.Proc.label in
-        match p.direction with
-        | Forward ->
-          let preds = Cfg.predecessors g l in
-          let in_v =
-            if l = Cfg.entry_label g then p.init
-            else meet (List.map (fun q -> Hashtbl.find out_sets q) preds)
-          in
-          let out_v = transfer b in_v in
-          if not (IS.equal in_v (Hashtbl.find in_sets l)) then begin
-            Hashtbl.replace in_sets l in_v;
-            changed := true
-          end;
-          if not (IS.equal out_v (Hashtbl.find out_sets l)) then begin
-            Hashtbl.replace out_sets l out_v;
-            changed := true
-          end
-        | Backward ->
-          let succs = Cfg.successors g l in
-          let out_v =
-            if succs = [] then p.init
-            else meet (List.map (fun q -> Hashtbl.find in_sets q) succs)
-          in
-          let in_v = transfer b out_v in
-          if not (IS.equal out_v (Hashtbl.find out_sets l)) then begin
-            Hashtbl.replace out_sets l out_v;
-            changed := true
-          end;
-          if not (IS.equal in_v (Hashtbl.find in_sets l)) then begin
-            Hashtbl.replace in_sets l in_v;
-            changed := true
-          end)
-      blocks
+  let tmp = Bitset.create u in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    on_work.(i) <- false;
+    incr visits;
+    match p.dp_direction with
+    | Forward ->
+      (* IN = meet over predecessors' OUT (entry is pinned to init) *)
+      if i = 0 then Bitset.blit ~src:p.dp_init ~dst:in_sets.(i)
+      else meet_into in_sets.(i) g.Cfg.pred_idx.(i) out_sets;
+      (* OUT = GEN ∪ (IN \ KILL) *)
+      Bitset.blit ~src:in_sets.(i) ~dst:tmp;
+      ignore (Bitset.diff_into ~dst:tmp p.dp_kill.(i));
+      ignore (Bitset.union_into ~dst:tmp p.dp_gen.(i));
+      if not (Bitset.equal tmp out_sets.(i)) then begin
+        Bitset.blit ~src:tmp ~dst:out_sets.(i);
+        Array.iter enqueue g.Cfg.succ_idx.(i)
+      end
+    | Backward ->
+      (* OUT = meet over successors' IN (exit nodes take init) *)
+      meet_into out_sets.(i) g.Cfg.succ_idx.(i) in_sets;
+      (* IN = GEN ∪ (OUT \ KILL) *)
+      Bitset.blit ~src:out_sets.(i) ~dst:tmp;
+      ignore (Bitset.diff_into ~dst:tmp p.dp_kill.(i));
+      ignore (Bitset.union_into ~dst:tmp p.dp_gen.(i));
+      if not (Bitset.equal tmp in_sets.(i)) then begin
+        Bitset.blit ~src:tmp ~dst:in_sets.(i);
+        Array.iter enqueue g.Cfg.pred_idx.(i)
+      end
   done;
-  { live_in = in_sets; live_out = out_sets }
+  { ds_in = in_sets;
+    ds_out = out_sets;
+    ds_order = g.Cfg.order;
+    ds_index = g.Cfg.order_index;
+    ds_visits = !visits }
+
+let is_of_bitset (b : Bitset.t) : IS.t = Bitset.fold IS.add b IS.empty
+
+let solution_of_dense (d : dense_solution) : solution =
+  let n = Array.length d.ds_order in
+  let live_in = Hashtbl.create n and live_out = Hashtbl.create n in
+  Array.iteri
+    (fun i l ->
+      Hashtbl.replace live_in l (is_of_bitset d.ds_in.(i));
+      Hashtbl.replace live_out l (is_of_bitset d.ds_out.(i)))
+    d.ds_order;
+  { live_in; live_out }
+
+(** Lower a set-based problem onto the dense engine: evaluate GEN/KILL per
+    block once into packed vectors over the smallest universe containing
+    every mentioned fact. *)
+let dense_of_problem (g : Cfg.t) (p : problem) : dense_problem =
+  let blocks = Array.map (Proc.find_block g.Cfg.proc) g.Cfg.order in
+  let gen_s = Array.map p.gen blocks in
+  let kill_s = Array.map p.kill blocks in
+  let max_of s acc = match IS.max_elt_opt s with None -> acc | Some m -> max m acc in
+  let u =
+    1
+    + Array.fold_left (fun acc s -> max_of s acc)
+        (Array.fold_left (fun acc s -> max_of s acc)
+           (max_of p.init (max_of p.universe (-1)))
+           kill_s)
+        gen_s
+  in
+  let to_bits s =
+    let b = Bitset.create u in
+    IS.iter (fun i -> Bitset.set b i) s;
+    b
+  in
+  { dp_direction = p.direction;
+    dp_confluence = p.confluence;
+    dp_universe = u;
+    dp_gen = Array.map to_bits gen_s;
+    dp_kill = Array.map to_bits kill_s;
+    dp_init = to_bits p.init }
+
+(** Solve a set-based problem with the dense worklist engine. *)
+let solve (g : Cfg.t) (p : problem) : solution =
+  solution_of_dense (solve_dense g (dense_of_problem g p))
 
 (* ------------------------------------------------------------------ *)
-(* Live variables                                                      *)
+(* Shared fact numbering                                               *)
 (* ------------------------------------------------------------------ *)
 
 (* Upward-exposed uses of a block: used before (re)defined, scanning forward.
@@ -122,60 +224,31 @@ let block_ue_uses (b : Proc.block) : IS.t =
 let block_all_defs (b : Proc.block) : IS.t =
   IS.of_list (Proc.block_defs b)
 
-(** Live-variable analysis on registers. Output-port registers are live at
-    exit; phi uses are injected as live-out of the matching predecessor. *)
-let liveness (g : Cfg.t) : solution =
-  let proc = g.Cfg.proc in
-  let exit_live =
-    IS.of_list (List.map (fun (p : Proc.port) -> p.Proc.port_reg) proc.Proc.outputs)
-  in
-  (* Phi uses flowing along edges: pre-compute per predecessor. *)
-  let phi_uses_of_pred = Hashtbl.create 16 in
+(** Registers form the fact universe for liveness: the smallest bound above
+    every register mentioned anywhere in the procedure. *)
+let reg_universe (proc : Proc.t) : int =
+  let m = ref (-1) in
+  let see r = if r > !m then m := r in
+  Hashtbl.iter (fun r _ -> see r) proc.Proc.reg_kinds;
+  List.iter (fun (p : Proc.port) -> see p.Proc.port_reg) proc.Proc.inputs;
+  List.iter (fun (p : Proc.port) -> see p.Proc.port_reg) proc.Proc.outputs;
   List.iter
     (fun (b : Proc.block) ->
       List.iter
         (fun (phi : Proc.phi) ->
-          List.iter
-            (fun (pred_label, src) ->
-              let cur =
-                Option.value (Hashtbl.find_opt phi_uses_of_pred pred_label)
-                  ~default:IS.empty
-              in
-              Hashtbl.replace phi_uses_of_pred pred_label (IS.add src cur))
-            phi.Proc.phi_args)
-        b.Proc.phis)
+          see phi.Proc.phi_dst;
+          List.iter (fun (_, r) -> see r) phi.Proc.phi_args)
+        b.Proc.phis;
+      List.iter
+        (fun (i : Instr.instr) ->
+          (match i.Instr.dst with Some d -> see d | None -> ());
+          List.iter see i.Instr.srcs)
+        b.Proc.instrs;
+      match b.Proc.term with
+      | Proc.Branch (r, _, _) -> see r
+      | Proc.Jump _ | Proc.Ret -> ())
     proc.Proc.blocks;
-  let problem =
-    { direction = Backward;
-      confluence = Union;
-      gen =
-        (fun b ->
-          IS.union (block_ue_uses b)
-            (* Phi args used on outgoing edges behave like uses at block end
-               — approximated as GEN (sound for DAG-shaped dp CFGs). *)
-            IS.empty);
-      kill = block_all_defs;
-      init = exit_live;
-      universe = IS.empty }
-  in
-  let sol = solve g problem in
-  (* Patch in edge-carried phi uses: they are live-out of the predecessor. *)
-  Hashtbl.iter
-    (fun pred_label uses ->
-      let cur = out_of sol pred_label in
-      Hashtbl.replace sol.live_out pred_label (IS.union cur uses);
-      (* and live-in if not defined locally *)
-      let b = Proc.find_block proc pred_label in
-      let defs = block_all_defs b in
-      let flow_through = IS.diff uses defs in
-      Hashtbl.replace sol.live_in pred_label
-        (IS.union (in_of sol pred_label) flow_through))
-    phi_uses_of_pred;
-  sol
-
-(* ------------------------------------------------------------------ *)
-(* Reaching definitions                                                *)
-(* ------------------------------------------------------------------ *)
+  !m + 1
 
 (** Definition sites are numbered globally; [def_of i] gives (site, reg). *)
 type def_site = { site_id : int; site_block : Proc.label; site_reg : Instr.vreg }
@@ -206,43 +279,6 @@ let definition_sites (proc : Proc.t) : def_site list =
       phi_defs @ instr_defs)
     proc.Proc.blocks
 
-(** Classic reaching definitions over definition sites. *)
-let reaching_definitions (g : Cfg.t) : solution * def_site list =
-  let proc = g.Cfg.proc in
-  let sites = definition_sites proc in
-  let sites_of_block l =
-    List.filter (fun s -> s.site_block = l) sites
-  in
-  let sites_of_reg r = List.filter (fun s -> s.site_reg = r) sites in
-  let gen b =
-    (* Last definition of each register in the block. *)
-    let per_reg = Hashtbl.create 8 in
-    List.iter
-      (fun s -> Hashtbl.replace per_reg s.site_reg s.site_id)
-      (sites_of_block b.Proc.label);
-    Hashtbl.fold (fun _ v acc -> IS.add v acc) per_reg IS.empty
-  in
-  let kill b =
-    let defs = IS.of_list (Proc.block_defs b) in
-    IS.fold
-      (fun r acc ->
-        List.fold_left (fun acc s -> IS.add s.site_id acc) acc (sites_of_reg r))
-      defs IS.empty
-  in
-  let problem =
-    { direction = Forward;
-      confluence = Union;
-      gen;
-      kill;
-      init = IS.empty;
-      universe = IS.empty }
-  in
-  solve g problem, sites
-
-(* ------------------------------------------------------------------ *)
-(* Available expressions                                               *)
-(* ------------------------------------------------------------------ *)
-
 (* Expressions keyed by (opcode, srcs); identified with the first instruction
    index computing them. Conservative: any redefinition of an operand kills. *)
 type expr_key = string
@@ -260,65 +296,408 @@ let instr_key (i : Instr.instr) : expr_key option =
          (Instr.opcode_name op)
          (String.concat "," (List.map string_of_int srcs)))
 
-(** Available-expression analysis; returns the IN table keyed by block and a
-    numbering of expression keys. *)
-let available_expressions (g : Cfg.t) : solution * (expr_key, int) Hashtbl.t =
+(* ------------------------------------------------------------------ *)
+(* Live variables                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Live-variable analysis on registers, dense form: facts are register
+    numbers. Output-port registers are live at exit; phi uses are injected
+    as live-out of the matching predecessor after the solve. *)
+let liveness_dense (g : Cfg.t) : dense_solution =
   let proc = g.Cfg.proc in
-  let numbering : (expr_key, int) Hashtbl.t = Hashtbl.create 32 in
-  let next = ref 0 in
-  let universe = ref IS.empty in
+  let u = reg_universe proc in
+  let n = Array.length g.Cfg.order in
+  let gen = Array.init n (fun _ -> Bitset.create u) in
+  let kill = Array.init n (fun _ -> Bitset.create u) in
+  for i = 0 to n - 1 do
+    let b = Proc.find_block proc g.Cfg.order.(i) in
+    let defined = kill.(i) and uses = gen.(i) in
+    (* scan forward: a use counts only while its register is not yet
+       (re)defined in the block; phis define at the top *)
+    List.iter (fun (p : Proc.phi) -> Bitset.set defined p.Proc.phi_dst) b.Proc.phis;
+    List.iter
+      (fun (instr : Instr.instr) ->
+        List.iter
+          (fun s -> if not (Bitset.mem defined s) then Bitset.set uses s)
+          instr.Instr.srcs;
+        match instr.Instr.dst with
+        | Some d -> Bitset.set defined d
+        | None -> ())
+      b.Proc.instrs;
+    match b.Proc.term with
+    | Proc.Branch (r, _, _) -> if not (Bitset.mem defined r) then Bitset.set uses r
+    | Proc.Jump _ | Proc.Ret -> ()
+  done;
+  let init = Bitset.create u in
+  List.iter
+    (fun (p : Proc.port) -> Bitset.set init p.Proc.port_reg)
+    proc.Proc.outputs;
+  let sol =
+    solve_dense g
+      { dp_direction = Backward;
+        dp_confluence = Union;
+        dp_universe = u;
+        dp_gen = gen;
+        dp_kill = kill;
+        dp_init = init }
+  in
+  (* Patch in edge-carried phi uses: a phi argument is live-out of the
+     predecessor it flows from, and live-in there unless defined locally. *)
   List.iter
     (fun (b : Proc.block) ->
       List.iter
-        (fun i ->
+        (fun (phi : Proc.phi) ->
+          List.iter
+            (fun (pred_label, src) ->
+              let pi = Hashtbl.find g.Cfg.order_index pred_label in
+              Bitset.set sol.ds_out.(pi) src;
+              if not (Bitset.mem kill.(pi) src) then
+                Bitset.set sol.ds_in.(pi) src)
+            phi.Proc.phi_args)
+        b.Proc.phis)
+    proc.Proc.blocks;
+  sol
+
+(** Live registers per block (set-based view of {!liveness_dense}). *)
+let liveness (g : Cfg.t) : solution = solution_of_dense (liveness_dense g)
+
+(* ------------------------------------------------------------------ *)
+(* Reaching definitions                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Classic reaching definitions over definition sites, dense form: facts
+    are site ids; a block generates the last site per register it defines
+    and kills every site of every register it defines. *)
+let reaching_dense (g : Cfg.t) : dense_solution * def_site list =
+  let proc = g.Cfg.proc in
+  let sites = definition_sites proc in
+  let u = List.length sites in
+  let n = Array.length g.Cfg.order in
+  (* one pass over the numbering: group by block and index by register *)
+  let by_block : def_site list array = Array.make n [] in
+  let sites_of_reg : (Instr.vreg, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let bi = Hashtbl.find g.Cfg.order_index s.site_block in
+      by_block.(bi) <- s :: by_block.(bi);
+      let cur = Option.value (Hashtbl.find_opt sites_of_reg s.site_reg) ~default:[] in
+      Hashtbl.replace sites_of_reg s.site_reg (s.site_id :: cur))
+    sites;
+  let gen = Array.init n (fun _ -> Bitset.create u) in
+  let kill = Array.init n (fun _ -> Bitset.create u) in
+  for i = 0 to n - 1 do
+    (* by_block.(i) is reversed program order: the first site seen per
+       register is the block's last definition of it — the GEN site. *)
+    let last_of_reg = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        if not (Hashtbl.mem last_of_reg s.site_reg) then begin
+          Hashtbl.replace last_of_reg s.site_reg ();
+          Bitset.set gen.(i) s.site_id
+        end)
+      by_block.(i);
+    List.iter
+      (fun s ->
+        List.iter (fun id -> Bitset.set kill.(i) id)
+          (Option.value (Hashtbl.find_opt sites_of_reg s.site_reg) ~default:[]))
+      by_block.(i)
+  done;
+  let sol =
+    solve_dense g
+      { dp_direction = Forward;
+        dp_confluence = Union;
+        dp_universe = u;
+        dp_gen = gen;
+        dp_kill = kill;
+        dp_init = Bitset.create u }
+  in
+  sol, sites
+
+let reaching_definitions (g : Cfg.t) : solution * def_site list =
+  let d, sites = reaching_dense g in
+  solution_of_dense d, sites
+
+(* ------------------------------------------------------------------ *)
+(* Available expressions                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Available-expression analysis, dense form: facts are interned
+    expression ids; any redefinition of an operand kills the expression.
+    Returns the solution and the expression numbering. *)
+let available_dense (g : Cfg.t) : dense_solution * (expr_key, int) Hashtbl.t =
+  let proc = g.Cfg.proc in
+  let numbering : (expr_key, int) Hashtbl.t = Hashtbl.create 32 in
+  let operands : Instr.vreg list list ref = ref [] in  (* per id, reversed *)
+  let next = ref 0 in
+  List.iter
+    (fun (b : Proc.block) ->
+      List.iter
+        (fun (i : Instr.instr) ->
           match instr_key i with
           | Some k when not (Hashtbl.mem numbering k) ->
             Hashtbl.replace numbering k !next;
-            universe := IS.add !next !universe;
+            operands := i.Instr.srcs :: !operands;
             incr next
           | Some _ | None -> ())
         b.Proc.instrs)
     proc.Proc.blocks;
-  let exprs_using_reg r =
-    Hashtbl.fold
-      (fun key id acc ->
-        (* key contains operand regs in its textual form; cheap match *)
-        let token = string_of_int r in
-        let uses =
-          String.split_on_char '(' key |> function
-          | [ _; args ] ->
-            String.split_on_char ')' args |> List.hd
-            |> String.split_on_char ','
-            |> List.exists (String.equal token)
-          | _ -> false
-        in
-        if uses then IS.add id acc else acc)
-      numbering IS.empty
+  let u = !next in
+  (* invert the operand lists once: register -> expression ids using it *)
+  let using : (Instr.vreg, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun rev_id srcs ->
+      let id = u - 1 - rev_id in
+      List.iter
+        (fun r ->
+          let cur = Option.value (Hashtbl.find_opt using r) ~default:[] in
+          if not (List.mem id cur) then Hashtbl.replace using r (id :: cur))
+        srcs)
+    !operands;
+  let kill_reg bits r =
+    List.iter (fun id -> Bitset.set bits id)
+      (Option.value (Hashtbl.find_opt using r) ~default:[])
   in
-  let gen (b : Proc.block) =
-    let avail = ref IS.empty in
+  let n = Array.length g.Cfg.order in
+  let gen = Array.init n (fun _ -> Bitset.create u) in
+  let kill = Array.init n (fun _ -> Bitset.create u) in
+  let killed_by_reg = Bitset.create u in
+  for i = 0 to n - 1 do
+    let b = Proc.find_block proc g.Cfg.order.(i) in
+    let avail = gen.(i) in
     List.iter
-      (fun (i : Instr.instr) ->
-        (match i.Instr.dst with
-        | Some d -> avail := IS.diff !avail (exprs_using_reg d)
+      (fun (instr : Instr.instr) ->
+        (match instr.Instr.dst with
+        | Some d ->
+          Bitset.clear_all killed_by_reg;
+          kill_reg killed_by_reg d;
+          ignore (Bitset.diff_into ~dst:avail killed_by_reg);
+          kill_reg kill.(i) d
         | None -> ());
-        match instr_key i with
-        | Some k -> avail := IS.add (Hashtbl.find numbering k) !avail
+        match instr_key instr with
+        | Some k -> Bitset.set avail (Hashtbl.find numbering k)
         | None -> ())
       b.Proc.instrs;
-    !avail
+    (* phi destinations also (re)define registers *)
+    List.iter (fun (p : Proc.phi) -> kill_reg kill.(i) p.Proc.phi_dst) b.Proc.phis
+  done;
+  let sol =
+    solve_dense g
+      { dp_direction = Forward;
+        dp_confluence = Intersection;
+        dp_universe = u;
+        dp_gen = gen;
+        dp_kill = kill;
+        dp_init = Bitset.create u }
   in
-  let kill (b : Proc.block) =
-    IS.fold
-      (fun d acc -> IS.union acc (exprs_using_reg d))
-      (block_all_defs b) IS.empty
-  in
-  let problem =
-    { direction = Forward;
-      confluence = Intersection;
-      gen;
-      kill;
-      init = IS.empty;
-      universe = !universe }
-  in
-  solve g problem, numbering
+  sol, numbering
+
+let available_expressions (g : Cfg.t) : solution * (expr_key, int) Hashtbl.t =
+  let d, numbering = available_dense g in
+  solution_of_dense d, numbering
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** The original set-based shapes, kept as the differential-testing oracle
+    and the benchmark baseline: a full-sweep iterate-until-stable solver
+    over [Set.Make(Int)] with [Hashtbl]-of-set state, and the quadratic
+    GEN/KILL construction the analyses used before the dense engine. *)
+module Reference = struct
+  (** Naive solver: sweep every block until nothing changes. *)
+  let solve (g : Cfg.t) (p : problem) : solution =
+    let blocks = g.Cfg.proc.Proc.blocks in
+    let in_sets = Hashtbl.create 16 and out_sets = Hashtbl.create 16 in
+    let start_value =
+      match p.confluence with Union -> IS.empty | Intersection -> p.universe
+    in
+    List.iter
+      (fun (b : Proc.block) ->
+        Hashtbl.replace in_sets b.Proc.label start_value;
+        Hashtbl.replace out_sets b.Proc.label start_value)
+      blocks;
+    let meet values =
+      match values, p.confluence with
+      | [], Union -> IS.empty
+      | [], Intersection -> p.init
+      | v :: vs, Union -> List.fold_left IS.union v vs
+      | v :: vs, Intersection -> List.fold_left IS.inter v vs
+    in
+    let transfer (b : Proc.block) x =
+      IS.union (p.gen b) (IS.diff x (p.kill b))
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (b : Proc.block) ->
+          let l = b.Proc.label in
+          match p.direction with
+          | Forward ->
+            let preds = Cfg.predecessors g l in
+            let in_v =
+              if l = Cfg.entry_label g then p.init
+              else meet (List.map (fun q -> Hashtbl.find out_sets q) preds)
+            in
+            let out_v = transfer b in_v in
+            if not (IS.equal in_v (Hashtbl.find in_sets l)) then begin
+              Hashtbl.replace in_sets l in_v;
+              changed := true
+            end;
+            if not (IS.equal out_v (Hashtbl.find out_sets l)) then begin
+              Hashtbl.replace out_sets l out_v;
+              changed := true
+            end
+          | Backward ->
+            let succs = Cfg.successors g l in
+            let out_v =
+              if succs = [] then p.init
+              else meet (List.map (fun q -> Hashtbl.find in_sets q) succs)
+            in
+            let in_v = transfer b out_v in
+            if not (IS.equal out_v (Hashtbl.find out_sets l)) then begin
+              Hashtbl.replace out_sets l out_v;
+              changed := true
+            end;
+            if not (IS.equal in_v (Hashtbl.find in_sets l)) then begin
+              Hashtbl.replace in_sets l in_v;
+              changed := true
+            end)
+        blocks
+    done;
+    { live_in = in_sets; live_out = out_sets }
+
+  let liveness (g : Cfg.t) : solution =
+    let proc = g.Cfg.proc in
+    let exit_live =
+      IS.of_list (List.map (fun (p : Proc.port) -> p.Proc.port_reg) proc.Proc.outputs)
+    in
+    let phi_uses_of_pred = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Proc.block) ->
+        List.iter
+          (fun (phi : Proc.phi) ->
+            List.iter
+              (fun (pred_label, src) ->
+                let cur =
+                  Option.value (Hashtbl.find_opt phi_uses_of_pred pred_label)
+                    ~default:IS.empty
+                in
+                Hashtbl.replace phi_uses_of_pred pred_label (IS.add src cur))
+              phi.Proc.phi_args)
+          b.Proc.phis)
+      proc.Proc.blocks;
+    let problem =
+      { direction = Backward;
+        confluence = Union;
+        gen = block_ue_uses;
+        kill = block_all_defs;
+        init = exit_live;
+        universe = IS.empty }
+    in
+    let sol = solve g problem in
+    Hashtbl.iter
+      (fun pred_label uses ->
+        let cur = out_of sol pred_label in
+        Hashtbl.replace sol.live_out pred_label (IS.union cur uses);
+        let b = Proc.find_block proc pred_label in
+        let defs = block_all_defs b in
+        let flow_through = IS.diff uses defs in
+        Hashtbl.replace sol.live_in pred_label
+          (IS.union (in_of sol pred_label) flow_through))
+      phi_uses_of_pred;
+    sol
+
+  (** Classic reaching definitions with the original per-block [List.filter]
+      over the whole site list (quadratic GEN/KILL construction). *)
+  let reaching_definitions (g : Cfg.t) : solution * def_site list =
+    let proc = g.Cfg.proc in
+    let sites = definition_sites proc in
+    let sites_of_block l = List.filter (fun s -> s.site_block = l) sites in
+    let sites_of_reg r = List.filter (fun s -> s.site_reg = r) sites in
+    let gen b =
+      let per_reg = Hashtbl.create 8 in
+      List.iter
+        (fun s -> Hashtbl.replace per_reg s.site_reg s.site_id)
+        (sites_of_block b.Proc.label);
+      Hashtbl.fold (fun _ v acc -> IS.add v acc) per_reg IS.empty
+    in
+    let kill b =
+      let defs = IS.of_list (Proc.block_defs b) in
+      IS.fold
+        (fun r acc ->
+          List.fold_left (fun acc s -> IS.add s.site_id acc) acc (sites_of_reg r))
+        defs IS.empty
+    in
+    let problem =
+      { direction = Forward;
+        confluence = Union;
+        gen;
+        kill;
+        init = IS.empty;
+        universe = IS.empty }
+    in
+    solve g problem, sites
+
+  (** Available expressions with the original textual-key rescan: killing a
+      register re-parses every interned key (quadratic construction). *)
+  let available_expressions (g : Cfg.t) : solution * (expr_key, int) Hashtbl.t =
+    let proc = g.Cfg.proc in
+    let numbering : (expr_key, int) Hashtbl.t = Hashtbl.create 32 in
+    let next = ref 0 in
+    let universe = ref IS.empty in
+    List.iter
+      (fun (b : Proc.block) ->
+        List.iter
+          (fun i ->
+            match instr_key i with
+            | Some k when not (Hashtbl.mem numbering k) ->
+              Hashtbl.replace numbering k !next;
+              universe := IS.add !next !universe;
+              incr next
+            | Some _ | None -> ())
+          b.Proc.instrs)
+      proc.Proc.blocks;
+    let exprs_using_reg r =
+      Hashtbl.fold
+        (fun key id acc ->
+          let token = string_of_int r in
+          let uses =
+            String.split_on_char '(' key |> function
+            | [ _; args ] ->
+              String.split_on_char ')' args |> List.hd
+              |> String.split_on_char ','
+              |> List.exists (String.equal token)
+            | _ -> false
+          in
+          if uses then IS.add id acc else acc)
+        numbering IS.empty
+    in
+    let gen (b : Proc.block) =
+      let avail = ref IS.empty in
+      List.iter
+        (fun (i : Instr.instr) ->
+          (match i.Instr.dst with
+          | Some d -> avail := IS.diff !avail (exprs_using_reg d)
+          | None -> ());
+          match instr_key i with
+          | Some k -> avail := IS.add (Hashtbl.find numbering k) !avail
+          | None -> ())
+        b.Proc.instrs;
+      !avail
+    in
+    let kill (b : Proc.block) =
+      IS.fold
+        (fun d acc -> IS.union acc (exprs_using_reg d))
+        (block_all_defs b) IS.empty
+    in
+    let problem =
+      { direction = Forward;
+        confluence = Intersection;
+        gen;
+        kill;
+        init = IS.empty;
+        universe = !universe }
+    in
+    solve g problem, numbering
+end

@@ -1,10 +1,19 @@
 (** Bit-vector data-flow analysis framework — the Machine-SUIF DFA library
-    equivalent (paper reference [15]): a generic worklist solver over
-    integer sets, instantiated for live variables, reaching definitions and
-    available expressions. *)
+    equivalent (paper reference [15]): a worklist solver over packed
+    bit-vectors ({!Roccc_util.Bitset}), instantiated for live variables,
+    reaching definitions and available expressions.
+
+    The worklist is seeded in reverse postorder for forward problems and
+    postorder for backward ones, walks the dense successor/predecessor
+    index arrays precomputed by {!Cfg.build}, and terminates on worklist
+    emptiness — there is no sweep budget. The set-based [problem] record
+    remains the specification layer; {!Reference} keeps the original naive
+    full-sweep solver and analysis shapes for differential testing and
+    benchmarking. *)
 
 module Proc = Roccc_vm.Proc
 module Instr = Roccc_vm.Instr
+module Bitset = Roccc_util.Bitset
 module IS : Set.S with type elt = int
 
 type direction = Forward | Backward
@@ -28,12 +37,49 @@ type solution = {
 val in_of : solution -> Proc.label -> IS.t
 val out_of : solution -> Proc.label -> IS.t
 
+(** {1 Dense engine} *)
+
+(** A problem lowered onto bit-vectors: one GEN/KILL vector per
+    {!Cfg.t.order} index over an interned universe of [dp_universe]
+    facts. *)
+type dense_problem = {
+  dp_direction : direction;
+  dp_confluence : confluence;
+  dp_universe : int;
+  dp_gen : Bitset.t array;
+  dp_kill : Bitset.t array;
+  dp_init : Bitset.t;  (** boundary value (entry or exit) *)
+}
+
+type dense_solution = {
+  ds_in : Bitset.t array;  (** per {!Cfg.t.order} index *)
+  ds_out : Bitset.t array;
+  ds_order : Proc.label array;
+  ds_index : (Proc.label, int) Hashtbl.t;
+  ds_visits : int;
+      (** nodes dequeued before the worklist drained — the convergence
+          effort; a reducible forward problem visits each node O(1) times *)
+}
+
+val ds_in_of : dense_solution -> Proc.label -> Bitset.t
+val ds_out_of : dense_solution -> Proc.label -> Bitset.t
+
+val solve_dense : Cfg.t -> dense_problem -> dense_solution
+(** The worklist solver. *)
+
+val solution_of_dense : dense_solution -> solution
+val dense_of_problem : Cfg.t -> problem -> dense_problem
+
 val solve : Cfg.t -> problem -> solution
-(** Iterative worklist solver (round-robin with an iteration budget). *)
+(** Lower the set-based problem onto the dense engine and solve. *)
+
+(** {1 Analyses} *)
 
 val liveness : Cfg.t -> solution
 (** Live registers per block; output ports are live at exit and phi uses
     count as live-out of the matching predecessor. *)
+
+val liveness_dense : Cfg.t -> dense_solution
 
 type def_site = {
   site_id : int;
@@ -43,11 +89,31 @@ type def_site = {
 
 val definition_sites : Proc.t -> def_site list
 
+val reg_universe : Proc.t -> int
+(** Smallest bound above every register mentioned in the procedure — the
+    liveness fact universe. *)
+
 val reaching_definitions : Cfg.t -> solution * def_site list
 (** Classic reaching definitions over numbered definition sites. *)
+
+val reaching_dense : Cfg.t -> dense_solution * def_site list
 
 type expr_key = string
 
 val available_expressions : Cfg.t -> solution * (expr_key, int) Hashtbl.t
 (** Available pure expressions (keyed by opcode + operands), intersection
     confluence; returns the solution and the expression numbering. *)
+
+val available_dense : Cfg.t -> dense_solution * (expr_key, int) Hashtbl.t
+
+(** {1 Reference implementation}
+
+    The pre-engine shapes, kept as the differential-testing oracle and the
+    benchmark baseline: a full-sweep iterate-until-stable solver over
+    [Set.Make(Int)] and the quadratic GEN/KILL constructions. *)
+module Reference : sig
+  val solve : Cfg.t -> problem -> solution
+  val liveness : Cfg.t -> solution
+  val reaching_definitions : Cfg.t -> solution * def_site list
+  val available_expressions : Cfg.t -> solution * (expr_key, int) Hashtbl.t
+end

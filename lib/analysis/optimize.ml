@@ -13,7 +13,7 @@
 
 module Proc = Roccc_vm.Proc
 module Instr = Roccc_vm.Instr
-module IS = Set.Make (Int)
+module Bitset = Roccc_util.Bitset
 
 (* ------------------------------------------------------------------ *)
 (* Copy propagation                                                    *)
@@ -128,12 +128,14 @@ let value_number (proc : Proc.t) : int =
 (* ------------------------------------------------------------------ *)
 
 let eliminate_dead (proc : Proc.t) : int =
-  (* roots: output ports, SNX sources, branch conditions, phi args *)
-  let live = ref IS.empty in
+  (* roots: output ports, SNX sources, branch conditions, phi args.
+     Liveness marking runs on the packed-bitset substrate of the data-flow
+     engine: membership and insertion are single word ops. *)
+  let live = Bitset.create (Dataflow.reg_universe proc) in
   let work = ref [] in
   let mark r =
-    if not (IS.mem r !live) then begin
-      live := IS.add r !live;
+    if not (Bitset.mem live r) then begin
+      Bitset.set live r;
       work := r :: !work
     end
   in
@@ -178,14 +180,14 @@ let eliminate_dead (proc : Proc.t) : int =
   let removed = ref 0 in
   List.iter
     (fun (b : Proc.block) ->
-      let keep_phi (p : Proc.phi) = IS.mem p.Proc.phi_dst !live in
+      let keep_phi (p : Proc.phi) = Bitset.mem live p.Proc.phi_dst in
       let kept_phis = List.filter keep_phi b.Proc.phis in
       removed := !removed + List.length b.Proc.phis - List.length kept_phis;
       b.Proc.phis <- kept_phis;
       let keep (i : Instr.instr) =
         match i.Instr.op, i.Instr.dst with
         | Instr.Snx _, _ -> true
-        | _, Some d -> IS.mem d !live
+        | _, Some d -> Bitset.mem live d
         | _, None -> true
       in
       let kept = List.filter keep b.Proc.instrs in

@@ -9,7 +9,7 @@
 
 module Proc = Roccc_vm.Proc
 module Instr = Roccc_vm.Instr
-module IS = Set.Make (Int)
+module Bitset = Roccc_util.Bitset
 
 exception Error of string
 
@@ -33,12 +33,21 @@ let dom_children (g : Cfg.t) : (Proc.label, Proc.label list) Hashtbl.t =
 let convert (proc : Proc.t) : Cfg.t =
   let g = Cfg.build proc in
   let df = Cfg.dominance_frontiers g in
+  (* Labels form the interned universe of the phi-insertion bitsets. *)
+  let label_universe =
+    1 + List.fold_left (fun m (b : Proc.block) -> max m b.Proc.label) (-1)
+          proc.Proc.blocks
+  in
   (* ---- collect definition blocks per register ---- *)
-  let def_blocks : (Instr.vreg, IS.t) Hashtbl.t = Hashtbl.create 32 in
+  let def_blocks : (Instr.vreg, Bitset.t) Hashtbl.t = Hashtbl.create 32 in
   let def_count : (Instr.vreg, int) Hashtbl.t = Hashtbl.create 32 in
   let note_def r l =
-    let cur = Option.value (Hashtbl.find_opt def_blocks r) ~default:IS.empty in
-    Hashtbl.replace def_blocks r (IS.add l cur);
+    (match Hashtbl.find_opt def_blocks r with
+    | Some bs -> Bitset.set bs l
+    | None ->
+      let bs = Bitset.create label_universe in
+      Bitset.set bs l;
+      Hashtbl.replace def_blocks r bs);
     Hashtbl.replace def_count r
       (1 + Option.value (Hashtbl.find_opt def_count r) ~default:0)
   in
@@ -58,12 +67,14 @@ let convert (proc : Proc.t) : Cfg.t =
   let needs_phi r =
     Option.value (Hashtbl.find_opt def_count r) ~default:0 > 1
   in
-  let phi_placed : (Instr.vreg * Proc.label, unit) Hashtbl.t = Hashtbl.create 16 in
   Hashtbl.iter
     (fun r blocks ->
       if needs_phi r then begin
-        let work = ref (IS.elements blocks) in
-        let seen = Hashtbl.create 8 in
+        (* iterated dominance frontier of the definition blocks, with the
+           placed/seen sets as bitsets over the label universe *)
+        let placed = Bitset.create label_universe in
+        let seen = Bitset.create label_universe in
+        let work = ref (Bitset.elements blocks) in
         while !work <> [] do
           match !work with
           | [] -> ()
@@ -72,16 +83,16 @@ let convert (proc : Proc.t) : Cfg.t =
             let frontier = Option.value (Hashtbl.find_opt df l) ~default:[] in
             List.iter
               (fun y ->
-                if not (Hashtbl.mem phi_placed (r, y)) then begin
-                  Hashtbl.replace phi_placed (r, y) ();
+                if not (Bitset.mem placed y) then begin
+                  Bitset.set placed y;
                   let b = Proc.find_block proc y in
                   b.Proc.phis <-
                     b.Proc.phis
                     @ [ { Proc.phi_dst = r;  (* renamed below *)
                           phi_args = [];
                           phi_kind = Proc.reg_kind proc r } ];
-                  if not (Hashtbl.mem seen y) then begin
-                    Hashtbl.replace seen y ();
+                  if not (Bitset.mem seen y) then begin
+                    Bitset.set seen y;
                     work := y :: !work
                   end
                 end)

@@ -61,7 +61,8 @@ type success = {
 type report = {
   rp_results : (job * (success, string) result) array;  (* submission order *)
   rp_wall_s : float;
-  rp_domains : int;
+  rp_domains : int;   (* requested *)
+  rp_workers : int;   (* effective: clamped to cores and job count *)
   rp_cache : Cache.stats option;
 }
 
@@ -245,8 +246,10 @@ let run_batch ?cache ?config ?trace ?(num_domains = 0) (jobs : job list) :
   let t0 = now () in
   let arr = Array.of_list jobs in
   let domains =
-    let d = if num_domains <= 0 then Scheduler.default_domains () else num_domains in
-    max 1 (min d (max 1 (Array.length arr)))
+    if num_domains <= 0 then Scheduler.default_domains () else num_domains
+  in
+  let workers =
+    Scheduler.effective_workers ~num_domains:domains (Array.length arr)
   in
   let f ~tid (job : job) : success =
     let j0 = now () in
@@ -282,6 +285,7 @@ let run_batch ?cache ?config ?trace ?(num_domains = 0) (jobs : job list) :
   { rp_results = Array.map2 (fun j r -> j, r) arr results;
     rp_wall_s = now () -. t0;
     rp_domains = domains;
+    rp_workers = workers;
     rp_cache = Option.map Cache.stats cache }
 
 (* ------------------------------------------------------------------ *)
@@ -343,6 +347,7 @@ let trace_meta (r : report) : (string * Trace.arg) list =
   in
   [ "wall_s", Trace.Float r.rp_wall_s;
     "domains", Trace.Int r.rp_domains;
+    "workers", Trace.Int r.rp_workers;
     "jobs", Trace.Int (Array.length r.rp_results);
     "failed", Trace.Int (List.length (failures r)) ]
   @ cache_meta
@@ -352,6 +357,7 @@ let report_json (r : report) : string =
   Buffer.add_string buf "{";
   Buffer.add_string buf (Printf.sprintf "\"wall_s\":%.6f," r.rp_wall_s);
   Buffer.add_string buf (Printf.sprintf "\"domains\":%d," r.rp_domains);
+  Buffer.add_string buf (Printf.sprintf "\"workers\":%d," r.rp_workers);
   (match r.rp_cache with
   | None -> Buffer.add_string buf "\"cache\":null,"
   | Some s ->
@@ -401,8 +407,8 @@ let summary (r : report) : string =
     r.rp_results;
   let nfail = List.length (failures r) in
   Buffer.add_string buf
-    (Printf.sprintf "%d job(s), %d failed, %d domain(s), %.1f ms wall"
-       (Array.length r.rp_results) nfail r.rp_domains (r.rp_wall_s *. 1e3));
+    (Printf.sprintf "%d job(s), %d failed, %d worker(s), %.1f ms wall"
+       (Array.length r.rp_results) nfail r.rp_workers (r.rp_wall_s *. 1e3));
   (match r.rp_cache with
   | Some s ->
     Buffer.add_string buf

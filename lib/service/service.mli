@@ -42,7 +42,10 @@ type report = {
   rp_results : (job * (success, string) result) array;
       (** in submission order; [Error] is one job's failure message *)
   rp_wall_s : float;
-  rp_domains : int;
+  rp_domains : int;  (** domains requested *)
+  rp_workers : int;
+      (** workers actually used: the request clamped to the hardware
+          parallelism and the job count ({!Scheduler.effective_workers}) *)
   rp_cache : Cache.stats option;
 }
 

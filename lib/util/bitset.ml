@@ -1,0 +1,155 @@
+(* Packed bit-vectors over a fixed interned universe [0, length) — the
+   Machine-SUIF bit-vector substrate the data-flow engine runs on. One
+   OCaml native int carries [word_bits] facts; all the data-flow meet and
+   transfer operators are in-place whole-word loops, and the mutating set
+   operators report whether anything changed so a worklist solver can
+   requeue exactly the nodes whose values moved.
+
+   Invariant: bits at positions >= length in the last word are always 0,
+   so [equal]/[is_empty]/[cardinal] are plain word comparisons. *)
+
+let word_bits = Sys.int_size (* 63 on 64-bit systems *)
+
+type t = { words : int array; length : int }
+
+let nwords n = if n = 0 then 1 else (n + word_bits - 1) / word_bits
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative universe";
+  { words = Array.make (nwords n) 0; length = n }
+
+let length t = t.length
+
+(* Mask keeping only the in-universe bits of the last word. *)
+let last_mask t =
+  let r = t.length mod word_bits in
+  if r = 0 then -1 else (1 lsl r) - 1
+
+let check t i =
+  if i < 0 || i >= t.length then
+    invalid_arg (Printf.sprintf "Bitset: bit %d outside universe [0,%d)" i t.length)
+
+let set t i =
+  check t i;
+  let w = i / word_bits and b = i mod word_bits in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl b))
+
+let clear t i =
+  check t i;
+  let w = i / word_bits and b = i mod word_bits in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w land lnot (1 lsl b))
+
+let mem t i =
+  check t i;
+  let w = i / word_bits and b = i mod word_bits in
+  Array.unsafe_get t.words w land (1 lsl b) <> 0
+
+let clear_all t = Array.fill t.words 0 (Array.length t.words) 0
+
+let fill_all t =
+  let n = Array.length t.words in
+  Array.fill t.words 0 n (-1);
+  if n > 0 then t.words.(n - 1) <- t.words.(n - 1) land last_mask t
+
+let copy t = { words = Array.copy t.words; length = t.length }
+
+let same_universe a b =
+  if a.length <> b.length then
+    invalid_arg
+      (Printf.sprintf "Bitset: universes differ (%d vs %d)" a.length b.length)
+
+let blit ~src ~dst =
+  same_universe src dst;
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+(* In-place set operators; each returns whether [dst] changed. *)
+
+let union_into ~dst src =
+  same_universe dst src;
+  let changed = ref false in
+  for w = 0 to Array.length dst.words - 1 do
+    let old = Array.unsafe_get dst.words w in
+    let v = old lor Array.unsafe_get src.words w in
+    if v <> old then begin
+      Array.unsafe_set dst.words w v;
+      changed := true
+    end
+  done;
+  !changed
+
+let inter_into ~dst src =
+  same_universe dst src;
+  let changed = ref false in
+  for w = 0 to Array.length dst.words - 1 do
+    let old = Array.unsafe_get dst.words w in
+    let v = old land Array.unsafe_get src.words w in
+    if v <> old then begin
+      Array.unsafe_set dst.words w v;
+      changed := true
+    end
+  done;
+  !changed
+
+let diff_into ~dst src =
+  same_universe dst src;
+  let changed = ref false in
+  for w = 0 to Array.length dst.words - 1 do
+    let old = Array.unsafe_get dst.words w in
+    let v = old land lnot (Array.unsafe_get src.words w) in
+    if v <> old then begin
+      Array.unsafe_set dst.words w v;
+      changed := true
+    end
+  done;
+  !changed
+
+let equal a b =
+  same_universe a b;
+  let rec go w =
+    w < 0
+    || (Array.unsafe_get a.words w = Array.unsafe_get b.words w && go (w - 1))
+  in
+  go (Array.length a.words - 1)
+
+let is_empty t =
+  let rec go w = w < 0 || (Array.unsafe_get t.words w = 0 && go (w - 1)) in
+  go (Array.length t.words - 1)
+
+let popcount_word x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t =
+  let acc = ref 0 in
+  for w = 0 to Array.length t.words - 1 do
+    acc := !acc + popcount_word (Array.unsafe_get t.words w)
+  done;
+  !acc
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let bits = ref (Array.unsafe_get t.words w) in
+    let base = w * word_bits in
+    while !bits <> 0 do
+      let low = !bits land - !bits in
+      (* index of the lowest set bit *)
+      let rec idx b i = if b = 1 then i else idx (b lsr 1) (i + 1) in
+      f (base + idx low 0);
+      bits := !bits land (!bits - 1)
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n l =
+  let t = create n in
+  List.iter (fun i -> set t i) l;
+  t
+
+let to_string t =
+  "{" ^ String.concat "," (List.map string_of_int (elements t)) ^ "}"

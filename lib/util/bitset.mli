@@ -1,0 +1,52 @@
+(** Packed bit-vectors over a fixed interned universe [\[0, length)] — the
+    substrate of the bit-vector data-flow engine. All meet/transfer
+    operators run whole native words at a time; the in-place operators
+    report whether the destination changed, which is exactly what a
+    worklist solver needs to decide what to requeue. *)
+
+type t
+
+val word_bits : int
+(** Facts per machine word ([Sys.int_size]). *)
+
+val create : int -> t
+(** [create n] is the empty set over the universe [\[0, n)]. *)
+
+val length : t -> int
+(** The universe size the set was created with. *)
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+
+val clear_all : t -> unit
+val fill_all : t -> unit
+(** Make the set empty / equal to the whole universe. *)
+
+val copy : t -> t
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with [src]. Both must share a universe size. *)
+
+val union_into : dst:t -> t -> bool
+(** [dst <- dst ∪ src]; returns whether [dst] changed. *)
+
+val inter_into : dst:t -> t -> bool
+(** [dst <- dst ∩ src]; returns whether [dst] changed. *)
+
+val diff_into : dst:t -> t -> bool
+(** [dst <- dst \ src]; returns whether [dst] changed. *)
+
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** Visit set members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+val to_string : t -> string

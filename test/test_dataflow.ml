@@ -1,0 +1,259 @@
+(* The bit-vector data-flow engine against its set-based reference oracle
+   (Dataflow.Reference, the pre-engine shapes): set-for-set equality of all
+   three analyses across the kernel gallery including unrolled variants,
+   plus worklist-convergence regressions on synthetic >=200-block CFGs that
+   the old sweep-budget solver was sized around. *)
+
+open Roccc_vm
+open Roccc_analysis
+module Driver = Roccc_core.Driver
+module Pass = Roccc_core.Pass
+module Kernels = Roccc_core.Kernels
+module Ast = Roccc_cfront.Ast
+
+(* run the pipeline up to (and including) SSA construction — the exact
+   procedure the optimizer's analyses see *)
+let proc_after_ssa ?(luts = []) ~entry ~options src =
+  let upto = ref [] in
+  let rec take = function
+    | [] -> ()
+    | (p : Pass.pass) :: rest ->
+      upto := p :: !upto;
+      if p.Pass.name <> "ssa-and-cfg" then take rest
+  in
+  take (Pass.front_passes @ Pass.kernel_passes @ Pass.back_passes);
+  let st =
+    List.fold_left
+      (fun st p -> Pass.step p st)
+      (Pass.initial ~luts ~options ~entry src)
+      (List.rev !upto)
+  in
+  Option.get st.Pass.st_proc
+
+(* ---- differential: dense engine vs Reference, set for set ---- *)
+
+let check_sets name label which a b =
+  if not (Dataflow.IS.equal a b) then
+    Alcotest.failf "%s: block %d %s differs: dense {%s} vs reference {%s}"
+      name label which
+      (String.concat "," (List.map string_of_int (Dataflow.IS.elements a)))
+      (String.concat "," (List.map string_of_int (Dataflow.IS.elements b)))
+
+let check_solutions name labels s_new s_ref =
+  List.iter
+    (fun l ->
+      check_sets name l "in" (Dataflow.in_of s_new l) (Dataflow.in_of s_ref l);
+      check_sets name l "out" (Dataflow.out_of s_new l)
+        (Dataflow.out_of s_ref l))
+    labels
+
+(* available-expression ids are private to each numbering; compare the
+   expression *keys* each block's sets denote *)
+let keys_of numbering set =
+  let inv = Hashtbl.create 16 in
+  Hashtbl.iter (fun k id -> Hashtbl.replace inv id k) numbering;
+  Dataflow.IS.elements set
+  |> List.map (fun id ->
+         match Hashtbl.find_opt inv id with
+         | Some k -> k
+         | None -> Printf.sprintf "<unknown expr %d>" id)
+  |> List.sort compare
+
+let check_differential name (proc : Proc.t) =
+  let g = Cfg.build proc in
+  let labels = List.map (fun (b : Proc.block) -> b.Proc.label) proc.Proc.blocks in
+  let live_new = Dataflow.liveness g in
+  let live_ref = Dataflow.Reference.liveness g in
+  check_solutions (name ^ ".liveness") labels live_new live_ref;
+  let reach_new, sites_new = Dataflow.reaching_definitions g in
+  let reach_ref, sites_ref = Dataflow.Reference.reaching_definitions g in
+  Alcotest.(check int)
+    (name ^ " same definition-site count")
+    (List.length sites_ref) (List.length sites_new);
+  List.iter2
+    (fun (a : Dataflow.def_site) (b : Dataflow.def_site) ->
+      Alcotest.(check (triple int int int))
+        (name ^ " same definition sites")
+        (b.Dataflow.site_id, b.Dataflow.site_block, b.Dataflow.site_reg)
+        (a.Dataflow.site_id, a.Dataflow.site_block, a.Dataflow.site_reg))
+    sites_new sites_ref;
+  check_solutions (name ^ ".reaching") labels reach_new reach_ref;
+  let avail_new, num_new = Dataflow.available_expressions g in
+  let avail_ref, num_ref = Dataflow.Reference.available_expressions g in
+  List.iter
+    (fun l ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s.available block %d in" name l)
+        (keys_of num_ref (Dataflow.in_of avail_ref l))
+        (keys_of num_new (Dataflow.in_of avail_new l));
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s.available block %d out" name l)
+        (keys_of num_ref (Dataflow.out_of avail_ref l))
+        (keys_of num_new (Dataflow.out_of avail_new l)))
+    labels
+
+let test_differential_gallery () =
+  List.iter
+    (fun (b : Kernels.benchmark) ->
+      let options = b.Kernels.tune Driver.default_options in
+      let proc =
+        proc_after_ssa ~luts:b.Kernels.luts ~entry:b.Kernels.entry ~options
+          b.Kernels.source
+      in
+      check_differential b.Kernels.bench_name proc)
+    Kernels.table1
+
+let test_differential_unrolled () =
+  let fir_src =
+    "void fir(int8 A[68], int16 C[64]) {\n\
+    \  int i;\n\
+    \  for (i = 0; i < 64; i++) {\n\
+    \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
+    \  }\n\
+     }\n"
+  in
+  List.iter
+    (fun factor ->
+      let options =
+        { Driver.default_options with
+          Driver.unroll_outer_factor = factor;
+          bus_elements = factor }
+      in
+      let proc = proc_after_ssa ~entry:"fir" ~options fir_src in
+      check_differential (Printf.sprintf "fir.u%d" factor) proc)
+    [ 2; 4; 16 ]
+
+(* ---- worklist convergence on large synthetic CFGs ---- *)
+
+(* A ladder of [diamonds] diamonds (header -> left/right -> join), each
+   redefining the accumulator on both arms; with [loops], every tenth join
+   conditionally branches back to its own header. 1 + 4*diamonds + 1
+   blocks. The old solver capped iteration at a blocks^2 sweep budget;
+   the worklist solver must converge by emptiness with visit counts linear
+   in the block count. *)
+let build_ladder ~diamonds ~loops () =
+  let proc = Proc.create "ladder" in
+  let k = Ast.int32_kind in
+  let entry = Proc.fresh_block proc in
+  let step = Proc.fresh_reg proc k in
+  let acc = Proc.fresh_reg proc k in
+  entry.Proc.instrs <-
+    [ Instr.make ~dst:step (Instr.Ldc 1L) [] k;
+      Instr.make ~dst:acc (Instr.Ldc 0L) [] k ];
+  let link = ref (fun l -> entry.Proc.term <- Proc.Jump l) in
+  for i = 1 to diamonds do
+    let hd = Proc.fresh_block proc in
+    let lf = Proc.fresh_block proc in
+    let rt = Proc.fresh_block proc in
+    let jn = Proc.fresh_block proc in
+    !link hd.Proc.label;
+    let cond = Proc.fresh_reg proc Ast.bool_kind in
+    hd.Proc.instrs <-
+      [ Instr.make ~dst:cond Instr.Slt [ acc; step ] Ast.bool_kind ];
+    hd.Proc.term <- Proc.Branch (cond, lf.Proc.label, rt.Proc.label);
+    lf.Proc.instrs <- [ Instr.make ~dst:acc Instr.Add [ acc; step ] k ];
+    lf.Proc.term <- Proc.Jump jn.Proc.label;
+    rt.Proc.instrs <- [ Instr.make ~dst:acc Instr.Sub [ acc; step ] k ];
+    rt.Proc.term <- Proc.Jump jn.Proc.label;
+    if loops && i mod 10 = 0 then begin
+      let again = Proc.fresh_reg proc Ast.bool_kind in
+      jn.Proc.instrs <-
+        [ Instr.make ~dst:again Instr.Sgt [ acc; step ] Ast.bool_kind ];
+      link :=
+        fun l -> jn.Proc.term <- Proc.Branch (again, hd.Proc.label, l)
+    end
+    else link := fun l -> jn.Proc.term <- Proc.Jump l
+  done;
+  let exit_b = Proc.fresh_block proc in
+  !link exit_b.Proc.label;
+  exit_b.Proc.term <- Proc.Ret;
+  { proc with
+    Proc.outputs = [ { Proc.port_name = "acc"; port_reg = acc; port_kind = k } ]
+  }
+
+let test_ladder_dag_convergence () =
+  let proc = build_ladder ~diamonds:60 ~loops:false () in
+  let n = List.length proc.Proc.blocks in
+  Alcotest.(check bool) "at least 200 blocks" true (n >= 200);
+  let g = Cfg.build proc in
+  let reach, _sites = Dataflow.reaching_dense g in
+  (* acyclic + RPO seeding: one pass over the worklist settles everything *)
+  Alcotest.(check int) "forward visits = one RPO sweep" n
+    reach.Dataflow.ds_visits;
+  let live = Dataflow.liveness_dense g in
+  Alcotest.(check bool)
+    (Printf.sprintf "backward visits %d within 2x blocks (%d)"
+       live.Dataflow.ds_visits n)
+    true
+    (live.Dataflow.ds_visits <= 2 * n);
+  let avail, _ = Dataflow.available_dense g in
+  Alcotest.(check bool) "available converges linearly" true
+    (avail.Dataflow.ds_visits <= 2 * n);
+  (* the engine agrees with the reference on the big CFG too *)
+  check_differential "ladder-dag" proc
+
+let test_ladder_loops_convergence () =
+  let proc = build_ladder ~diamonds:60 ~loops:true () in
+  let n = List.length proc.Proc.blocks in
+  Alcotest.(check bool) "at least 200 blocks" true (n >= 200);
+  let g = Cfg.build proc in
+  let reach, _ = Dataflow.reaching_dense g in
+  Alcotest.(check bool)
+    (Printf.sprintf "loopy forward visits %d within 4x blocks (%d)"
+       reach.Dataflow.ds_visits n)
+    true
+    (reach.Dataflow.ds_visits <= 4 * n);
+  let live = Dataflow.liveness_dense g in
+  Alcotest.(check bool)
+    (Printf.sprintf "loopy backward visits %d within 4x blocks (%d)"
+       live.Dataflow.ds_visits n)
+    true
+    (live.Dataflow.ds_visits <= 4 * n);
+  check_differential "ladder-loops" proc
+
+(* dominance frontiers on the ladder: the bitset-backed construction must
+   match a direct reading of Cytron's definition *)
+let test_ladder_dominance_frontiers () =
+  let proc = build_ladder ~diamonds:60 ~loops:true () in
+  let g = Cfg.build proc in
+  let df = Cfg.dominance_frontiers g in
+  List.iter
+    (fun (b : Proc.block) ->
+      let x = b.Proc.label in
+      let expected =
+        (* y is in DF(x) iff x dominates a predecessor of y but not y
+           strictly (x = y allowed) *)
+        List.filter_map
+          (fun (y : Proc.block) ->
+            let y = y.Proc.label in
+            let dominates_pred =
+              List.exists
+                (fun p -> Cfg.dominates g x p)
+                (Cfg.predecessors g y)
+            in
+            if dominates_pred && (x = y || not (Cfg.dominates g x y)) then
+              Some y
+            else None)
+          proc.Proc.blocks
+      in
+      let got =
+        List.sort compare (Option.value (Hashtbl.find_opt df x) ~default:[])
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "DF(%d)" x)
+        (List.sort compare expected)
+        got)
+    proc.Proc.blocks
+
+let suites =
+  [ "dataflow",
+    [ Alcotest.test_case "dense engine = reference on the gallery" `Slow
+        test_differential_gallery;
+      Alcotest.test_case "dense engine = reference on unrolled FIR" `Slow
+        test_differential_unrolled;
+      Alcotest.test_case "240-block DAG ladder converges linearly" `Quick
+        test_ladder_dag_convergence;
+      Alcotest.test_case "240-block loopy ladder converges" `Quick
+        test_ladder_loops_convergence;
+      Alcotest.test_case "ladder dominance frontiers match definition"
+        `Quick test_ladder_dominance_frontiers ] ]

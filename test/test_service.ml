@@ -281,6 +281,80 @@ let test_scheduler_deterministic_slots () =
         | Error msg -> Alcotest.failf "slot %d failed: %s" i msg)
     results
 
+let test_effective_workers () =
+  let hw = Scheduler.default_domains () in
+  Alcotest.(check int) "clamped to the job count" 1
+    (Scheduler.effective_workers ~num_domains:8 1);
+  Alcotest.(check int) "clamped to the hardware parallelism" hw
+    (Scheduler.effective_workers ~num_domains:(hw * 4) 64);
+  Alcotest.(check int) "zero request means the default" (min hw 64)
+    (Scheduler.effective_workers ~num_domains:0 64);
+  Alcotest.(check int) "clamp:false honors oversubscription" (hw * 2)
+    (Scheduler.effective_workers ~clamp:false ~num_domains:(hw * 2) 64);
+  Alcotest.(check int) "empty batch still gets one worker" 1
+    (Scheduler.effective_workers ~num_domains:4 0)
+
+let test_scheduler_chunk_edge_cases () =
+  let jobs = Array.init 7 (fun i -> i) in
+  let f ~tid x = ignore tid; x + 1 in
+  (* chunk larger than the batch and chunk = 1 both cover every slot *)
+  List.iter
+    (fun chunk ->
+      let results = Scheduler.parallel_map ~num_domains:4 ~chunk ~f jobs in
+      Array.iteri
+        (fun i r ->
+          Alcotest.(check (result int string))
+            (Printf.sprintf "chunk %d slot %d" chunk i)
+            (Ok (i + 1)) r)
+        results)
+    [ 1; 3; 100 ];
+  let empty = Scheduler.parallel_map ~num_domains:4 ~f (([||] : int array)) in
+  Alcotest.(check int) "empty batch" 0 (Array.length empty)
+
+(* Regression for the negative scaling the service bench used to show:
+   requesting more domains than the machine has cores must not slow a
+   CPU-bound batch down (the scheduler clamps to the hardware parallelism
+   and spawns nothing it cannot use). *)
+let test_scheduler_scaling_guard () =
+  let work ~tid x =
+    ignore tid;
+    let acc = ref x in
+    for i = 1 to 150_000 do
+      acc := ((!acc * 1103515245) + 12345 + i) land 0x3FFFFFFF
+    done;
+    !acc
+  in
+  let jobs = Array.init 24 (fun i -> i) in
+  let time d =
+    let t0 = Unix.gettimeofday () in
+    let r = Scheduler.parallel_map ~num_domains:d ~f:work jobs in
+    r, Unix.gettimeofday () -. t0
+  in
+  (* warm up once so allocation noise lands outside the measurements *)
+  let _ = time 1 in
+  let r1, t1 = time 1 in
+  let r4, t4 = time 4 in
+  Alcotest.(check bool) "same results at 1 and 4 domains" true (r1 = r4);
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "4-domain wall (%.1f ms) within tolerance of 1-domain (%.1f ms)"
+       (1e3 *. t4) (1e3 *. t1))
+    true
+    (t4 <= (t1 *. 1.5) +. 0.01)
+
+let test_run_batch_reports_workers () =
+  let report = Service.run_batch ~num_domains:4 [ fir_job () ] in
+  Alcotest.(check int) "requested domains recorded" 4
+    report.Service.rp_domains;
+  Alcotest.(check int) "one job uses one worker" 1 report.Service.rp_workers;
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report json carries workers" true
+    (contains "\"workers\":" (Service.report_json report))
+
 (* ---- tracing ---- *)
 
 let test_trace_export () =
@@ -389,6 +463,14 @@ let suites =
         test_sweep_per_pass_cache_hits;
       Alcotest.test_case "scheduler slots are deterministic" `Quick
         test_scheduler_deterministic_slots;
+      Alcotest.test_case "effective worker clamping" `Quick
+        test_effective_workers;
+      Alcotest.test_case "chunked claiming edge cases" `Quick
+        test_scheduler_chunk_edge_cases;
+      Alcotest.test_case "no negative scaling past core count" `Slow
+        test_scheduler_scaling_guard;
+      Alcotest.test_case "batch report carries worker count" `Quick
+        test_run_batch_reports_workers;
       Alcotest.test_case "trace exports chrome JSON" `Quick
         test_trace_export;
       Alcotest.test_case "driver instrument hook" `Quick
