@@ -721,6 +721,102 @@ let dataflow_section () =
   Printf.printf "wrote BENCH_dataflow.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Pipelining - latch-bit / clock Pareto across clock targets          *)
+(* ------------------------------------------------------------------ *)
+
+type pl_row = {
+  pl_kernel : string;
+  pl_target_ns : float;
+  pl_stages : int;
+  pl_clock_mhz : float;
+  pl_greedy_bits : int;
+  pl_retimed_bits : int;
+  pl_moves : int;
+}
+
+let pipeline_section () =
+  section
+    "Pipelining - slack-based retiming vs greedy latch placement \
+     (latch-bit / clock Pareto)";
+  let kernels =
+    [ "fir", Kernels.fir.Kernels.source, "fir",
+      Kernels.fir.Kernels.tune Driver.default_options,
+      Kernels.fir.Kernels.luts;
+      "dct", Kernels.dct.Kernels.source, "dct",
+      Kernels.dct.Kernels.tune Driver.default_options, Kernels.dct.Kernels.luts;
+      "acc", Kernels.paper_acc_source, "acc", Driver.default_options, [] ]
+  in
+  Printf.printf "%-8s %9s %7s %10s | %11s %12s %6s\n" "kernel" "target"
+    "stages" "clock" "greedy bits" "retimed bits" "moves";
+  hr ();
+  let rows =
+    List.concat_map
+      (fun (name, source, entry, options, luts) ->
+        List.map
+          (fun tns ->
+            let c =
+              Driver.compile
+                ~options:{ options with Driver.target_ns = tns }
+                ~luts ~entry source
+            in
+            let p = c.Driver.pipeline in
+            let row =
+              { pl_kernel = name;
+                pl_target_ns = tns;
+                pl_stages = p.Pipeline.stage_count;
+                pl_clock_mhz = p.Pipeline.clock_mhz;
+                pl_greedy_bits = p.Pipeline.greedy_latch_bits;
+                pl_retimed_bits = p.Pipeline.latch_bits;
+                pl_moves = p.Pipeline.retime_moves }
+            in
+            Printf.printf "%-8s %6.0f ns %7d %6.1f MHz | %11d %12d %6d\n"
+              row.pl_kernel row.pl_target_ns row.pl_stages row.pl_clock_mhz
+              row.pl_greedy_bits row.pl_retimed_bits row.pl_moves;
+            row)
+          [ 3.0; 5.0; 8.0 ])
+      kernels
+  in
+  hr ();
+  (* the acceptance gates: retiming never spends more latch bits than
+     greedy anywhere on the grid, and buys a strict reduction somewhere
+     at the default 5 ns target *)
+  let never_worse =
+    List.for_all (fun r -> r.pl_retimed_bits <= r.pl_greedy_bits) rows
+  in
+  let strict_at_default =
+    List.exists
+      (fun r -> r.pl_target_ns = 5.0 && r.pl_retimed_bits < r.pl_greedy_bits)
+      rows
+  in
+  Printf.printf "retimed <= greedy on every (kernel, target): %s\n"
+    (if never_worse then "ok" else "VIOLATED");
+  Printf.printf "strict reduction at the 5 ns default: %s\n"
+    (if strict_at_default then "ok" else "NONE FOUND");
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"kernel\": \"%s\", \"target_ns\": %g, \"stages\": %d, \
+            \"clock_mhz\": %.2f, \"greedy_latch_bits\": %d, \
+            \"retimed_latch_bits\": %d, \"retime_moves\": %d }%s\n"
+           r.pl_kernel r.pl_target_ns r.pl_stages r.pl_clock_mhz
+           r.pl_greedy_bits r.pl_retimed_bits r.pl_moves
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"retiming_ok\": %b,\n" never_worse);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"strict_reduction_at_default\": %b\n}\n"
+       strict_at_default);
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_pipeline.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Batch service - cache and scheduler throughput                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -902,6 +998,7 @@ let sections : (string * (unit -> unit)) list =
         ablation_loop_fusion ();
         ablation_smart_buffer () );
     "dataflow", dataflow_section;
+    "pipeline", pipeline_section;
     "service", service_section;
     "bechamel", bechamel_section ]
 

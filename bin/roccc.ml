@@ -353,10 +353,13 @@ let compile_all_cmd =
         let oks, errs = Driver.compile_all source in
         List.iter
           (fun (name, c) ->
-            Printf.printf "%-20s %5d slices @ %6.1f MHz, %d-stage pipeline\n"
+            Printf.printf
+              "%-20s %5d slices @ %6.1f MHz, %d-stage pipeline, %d latch \
+               bits\n"
               name c.Driver.area.Roccc_fpga.Area.slices
               c.Driver.area.Roccc_fpga.Area.clock_mhz
-              (Roccc_datapath.Pipeline.latency c.Driver.pipeline);
+              (Roccc_datapath.Pipeline.latency c.Driver.pipeline)
+              c.Driver.pipeline.Roccc_datapath.Pipeline.latch_bits;
             match out with
             | Some dir ->
               if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -525,6 +528,14 @@ let batch_cmd =
       & info [ "sweep-bus" ] ~docv:"N,..."
           ~doc:"Memory bus widths (elements) for the sweep grid.")
   in
+  let sweep_target_ns_arg =
+    Arg.(
+      value & opt (list float) []
+      & info [ "sweep-target-ns" ] ~docv:"NS,..."
+          ~doc:
+            "Clock targets (combinational ns per stage) as a third sweep \
+             axis; empty (default) sweeps only $(b,--target-ns).")
+  in
   let c_files_of_dir dir =
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".c")
@@ -551,7 +562,8 @@ let batch_cmd =
       [ { Service.label = base; source; entry = "?"; options; luts = [] } ]
   in
   let run paths table1 target_ns bus no_widths unroll_inner jobs use_cache
-      cache_dir trace_out out sweep sweep_entry sweep_unroll sweep_bus config =
+      cache_dir trace_out out sweep sweep_entry sweep_unroll sweep_bus
+      sweep_target config =
     with_errors (fun () ->
         let options = options_of target_ns bus no_widths unroll_inner in
         let files =
@@ -575,8 +587,9 @@ let batch_cmd =
                   "roccc batch --sweep needs exactly one FILE.c and -e FUNC\n";
                 exit 2
             in
-            Service.sweep_jobs ~base:options ~source:(read_file file) ~entry
-              ~unroll_factors:sweep_unroll ~bus_widths:sweep_bus ()
+            Service.sweep_jobs ~base:options ~target_ns:sweep_target
+              ~source:(read_file file) ~entry ~unroll_factors:sweep_unroll
+              ~bus_widths:sweep_bus ()
           end
           else
             (if table1 then Service.table1_jobs () else [])
@@ -632,7 +645,7 @@ let batch_cmd =
       const run $ paths_arg $ table1_arg $ target_ns_arg $ bus_arg
       $ no_widths_arg $ unroll_inner_arg $ jobs_arg $ cache_arg
       $ cache_dir_arg $ trace_arg $ out_arg $ sweep_arg $ sweep_entry_arg
-      $ sweep_unroll_arg $ sweep_bus_arg $ config_term)
+      $ sweep_unroll_arg $ sweep_bus_arg $ sweep_target_ns_arg $ config_term)
   in
   Cmd.v
     (Cmd.info "batch"

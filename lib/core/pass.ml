@@ -925,11 +925,27 @@ let pipelining_pass =
     transform =
       (fun st ->
         let p =
-          Pipeline.build ~target_ns:st.st_options.target_ns (dp_of st)
-            (widths_of st)
+          Pipeline.build ~target_ns:st.st_options.target_ns ~retime:false
+            (dp_of st) (widths_of st)
         in
         { st with st_pipeline = Some p });
     ir_size = (fun st -> Pipeline.latency (pipeline_of st));
+    verifier = Some (fun st -> Pipeline.verify (pipeline_of st));
+    differential = None;
+    dump = (fun st -> Pipeline.describe (pipeline_of st));
+    fingerprint = (fun o -> Printf.sprintf "tns=%h" o.target_ns) }
+
+(* Slack-based retiming over the greedy staging. Disabling it
+   (--disable-pass retiming) is the greedy-placement ablation. *)
+let retiming_pass =
+  { name = "retiming";
+    layer = Datapath;
+    optional = true;
+    enabled = always;
+    applicable = always;
+    transform =
+      (fun st -> { st with st_pipeline = Some (Pipeline.retime (pipeline_of st)) });
+    ir_size = (fun st -> (pipeline_of st).Pipeline.latch_bits);
     verifier = Some (fun st -> Pipeline.verify (pipeline_of st));
     differential = None;
     dump = (fun st -> Pipeline.describe (pipeline_of st));
@@ -1059,6 +1075,7 @@ let back_passes : pass list =
     datapath_build_pass;
     width_inference_pass;
     pipelining_pass;
+    retiming_pass;
     vhdl_generation_pass;
     vhdl_lint_pass;
     area_estimation_pass ]

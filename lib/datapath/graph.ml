@@ -94,6 +94,14 @@ let constant_values (dp : t) : (Instr.vreg, int64) Hashtbl.t =
 let instr_count (dp : t) : int =
   List.fold_left (fun acc n -> acc + List.length n.instrs) 0 dp.nodes
 
+(** Every instruction tagged with its owning node id, flattened in
+    (level, node, program) order — topological by construction, the
+    canonical instruction order of the timing and pipelining layers. *)
+let flatten (dp : t) : (int * Instr.instr) list =
+  List.concat_map
+    (fun (n : node) -> List.map (fun i -> n.id, i) n.instrs)
+    dp.nodes
+
 (* ------------------------------------------------------------------ *)
 (* Well-formedness                                                     *)
 (* ------------------------------------------------------------------ *)

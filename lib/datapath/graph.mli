@@ -46,6 +46,11 @@ val constant_values : t -> (Instr.vreg, int64) Hashtbl.t
 val instr_count : t -> int
 val copy_count : t -> int
 
+val flatten : t -> (int * Instr.instr) list
+(** Every instruction tagged with its owning node id, in (level, node,
+    program) order — topological by construction; the canonical
+    instruction order shared by the timing and pipelining layers. *)
+
 val to_string : t -> string
 (** Level-by-level dump (the Figure 6/7 reproductions). *)
 

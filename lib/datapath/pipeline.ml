@@ -1,9 +1,12 @@
-(** Data-path pipelining (paper §4.2.3): latches are placed automatically
-    based on per-instruction delay estimation; an SNX instruction always gets
-    a latch feeding its LPR, and the LPR-to-SNX feedback path must complete
-    within a single stage so the pipeline accepts one iteration per cycle
-    ("each pipeline stage is an instance of single iteration in the for-loop
-    body"). *)
+(** Data-path pipelining (paper §4.2.3): latch placement driven by the
+    {!Timing} netlist's per-instruction delay estimation, followed by a
+    slack-based retiming pass that slides low-fanout instructions across
+    stage boundaries to minimize latch bits at the same clock target.
+
+    Two invariants are preserved throughout: every SNX gets a latch feeding
+    its LPR, and each LPR-to-SNX feedback path stays within a single stage
+    so the pipeline accepts one iteration per cycle ("each pipeline stage is
+    an instance of single iteration in the for-loop body"). *)
 
 module Instr = Roccc_vm.Instr
 module Proc = Roccc_vm.Proc
@@ -25,13 +28,18 @@ type staged_instr = {
 type t = {
   dp : Graph.t;
   widths : Widths.t;
+  timing : Timing.t;               (** the timed netlist staged over *)
   instrs : staged_instr list;      (** topological order *)
   stage_count : int;
   stage_delays : float array;      (** worst combinational path per stage *)
   clock_mhz : float;
   latch_bits : int;                (** total pipeline-register bits *)
+  greedy_latch_bits : int;         (** latch bits before retiming *)
+  retime_moves : int;              (** accepted retiming moves *)
   feedback_bits : int;             (** SNX register bits *)
   target_ns : float;
+  def_stage : (Instr.vreg, int) Hashtbl.t;
+  instr_stage : (Instr.instr, int) Hashtbl.t;
 }
 
 let latency (p : t) = p.stage_count
@@ -40,179 +48,55 @@ let latency (p : t) = p.stage_count
     equals the number of outputs the data path produces per iteration. *)
 let outputs_per_cycle (p : t) = List.length p.dp.Graph.output_ports
 
+(** Stage where a register's value is produced (0 for external inputs). *)
+let stage_of_def (p : t) (r : Instr.vreg) : int =
+  Option.value (Hashtbl.find_opt p.def_stage r) ~default:0
+
+(** Stage an instruction executes in (0 for instructions outside the staged
+    set). *)
+let stage_of_instr (p : t) (i : Instr.instr) : int =
+  Option.value (Hashtbl.find_opt p.instr_stage i) ~default:0
+
+(** Latch boundaries operand [r] crosses to reach instruction [i] — the
+    delay-chain depth the VHDL generator materializes for this use. *)
+let use_delay (p : t) (i : Instr.instr) (r : Instr.vreg) : int =
+  max 0 (stage_of_instr p i - stage_of_def p r)
+
+(** All pipeline flip-flop bits this staging implies — latch bits plus the
+    SNX feedback registers. The area model charges registers from here. *)
+let register_bits (p : t) : int = p.latch_bits + p.feedback_bits
+
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let build ?(target_ns = default_target_ns) (dp : Graph.t)
-    (widths : Widths.t) : t =
-  (* Flatten in (level, node, index) order — topological by construction. *)
-  let consts = Graph.constant_values dp in
-  let instrs =
-    List.concat_map
-      (fun (n : Graph.node) ->
-        List.map
-          (fun (i : Instr.instr) ->
-            let sw = List.map (Widths.width widths) i.Instr.srcs in
-            let const_operands =
-              List.map (fun r -> Hashtbl.find_opt consts r) i.Instr.srcs
-            in
-            { si = i;
-              si_node = n.Graph.id;
-              stage = 0;
-              si_delay =
-                Delay.instr_delay_ns ~const_operands i.Instr.op i.Instr.kind
-                  sw })
-          n.Graph.instrs)
-      dp.Graph.nodes
-  in
-  (* producer map: reg -> staged instr *)
-  let producer : (Instr.vreg, staged_instr) Hashtbl.t = Hashtbl.create 64 in
+(* Stage assignments live in an array indexed by [ti_index] while under
+   construction; [staged_instr] is materialized at the end. *)
+
+let stage_count_of (tm : Timing.t) (stages : int array) : int =
+  1
+  + List.fold_left
+      (fun acc (ti : Timing.tinstr) -> max acc stages.(ti.Timing.ti_index))
+      0 tm.Timing.instrs
+
+(* Feedback sanity: every LPR/SNX pair of each feedback signal must share a
+   stage, otherwise the loop would need more than one cycle per iteration. *)
+let check_feedback_stages (tm : Timing.t) (stages : int array) : unit =
   List.iter
-    (fun si ->
-      match si.si.Instr.dst with
-      | Some d -> Hashtbl.replace producer d si
-      | None -> ())
-    instrs;
-  let src_stage r =
-    match Hashtbl.find_opt producer r with
-    | Some p -> Some p.stage
-    | None -> None  (* external input: available at stage 0 start *)
-  in
-  (* ---- pass 1: greedy delay-driven staging ---- *)
-  let finish : (Instr.vreg, float) Hashtbl.t = Hashtbl.create 64 in
-  let is_lpr si = match si.si.Instr.op with Instr.Lpr _ -> true | _ -> false in
-  List.iter
-    (fun si ->
-      let max_src_stage =
-        List.fold_left
-          (fun acc r ->
-            match src_stage r with Some s -> max acc s | None -> acc)
-          0 si.si.Instr.srcs
-      in
-      let arrival r =
-        match Hashtbl.find_opt producer r with
-        | Some p when p.stage = max_src_stage ->
-          Option.value
-            (Option.bind p.si.Instr.dst (Hashtbl.find_opt finish))
-            ~default:0.0
-        | Some _ | None -> 0.0
-      in
-      let start =
-        List.fold_left (fun acc r -> Float.max acc (arrival r)) 0.0
-          si.si.Instr.srcs
-      in
-      let s, t =
-        if start +. si.si_delay > target_ns && start > 0.0 then
-          (* operands latched at a new stage boundary *)
-          max_src_stage + 1, si.si_delay
-        else max_src_stage, start +. si.si_delay
-      in
-      si.stage <- s;
-      (match si.si.Instr.dst with
-      | Some d -> Hashtbl.replace finish d t
-      | None -> ()))
-    instrs;
-  (* ---- pass 2: feedback paths collapse onto the SNX stage ---- *)
-  (* For each feedback signal: instrs reachable forward from its LPRs and
-     backward from its SNX must share one stage. *)
-  let consumers : (Instr.vreg, staged_instr list) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun si ->
-      List.iter
-        (fun r ->
-          let cur = Option.value (Hashtbl.find_opt consumers r) ~default:[] in
-          Hashtbl.replace consumers r (si :: cur))
-        si.si.Instr.srcs)
-    instrs;
-  let feedback_names =
-    List.map (fun (n, _, _) -> n) dp.Graph.proc.Proc.feedbacks
-  in
-  List.iter
-    (fun name ->
-      let lprs =
-        List.filter
-          (fun si ->
-            match si.si.Instr.op with
-            | Instr.Lpr n -> String.equal n name
-            | _ -> false)
-          instrs
-      in
-      let snxs =
-        List.filter
-          (fun si ->
-            match si.si.Instr.op with
-            | Instr.Snx n -> String.equal n name
-            | _ -> false)
-          instrs
-      in
-      if snxs <> [] then begin
-        (* forward reachability from LPR defs *)
-        let fwd = Hashtbl.create 16 in
-        let rec forward si =
-          if not (Hashtbl.mem fwd si.si) then begin
-            Hashtbl.replace fwd si.si ();
-            match si.si.Instr.dst with
-            | Some d ->
-              List.iter forward
-                (Option.value (Hashtbl.find_opt consumers d) ~default:[])
-            | None -> ()
-          end
-        in
-        List.iter forward lprs;
-        (* backward reachability from SNX sources *)
-        let bwd = Hashtbl.create 16 in
-        let rec backward si =
-          if not (Hashtbl.mem bwd si.si) then begin
-            Hashtbl.replace bwd si.si ();
-            List.iter
-              (fun r ->
-                match Hashtbl.find_opt producer r with
-                | Some p -> backward p
-                | None -> ())
-              si.si.Instr.srcs
-          end
-        in
-        List.iter backward snxs;
-        let path =
-          List.filter
-            (fun si -> Hashtbl.mem fwd si.si && Hashtbl.mem bwd si.si)
-            instrs
-        in
-        let s_star = List.fold_left (fun acc si -> max acc si.stage) 0 path in
-        List.iter (fun si -> si.stage <- s_star) path;
-        List.iter (fun si -> si.stage <- s_star) lprs
-      end)
-    feedback_names;
-  (* ---- pass 3: forward monotonicity fixup ---- *)
-  List.iter
-    (fun si ->
-      if not (is_lpr si) then begin
-        let m =
-          List.fold_left
-            (fun acc r ->
-              match src_stage r with Some s -> max acc s | None -> acc)
-            si.stage si.si.Instr.srcs
-        in
-        si.stage <- m
-      end)
-    instrs;
-  (* ---- feedback sanity: LPR and SNX share a stage ---- *)
-  List.iter
-    (fun name ->
-      let stages op_match =
+    (fun (name, _, _) ->
+      let op_stages op_match =
         List.filter_map
-          (fun si ->
-            match si.si.Instr.op with
-            | op when op_match op -> Some si.stage
-            | _ -> None)
-          instrs
+          (fun (ti : Timing.tinstr) ->
+            if op_match ti.Timing.ti.Instr.op then
+              Some stages.(ti.Timing.ti_index)
+            else None)
+          tm.Timing.instrs
       in
       let lpr_stages =
-        stages (function Instr.Lpr n -> String.equal n name | _ -> false)
+        op_stages (function Instr.Lpr n -> String.equal n name | _ -> false)
       in
       let snx_stages =
-        stages (function Instr.Snx n -> String.equal n name | _ -> false)
+        op_stages (function Instr.Snx n -> String.equal n name | _ -> false)
       in
       match lpr_stages, snx_stages with
       | _, [] | [], _ -> ()
@@ -228,70 +112,204 @@ let build ?(target_ns = default_target_ns) (dp : Graph.t)
                     name l s)
               ss)
           ls)
-    feedback_names;
-  let stage_count =
-    1 + List.fold_left (fun acc si -> max acc si.stage) 0 instrs
-  in
-  (* ---- per-stage combinational delay ---- *)
-  let stage_delays = Array.make stage_count 0.0 in
-  let finish2 : (Instr.vreg, float) Hashtbl.t = Hashtbl.create 64 in
+    tm.Timing.dp.Graph.proc.Proc.feedbacks
+
+(* ---- slack-based retiming ----
+   Slide unpinned instructions across one stage boundary at a time (later
+   first — that is where dangling zero-delay producers accumulate latches —
+   then earlier), accepting a move only when the total latch bits strictly
+   decrease and the worst per-stage delay stays within [budget]. Pinned:
+   LPR/SNX instructions and everything on a feedback path. Terminates
+   because every accepted move strictly decreases an integer. *)
+let retime_stages (tm : Timing.t) (stages : int array) ~(stage_count : int)
+    ~(budget : float) : int =
+  let pinned = Array.make (Array.length stages) false in
   List.iter
-    (fun si ->
-      let start =
-        List.fold_left
-          (fun acc r ->
-            match Hashtbl.find_opt producer r with
-            | Some p when p.stage = si.stage ->
-              Float.max acc
+    (fun (ti : Timing.tinstr) ->
+      match ti.Timing.ti.Instr.op with
+      | Instr.Lpr _ | Instr.Snx _ -> pinned.(ti.Timing.ti_index) <- true
+      | _ -> ())
+    tm.Timing.instrs;
+  List.iter
+    (fun (_, members) ->
+      List.iter
+        (fun (ti : Timing.tinstr) -> pinned.(ti.Timing.ti_index) <- true)
+        members)
+    (Timing.feedback_paths tm);
+  let stage_of (ti : Timing.tinstr) = stages.(ti.Timing.ti_index) in
+  let current = ref (Timing.latch_bits tm ~stage_of ~stage_count) in
+  let moves = ref 0 in
+  let try_move (ti : Timing.tinstr) (delta : int) : bool =
+    let idx = ti.Timing.ti_index in
+    if pinned.(idx) then false
+    else begin
+      let s = stages.(idx) in
+      let s' = s + delta in
+      if s' < 0 || s' >= stage_count then false
+      else begin
+        let valid =
+          if delta > 0 then
+            (* push later: every consumer must already sit at s' or later *)
+            (match ti.Timing.ti.Instr.dst with
+            | Some d ->
+              List.for_all
+                (fun c -> stage_of c >= s')
                 (Option.value
-                   (Option.bind p.si.Instr.dst (Hashtbl.find_opt finish2))
-                   ~default:0.0)
-            | Some _ | None -> acc)
-          0.0 si.si.Instr.srcs
-      in
-      let f = start +. si.si_delay in
-      (match si.si.Instr.dst with
-      | Some d -> Hashtbl.replace finish2 d f
-      | None -> ());
-      if f > stage_delays.(si.stage) then stage_delays.(si.stage) <- f)
-    instrs;
+                   (Hashtbl.find_opt tm.Timing.consumers d)
+                   ~default:[])
+            | None -> true)
+          else
+            (* pull earlier: every producer must sit at s' or earlier
+               (external operands are available from stage 0) *)
+            List.for_all
+              (fun r ->
+                match Hashtbl.find_opt tm.Timing.producer r with
+                | Some p -> stage_of p <= s'
+                | None -> true)
+              ti.Timing.ti.Instr.srcs
+        in
+        if not valid then false
+        else begin
+          stages.(idx) <- s';
+          let bits = Timing.latch_bits tm ~stage_of ~stage_count in
+          let worst =
+            Array.fold_left Float.max 0.0
+              (Timing.stage_delays tm ~stage_of ~stage_count)
+          in
+          if bits < !current && worst <= budget +. 1e-9 then begin
+            current := bits;
+            incr moves;
+            true
+          end
+          else begin
+            stages.(idx) <- s;
+            false
+          end
+        end
+      end
+    end
+  in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < 64 do
+    improved := false;
+    incr rounds;
+    List.iter
+      (fun ti -> if try_move ti 1 then improved := true)
+      (List.rev tm.Timing.instrs);
+    List.iter (fun ti -> if try_move ti (-1) then improved := true)
+      tm.Timing.instrs
+  done;
+  !moves
+
+let finalize (tm : Timing.t) (stages : int array) ~(stage_count : int)
+    ~(greedy_latch_bits : int) ~(retime_moves : int) : t =
+  let stage_of (ti : Timing.tinstr) = stages.(ti.Timing.ti_index) in
+  let instrs =
+    List.map
+      (fun (ti : Timing.tinstr) ->
+        { si = ti.Timing.ti;
+          si_node = ti.Timing.ti_node;
+          stage = stage_of ti;
+          si_delay = ti.Timing.ti_delay })
+      tm.Timing.instrs
+  in
+  let stage_delays = Timing.stage_delays tm ~stage_of ~stage_count in
   let worst = Array.fold_left Float.max 0.0 stage_delays in
   let clock_mhz = Delay.clock_mhz_of_stage_delay worst in
-  (* ---- latch accounting ---- *)
-  (* A register defined at stage s and consumed at stage u > s (or exported)
-     crosses u - s latch boundaries. *)
-  let last_use : (Instr.vreg, int) Hashtbl.t = Hashtbl.create 64 in
+  let latch_bits = Timing.latch_bits tm ~stage_of ~stage_count in
+  let feedback_bits = Timing.feedback_bits tm in
+  let def_stage : (Instr.vreg, int) Hashtbl.t = Hashtbl.create 64 in
+  let instr_stage : (Instr.instr, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun si ->
-      List.iter
-        (fun r ->
-          let cur = Option.value (Hashtbl.find_opt last_use r) ~default:(-1) in
-          if si.stage > cur then Hashtbl.replace last_use r si.stage)
-        si.si.Instr.srcs)
+      Hashtbl.replace instr_stage si.si si.stage;
+      match si.si.Instr.dst with
+      | Some d -> Hashtbl.replace def_stage d si.stage
+      | None -> ())
     instrs;
+  { dp = tm.Timing.dp;
+    widths = tm.Timing.widths;
+    timing = tm;
+    instrs;
+    stage_count;
+    stage_delays;
+    clock_mhz;
+    latch_bits;
+    greedy_latch_bits;
+    retime_moves;
+    feedback_bits;
+    target_ns = tm.Timing.target_ns;
+    def_stage;
+    instr_stage }
+
+let build ?(target_ns = default_target_ns) ?(retime = true) (dp : Graph.t)
+    (widths : Widths.t) : t =
+  let tm = Timing.build ~target_ns dp widths in
+  let n = List.length tm.Timing.instrs in
+  let stages = Array.make (max 1 n) 0 in
+  (* ---- pass 1: the ASAP levels of the timed netlist ---- *)
   List.iter
-    (fun (p : Proc.port) ->
-      Hashtbl.replace last_use p.Proc.port_reg stage_count)
-    dp.Graph.output_ports;
-  let latch_bits =
-    Hashtbl.fold
-      (fun r use_stage acc ->
-        let def_stage =
-          match Hashtbl.find_opt producer r with
-          | Some p -> p.stage
-          | None -> 0  (* external input *)
+    (fun (ti : Timing.tinstr) -> stages.(ti.Timing.ti_index) <- ti.Timing.asap)
+    tm.Timing.instrs;
+  let stage_of (ti : Timing.tinstr) = stages.(ti.Timing.ti_index) in
+  (* ---- pass 2: feedback paths collapse onto one stage ---- *)
+  List.iter
+    (fun (_, members) ->
+      let s_star =
+        List.fold_left (fun acc ti -> max acc (stage_of ti)) 0 members
+      in
+      List.iter
+        (fun (ti : Timing.tinstr) -> stages.(ti.Timing.ti_index) <- s_star)
+        members)
+    (Timing.feedback_paths tm);
+  (* ---- pass 3: forward monotonicity fixup ---- *)
+  List.iter
+    (fun (ti : Timing.tinstr) ->
+      match ti.Timing.ti.Instr.op with
+      | Instr.Lpr _ -> ()  (* reads the previous iteration's register *)
+      | _ ->
+        let m =
+          List.fold_left
+            (fun acc r ->
+              match Hashtbl.find_opt tm.Timing.producer r with
+              | Some p -> max acc (stage_of p)
+              | None -> acc)
+            (stage_of ti) ti.Timing.ti.Instr.srcs
         in
-        let crossings = max 0 (use_stage - def_stage) in
-        acc + (crossings * (try Widths.width widths r with _ -> 32)))
-      last_use 0
+        stages.(ti.Timing.ti_index) <- m)
+    tm.Timing.instrs;
+  check_feedback_stages tm stages;
+  let stage_count = stage_count_of tm stages in
+  let greedy_latch_bits = Timing.latch_bits tm ~stage_of ~stage_count in
+  let retime_moves =
+    if retime then
+      let budget =
+        Array.fold_left Float.max 0.0
+          (Timing.stage_delays tm ~stage_of ~stage_count)
+      in
+      retime_stages tm stages ~stage_count ~budget
+    else 0
   in
-  let feedback_bits =
-    List.fold_left
-      (fun acc (_, kind, _) -> acc + kind.Roccc_cfront.Ast.bits)
-      0 dp.Graph.proc.Proc.feedbacks
+  finalize tm stages ~stage_count ~greedy_latch_bits ~retime_moves
+
+(** Retime an already-staged pipeline in place of its stage assignment:
+    slide latches across low-fanout instructions until latch bits reach a
+    local minimum, never exceeding the pipeline's current worst stage
+    delay. Idempotent once a fixpoint is reached. *)
+let retime (p : t) : t =
+  let tm = p.timing in
+  let stages = Array.make (max 1 (List.length p.instrs)) 0 in
+  List.iteri (fun idx si -> stages.(idx) <- si.stage) p.instrs;
+  let stage_of (ti : Timing.tinstr) = stages.(ti.Timing.ti_index) in
+  let budget =
+    Array.fold_left Float.max 0.0
+      (Timing.stage_delays tm ~stage_of ~stage_count:p.stage_count)
   in
-  { dp; widths; instrs; stage_count; stage_delays; clock_mhz; latch_bits;
-    feedback_bits; target_ns }
+  let moves = retime_stages tm stages ~stage_count:p.stage_count ~budget in
+  finalize tm stages ~stage_count:p.stage_count
+    ~greedy_latch_bits:p.greedy_latch_bits
+    ~retime_moves:(p.retime_moves + moves)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -305,6 +323,10 @@ let describe (p : t) : string =
         bits\n"
        p.dp.Graph.proc.Proc.pname p.stage_count p.clock_mhz p.latch_bits
        p.feedback_bits);
+  if p.retime_moves > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "  retiming: %d move(s), %d -> %d latch bits\n"
+         p.retime_moves p.greedy_latch_bits p.latch_bits);
   Array.iteri
     (fun s d ->
       let count = List.length (List.filter (fun si -> si.stage = s) p.instrs) in
@@ -321,8 +343,8 @@ let describe (p : t) : string =
     exactly once, stages lie in [0, stage_count), dataflow is forward
     (a producer's stage never exceeds its consumer's, LPRs excepted — they
     read the previous iteration), each feedback's LPR/SNX pair shares one
-    stage, and the recorded latch/feedback bit counts balance against a
-    recomputation from the stage assignment. Raises {!Error}. *)
+    stage, and the recorded latch/feedback bit counts balance against an
+    independent recomputation from the stage assignment. Raises {!Error}. *)
 let verify (p : t) : unit =
   let n_staged = List.length p.instrs in
   let n_graph = Graph.instr_count p.dp in

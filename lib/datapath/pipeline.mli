@@ -1,7 +1,9 @@
-(** Data-path pipelining (paper §4.2.3): latch placement driven by
-    per-instruction delay estimation. Every SNX gets a latch feeding its
-    LPR, and each LPR-to-SNX feedback path is constrained to a single stage
-    so the pipeline accepts one iteration per cycle. *)
+(** Data-path pipelining (paper §4.2.3): latch placement over the {!Timing}
+    netlist, followed by slack-based retiming that slides low-fanout
+    instructions across stage boundaries to minimize latch bits at the same
+    clock target. Every SNX gets a latch feeding its LPR, and each
+    LPR-to-SNX feedback path is constrained to a single stage so the
+    pipeline accepts one iteration per cycle. *)
 
 module Instr = Roccc_vm.Instr
 
@@ -20,13 +22,18 @@ type staged_instr = {
 type t = {
   dp : Graph.t;
   widths : Widths.t;
+  timing : Timing.t;  (** the timed netlist staged over *)
   instrs : staged_instr list;  (** topological order *)
   stage_count : int;
   stage_delays : float array;  (** worst combinational path per stage *)
   clock_mhz : float;
   latch_bits : int;  (** total pipeline-register bits *)
+  greedy_latch_bits : int;  (** latch bits before retiming *)
+  retime_moves : int;  (** accepted retiming moves *)
   feedback_bits : int;  (** SNX register bits *)
   target_ns : float;
+  def_stage : (Instr.vreg, int) Hashtbl.t;
+  instr_stage : (Instr.instr, int) Hashtbl.t;
 }
 
 val latency : t -> int
@@ -36,9 +43,32 @@ val outputs_per_cycle : t -> int
 (** Results produced per steady-state cycle (one iteration enters each
     cycle; equals the number of output ports). *)
 
-val build : ?target_ns:float -> Graph.t -> Widths.t -> t
-(** Stage the data path. Raises {!Error} if a feedback path cannot fit a
-    single stage. *)
+val stage_of_def : t -> Instr.vreg -> int
+(** Stage where a register's value is produced (0 for external inputs). *)
+
+val stage_of_instr : t -> Instr.instr -> int
+(** Stage an instruction executes in. *)
+
+val use_delay : t -> Instr.instr -> Instr.vreg -> int
+(** Latch boundaries operand [r] crosses to reach instruction [i] — the
+    delay-chain depth the VHDL generator materializes for this use. *)
+
+val register_bits : t -> int
+(** All pipeline flip-flop bits this staging implies: latch bits plus the
+    SNX feedback registers. The area model charges registers from here. *)
+
+val build : ?target_ns:float -> ?retime:bool -> Graph.t -> Widths.t -> t
+(** Stage the data path: greedy delay-chunked placement at the ASAP levels
+    of the timed netlist, feedback paths collapsed to one stage, then —
+    unless [~retime:false] — the {!retime} pass. Raises {!Error} if a
+    feedback path cannot fit a single stage. *)
+
+val retime : t -> t
+(** Slack-based retiming: slide unpinned instructions across one stage
+    boundary at a time, accepting only moves that strictly decrease total
+    latch bits while keeping the worst per-stage delay within the current
+    schedule's. LPR/SNX instructions and feedback paths are pinned.
+    Idempotent at a fixpoint; never increases latch bits or stage count. *)
 
 val describe : t -> string
 
@@ -46,5 +76,5 @@ val verify : t -> unit
 (** Invariant check on a staged pipeline: every data-path instruction
     staged once within [0, stage_count), forward dataflow across stages
     (LPRs excepted), each feedback LPR/SNX pair in a single stage, and the
-    recorded latch/feedback bit totals balancing a recomputation from the
-    stage assignment. Raises {!Error}. *)
+    recorded latch/feedback bit totals balancing an independent
+    recomputation from the stage assignment. Raises {!Error}. *)

@@ -28,6 +28,8 @@ let width (w : t) (r : Instr.vreg) : int =
   | Some bits -> bits
   | None -> errf "widths: no inferred width for v%d" r
 
+let width_opt (w : t) (r : Instr.vreg) : int option = IM.find_opt r w
+
 (* ------------------------------------------------------------------ *)
 (* Saturating interval arithmetic                                      *)
 (* ------------------------------------------------------------------ *)

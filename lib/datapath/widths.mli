@@ -12,6 +12,10 @@ type t
 val width : t -> Roccc_vm.Instr.vreg -> int
 (** Raises {!Error} for registers outside the analyzed data path. *)
 
+val width_opt : t -> Roccc_vm.Instr.vreg -> int option
+(** [None] for registers outside the analyzed data path — the non-raising
+    query the timing / area / VHDL layers use with their own fallback. *)
+
 val infer : Graph.t -> t
 (** Infer widths for a built data path. *)
 

@@ -129,7 +129,9 @@ let estimate ?(luts = []) ?(buffers = []) (p : Pipeline.t) : estimate =
           acc n.Graph.instrs)
       0 dp.Graph.nodes
   in
-  let latch_ffs = p.Pipeline.latch_bits + p.Pipeline.feedback_bits in
+  (* pipeline flip-flops come from the pipeliner's own latch accounting —
+     the area model does not re-derive register placement *)
+  let latch_ffs = Pipeline.register_bits p in
   let buffer_bits =
     List.fold_left
       (fun acc cfg -> acc + Smart_buffer.capacity_bits cfg)

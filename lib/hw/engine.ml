@@ -31,6 +31,10 @@ type result = {
   reuse_ratio : float;          (** naive fetches / actual fetches *)
   pipeline_latency : int;
   outputs_per_cycle : int;      (** results produced per steady-state cycle *)
+  clock_mhz : float;            (** from the pipeliner's timed netlist *)
+  stage_count : int;            (** pipeline stages *)
+  latch_bits : int;             (** pipeline-register bits *)
+  wall_time_us : float;         (** cycles at the estimated clock *)
   controller_trace : (int * string) list;  (** state transitions (cycle, state) *)
   launch_trace : (int * (string * int64) list) list;
       (** (cycle, window+scalar inputs) per launch, in order *)
@@ -290,6 +294,13 @@ let simulate ?(luts = []) ?(scalars = []) ?(arrays = []) ?(bus_elements = 1)
     reuse_ratio = reuse;
     pipeline_latency = latency;
     outputs_per_cycle = List.length k.K.outputs;
+    clock_mhz = pipeline.Pipeline.clock_mhz;
+    stage_count = pipeline.Pipeline.stage_count;
+    latch_bits = pipeline.Pipeline.latch_bits;
+    wall_time_us =
+      (if pipeline.Pipeline.clock_mhz > 0.0 then
+         float_of_int !cycle /. pipeline.Pipeline.clock_mhz
+       else 0.0);
     controller_trace = !trace;
     launch_trace = !launch_trace;
     retire_trace = !retire_trace }

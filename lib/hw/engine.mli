@@ -15,6 +15,10 @@ type result = {
   reuse_ratio : float;  (** naive window fetches / actual fetches *)
   pipeline_latency : int;
   outputs_per_cycle : int;  (** results per steady-state cycle *)
+  clock_mhz : float;  (** from the pipeliner's timed netlist *)
+  stage_count : int;  (** pipeline stages *)
+  latch_bits : int;  (** pipeline-register bits *)
+  wall_time_us : float;  (** cycles at the estimated clock *)
   controller_trace : (int * string) list;
       (** controller state transitions as (cycle, state-name) *)
   launch_trace : (int * (string * int64) list) list;

@@ -22,6 +22,7 @@ type artifact = {
   art_operator_slices : int;
   art_clock_mhz : float;
   art_latency : int;
+  art_latch_bits : int;
   art_pass_trace : string list;
 }
 
@@ -49,7 +50,7 @@ type t = {
 
 (* Bump when the artifact record changes shape: a stale marshalled value
    from an older build must be ignored, not mis-read. *)
-let disk_magic = "ROCCC-ART1"
+let disk_magic = "ROCCC-ART2"
 
 let create ?disk_dir () =
   (match disk_dir with

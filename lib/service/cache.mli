@@ -16,6 +16,7 @@ type artifact = {
   art_operator_slices : int;
   art_clock_mhz : float;
   art_latency : int;
+  art_latch_bits : int;
   art_pass_trace : string list;
 }
 

@@ -32,7 +32,7 @@ let make ~(selection : string) ~(stage : string) ~(source : string)
     ~(entry : string) ~(options_fp : string) ~(luts : Lut_conv.table list) :
     t =
   let parts =
-    [ "roccc-cache-v2"; stage; entry; options_fp; selection;
+    [ "roccc-cache-v3"; stage; entry; options_fp; selection;
       Digest.to_hex (Digest.string source) ]
     @ List.map lut_part luts
   in
@@ -46,7 +46,7 @@ let make ~(selection : string) ~(stage : string) ~(source : string)
 let seed ~(source : string) ~(entry : string)
     ~(luts : Lut_conv.table list) : t =
   let parts =
-    [ "roccc-cache-v2"; "seed"; entry;
+    [ "roccc-cache-v3"; "seed"; entry;
       Digest.to_hex (Digest.string source) ]
     @ List.map lut_part luts
   in

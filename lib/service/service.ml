@@ -53,6 +53,7 @@ type success = {
   r_operator_slices : int;
   r_clock_mhz : float;
   r_latency : int;
+  r_latch_bits : int;
   r_pass_trace : string list;
   r_elapsed_s : float;
   r_origin : origin;
@@ -84,6 +85,7 @@ let artifact_of (c : Driver.compiled) : Cache.artifact =
     art_operator_slices = c.Driver.area.Area.operator_slices;
     art_clock_mhz = c.Driver.area.Area.clock_mhz;
     art_latency = Pipeline.latency c.Driver.pipeline;
+    art_latch_bits = c.Driver.pipeline.Pipeline.latch_bits;
     art_pass_trace = c.Driver.pass_trace }
 
 let success_of_artifact ~label ~elapsed ~origin (a : Cache.artifact) : success
@@ -95,6 +97,7 @@ let success_of_artifact ~label ~elapsed ~origin (a : Cache.artifact) : success
     r_operator_slices = a.Cache.art_operator_slices;
     r_clock_mhz = a.Cache.art_clock_mhz;
     r_latency = a.Cache.art_latency;
+    r_latch_bits = a.Cache.art_latch_bits;
     r_pass_trace = a.Cache.art_pass_trace;
     r_elapsed_s = elapsed;
     r_origin = origin }
@@ -302,23 +305,39 @@ let table1_jobs () : job list =
         luts = b.Kernels.luts })
     Kernels.table1
 
-let sweep_jobs ?(base = Driver.default_options) ?(luts = []) ~(source : string)
-    ~(entry : string) ~(unroll_factors : int list) ~(bus_widths : int list) ()
-    : job list =
+let sweep_jobs ?(base = Driver.default_options) ?(luts = [])
+    ?(target_ns : float list = []) ~(source : string) ~(entry : string)
+    ~(unroll_factors : int list) ~(bus_widths : int list) () : job list =
+  (* an empty clock axis means "sweep only the base target" — labels then
+     keep their historical u/b shape *)
+  let targets, label_target =
+    match target_ns with
+    | [] -> [ base.Driver.target_ns ], false
+    | ts -> ts, List.length ts > 1
+  in
   List.concat_map
-    (fun unroll ->
-      List.map
-        (fun bus ->
-          { label = Printf.sprintf "%s.u%d.b%d" entry unroll bus;
-            source;
-            entry;
-            options =
-              { base with
-                Driver.unroll_outer_factor = unroll;
-                bus_elements = bus };
-            luts })
-        bus_widths)
-    unroll_factors
+    (fun tns ->
+      List.concat_map
+        (fun unroll ->
+          List.map
+            (fun bus ->
+              let label =
+                if label_target then
+                  Printf.sprintf "%s.u%d.b%d.t%g" entry unroll bus tns
+                else Printf.sprintf "%s.u%d.b%d" entry unroll bus
+              in
+              { label;
+                source;
+                entry;
+                options =
+                  { base with
+                    Driver.unroll_outer_factor = unroll;
+                    bus_elements = bus;
+                    target_ns = tns };
+                luts })
+            bus_widths)
+        unroll_factors)
+    targets
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -379,7 +398,8 @@ let report_json (r : report) : string =
                "elapsed_s", Trace.Float s.r_elapsed_s;
                "slices", Trace.Int s.r_slices;
                "clock_mhz", Trace.Float s.r_clock_mhz;
-               "latency", Trace.Int s.r_latency ])
+               "latency", Trace.Int s.r_latency;
+               "latch_bits", Trace.Int s.r_latch_bits ])
       | Error msg ->
         Buffer.add_string buf
           (Trace.args_json
@@ -398,8 +418,9 @@ let summary (r : report) : string =
       | Ok s ->
         Buffer.add_string buf
           (Printf.sprintf
-             "%-24s ok    %5d slices @ %6.1f MHz, %2d-stage, %7.1f ms (%s)\n"
-             j.label s.r_slices s.r_clock_mhz s.r_latency
+             "%-24s ok    %5d slices @ %6.1f MHz, %2d-stage, %5d latch \
+              bits, %7.1f ms (%s)\n"
+             j.label s.r_slices s.r_clock_mhz s.r_latency s.r_latch_bits
              (s.r_elapsed_s *. 1e3)
              (origin_name s.r_origin))
       | Error msg ->

@@ -33,6 +33,7 @@ type success = {
   r_operator_slices : int;
   r_clock_mhz : float;
   r_latency : int;
+  r_latch_bits : int;  (** pipeline-register bits after retiming *)
   r_pass_trace : string list;
   r_elapsed_s : float;
   r_origin : origin;
@@ -84,14 +85,17 @@ val table1_jobs : unit -> job list
 val sweep_jobs :
   ?base:Roccc_core.Driver.options ->
   ?luts:Roccc_hir.Lut_conv.table list ->
+  ?target_ns:float list ->
   source:string ->
   entry:string ->
   unroll_factors:int list ->
   bus_widths:int list ->
   unit ->
   job list
-(** The design-space grid: one job per (unroll factor, bus width) pair,
-    labelled ["<entry>.u<f>.b<w>"]. *)
+(** The design-space grid: one job per (clock target, unroll factor, bus
+    width) triple, labelled ["<entry>.u<f>.b<w>"] — with a [".t<ns>"]
+    suffix when more than one [target_ns] is swept. An empty [target_ns]
+    (the default) sweeps only the base options' clock target. *)
 
 val vhdl_files : Roccc_core.Driver.compiled -> (string * string) list
 (** The files a compile produces: the design's VHDL + ROM inits + the

@@ -100,33 +100,6 @@ let instr_rhs (i : Instr.instr) ~(dst_width : int) ~(ops : string list)
   | Instr.Lut _ -> errf "gen: LUT handled as component instance"
 
 (* ------------------------------------------------------------------ *)
-(* Staging queries                                                     *)
-(* ------------------------------------------------------------------ *)
-
-type staging = {
-  stage_of_def : (Instr.vreg, int) Hashtbl.t;  (* producer stage per reg *)
-  stage_of_instr : (Instr.instr, int) Hashtbl.t;
-}
-
-let staging_of (p : Pipeline.t) : staging =
-  let stage_of_def = Hashtbl.create 64 in
-  let stage_of_instr = Hashtbl.create 64 in
-  List.iter
-    (fun (si : Pipeline.staged_instr) ->
-      Hashtbl.replace stage_of_instr si.Pipeline.si si.Pipeline.stage;
-      match si.Pipeline.si.Instr.dst with
-      | Some d -> Hashtbl.replace stage_of_def d si.Pipeline.stage
-      | None -> ())
-    p.Pipeline.instrs;
-  { stage_of_def; stage_of_instr }
-
-let def_stage (st : staging) r =
-  Option.value (Hashtbl.find_opt st.stage_of_def r) ~default:0
-
-let instr_stage (st : staging) i =
-  Option.value (Hashtbl.find_opt st.stage_of_instr i) ~default:0
-
-(* ------------------------------------------------------------------ *)
 (* Node components                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -145,9 +118,11 @@ type node_iface = {
 let _node_iface_contract (ni : node_iface) =
   ni.ni_lpr, ni.ni_snx, ni.ni_has_clk
 
-(* Delays of [r] needed by instruction [i] at stage s. *)
-let use_delay (st : staging) (i : Instr.instr) (r : Instr.vreg) : int =
-  max 0 (instr_stage st i - def_stage st r)
+(* Delays of [r] needed by instruction [i]: the stage distance the pipeliner
+   recorded for this edge ({!Pipeline.use_delay}) — the generator does not
+   re-derive staging. *)
+let use_delay (p : Pipeline.t) (i : Instr.instr) (r : Instr.vreg) : int =
+  Pipeline.use_delay p i r
 
 let feedback_port name = Printf.sprintf "fb_%s" name
 let feedback_next_port name = Printf.sprintf "fb_%s_next" name
@@ -155,7 +130,7 @@ let feedback_next_port name = Printf.sprintf "fb_%s_next" name
 (* Generate the component for one data-path node. [external_defs] says which
    registers are defined outside the node; [consumed_delays r] lists the
    delayed versions of r that outside consumers need from this node. *)
-let gen_node (proc : Proc.t) (widths : Widths.t) (st : staging)
+let gen_node (proc : Proc.t) (widths : Widths.t) (p : Pipeline.t)
     (luts : Lut_conv.table list) (n : Graph.node)
     ~(consumed_delays : Instr.vreg -> int list) : Ast.design_unit * node_iface
     =
@@ -176,7 +151,7 @@ let gen_node (proc : Proc.t) (widths : Widths.t) (st : staging)
       List.iter
         (fun r ->
           if not (is_local r) then begin
-            let k = use_delay st i r in
+            let k = use_delay p i r in
             if not (List.mem (r, k) !in_pairs) then
               in_pairs := !in_pairs @ [ r, k ]
           end)
@@ -194,7 +169,7 @@ let gen_node (proc : Proc.t) (widths : Widths.t) (st : staging)
     let local_uses =
       List.concat_map
         (fun (i : Instr.instr) ->
-          if List.mem d i.Instr.srcs then [ use_delay st i d ] else [])
+          if List.mem d i.Instr.srcs then [ use_delay p i d ] else [])
         n.Graph.instrs
     in
     List.fold_left max 0 (local_uses @ List.map snd out_pairs)
@@ -272,7 +247,7 @@ let gen_node (proc : Proc.t) (widths : Widths.t) (st : staging)
   let inst_counter = Roccc_util.Id_gen.create () in
   (* operand text for instruction i reading r *)
   let operand i r =
-    let k = use_delay st i r in
+    let k = use_delay p i r in
     if is_local r then internal_name r k else delayed_name r k
   in
   List.iter
@@ -437,7 +412,6 @@ let generate ?(luts = []) (p : Pipeline.t) : Ast.design =
   let dp = p.Pipeline.dp in
   let proc = dp.Graph.proc in
   let widths = p.Pipeline.widths in
-  let st = staging_of p in
   (* Which delayed versions of each register do consumers outside the
      producing node need? *)
   let producer_node = Hashtbl.create 64 in
@@ -454,7 +428,7 @@ let generate ?(luts = []) (p : Pipeline.t) : Ast.design =
             (fun r ->
               match Hashtbl.find_opt producer_node r with
               | Some owner when owner <> n.Graph.id ->
-                let k = use_delay st i r in
+                let k = use_delay p i r in
                 let cur =
                   Option.value (Hashtbl.find_opt external_delays r) ~default:[]
                 in
@@ -478,7 +452,7 @@ let generate ?(luts = []) (p : Pipeline.t) : Ast.design =
   in
   let units_ifaces =
     List.map
-      (fun n -> gen_node proc widths st luts n ~consumed_delays)
+      (fun n -> gen_node proc widths p luts n ~consumed_delays)
       dp.Graph.nodes
   in
   let node_units = List.map fst units_ifaces in

@@ -338,6 +338,178 @@ let test_pipeline_monotone_stages () =
     p.Pipeline.instrs
 
 (* ------------------------------------------------------------------ *)
+(* Delay model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_delay_width_monotone () =
+  let k = { Ast.signed = true; bits = 32 } in
+  List.iter
+    (fun op ->
+      let d w = Delay.instr_delay_ns op k [ w; w ] in
+      Alcotest.(check bool) "8-bit <= 16-bit" true (d 8 <= d 16);
+      Alcotest.(check bool) "16-bit <= 32-bit" true (d 16 <= d 32))
+    [ Instr.Add; Instr.Sub; Instr.Mul; Instr.Div; Instr.Slt; Instr.Seq ]
+
+let test_delay_const_mul_shift_add () =
+  let k = { Ast.signed = true; bits = 16 } in
+  let var = Delay.instr_delay_ns Instr.Mul k [ 16; 16 ] in
+  let cst =
+    Delay.instr_delay_ns ~const_operands:[ None; Some 5L ] Instr.Mul k
+      [ 16; 16 ]
+  in
+  Alcotest.(check bool) "constant multiplier is cheaper" true (cst < var);
+  (* x*5 = (x<<2)+x: two set bits, one adder level — exactly a 16-bit add *)
+  let add = Delay.instr_delay_ns Instr.Add k [ 16; 16 ] in
+  Alcotest.(check (float 1e-9)) "one shift-add level" add cst
+
+let test_delay_const_shift_free () =
+  let k = { Ast.signed = false; bits = 16 } in
+  let cst =
+    Delay.instr_delay_ns ~const_operands:[ None; Some 3L ] Instr.Shl k
+      [ 16; 4 ]
+  in
+  Alcotest.(check (float 0.0)) "constant shift is wiring" 0.0 cst;
+  let var = Delay.instr_delay_ns Instr.Shl k [ 16; 4 ] in
+  Alcotest.(check bool) "variable shift costs a barrel" true (var > 0.0);
+  let mask =
+    Delay.instr_delay_ns ~const_operands:[ None; Some 255L ] Instr.Band k
+      [ 16; 16 ]
+  in
+  Alcotest.(check (float 0.0)) "constant mask is wiring" 0.0 mask
+
+(* ------------------------------------------------------------------ *)
+(* Timed netlist + retiming                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_timing_mobility () =
+  let dp = datapath_of fir_source "fir" in
+  let w = Widths.infer dp in
+  let tm = Timing.build ~target_ns:5.0 dp w in
+  Alcotest.(check bool) "netlist non-empty" true (tm.Timing.instrs <> []);
+  List.iter
+    (fun (ti : Timing.tinstr) ->
+      Alcotest.(check bool) "alap >= asap" true
+        (ti.Timing.alap >= ti.Timing.asap);
+      Alcotest.(check bool) "alap inside the schedule" true
+        (ti.Timing.alap < tm.Timing.asap_stage_count);
+      Alcotest.(check bool) "mobility non-negative" true
+        (Timing.mobility ti >= 0))
+    tm.Timing.instrs
+
+let test_retiming_never_worse () =
+  (* The ISSUE gate, as a unit test: at every clock target the retimed
+     schedule spends no more latch bits than greedy placement, at the same
+     depth and clock. *)
+  List.iter
+    (fun (src, name) ->
+      let dp = datapath_of src name in
+      let w = Widths.infer dp in
+      List.iter
+        (fun tns ->
+          let greedy = Pipeline.build ~target_ns:tns ~retime:false dp w in
+          let retimed = Pipeline.build ~target_ns:tns dp w in
+          Pipeline.verify retimed;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s@%.0fns: latch bits never increase" name tns)
+            true
+            (retimed.Pipeline.latch_bits <= greedy.Pipeline.latch_bits);
+          Alcotest.(check int)
+            (Printf.sprintf "%s@%.0fns: same depth" name tns)
+            greedy.Pipeline.stage_count retimed.Pipeline.stage_count;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s@%.0fns: clock no worse" name tns)
+            true
+            (retimed.Pipeline.clock_mhz >= greedy.Pipeline.clock_mhz -. 1e-6);
+          Alcotest.(check int)
+            (Printf.sprintf "%s@%.0fns: greedy bits recorded" name tns)
+            greedy.Pipeline.latch_bits retimed.Pipeline.greedy_latch_bits)
+        [ 3.0; 5.0; 8.0 ])
+    [ fir_source, "fir"; acc_source, "acc"; if_else_source, "if_else" ]
+
+let test_retiming_fixpoint () =
+  let _, _, p = pipeline_of fir_source "fir" in
+  let again = Pipeline.retime p in
+  Alcotest.(check int) "no further moves" p.Pipeline.retime_moves
+    again.Pipeline.retime_moves;
+  Alcotest.(check int) "latch bits stable" p.Pipeline.latch_bits
+    again.Pipeline.latch_bits
+
+(* ------------------------------------------------------------------ *)
+(* Verify rejects corrupted stagings                                   *)
+(* ------------------------------------------------------------------ *)
+
+let expect_pipeline_error needle f =
+  match f () with
+  | () -> Alcotest.failf "expected Pipeline.Error mentioning %S" needle
+  | exception Pipeline.Error msg ->
+    let found =
+      try
+        ignore (Str.search_forward (Str.regexp_string needle) msg 0);
+        true
+      with Not_found -> false
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S mentions %S" msg needle)
+      true found
+
+let test_verify_backward_edge () =
+  let _, _, p = pipeline_of fir_source "fir" in
+  Alcotest.(check bool) "needs >= 2 stages" true (p.Pipeline.stage_count >= 2);
+  let producer = Hashtbl.create 16 in
+  List.iter
+    (fun (si : Pipeline.staged_instr) ->
+      match si.Pipeline.si.Instr.dst with
+      | Some d -> Hashtbl.replace producer d si
+      | None -> ())
+    p.Pipeline.instrs;
+  (* push some producer past a same-stage consumer: the dataflow edge now
+     points backward in time *)
+  let victim =
+    List.find_map
+      (fun (si : Pipeline.staged_instr) ->
+        List.find_map
+          (fun r ->
+            match Hashtbl.find_opt producer r with
+            | Some prod
+              when prod.Pipeline.stage = si.Pipeline.stage
+                   && si.Pipeline.stage + 1 < p.Pipeline.stage_count ->
+              Some prod
+            | _ -> None)
+          si.Pipeline.si.Instr.srcs)
+      p.Pipeline.instrs
+    |> Option.get
+  in
+  victim.Pipeline.stage <- victim.Pipeline.stage + 1;
+  expect_pipeline_error "produced at stage" (fun () -> Pipeline.verify p)
+
+let test_verify_split_feedback () =
+  let _, _, p = pipeline_of acc_source "acc" in
+  let snx =
+    List.find
+      (fun (si : Pipeline.staged_instr) ->
+        match si.Pipeline.si.Instr.op with
+        | Instr.Snx _ -> true
+        | _ -> false)
+      p.Pipeline.instrs
+  in
+  (* grow the schedule by one stage, then latch the SNX a stage after its
+     LPR: the one-iteration-per-cycle contract is broken *)
+  let p2 =
+    { p with
+      Pipeline.stage_count = p.Pipeline.stage_count + 1;
+      stage_delays = Array.append p.Pipeline.stage_delays [| 0.0 |] }
+  in
+  snx.Pipeline.stage <- snx.Pipeline.stage + 1;
+  expect_pipeline_error "latched across stages" (fun () ->
+      Pipeline.verify p2)
+
+let test_verify_latch_balance () =
+  let _, _, p = pipeline_of fir_source "fir" in
+  let p2 = { p with Pipeline.latch_bits = p.Pipeline.latch_bits + 7 } in
+  expect_pipeline_error "latch bits out of balance" (fun () ->
+      Pipeline.verify p2)
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -415,7 +587,27 @@ let suites =
       Alcotest.test_case "target delay controls depth" `Quick
         test_pipeline_deeper_with_smaller_target;
       Alcotest.test_case "stage order respects dependencies" `Quick
-        test_pipeline_monotone_stages ];
+        test_pipeline_monotone_stages;
+      Alcotest.test_case "retiming never spends more latch bits" `Quick
+        test_retiming_never_worse;
+      Alcotest.test_case "retiming reaches a fixpoint" `Quick
+        test_retiming_fixpoint;
+      Alcotest.test_case "verify rejects a backward dataflow edge" `Quick
+        test_verify_backward_edge;
+      Alcotest.test_case "verify rejects a split feedback latch" `Quick
+        test_verify_split_feedback;
+      Alcotest.test_case "verify rejects unbalanced latch totals" `Quick
+        test_verify_latch_balance ];
+    "datapath.delay",
+    [ Alcotest.test_case "delay grows with operand width" `Quick
+        test_delay_width_monotone;
+      Alcotest.test_case "constant multiplier folds to shift-adds" `Quick
+        test_delay_const_mul_shift_add;
+      Alcotest.test_case "constant shifts and masks are wiring" `Quick
+        test_delay_const_shift_free ];
+    "datapath.timing",
+    [ Alcotest.test_case "ASAP/ALAP bracket every instruction" `Quick
+        test_timing_mobility ];
     "datapath.properties",
     [ qcheck_case prop_dp_matches_interp;
       qcheck_case prop_accumulator_stream_matches ] ]

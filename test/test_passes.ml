@@ -45,6 +45,32 @@ let test_differential_gallery () =
           b.Kernels.bench_name msg)
     Kernels.table1
 
+(* The clock-target sweep: the gallery must hold its verified/differential
+   guarantees at every swept clock target, not just the default. *)
+let test_target_sweep_gallery () =
+  List.iter
+    (fun (b : Kernels.benchmark) ->
+      List.iter
+        (fun tns ->
+          let options =
+            { (b.Kernels.tune Driver.default_options) with
+              Driver.target_ns = tns }
+          in
+          match
+            Driver.compile
+              ~config:
+                { (quiet_config ()) with
+                  Pass.verify_ir = true;
+                  differential = true }
+              ~options ~luts:b.Kernels.luts ~entry:b.Kernels.entry
+              b.Kernels.source
+          with
+          | (_ : Driver.compiled) -> ()
+          | exception Pass.Error msg ->
+            Alcotest.failf "%s at %.0f ns: %s" b.Kernels.bench_name tns msg)
+        [ 3.0; 5.0; 8.0 ])
+    Kernels.table1
+
 (* ------------------------------------------------------------------ *)
 (* Verifiers catch corrupted IR                                        *)
 (* ------------------------------------------------------------------ *)
@@ -205,7 +231,9 @@ let test_error_names_pass () =
 (* IR dumps: golden files                                              *)
 (* ------------------------------------------------------------------ *)
 
-let dump_passes = [ "parse"; "constant-fold"; "lower-to-suifvm"; "datapath-build" ]
+let dump_passes =
+  [ "parse"; "constant-fold"; "lower-to-suifvm"; "datapath-build";
+    "pipelining"; "retiming" ]
 
 let collect_dumps (b : Kernels.benchmark) : (string * string) list =
   let dumps = ref [] in
@@ -270,6 +298,8 @@ let suites =
       [ Alcotest.test_case "verify-ir over Table 1" `Slow test_verify_ir_gallery;
         Alcotest.test_case "differential over Table 1" `Slow
           test_differential_gallery;
+        Alcotest.test_case "clock-target sweep over Table 1" `Slow
+          test_target_sweep_gallery;
         Alcotest.test_case "cfg verifier catches undefined use" `Quick
           test_verify_cfg_catches_undefined_use;
         Alcotest.test_case "kernel verifier catches missing port" `Quick

@@ -8,7 +8,8 @@ module Driver = Roccc_core.Driver
 module Kernels = Roccc_core.Kernels
 
 let dump_passes =
-  [ "parse"; "constant-fold"; "lower-to-suifvm"; "datapath-build" ]
+  [ "parse"; "constant-fold"; "lower-to-suifvm"; "datapath-build";
+    "pipelining"; "retiming" ]
 
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
