@@ -14,6 +14,16 @@ module Kernels = Roccc_core.Kernels
 module Service = Roccc_service.Service
 module Svc_cache = Roccc_service.Cache
 module Svc_trace = Roccc_service.Trace
+module Server = Roccc_service.Server
+module Faults = Roccc_service.Faults
+
+(* Flag misuse is a usage error: explain and exit 2, the Cmdliner
+   convention, instead of surfacing a crash or silently "working". *)
+let usage_error msg =
+  Printf.eprintf "roccc: %s\n" msg;
+  exit 2
+
+let checked r = match r with Ok v -> v | Error msg -> usage_error msg
 
 let read_file path =
   let ic = open_in_bin path in
@@ -77,6 +87,14 @@ let unroll_inner_arg =
         ~doc:"Fully unroll inner loops up to this trip count.")
 
 let options_of target_ns bus no_widths unroll_inner =
+  let target_ns =
+    checked (Server.check_positive_float ~flag:"--target-ns" target_ns)
+  in
+  let bus = checked (Server.check_positive_int ~flag:"--bus" bus) in
+  if unroll_inner < 0 then
+    usage_error
+      (Printf.sprintf "--unroll-inner expects a non-negative integer, got %d"
+         unroll_inner);
   { Driver.default_options with
     Driver.target_ns;
     bus_elements = bus;
@@ -467,7 +485,7 @@ let batch_cmd =
   in
   let jobs_arg =
     Arg.(
-      value & opt int 0
+      value & opt (some int) None
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"Worker domains (default: the machine's recommended count).")
   in
@@ -565,6 +583,11 @@ let batch_cmd =
       cache_dir trace_out out sweep sweep_entry sweep_unroll sweep_bus
       sweep_target config =
     with_errors (fun () ->
+        let jobs =
+          match jobs with
+          | None -> 0 (* auto: the machine's recommended domain count *)
+          | Some n -> checked (Server.check_positive_int ~flag:"--jobs" n)
+        in
         let options = options_of target_ns bus no_widths unroll_inner in
         let files =
           List.concat_map
@@ -654,10 +677,183 @@ let batch_cmd =
          and structured tracing.")
     term
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: the machine's recommended count).")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value & opt int Server.default_limits.Server.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound; requests beyond it are shed with an \
+             $(i,overloaded) response instead of queueing without bound.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline; compilation is cancelled \
+             cooperatively at the next pass boundary once it expires. A \
+             request's own $(i,deadline_ms) field overrides this.")
+  in
+  let max_bytes_arg =
+    Arg.(
+      value & opt int Server.default_limits.Server.max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:"Reject request lines longer than N bytes.")
+  in
+  let socket_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix socket instead of stdin, serving one \
+             connection at a time (metrics and cache persist across \
+             connections).")
+  in
+  let cache_arg =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:"Memoize stage outputs and persist artifacts on disk.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value & opt string Svc_cache.default_disk_dir
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Disk cache location (with $(b,--cache)).")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write request/pass spans and queue-depth counters as Chrome \
+             trace_event JSON on exit.")
+  in
+  let inject_fault_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "inject-fault" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection, e.g. \
+             $(i,cache_read:0.5,driver_pass:0.1) (points: scheduler_claim, \
+             driver_pass, cache_read, cache_write; rates in (0,1], default \
+             1). Overrides $(b,ROCCC_FAULT).")
+  in
+  let run jobs queue_depth deadline_ms max_request_bytes socket use_cache
+      cache_dir trace_out inject config =
+    with_errors (fun () ->
+        let limits =
+          checked
+            (Server.validate_limits
+               { Server.workers =
+                   (match jobs with
+                   | None -> 0
+                   | Some n ->
+                     checked (Server.check_positive_int ~flag:"--jobs" n));
+                 queue_depth;
+                 deadline_ms;
+                 max_request_bytes })
+        in
+        (match inject with
+        | Some spec -> (
+          match Faults.parse spec with
+          | Ok plan -> Faults.install plan
+          | Error msg -> usage_error ("--inject-fault: " ^ msg))
+        | None -> (
+          match Faults.from_env () with
+          | Ok (Some plan) -> Faults.install plan
+          | Ok None -> ()
+          | Error msg ->
+            usage_error (Faults.env_var ^ ": " ^ msg)));
+        let cache =
+          if use_cache then Some (Svc_cache.create ~disk_dir:cache_dir ())
+          else None
+        in
+        let trace = Option.map (fun _ -> Svc_trace.create ()) trace_out in
+        let srv = Server.create ?cache ~config ?trace ~limits () in
+        (* SIGTERM / SIGINT only flag the server; admission stops at the
+           next line and queued requests drain before exit. *)
+        let on_signal = Sys.Signal_handle (fun _ -> Server.request_stop srv) in
+        (try
+           Sys.set_signal Sys.sigterm on_signal;
+           Sys.set_signal Sys.sigint on_signal
+         with Invalid_argument _ | Sys_error _ -> ());
+        let summarize (s : Roccc_service.Metrics.snapshot) =
+          Printf.eprintf
+            "roccc serve: drained after %.1fs: %d received, %d ok, %d \
+             failed, %d deadline_exceeded, %d shed, %d bad_request\n%!"
+            s.Roccc_service.Metrics.s_uptime_s
+            s.Roccc_service.Metrics.s_received s.Roccc_service.Metrics.s_ok
+            s.Roccc_service.Metrics.s_failed
+            s.Roccc_service.Metrics.s_deadline
+            s.Roccc_service.Metrics.s_shed
+            s.Roccc_service.Metrics.s_bad_request
+        in
+        (match socket with
+        | None -> summarize (Server.serve srv stdin stdout)
+        | Some path ->
+          if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+          let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.bind sock (Unix.ADDR_UNIX path);
+          Unix.listen sock 8;
+          Printf.eprintf "roccc serve: listening on %s\n%!" path;
+          let rec accept_loop last =
+            if Server.stop_requested srv then last
+            else
+              match Unix.accept sock with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                accept_loop last
+              | fd, _ ->
+                let ic = Unix.in_channel_of_descr fd in
+                let oc = Unix.out_channel_of_descr fd in
+                let snap =
+                  Fun.protect
+                    ~finally:(fun () ->
+                      (try flush oc with Sys_error _ -> ());
+                      try Unix.close fd with Unix.Unix_error _ -> ())
+                    (fun () -> Server.serve srv ic oc)
+                in
+                accept_loop (Some snap)
+          in
+          let last = accept_loop None in
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          (try Sys.remove path with Sys_error _ -> ());
+          Option.iter summarize last);
+        (match trace_out, trace with
+        | Some path, Some tr ->
+          let oc = open_out path in
+          output_string oc (Svc_trace.to_chrome_json tr);
+          close_out oc;
+          Printf.eprintf "roccc serve: wrote %s\n%!" path
+        | _ -> ()))
+  in
+  let term =
+    Term.(
+      const run $ jobs_arg $ queue_depth_arg $ deadline_arg $ max_bytes_arg
+      $ socket_arg $ cache_arg $ cache_dir_arg $ trace_arg $ inject_fault_arg
+      $ config_term)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Compile server: line-delimited JSON requests on stdin (or a Unix \
+          socket) with bounded admission, per-request deadlines, health \
+          snapshots and clean drain on EOF/SIGTERM.")
+    term
+
 let main_cmd =
   let doc = "ROCCC-style C-to-VHDL compiler (DATE 2005 reproduction)" in
   Cmd.group (Cmd.info "roccc" ~doc)
     [ compile_cmd; compile_all_cmd; simulate_cmd; profile_cmd; bench_cmd;
-      batch_cmd ]
+      batch_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -173,26 +173,36 @@ and eval_call rt f args : int64 =
         let arg_values = List.map (eval_expr rt) args in
         call_function rt callee arg_values)
 
-(* Call a scalar function: bind parameters (saving shadowed names), run the
-   body, restore. Recursion is rejected by Semant so shadowing is simple. *)
+(* Call a user function: bind parameters (saving shadowed names), run the
+   body, restore. Recursion is rejected by Semant so shadowing is simple.
+   Scalar formals consume the argument values in order; pointer formals —
+   the paper's multiple-return-value outputs — receive no argument and are
+   bound to fresh zeroed cells, so a callee body that writes through them
+   (e.g. [*o = v]) executes instead of crashing on an unbound variable.
+   The cells are local to the call: only the entry function's pointer
+   outputs (bound by [run]) are observable results. *)
 and call_function rt (callee : func) (arg_values : int64 list) : int64 =
-  let scalar_params =
-    List.filter
-      (fun p -> match p.ptype with Tint _ -> true | _ -> false)
-      callee.params
-  in
-  if List.length scalar_params <> List.length arg_values then
-    errf "function %s: arity mismatch" callee.fname;
   let saved =
     List.map (fun p -> p.pname, Hashtbl.find_opt rt.vars p.pname) callee.params
   in
-  List.iter2
-    (fun p v ->
-      match p.ptype with
-      | Tint k ->
-        Hashtbl.replace rt.vars p.pname (Scalar (k, ref (truncate_kind k v)))
-      | Tptr _ | Tarray _ | Tvoid -> assert false)
-    scalar_params arg_values;
+  let rec bind params args =
+    match params, args with
+    | [], [] -> ()
+    | ({ ptype = Tint k; _ } as p) :: ps, v :: vs ->
+      Hashtbl.replace rt.vars p.pname (Scalar (k, ref (truncate_kind k v)));
+      bind ps vs
+    | ({ ptype = Tptr k; _ } as p) :: ps, vs ->
+      Hashtbl.replace rt.vars p.pname (Scalar (k, ref 0L));
+      bind ps vs
+    | { ptype = Tarray _; pname; _ } :: _, _ ->
+      errf "function %s: array parameter %s cannot be passed in a call"
+        callee.fname pname
+    | { ptype = Tvoid; pname; _ } :: _, _ ->
+      errf "function %s: void parameter %s" callee.fname pname
+    | [], _ :: _ | { ptype = Tint _; _ } :: _, [] ->
+      errf "function %s: arity mismatch" callee.fname
+  in
+  bind callee.params arg_values;
   let result =
     try
       exec_stmts rt callee.body;

@@ -106,6 +106,9 @@ let rec skip_trivia st =
   | Some _ | None -> ()
 
 let lex_number st =
+  (* Report literal errors at the literal's start, not wherever the scan
+     stopped — by the time we know the text is bad, st points past it. *)
+  let sline = st.line and scol = st.col in
   let start = st.pos in
   let hex =
     peek_char st = Some '0' && (peek_char2 st = Some 'x' || peek_char2 st = Some 'X')
@@ -126,7 +129,21 @@ let lex_number st =
   done;
   match Int64.of_string_opt text with
   | Some v -> INT_LIT v
-  | None -> error st (Printf.sprintf "invalid integer literal %S" text)
+  | None ->
+    (* The scan only admits well-formed digit runs, so [None] means either
+       a bare "0x" prefix or a value outside the 64-bit carrier: hex
+       literals wider than 16 digits, or decimals beyond the signed
+       64-bit range. Both must be loud — silently wrapping a width the
+       hardware cannot hold would corrupt every later width inference. *)
+    let msg =
+      if hex && String.length text <= 2 then
+        Printf.sprintf "invalid integer literal %S" text
+      else
+        Printf.sprintf
+          "integer literal %s is out of range (it does not fit in 64 bits)"
+          text
+    in
+    raise (Error (msg, sline, scol))
 
 let lex_ident st =
   let start = st.pos in

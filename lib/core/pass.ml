@@ -46,6 +46,12 @@ module Area = Roccc_fpga.Area
 
 exception Error of string
 
+exception Cancelled of string
+(* Cooperative cancellation: raised between passes when the config's
+   [cancel] hook reports a reason (e.g. a service request's deadline).
+   Deliberately not an [Error]: callers distinguish "the compiler failed"
+   from "the caller gave up". *)
+
 let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
 (* Translate the libraries' typed exceptions into the user-facing [Error]
@@ -59,6 +65,7 @@ let user_message (e : exn) : string option =
   | Feedback.Error m -> Some ("feedback: " ^ m)
   | Scalar_replacement.Error m -> Some ("scalar replacement: " ^ m)
   | Kernel.Ill_formed m -> Some ("kernel: " ^ m)
+  | Lower.Error m -> Some ("lowering: " ^ m)
   | Proc.Ill_formed m -> Some ("vm cfg: " ^ m)
   | Ssa.Error m -> Some ("ssa: " ^ m)
   | Builder.Error m -> Some ("datapath construction: " ^ m)
@@ -266,6 +273,10 @@ type config = {
   dump_after : string list;       (** pass names to print IR after *)
   on_dump : string -> string -> unit;  (** receives (pass name, dump text) *)
   instrument : instrument option;
+  cancel : (unit -> string option) option;
+      (** cooperative cancellation hook, polled at every pass boundary:
+          returning [Some reason] makes {!step} raise {!Cancelled} before
+          doing any further work (the service's per-request deadlines) *)
 }
 
 let env_flag name =
@@ -282,7 +293,8 @@ let default_config () =
     on_dump =
       (fun name text ->
         print_string (Printf.sprintf "=== after %s ===\n%s\n" name text));
-    instrument = None }
+    instrument = None;
+    cancel = None }
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic test vectors for the differential checker              *)
@@ -1169,10 +1181,19 @@ let validate_selection (config : config) : unit =
     when its option gate, selection or dynamic applicability says so;
     otherwise transformed, traced, instrumented, verified and dumped
     according to [config]. *)
+let check_cancel (config : config) : unit =
+  match config.cancel with
+  | None -> ()
+  | Some poll -> (
+    match poll () with
+    | Some reason -> raise (Cancelled reason)
+    | None -> ())
+
 let step ?config (p : pass) (st : state) : state =
   let config =
     match config with Some c -> c | None -> default_config ()
   in
+  check_cancel config;
   if not (p.enabled st.st_options && selected_in config p) then st
   else if not (with_pass_name p.name (fun () -> p.applicable st)) then st
   else begin

@@ -12,6 +12,12 @@
 exception Error of string
 (** All pass failures, prefixed with the failing pass's name. *)
 
+exception Cancelled of string
+(** Raised by {!step} between passes when the config's [cancel] hook
+    reports a reason (cooperative cancellation — e.g. a serve request's
+    deadline). Deliberately distinct from {!Error}: the compiler did not
+    fail, the caller gave up. *)
+
 val user_message : exn -> string option
 (** Translate a library's typed exception into a user-facing message
     ([None] for exceptions that should propagate unchanged). *)
@@ -153,6 +159,10 @@ type config = {
   dump_after : string list;        (** pass names to print IR after *)
   on_dump : string -> string -> unit;  (** receives (pass name, dump) *)
   instrument : instrument option;
+  cancel : (unit -> string option) option;
+      (** cooperative cancellation hook, polled at every pass boundary:
+          returning [Some reason] makes {!step} raise {!Cancelled} before
+          doing any further work *)
 }
 
 val default_config : unit -> config

@@ -171,19 +171,26 @@ let inline_calls (prog : program) (f : func) : func =
           if returns_anywhere_but_last callee.body then
             errf "cannot inline %s: return is not the final statement" g;
           let mapping, body = freshen_body rename_counter callee in
-          let scalar_params =
-            List.filter
-              (fun p -> match p.ptype with Tint _ -> true | _ -> false)
-              callee.params
-          in
-          if List.length scalar_params <> List.length args' then
-            errf "call to %s: arity mismatch during inlining" g;
+          (* Scalar formals consume the call arguments in order; pointer
+             formals (the paper's multiple-return-value outputs) receive no
+             argument and become plain scalar locals, so the freshened
+             body's writes through them stay bound after inlining — the
+             values die at the call site and DCE removes the dead stores. *)
           let param_decls =
-            List.map2
-              (fun p a ->
-                let fresh = List.assoc p.pname mapping in
-                Sdecl (p.ptype, fresh, Some a))
-              scalar_params args'
+            let rec bind params args =
+              match params, args with
+              | [], [] -> []
+              | ({ ptype = Tint _; _ } as p) :: ps, a :: rest ->
+                Sdecl (p.ptype, List.assoc p.pname mapping, Some a)
+                :: bind ps rest
+              | { ptype = Tptr k; pname; _ } :: ps, rest ->
+                Sdecl (Tint k, List.assoc pname mapping, None) :: bind ps rest
+              | { ptype = Tarray _ | Tvoid; pname; _ } :: _, _ ->
+                errf "cannot inline %s: unsupported parameter %s" g pname
+              | [], _ :: _ | { ptype = Tint _; _ } :: _, [] ->
+                errf "call to %s: arity mismatch during inlining" g
+            in
+            bind callee.params args'
           in
           let ret_kind =
             match callee.ret with

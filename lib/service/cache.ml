@@ -36,6 +36,9 @@ type stats = {
   disk_hits : int;  (* artifact loaded from _roccc_cache/ *)
   misses : int;
   stores : int;
+  retries : int;    (* disk I/O attempts retried after a transient error *)
+  io_errors : int;  (* disk operations degraded after exhausting retries *)
+  tmp_swept : int;  (* stale *.art.tmp.<pid> files removed at open *)
 }
 
 type t = {
@@ -46,28 +49,92 @@ type t = {
   mutable disk_hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable retries : int;
+  mutable io_errors : int;
+  tmp_swept : int;
 }
 
 (* Bump when the artifact record changes shape: a stale marshalled value
    from an older build must be ignored, not mis-read. *)
 let disk_magic = "ROCCC-ART2"
 
+(* [save_artifact] writes <key>.art.tmp.<pid> then renames; a process
+   that dies between the two strands the tmp file forever (the pid in the
+   name means no later process ever reuses it). Sweep the debris when the
+   cache opens — anything still matching the tmp shape at open time
+   cannot belong to a live write of this process. *)
+let is_tmp_name (name : string) : bool =
+  let marker = ".art.tmp." in
+  let n = String.length name and m = String.length marker in
+  let rec scan i =
+    i + m <= n && (String.equal (String.sub name i m) marker || scan (i + 1))
+  in
+  scan 0
+
+let sweep_stale_tmp (dir : string) : int =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | files ->
+    Array.fold_left
+      (fun n f ->
+        if is_tmp_name f then
+          match Sys.remove (Filename.concat dir f) with
+          | () -> n + 1
+          | exception Sys_error _ -> n
+        else n)
+      0 files
+
 let create ?disk_dir () =
   (match disk_dir with
   | Some dir when not (Sys.file_exists dir) -> (
     try Sys.mkdir dir 0o755 with Sys_error _ -> ())
   | _ -> ());
+  let tmp_swept =
+    match disk_dir with Some dir -> sweep_stale_tmp dir | None -> 0
+  in
   { mem = Hashtbl.create 64;
     lock = Mutex.create ();
     disk_dir;
     hits = 0;
     disk_hits = 0;
     misses = 0;
-    stores = 0 }
+    stores = 0;
+    retries = 0;
+    io_errors = 0;
+    tmp_swept }
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Transient disk I/O — including faults injected at the cache_read /
+   cache_write points — is retried a few times with jittered exponential
+   backoff before the operation degrades (a failed read becomes a miss, a
+   failed write is dropped); the cache never takes a request down. The
+   jitter is a deterministic rotation, not randomness, so fault-injection
+   runs stay reproducible. *)
+let io_attempts = 3
+let backoff_base_s = 0.0005
+let jitter_phase = Atomic.make 0
+
+let with_io_retries (t : t) (f : unit -> 'a) : ('a, exn) result =
+  let rec go attempt =
+    match f () with
+    | v -> Ok v
+    | exception ((Sys_error _ | Faults.Injected _) as e) ->
+      if attempt + 1 >= io_attempts then Error e
+      else begin
+        locked t (fun () -> t.retries <- t.retries + 1);
+        let k = Atomic.fetch_and_add jitter_phase 1 in
+        let jitter = float_of_int (k land 7) /. 8.0 in
+        Unix.sleepf
+          (backoff_base_s *. float_of_int (1 lsl attempt) *. (1.0 +. jitter));
+        go (attempt + 1)
+      end
+  in
+  go 0
+
+let count_io_error t = locked t (fun () -> t.io_errors <- t.io_errors + 1)
 
 let disk_path t key =
   Option.map
@@ -89,20 +156,29 @@ let load_artifact path : artifact option =
         | _ -> None
         | exception End_of_file -> None)
 
-let save_artifact path (a : artifact) =
+let save_artifact t path (a : artifact) =
   (* Write-then-rename so a concurrent reader never sees a torn file. *)
   let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
-  match open_out_bin tmp with
-  | exception Sys_error _ -> ()
-  | oc ->
-    output_string oc disk_magic;
-    Marshal.to_channel oc a [];
-    close_out oc;
-    (try Sys.rename tmp path with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ()))
+  let write () =
+    Faults.trip "cache_write";
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc disk_magic;
+        Marshal.to_channel oc a []);
+    Sys.rename tmp path
+  in
+  match with_io_retries t write with
+  | Ok () -> ()
+  | Error _ ->
+    (* degrade: drop the disk copy, keep serving from memory *)
+    count_io_error t;
+    (try Sys.remove tmp with Sys_error _ -> ())
 
 type origin = Memory | Disk
 
-let find (t : t) (key : Fingerprint.t) : (value * origin) option =
+let find_raw (t : t) (key : Fingerprint.t) : (value * origin) option =
   let mem_hit =
     locked t (fun () ->
         match Hashtbl.find_opt t.mem (Fingerprint.to_hex key) with
@@ -129,12 +205,25 @@ let find (t : t) (key : Fingerprint.t) : (value * origin) option =
       locked t (fun () -> t.misses <- t.misses + 1);
       None)
 
+let find (t : t) (key : Fingerprint.t) : (value * origin) option =
+  match
+    with_io_retries t (fun () ->
+        Faults.trip "cache_read";
+        find_raw t key)
+  with
+  | Ok r -> r
+  | Error _ ->
+    (* degrade: a read that keeps failing is a miss, never a crash *)
+    count_io_error t;
+    locked t (fun () -> t.misses <- t.misses + 1);
+    None
+
 let store (t : t) (key : Fingerprint.t) (v : value) : unit =
   locked t (fun () ->
       t.stores <- t.stores + 1;
       Hashtbl.replace t.mem (Fingerprint.to_hex key) v);
   match v, disk_path t key with
-  | Artifact a, Some path -> save_artifact path a
+  | Artifact a, Some path -> save_artifact t path a
   | _ -> ()
 
 let stats (t : t) : stats =
@@ -142,6 +231,9 @@ let stats (t : t) : stats =
       { hits = t.hits;
         disk_hits = t.disk_hits;
         misses = t.misses;
-        stores = t.stores })
+        stores = t.stores;
+        retries = t.retries;
+        io_errors = t.io_errors;
+        tmp_swept = t.tmp_swept })
 
 let default_disk_dir = "_roccc_cache"

@@ -30,18 +30,30 @@ type stats = {
   disk_hits : int;  (** artifacts reloaded from the disk directory *)
   misses : int;
   stores : int;
+  retries : int;
+      (** disk I/O attempts retried (with jittered exponential backoff)
+          after a transient error or an injected fault *)
+  io_errors : int;
+      (** disk operations degraded after exhausting retries: a failed
+          read became a miss, a failed write was dropped *)
+  tmp_swept : int;
+      (** stale [*.art.tmp.<pid>] files (stranded by a process that died
+          mid-write) removed when the cache opened *)
 }
 
 type t
 
 val create : ?disk_dir:string -> unit -> t
 (** [create ()] is an in-memory cache; [create ~disk_dir ()] additionally
-    persists artifacts under [disk_dir] (created if missing). *)
+    persists artifacts under [disk_dir] (created if missing), first
+    sweeping any stale write-temporary files a dead process stranded. *)
 
 type origin = Memory | Disk
 
 val find : t -> Fingerprint.t -> (value * origin) option
-(** Memory first, then disk (artifacts only); counts a hit or miss. *)
+(** Memory first, then disk (artifacts only); counts a hit or miss.
+    Carries the ["cache_read"] fault point; transient failures are
+    retried, then degrade to a miss. *)
 
 val store : t -> Fingerprint.t -> value -> unit
 

@@ -1,0 +1,243 @@
+(* Minimal JSON for the serve protocol: values, a recursive-descent
+   parser with byte offsets in its errors, and a compact one-line
+   printer. Hand-rolled on purpose — the repo deliberately carries no
+   JSON dependency (see trace.ml), and the protocol needs only this. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---- constructors / accessors ---- *)
+
+let int (i : int) : t = Num (float_of_int i)
+
+let member (key : string) (j : t) : t option =
+  match j with Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+let to_float_opt = function Num v -> Some v | _ -> None
+
+let to_int_opt = function
+  | Num v when Float.is_integer v && Float.abs v <= 1e15 ->
+    Some (int_of_float v)
+  | _ -> None
+
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
+(* ---- printing ---- *)
+
+let rec add_value buf (j : t) : unit =
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v ->
+    if not (Float.is_finite v) then Buffer.add_string buf "null"
+    else if Float.is_integer v && Float.abs v < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" v)
+    else Buffer.add_string buf (Printf.sprintf "%.12g" v)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (Trace.escape s);
+    Buffer.add_char buf '"'
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_value buf v)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (Trace.escape k);
+        Buffer.add_string buf "\":";
+        add_value buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string (j : t) : string =
+  let buf = Buffer.create 256 in
+  add_value buf j;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Parse of string * int  (* message, byte offset *)
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf (fun m -> raise (Parse (m, !pos))) fmt
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos else fail "expected '%c'" c
+  in
+  let keyword word v =
+    let len = String.length word in
+    if !pos + len <= n && String.equal (String.sub s !pos len) word then begin
+      pos := !pos + len;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      incr pos;
+      if Char.equal c '"' then Buffer.contents buf
+      else if Char.equal c '\\' then begin
+        (if !pos >= n then fail "unterminated escape");
+        let e = s.[!pos] in
+        incr pos;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          (if !pos + 4 > n then fail "truncated \\u escape");
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          (match int_of_string_opt ("0x" ^ hex) with
+          | None -> fail "bad \\u escape %S" hex
+          | Some code ->
+            (* UTF-8 encode the BMP code point (surrogate halves come out
+               as individual 3-byte sequences — good enough here) *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf
+                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end)
+        | c -> fail "bad escape \\%c" c);
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      while
+        match peek () with Some '0' .. '9' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some v when Float.is_finite v -> Num v
+    | Some _ | None -> fail "bad number %S" text
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elements (v :: acc)
+          | Some ']' ->
+            incr pos;
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> keyword "true" (Bool true)
+    | Some 'f' -> keyword "false" (Bool false)
+    | Some 'n' -> keyword "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail "unexpected character %C" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then fail "trailing input after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse (msg, at) ->
+    Error (Printf.sprintf "%s at offset %d" msg at)

@@ -1,0 +1,29 @@
+(** Minimal JSON for the serve protocol (the repo deliberately carries no
+    JSON dependency): values, a parser with byte offsets in its errors,
+    and a compact one-line printer. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] for other values or missing keys. *)
+
+val to_string_opt : t -> string option
+val to_float_opt : t -> float option
+
+val to_int_opt : t -> int option
+(** [Num] values that are exact integers only. *)
+
+val to_bool_opt : t -> bool option
+
+val to_string : t -> string
+(** Compact one-line rendering (never contains a newline). *)
+
+val parse : string -> (t, string) result

@@ -1,0 +1,90 @@
+(* Serve metrics: monotonic request counters plus a bounded ring of
+   response latencies, shared by the admission thread and the worker
+   domains (all updates take the lock; reads snapshot consistently). *)
+
+type t = {
+  lock : Mutex.t;
+  started_s : float;
+  mutable received : int;
+  mutable ok : int;
+  mutable failed : int;
+  mutable shed : int;
+  mutable deadline : int;
+  mutable bad_request : int;
+  mutable health : int;
+  samples : float array;   (* latency ring, milliseconds *)
+  mutable n_samples : int; (* total ever observed (ring index basis) *)
+}
+
+let ring_capacity = 4096
+
+let create () =
+  { lock = Mutex.create ();
+    started_s = Unix.gettimeofday ();
+    received = 0;
+    ok = 0;
+    failed = 0;
+    shed = 0;
+    deadline = 0;
+    bad_request = 0;
+    health = 0;
+    samples = Array.make ring_capacity 0.0;
+    n_samples = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let incr_received t = locked t (fun () -> t.received <- t.received + 1)
+let incr_ok t = locked t (fun () -> t.ok <- t.ok + 1)
+let incr_failed t = locked t (fun () -> t.failed <- t.failed + 1)
+let incr_shed t = locked t (fun () -> t.shed <- t.shed + 1)
+let incr_deadline t = locked t (fun () -> t.deadline <- t.deadline + 1)
+let incr_bad_request t = locked t (fun () -> t.bad_request <- t.bad_request + 1)
+let incr_health t = locked t (fun () -> t.health <- t.health + 1)
+
+let observe_ms t (ms : float) =
+  locked t (fun () ->
+      t.samples.(t.n_samples mod ring_capacity) <- ms;
+      t.n_samples <- t.n_samples + 1)
+
+type snapshot = {
+  s_uptime_s : float;
+  s_received : int;
+  s_ok : int;
+  s_failed : int;
+  s_shed : int;
+  s_deadline : int;
+  s_bad_request : int;
+  s_health : int;
+  s_latency_count : int;  (** samples ever observed (ring keeps the last 4096) *)
+  s_p50_ms : float;
+  s_p95_ms : float;
+  s_max_ms : float;
+}
+
+(* Nearest-rank percentile over the sorted retained samples. *)
+let percentile (sorted : float array) (q : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let snapshot (t : t) : snapshot =
+  locked t (fun () ->
+      let kept = min t.n_samples ring_capacity in
+      let sorted = Array.sub t.samples 0 kept in
+      Array.sort Float.compare sorted;
+      { s_uptime_s = Unix.gettimeofday () -. t.started_s;
+        s_received = t.received;
+        s_ok = t.ok;
+        s_failed = t.failed;
+        s_shed = t.shed;
+        s_deadline = t.deadline;
+        s_bad_request = t.bad_request;
+        s_health = t.health;
+        s_latency_count = t.n_samples;
+        s_p50_ms = percentile sorted 0.50;
+        s_p95_ms = percentile sorted 0.95;
+        s_max_ms = (if kept = 0 then 0.0 else sorted.(kept - 1)) })

@@ -1,0 +1,40 @@
+(** Serve metrics: monotonic request counters plus a bounded ring of
+    response latencies. Thread-safe; shared by the admission thread and
+    the worker domains. *)
+
+type t
+
+val create : unit -> t
+
+val incr_received : t -> unit
+(** Every request line read (compile, health, malformed, oversized). *)
+
+val incr_ok : t -> unit
+val incr_failed : t -> unit
+val incr_shed : t -> unit
+val incr_deadline : t -> unit
+val incr_bad_request : t -> unit
+val incr_health : t -> unit
+
+val observe_ms : t -> float -> unit
+(** Record one request's enqueue-to-response latency, in milliseconds. *)
+
+type snapshot = {
+  s_uptime_s : float;
+  s_received : int;
+  s_ok : int;
+  s_failed : int;
+  s_shed : int;
+  s_deadline : int;
+  s_bad_request : int;
+  s_health : int;
+  s_latency_count : int;
+      (** samples ever observed (the ring keeps the most recent 4096) *)
+  s_p50_ms : float;
+  s_p95_ms : float;
+  s_max_ms : float;
+}
+
+val snapshot : t -> snapshot
+(** Consistent copy of all counters plus nearest-rank latency
+    percentiles over the retained samples. *)

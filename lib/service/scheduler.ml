@@ -44,7 +44,13 @@ let parallel_map ?(clamp = true) ?(num_domains = 0) ?(chunk = 0)
   let next = Atomic.make 0 in
   let run_one tid i =
     let r =
-      match f ~tid jobs.(i) with
+      (* the claim fault point fires inside the protected computation, so
+         an injected fault lands in the job's own slot as [Error] instead
+         of killing the worker domain *)
+      match
+        Faults.trip "scheduler_claim";
+        f ~tid jobs.(i)
+      with
       | v -> Ok v
       | exception e ->
         let msg =

@@ -1,0 +1,614 @@
+(* The resilient compile server behind `roccc serve`.
+
+   Line-delimited JSON requests come in on a channel (stdin or one Unix
+   socket connection); one JSON response line goes out per request. The
+   reader thread is the admission controller: it parses, validates and
+   either answers immediately (health, malformed input, load shed) or
+   enqueues the request on a bounded queue that worker domains drain.
+
+   Resilience properties, each deterministic and testable under
+   {!Faults}:
+   - bounded admission queue: when full, the request is shed with a
+     structured "overloaded" response instead of growing without bound;
+   - per-request deadlines: checked when the worker claims the request
+     and again at every pass boundary via the pass manager's [cancel]
+     hook, answering "deadline_exceeded" instead of hanging;
+   - every failure — compile error, injected fault, even an unexpected
+     exception — becomes a structured "error" response; the server never
+     crashes on a request;
+   - EOF, a shutdown request or SIGTERM ({!request_stop}) drain cleanly:
+     admission stops, queued requests finish, workers join. *)
+
+module Pass = Roccc_core.Pass
+module Driver = Roccc_core.Driver
+
+let now = Unix.gettimeofday
+
+(* ------------------------------------------------------------------ *)
+(* Limits and flag validation                                          *)
+(* ------------------------------------------------------------------ *)
+
+type limits = {
+  workers : int;       (* worker domains; 0 = Scheduler.default_domains *)
+  queue_depth : int;   (* admission queue bound *)
+  deadline_ms : float option;  (* default per-request deadline *)
+  max_request_bytes : int;     (* request line length bound *)
+}
+
+let default_limits =
+  { workers = 0;
+    queue_depth = 32;
+    deadline_ms = None;
+    max_request_bytes = 8 * 1024 * 1024 }
+
+(* Friendly flag validation, shared with the CLI (which turns [Error]
+   into an exit-code-2 usage failure instead of a raw exception). *)
+let check_positive_int ~(flag : string) (v : int) : (int, string) result =
+  if v > 0 then Ok v
+  else Error (Printf.sprintf "%s expects a positive integer, got %d" flag v)
+
+let check_positive_float ~(flag : string) (v : float) :
+    (float, string) result =
+  if Float.is_finite v && v > 0.0 then Ok v
+  else Error (Printf.sprintf "%s expects a positive number, got %g" flag v)
+
+let validate_limits (l : limits) : (limits, string) result =
+  if l.workers < 0 then
+    Error
+      (Printf.sprintf "--jobs expects a positive integer, got %d" l.workers)
+  else
+    match check_positive_int ~flag:"--queue-depth" l.queue_depth with
+    | Error _ as e -> e
+    | Ok _ -> (
+      match
+        check_positive_int ~flag:"--max-request-bytes" l.max_request_bytes
+      with
+      | Error _ as e -> e
+      | Ok _ -> (
+        match l.deadline_ms with
+        | Some ms when not (Float.is_finite ms && ms > 0.0) ->
+          Error
+            (Printf.sprintf "--deadline-ms expects a positive number, got %g"
+               ms)
+        | Some _ | None -> Ok l))
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type kind =
+  | Compile of Service.job * float option * bool
+      (* job, per-request deadline override (ms), return the VHDL text? *)
+  | Health of bool  (* drain first? *)
+  | Shutdown
+
+type request = { rq_id : Json.t; rq_kind : kind }
+
+let known_option_keys =
+  [ "target_ns"; "bus_elements"; "unroll_inner_max"; "unroll_all_max";
+    "unroll_outer_factor"; "fuse_loops"; "infer_widths"; "optimize_vm";
+    "check_vhdl"; "lut_convert_max_bits" ]
+
+let options_of_json (j : Json.t) : (Driver.options, string) result =
+  match j with
+  | Json.Null -> Ok Driver.default_options
+  | Json.Obj fields ->
+    let rec apply (o : Driver.options) = function
+      | [] -> Ok o
+      | (key, v) :: rest -> (
+        let bad what =
+          Error (Printf.sprintf "option %s expects %s" key what)
+        in
+        let with_int f =
+          match Json.to_int_opt v with
+          | Some n when n >= 0 -> apply (f n) rest
+          | Some _ | None -> bad "a non-negative integer"
+        in
+        let with_bool f =
+          match Json.to_bool_opt v with
+          | Some b -> apply (f b) rest
+          | None -> bad "a boolean"
+        in
+        match key with
+        | "target_ns" -> (
+          match Json.to_float_opt v with
+          | Some t when Float.is_finite t && t > 0.0 ->
+            apply { o with Driver.target_ns = t } rest
+          | Some _ | None -> bad "a positive number")
+        | "bus_elements" -> (
+          match Json.to_int_opt v with
+          | Some n when n >= 1 -> apply { o with Driver.bus_elements = n } rest
+          | Some _ | None -> bad "a positive integer")
+        | "unroll_inner_max" ->
+          with_int (fun n -> { o with Driver.unroll_inner_max = n })
+        | "unroll_all_max" ->
+          with_int (fun n -> { o with Driver.unroll_all_max = n })
+        | "unroll_outer_factor" -> (
+          match Json.to_int_opt v with
+          | Some n when n >= 1 ->
+            apply { o with Driver.unroll_outer_factor = n } rest
+          | Some _ | None -> bad "a positive integer")
+        | "lut_convert_max_bits" ->
+          with_int (fun n -> { o with Driver.lut_convert_max_bits = n })
+        | "fuse_loops" -> with_bool (fun b -> { o with Driver.fuse_loops = b })
+        | "infer_widths" ->
+          with_bool (fun b -> { o with Driver.infer_widths = b })
+        | "optimize_vm" ->
+          with_bool (fun b -> { o with Driver.optimize_vm = b })
+        | "check_vhdl" ->
+          with_bool (fun b -> { o with Driver.check_vhdl = b })
+        | _ ->
+          Error
+            (Printf.sprintf "unknown option %S (known: %s)" key
+               (String.concat ", " known_option_keys)))
+    in
+    apply Driver.default_options fields
+  | _ -> Error "\"options\" must be an object"
+
+(* Parse one request object. Errors carry the request id (when one could
+   be read) so even a rejected request gets a correlatable response. *)
+let parse_request ~(label : string) (j : Json.t) :
+    (request, Json.t * string) result =
+  let id = Option.value (Json.member "id" j) ~default:Json.Null in
+  match j with
+  | Json.Obj _ -> (
+    let typ =
+      match Json.member "type" j with
+      | None -> Ok "compile"
+      | Some t -> (
+        match Json.to_string_opt t with
+        | Some s -> Ok s
+        | None -> Error "\"type\" must be a string")
+    in
+    match typ with
+    | Error msg -> Error (id, msg)
+    | Ok "health" ->
+      let drain =
+        match Json.member "drain" j with
+        | Some b -> Option.value (Json.to_bool_opt b) ~default:false
+        | None -> false
+      in
+      Ok { rq_id = id; rq_kind = Health drain }
+    | Ok "shutdown" -> Ok { rq_id = id; rq_kind = Shutdown }
+    | Ok "compile" -> (
+      match
+        Option.bind (Json.member "source" j) Json.to_string_opt,
+        Option.bind (Json.member "entry" j) Json.to_string_opt
+      with
+      | None, _ -> Error (id, "missing string field \"source\"")
+      | _, None -> Error (id, "missing string field \"entry\"")
+      | Some source, Some entry -> (
+        match
+          options_of_json
+            (Option.value (Json.member "options" j) ~default:Json.Null)
+        with
+        | Error msg -> Error (id, msg)
+        | Ok options -> (
+          let deadline =
+            match Json.member "deadline_ms" j with
+            | None -> Ok None
+            | Some v -> (
+              match Json.to_float_opt v with
+              | Some ms when Float.is_finite ms && ms > 0.0 -> Ok (Some ms)
+              | Some _ | None ->
+                Error "\"deadline_ms\" expects a positive number")
+          in
+          match deadline with
+          | Error msg -> Error (id, msg)
+          | Ok deadline ->
+            let return_vhdl =
+              match Json.member "return_vhdl" j with
+              | Some b -> Option.value (Json.to_bool_opt b) ~default:false
+              | None -> false
+            in
+            let label =
+              match id with Json.Str s -> s | _ -> label
+            in
+            Ok
+              { rq_id = id;
+                rq_kind =
+                  Compile
+                    ( { Service.label; source; entry; options; luts = [] },
+                      deadline, return_vhdl ) })))
+    | Ok other -> Error (id, Printf.sprintf "unknown request type %S" other))
+  | _ -> Error (id, "request must be a JSON object")
+
+(* ------------------------------------------------------------------ *)
+(* The server                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type pending = {
+  p_id : Json.t;
+  p_job : Service.job;
+  p_deadline : float option;  (* absolute, seconds since the epoch *)
+  p_return_vhdl : bool;
+  p_enqueued_s : float;
+}
+
+type t = {
+  limits : limits;  (* workers resolved to >= 1 *)
+  base_config : Pass.config;
+  cache : Cache.t option;
+  trace : Trace.t option;
+  metrics : Metrics.t;
+  queue : pending Queue.t;
+  lock : Mutex.t;
+  work_ready : Condition.t;  (* queue non-empty, or draining *)
+  idle : Condition.t;        (* queue empty and nothing in flight *)
+  mutable inflight : int;
+  mutable draining : bool;
+  mutable n_requests : int;  (* admission counter, for request labels *)
+  stop_flag : bool Atomic.t; (* SIGTERM / shutdown request *)
+  out_lock : Mutex.t;
+}
+
+let create ?cache ?config ?trace ?(limits = default_limits) () : t =
+  let base =
+    match config with Some c -> c | None -> Pass.default_config ()
+  in
+  (* The driver_pass fault point rides the instrument hook: it fires at
+     the same boundary the cancellation hook polls, covering every
+     executed pass without the core layer depending on this library. *)
+  let base_config =
+    { base with
+      Pass.instrument =
+        Some
+          (fun ps ->
+            Option.iter (fun f -> f ps) base.Pass.instrument;
+            Faults.trip "driver_pass") }
+  in
+  let workers =
+    if limits.workers <= 0 then Scheduler.default_domains ()
+    else limits.workers
+  in
+  { limits = { limits with workers };
+    base_config;
+    cache;
+    trace;
+    metrics = Metrics.create ();
+    queue = Queue.create ();
+    lock = Mutex.create ();
+    work_ready = Condition.create ();
+    idle = Condition.create ();
+    inflight = 0;
+    draining = false;
+    n_requests = 0;
+    stop_flag = Atomic.make false;
+    out_lock = Mutex.create () }
+
+let metrics (srv : t) : Metrics.t = srv.metrics
+
+let request_stop (srv : t) : unit = Atomic.set srv.stop_flag true
+let stop_requested (srv : t) : bool = Atomic.get srv.stop_flag
+
+let locked (srv : t) f =
+  Mutex.lock srv.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock srv.lock) f
+
+(* One response line per request, under the output lock so concurrent
+   workers never interleave bytes. *)
+let respond (srv : t) (oc : out_channel) (fields : (string * Json.t) list) :
+    unit =
+  let line = Json.to_string (Json.Obj fields) in
+  Mutex.lock srv.out_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock srv.out_lock)
+    (fun () ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc)
+
+let queue_depth_sample (srv : t) : unit =
+  Option.iter
+    (fun tr ->
+      let d = locked srv (fun () -> Queue.length srv.queue) in
+      Trace.add_counter tr ~name:"queue_depth" ~value:(float_of_int d) ())
+    srv.trace
+
+(* ------------------------------------------------------------------ *)
+(* Health                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let health_json (srv : t) : Json.t =
+  let s = Metrics.snapshot srv.metrics in
+  let depth = locked srv (fun () -> Queue.length srv.queue) in
+  let cache_json =
+    match srv.cache with
+    | None -> Json.Null
+    | Some c ->
+      let st = Cache.stats c in
+      let looked_up = st.Cache.hits + st.Cache.disk_hits + st.Cache.misses in
+      Json.Obj
+        [ "hits", Json.int st.Cache.hits;
+          "disk_hits", Json.int st.Cache.disk_hits;
+          "misses", Json.int st.Cache.misses;
+          "stores", Json.int st.Cache.stores;
+          "retries", Json.int st.Cache.retries;
+          "io_errors", Json.int st.Cache.io_errors;
+          "tmp_swept", Json.int st.Cache.tmp_swept;
+          ( "hit_rate",
+            if looked_up = 0 then Json.Null
+            else
+              Json.Num
+                (float_of_int (st.Cache.hits + st.Cache.disk_hits)
+                /. float_of_int looked_up) ) ]
+  in
+  let faults_json =
+    match Faults.counts () with
+    | [] -> Json.Null
+    | cs ->
+      Json.Obj
+        (List.map
+           (fun (point, calls, fired) ->
+             ( point,
+               Json.Obj
+                 [ "calls", Json.int calls; "fired", Json.int fired ] ))
+           cs)
+  in
+  Json.Obj
+    [ "uptime_s", Json.Num s.Metrics.s_uptime_s;
+      "workers", Json.int srv.limits.workers;
+      ( "queue",
+        Json.Obj
+          [ "depth", Json.int depth;
+            "capacity", Json.int srv.limits.queue_depth ] );
+      ( "requests",
+        Json.Obj
+          [ "received", Json.int s.Metrics.s_received;
+            "ok", Json.int s.Metrics.s_ok;
+            "failed", Json.int s.Metrics.s_failed;
+            "shed", Json.int s.Metrics.s_shed;
+            "deadline_exceeded", Json.int s.Metrics.s_deadline;
+            "bad_request", Json.int s.Metrics.s_bad_request;
+            "health", Json.int s.Metrics.s_health ] );
+      ( "latency_ms",
+        Json.Obj
+          [ "count", Json.int s.Metrics.s_latency_count;
+            "p50", Json.Num s.Metrics.s_p50_ms;
+            "p95", Json.Num s.Metrics.s_p95_ms;
+            "max", Json.Num s.Metrics.s_max_ms ] );
+      "cache", cache_json;
+      "faults", faults_json ]
+
+let wait_idle (srv : t) : unit =
+  locked srv (fun () ->
+      while not (Queue.is_empty srv.queue && srv.inflight = 0) do
+        Condition.wait srv.idle srv.lock
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let handle (srv : t) (oc : out_channel) (tid : int) (p : pending) : unit =
+  let t0 = now () in
+  let finish fields =
+    let ms = (now () -. p.p_enqueued_s) *. 1e3 in
+    Metrics.observe_ms srv.metrics ms;
+    respond srv oc
+      (("id", p.p_id) :: fields @ [ "elapsed_ms", Json.Num ms ]);
+    Option.iter
+      (fun tr ->
+        let status =
+          match List.assoc_opt "status" fields with
+          | Some (Json.Str s) -> s
+          | _ -> "?"
+        in
+        Trace.add_span tr ~cat:"request" ~tid ~name:p.p_job.Service.label
+          ~start_s:t0 ~dur_s:(now () -. t0)
+          ~args:[ "status", Trace.Str status ] ())
+      srv.trace
+  in
+  let past_deadline () =
+    match p.p_deadline with
+    | Some d when now () > d ->
+      Some
+        (Printf.sprintf "deadline exceeded after %.1f ms"
+           ((now () -. p.p_enqueued_s) *. 1e3))
+    | Some _ | None -> None
+  in
+  match
+    Faults.trip "scheduler_claim";
+    (* a request that already waited out its deadline in the queue is
+       answered without compiling at all *)
+    (match past_deadline () with
+    | Some reason -> raise (Pass.Cancelled reason)
+    | None -> ());
+    let config =
+      match p.p_deadline with
+      | None -> srv.base_config
+      | Some _ ->
+        { srv.base_config with Pass.cancel = Some past_deadline }
+    in
+    Service.compile_cached ?cache:srv.cache ~config ?trace:srv.trace ~tid
+      p.p_job
+  with
+  | s ->
+    Metrics.incr_ok srv.metrics;
+    let vhdl_bytes =
+      List.fold_left
+        (fun n (_, text) -> n + String.length text)
+        0 s.Service.r_vhdl
+    in
+    finish
+      ([ "status", Json.Str "ok";
+         "entry", Json.Str s.Service.r_entry;
+         "origin", Json.Str (Service.origin_name s.Service.r_origin);
+         "slices", Json.int s.Service.r_slices;
+         "clock_mhz", Json.Num s.Service.r_clock_mhz;
+         "latency", Json.int s.Service.r_latency;
+         "latch_bits", Json.int s.Service.r_latch_bits;
+         "vhdl_bytes", Json.int vhdl_bytes ]
+      @
+      if p.p_return_vhdl then
+        [ ( "vhdl",
+            Json.Obj
+              (List.map (fun (f, text) -> f, Json.Str text) s.Service.r_vhdl)
+          ) ]
+      else [])
+  | exception Pass.Cancelled reason ->
+    Metrics.incr_deadline srv.metrics;
+    finish
+      [ "status", Json.Str "deadline_exceeded"; "message", Json.Str reason ]
+  | exception e ->
+    Metrics.incr_failed srv.metrics;
+    let kind, msg =
+      match e with
+      | Faults.Injected point -> "injected_fault", "injected fault at " ^ point
+      | _ -> (
+        match Service.describe_error e with
+        | Some m -> "compile", m
+        | None -> "internal", Printexc.to_string e)
+    in
+    finish
+      [ "status", Json.Str "error";
+        "kind", Json.Str kind;
+        "message", Json.Str msg ]
+
+let rec worker (srv : t) (oc : out_channel) (tid : int) : unit =
+  let next =
+    locked srv (fun () ->
+        let rec await () =
+          if not (Queue.is_empty srv.queue) then begin
+            let p = Queue.pop srv.queue in
+            srv.inflight <- srv.inflight + 1;
+            Some p
+          end
+          else if srv.draining then None
+          else begin
+            Condition.wait srv.work_ready srv.lock;
+            await ()
+          end
+        in
+        await ())
+  in
+  match next with
+  | None -> ()
+  | Some p ->
+    queue_depth_sample srv;
+    handle srv oc tid p;
+    locked srv (fun () ->
+        srv.inflight <- srv.inflight - 1;
+        if srv.inflight = 0 && Queue.is_empty srv.queue then
+          Condition.broadcast srv.idle);
+    worker srv oc tid
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bad_request (srv : t) (oc : out_channel) (id : Json.t) (msg : string) :
+    unit =
+  Metrics.incr_bad_request srv.metrics;
+  respond srv oc
+    [ "id", id;
+      "status", Json.Str "error";
+      "kind", Json.Str "bad_request";
+      "message", Json.Str msg ]
+
+(* Handle one request line; [false] means a shutdown request asked the
+   reader to stop. *)
+let admit (srv : t) (oc : out_channel) (line : string) : bool =
+  Metrics.incr_received srv.metrics;
+  let n = locked srv (fun () -> srv.n_requests <- srv.n_requests + 1; srv.n_requests) in
+  if String.length line > srv.limits.max_request_bytes then begin
+    bad_request srv oc Json.Null
+      (Printf.sprintf "request of %d bytes exceeds the %d-byte limit"
+         (String.length line) srv.limits.max_request_bytes);
+    true
+  end
+  else
+    match Json.parse line with
+    | Error msg ->
+      bad_request srv oc Json.Null ("malformed JSON: " ^ msg);
+      true
+    | Ok j -> (
+      match parse_request ~label:(Printf.sprintf "req-%d" n) j with
+      | Error (id, msg) ->
+        bad_request srv oc id msg;
+        true
+      | Ok { rq_id; rq_kind = Health drain } ->
+        if drain then wait_idle srv;
+        Metrics.incr_health srv.metrics;
+        respond srv oc
+          [ "id", rq_id;
+            "status", Json.Str "ok";
+            "health", health_json srv ];
+        true
+      | Ok { rq_id; rq_kind = Shutdown } ->
+        Metrics.incr_health srv.metrics;
+        respond srv oc
+          [ "id", rq_id;
+            "status", Json.Str "ok";
+            "shutting_down", Json.Bool true ];
+        request_stop srv;
+        false
+      | Ok { rq_id; rq_kind = Compile (job, deadline_ms, return_vhdl) } ->
+        let deadline_ms =
+          match deadline_ms with
+          | Some _ as d -> d
+          | None -> srv.limits.deadline_ms
+        in
+        let p =
+          { p_id = rq_id;
+            p_job = job;
+            p_deadline =
+              Option.map (fun ms -> now () +. (ms /. 1e3)) deadline_ms;
+            p_return_vhdl = return_vhdl;
+            p_enqueued_s = now () }
+        in
+        let accepted =
+          locked srv (fun () ->
+              if Queue.length srv.queue >= srv.limits.queue_depth then false
+              else begin
+                Queue.push p srv.queue;
+                Condition.signal srv.work_ready;
+                true
+              end)
+        in
+        queue_depth_sample srv;
+        if not accepted then begin
+          Metrics.incr_shed srv.metrics;
+          respond srv oc
+            [ "id", rq_id;
+              "status", Json.Str "overloaded";
+              "message",
+              Json.Str
+                (Printf.sprintf "admission queue full (depth %d)"
+                   srv.limits.queue_depth) ]
+        end;
+        true)
+
+(* ------------------------------------------------------------------ *)
+(* The serve loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Serve one request stream: spawn the worker domains, admit requests
+    until EOF / shutdown / {!request_stop}, then drain — queued requests
+    finish, workers join — and return the final metrics snapshot. The
+    server value may serve several streams in sequence (the Unix-socket
+    accept loop); metrics and cache persist across them. *)
+let serve (srv : t) (ic : in_channel) (oc : out_channel) : Metrics.snapshot =
+  locked srv (fun () -> srv.draining <- false);
+  let workers =
+    Array.init srv.limits.workers (fun k ->
+        Domain.spawn (fun () -> worker srv oc (k + 1)))
+  in
+  let rec read_loop () =
+    if stop_requested srv then ()
+    else
+      match input_line ic with
+      | exception End_of_file -> ()
+      | exception Sys_error _ ->
+        (* interrupted read (e.g. a signal landed); stop if it was ours *)
+        if stop_requested srv then () else ()
+      | line ->
+        if String.equal (String.trim line) "" then read_loop ()
+        else if admit srv oc line then read_loop ()
+  in
+  read_loop ();
+  locked srv (fun () ->
+      srv.draining <- true;
+      Condition.broadcast srv.work_ready);
+  Array.iter Domain.join workers;
+  Metrics.snapshot srv.metrics

@@ -1,0 +1,65 @@
+(** The resilient compile server behind [roccc serve].
+
+    Requests are line-delimited JSON objects read from a channel (stdin
+    or one Unix-socket connection); each gets exactly one JSON response
+    line. Request types: ["compile"] (default — fields [source], [entry],
+    optional [options] object, [deadline_ms], [return_vhdl], [id]),
+    ["health"] (optional ["drain": true] to wait for quiescence first)
+    and ["shutdown"]. Response [status] is one of ["ok"], ["error"]
+    (with a [kind]: [bad_request] / [compile] / [injected_fault] /
+    [internal]), ["overloaded"] (load shed — the bounded admission queue
+    was full) or ["deadline_exceeded"] (cancelled cooperatively at a pass
+    boundary). The server answers every admitted line; it never crashes
+    or hangs on a request, including under {!Faults} injection. *)
+
+type limits = {
+  workers : int;  (** worker domains; [0] picks the hardware default *)
+  queue_depth : int;  (** bound on the admission queue; beyond it, shed *)
+  deadline_ms : float option;
+      (** default per-request deadline; a request's own [deadline_ms]
+          overrides it *)
+  max_request_bytes : int;  (** longer request lines are rejected *)
+}
+
+val default_limits : limits
+(** workers auto, depth 32, no deadline, 8 MiB request bound. *)
+
+(** {2 Flag validation}
+
+    Shared with the CLI so [--jobs 0] and friends die with a friendly
+    message and exit code 2 instead of a crash or a silent surprise. *)
+
+val check_positive_int : flag:string -> int -> (int, string) result
+val check_positive_float : flag:string -> float -> (float, string) result
+val validate_limits : limits -> (limits, string) result
+
+type t
+
+val create :
+  ?cache:Cache.t ->
+  ?config:Roccc_core.Pass.config ->
+  ?trace:Trace.t ->
+  ?limits:limits ->
+  unit ->
+  t
+(** The server value owns the metrics and may serve several request
+    streams in sequence (the socket accept loop); metrics and cache
+    persist across streams. *)
+
+val serve : t -> in_channel -> out_channel -> Metrics.snapshot
+(** Serve one stream: spawn the workers, admit until EOF / a shutdown
+    request / {!request_stop}, then drain — queued requests finish,
+    workers join — and return the final metrics snapshot. *)
+
+val request_stop : t -> unit
+(** Ask the serve loop to stop admitting (async-signal-safe: sets an
+    atomic flag; safe to call from a signal handler). *)
+
+val stop_requested : t -> bool
+
+val metrics : t -> Metrics.t
+
+val health_json : t -> Json.t
+(** The metrics snapshot a ["health"] request returns: request counters,
+    latency percentiles, queue depth/capacity, worker count, cache and
+    fault-injection statistics. *)

@@ -242,6 +242,8 @@ let describe_error (e : exn) : string option =
     Some (Printf.sprintf "parse error at %d:%d: %s" line col msg)
   | Roccc_cfront.Semant.Error msg -> Some ("semantic error: " ^ msg)
   | Roccc_vm.Instr.Vm_error msg -> Some ("vm error: " ^ msg)
+  | Pass.Cancelled reason -> Some ("cancelled: " ^ reason)
+  | Faults.Injected _ -> Faults.describe e
   | _ -> None
 
 let run_batch ?cache ?config ?trace ?(num_domains = 0) (jobs : job list) :

@@ -18,12 +18,23 @@ type span = {
   sp_args : (string * arg) list;
 }
 
+(* Counter ("C") events: a named value sampled over time — the serve
+   loop's queue depth. Kept separate from spans so existing span
+   consumers (pass_totals, the tests) see exactly what they always did. *)
+type counter = {
+  c_name : string;
+  c_tid : int;
+  c_ts_s : float;   (* absolute wall-clock, seconds *)
+  c_value : float;
+}
+
 type t = {
   lock : Mutex.t;
   mutable spans : span list;  (* newest first *)
+  mutable counters : counter list;  (* newest first *)
 }
 
-let create () = { lock = Mutex.create (); spans = [] }
+let create () = { lock = Mutex.create (); spans = []; counters = [] }
 
 let add_span t ?(cat = "pass") ?(args = []) ~tid ~name ~start_s ~dur_s () =
   let sp =
@@ -34,11 +45,26 @@ let add_span t ?(cat = "pass") ?(args = []) ~tid ~name ~start_s ~dur_s () =
   t.spans <- sp :: t.spans;
   Mutex.unlock t.lock
 
+let add_counter t ?(tid = 0) ~name ~value () =
+  let c =
+    { c_name = name; c_tid = tid; c_ts_s = Unix.gettimeofday ();
+      c_value = value }
+  in
+  Mutex.lock t.lock;
+  t.counters <- c :: t.counters;
+  Mutex.unlock t.lock
+
 let spans t =
   Mutex.lock t.lock;
   let s = t.spans in
   Mutex.unlock t.lock;
   List.sort (fun a b -> Float.compare a.sp_start_s b.sp_start_s) s
+
+let counters t =
+  Mutex.lock t.lock;
+  let c = t.counters in
+  Mutex.unlock t.lock;
+  List.sort (fun a b -> Float.compare a.c_ts_s b.c_ts_s) c
 
 (* ---- JSON rendering ---- *)
 
@@ -80,9 +106,23 @@ let span_json ~t0 (sp : span) : string =
     (sp.sp_dur_s *. 1e6)
     (args_json sp.sp_args)
 
+let counter_json ~t0 (c : counter) : string =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\"args\":%s}"
+    (escape c.c_name) c.c_tid
+    ((c.c_ts_s -. t0) *. 1e6)
+    (args_json [ "value", Float c.c_value ])
+
 let to_chrome_json ?(meta = []) (t : t) : string =
   let ss = spans t in
-  let t0 = match ss with [] -> 0.0 | sp :: _ -> sp.sp_start_s in
+  let cs = counters t in
+  let t0 =
+    match ss, cs with
+    | sp :: _, c :: _ -> Float.min sp.sp_start_s c.c_ts_s
+    | sp :: _, [] -> sp.sp_start_s
+    | [], c :: _ -> c.c_ts_s
+    | [], [] -> 0.0
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[\n";
   List.iteri
@@ -90,6 +130,11 @@ let to_chrome_json ?(meta = []) (t : t) : string =
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf (span_json ~t0 sp))
     ss;
+  List.iteri
+    (fun i c ->
+      if i > 0 || ss <> [] then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (counter_json ~t0 c))
+    cs;
   Buffer.add_string buf "\n],\n\"displayTimeUnit\":\"ms\",\n\"meta\":";
   Buffer.add_string buf (args_json meta);
   Buffer.add_string buf "}\n";

@@ -30,6 +30,20 @@ val add_span :
 val spans : t -> span list
 (** All spans, in chronological order. *)
 
+(** A named value sampled over time (Chrome ["C"] events) — e.g. the
+    serve loop's queue depth. *)
+type counter = {
+  c_name : string;
+  c_tid : int;
+  c_ts_s : float;  (** absolute wall-clock seconds, stamped at add time *)
+  c_value : float;
+}
+
+val add_counter : t -> ?tid:int -> name:string -> value:float -> unit -> unit
+
+val counters : t -> counter list
+(** All counter samples, in chronological order. *)
+
 val to_chrome_json : ?meta:(string * arg) list -> t -> string
 (** The Chrome trace_event document: [{"traceEvents": [...], "meta": ...}].
     Load it at chrome://tracing or ui.perfetto.dev. [meta] carries
@@ -41,3 +55,6 @@ val pass_totals : t -> (string * int * float) list
 
 val args_json : (string * arg) list -> string
 (** Render an argument list as one JSON object (shared JSON helper). *)
+
+val escape : string -> string
+(** JSON string-body escaping (shared with {!Json}). *)

@@ -63,6 +63,37 @@ let test_lex_unterminated_comment () =
       (String.length msg > 0)
   | _ -> Alcotest.fail "expected a lexer error"
 
+(* An over-wide literal used to crash tokenize with an assert failure;
+   it must be a positioned Lexer.Error pointing at the literal. *)
+let test_lex_integer_overflow () =
+  let expect_error ~line ~col src =
+    match Lexer.tokenize src with
+    | exception Lexer.Error (msg, l, c) ->
+      Alcotest.(check bool)
+        ("out-of-range message: " ^ msg)
+        true
+        (String.length msg > 0);
+      Alcotest.(check int) "line" line l;
+      Alcotest.(check int) "col" col c
+    | _ -> Alcotest.fail ("expected a lexer error for " ^ src)
+  in
+  (* 2^64 in decimal, and a 17-nibble hex literal: both one bit too wide *)
+  expect_error ~line:1 ~col:9 "int x = 18446744073709551616;";
+  expect_error ~line:2 ~col:9 "int y;\nint z = 0x10000000000000000;";
+  expect_error ~line:1 ~col:9 "int w = 99999999999999999999999999;";
+  (* the extremes that still fit must keep lexing *)
+  match Lexer.tokenize "a = 0xFFFFFFFFFFFFFFFF; b = 9223372036854775807;" with
+  | toks ->
+    let lits =
+      List.filter_map
+        (fun t -> match t.Lexer.tok with Lexer.INT_LIT v -> Some v | _ -> None)
+        toks
+    in
+    Alcotest.(check (list int64)) "boundary literals" [ -1L; Int64.max_int ]
+      lits
+  | exception Lexer.Error (msg, _, _) ->
+    Alcotest.fail ("boundary literal rejected: " ^ msg)
+
 (* ------------------------------------------------------------------ *)
 (* Parser                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -320,6 +351,46 @@ let test_interp_signed_truncation () =
   Alcotest.(check int64) "sign wrapped" (-56L)
     (List.assoc "out" outcome.Interp.pointer_outputs)
 
+(* Calling a helper whose formals include a pointer output used to die on
+   an [assert false]: the binder only bound scalar formals but then
+   required the shapes to match exactly. Pointer formals bind to fresh
+   cells; the helper's return value is the call's value. *)
+let ptr_call_source =
+  "int helper(int *o, int x) {\n\
+  \  *o = x + 1;\n\
+  \  return x * 2;\n\
+   }\n\
+   void k(int A[4], int B[4]) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 4; i = i + 1) {\n\
+  \    B[i] = helper(A[i]);\n\
+  \  }\n\
+   }\n"
+
+let test_interp_pointer_formal_call () =
+  let input = [| 3L; 5L; 7L; 11L |] in
+  let outcome =
+    Interp.run_source ptr_call_source "k" ~arrays:[ "A", input ]
+  in
+  match List.assoc_opt "B" outcome.Interp.arrays with
+  | Some b ->
+    Array.iteri
+      (fun i a ->
+        Alcotest.(check int64)
+          (Printf.sprintf "B[%d]" i)
+          (Int64.mul a 2L) b.(i))
+      input
+  | None -> Alcotest.fail "no output array B"
+
+let test_compile_pointer_formal_call () =
+  (* The same shape must survive inlining and lower to VHDL. *)
+  match Roccc_core.Driver.compile ~entry:"k" ptr_call_source with
+  | c ->
+    Alcotest.(check bool) "produced VHDL" true
+      (Roccc_vhdl.Ast.to_files c.Roccc_core.Driver.design <> [])
+  | exception Roccc_core.Driver.Error msg ->
+    Alcotest.fail ("pointer-formal call failed to compile: " ^ msg)
+
 let test_interp_division_by_zero () =
   match
     Interp.run_source "void f(int a, int* o) { *o = a / 0; }" "f"
@@ -495,7 +566,9 @@ let suites =
       Alcotest.test_case "hex and suffixes" `Quick test_lex_hex;
       Alcotest.test_case "error position" `Quick test_lex_error_position;
       Alcotest.test_case "unterminated comment" `Quick
-        test_lex_unterminated_comment ];
+        test_lex_unterminated_comment;
+      Alcotest.test_case "integer literal overflow" `Quick
+        test_lex_integer_overflow ];
     "cfront.parser",
     [ Alcotest.test_case "FIR kernel" `Quick test_parse_fir;
       Alcotest.test_case "precedence" `Quick test_parse_precedence;
@@ -530,6 +603,10 @@ let suites =
         test_interp_signed_truncation;
       Alcotest.test_case "division by zero" `Quick
         test_interp_division_by_zero;
+      Alcotest.test_case "call with pointer formal" `Quick
+        test_interp_pointer_formal_call;
+      Alcotest.test_case "pointer-formal call compiles" `Quick
+        test_compile_pointer_formal_call;
       Alcotest.test_case "step budget" `Quick test_interp_step_budget;
       Alcotest.test_case "function call" `Quick test_interp_function_call;
       Alcotest.test_case "lookup table" `Quick test_interp_lut;

@@ -439,6 +439,479 @@ let test_interp_div_zero_is_driver_error () =
     Alcotest.(check bool) "user-facing message" true
       (String.length msg > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Resilience: fault injection, cache hardening, the serve protocol    *)
+(* ------------------------------------------------------------------ *)
+
+module Faults = Roccc_service.Faults
+module Server = Roccc_service.Server
+module Json = Roccc_service.Json
+module Metrics = Roccc_service.Metrics
+
+(* Every test that installs a fault plan must clear it, or the global
+   plan leaks into unrelated tests. *)
+let with_faults spec f =
+  (match Faults.parse spec with
+  | Ok plan -> Faults.install plan
+  | Error msg -> Alcotest.fail ("bad fault spec: " ^ msg));
+  Fun.protect ~finally:Faults.clear f
+
+let fresh_tmp_dir =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "%s_%d_%d" prefix (Unix.getpid ()) !n)
+    in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    dir
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let test_faults_parse () =
+  (match Faults.parse "cache_read:0.5,driver_pass" with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let rejected spec =
+    match Faults.parse spec with
+    | Ok _ -> Alcotest.fail ("accepted bad spec " ^ spec)
+    | Error _ -> ()
+  in
+  rejected "bogus_point";
+  rejected "cache_read:0";
+  rejected "cache_read:1.5";
+  rejected "cache_read:nope";
+  rejected "cache_read,cache_read:0.5";
+  rejected ""
+
+let test_faults_deterministic_accumulator () =
+  (* rate 0.5 fires on exactly every second call; rate 1.0 on every
+     call — and the sequence is identical across runs. *)
+  let fired_pattern () =
+    with_faults "scheduler_claim:0.5" (fun () ->
+        List.init 8 (fun _ ->
+            match Faults.trip "scheduler_claim" with
+            | () -> false
+            | exception Faults.Injected _ -> true))
+  in
+  let p1 = fired_pattern () in
+  let p2 = fired_pattern () in
+  Alcotest.(check (list bool)) "reproducible" p1 p2;
+  Alcotest.(check int) "every second call" 4
+    (List.length (List.filter Fun.id p1));
+  with_faults "driver_pass" (fun () ->
+      for _ = 1 to 3 do
+        match Faults.trip "driver_pass" with
+        | () -> Alcotest.fail "rate 1.0 must fire every call"
+        | exception Faults.Injected point ->
+          Alcotest.(check string) "point name" "driver_pass" point
+      done;
+      match Faults.counts () with
+      | [ (_, calls, fired) ] ->
+        Alcotest.(check (pair int int)) "counts" (3, 3) (calls, fired)
+      | cs -> Alcotest.fail (Printf.sprintf "%d count rows" (List.length cs)))
+
+let test_cache_sweeps_stranded_tmp () =
+  let dir = fresh_tmp_dir "roccc_sweep" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      (* a write-temporary stranded by a dead process *)
+      let stranded = Filename.concat dir "deadbeef.art.tmp.99999" in
+      let oc = open_out stranded in
+      output_string oc "torn";
+      close_out oc;
+      let keep = Filename.concat dir "cafe.art" in
+      let oc = open_out keep in
+      output_string oc "not a tmp";
+      close_out oc;
+      let cache = Cache.create ~disk_dir:dir () in
+      Alcotest.(check bool) "tmp removed" false (Sys.file_exists stranded);
+      Alcotest.(check bool) "real artifact kept" true (Sys.file_exists keep);
+      Alcotest.(check int) "sweep counted" 1 (Cache.stats cache).Cache.tmp_swept)
+
+let test_cache_write_fault_degrades () =
+  let dir = fresh_tmp_dir "roccc_wfault" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      (* rate 1.0: all 3 attempts fail -> the store degrades (dropped on
+         disk, kept in memory) instead of raising *)
+      with_faults "cache_write" (fun () ->
+          let cache = Cache.create ~disk_dir:dir () in
+          let r = Service.compile_cached ~cache (fir_job ()) in
+          Alcotest.check origin "compile still succeeds" Service.Cold
+            r.Service.r_origin;
+          let s = Cache.stats cache in
+          Alcotest.(check bool) "write retried" true (s.Cache.retries >= 2);
+          Alcotest.(check bool) "write degraded" true (s.Cache.io_errors >= 1);
+          Alcotest.(check bool) "nothing persisted" true
+            (Array.for_all
+               (fun f -> not (Filename.check_suffix f ".art"))
+               (Sys.readdir dir))))
+
+let test_cache_read_fault_retries_through () =
+  let dir = fresh_tmp_dir "roccc_rfault" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let seed = Cache.create ~disk_dir:dir () in
+      ignore (Service.compile_cached ~cache:seed (fir_job ()));
+      (* rate 0.5 fires on every second trip; the first lookup passes
+         (disk hit), the second fires and must be recovered by a retry
+         rather than degraded to a miss *)
+      with_faults "cache_read:0.5" (fun () ->
+          let cache = Cache.create ~disk_dir:dir () in
+          let r1 = Service.compile_cached ~cache (fir_job ()) in
+          Alcotest.check origin "disk artifact found" Service.Warm_disk
+            r1.Service.r_origin;
+          let r2 = Service.compile_cached ~cache (fir_job ()) in
+          Alcotest.check origin "artifact recovered through retries"
+            Service.Warm_memory r2.Service.r_origin;
+          let s = Cache.stats cache in
+          Alcotest.(check bool) "retries counted" true (s.Cache.retries >= 1);
+          Alcotest.(check int) "nothing degraded" 0 s.Cache.io_errors))
+
+let test_flag_validators () =
+  let ok = function Ok _ -> true | Error _ -> false in
+  Alcotest.(check bool) "positive int ok" true
+    (ok (Server.check_positive_int ~flag:"--jobs" 4));
+  Alcotest.(check bool) "zero rejected" false
+    (ok (Server.check_positive_int ~flag:"--jobs" 0));
+  Alcotest.(check bool) "negative rejected" false
+    (ok (Server.check_positive_int ~flag:"--jobs" (-2)));
+  Alcotest.(check bool) "positive float ok" true
+    (ok (Server.check_positive_float ~flag:"--target-ns" 5.0));
+  Alcotest.(check bool) "negative float rejected" false
+    (ok (Server.check_positive_float ~flag:"--target-ns" (-1.0)));
+  Alcotest.(check bool) "nan rejected" false
+    (ok (Server.check_positive_float ~flag:"--target-ns" Float.nan));
+  Alcotest.(check bool) "default limits valid" true
+    (ok (Server.validate_limits Server.default_limits));
+  Alcotest.(check bool) "bad queue depth rejected" false
+    (ok
+       (Server.validate_limits
+          { Server.default_limits with Server.queue_depth = 0 }));
+  Alcotest.(check bool) "bad deadline rejected" false
+    (ok
+       (Server.validate_limits
+          { Server.default_limits with Server.deadline_ms = Some (-5.0) }));
+  match Server.check_positive_int ~flag:"--jobs" 0 with
+  | Error msg ->
+    Alcotest.(check bool) "message names the flag" true
+      (String.length msg > 6 && String.sub msg 0 6 = "--jobs")
+  | Ok _ -> assert false
+
+let test_json_roundtrip () =
+  let cases =
+    [ {|{"a":1,"b":[true,false,null],"c":"x\"y\\z","d":-2.5}|};
+      {|[]|}; {|{}|}; {|"A\n"|}; {|123|}; {|-0.125|} ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error msg -> Alcotest.fail (s ^ ": " ^ msg)
+      | Ok v -> (
+        (* printing then reparsing must be a fixpoint *)
+        let printed = Json.to_string v in
+        match Json.parse printed with
+        | Ok v2 ->
+          Alcotest.(check string) ("fixpoint of " ^ s) printed
+            (Json.to_string v2)
+        | Error msg -> Alcotest.fail (printed ^ ": " ^ msg)))
+    cases;
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.fail ("accepted invalid JSON: " ^ s)
+      | Error _ -> ())
+    [ "{"; "[1,]"; {|{"a":}|}; "tru"; {|"unterminated|}; "1 2"; "" ]
+
+(* Run a scripted serve session in-process: requests go down one pipe,
+   responses come back up another, and the returned snapshot is the
+   server's own account of what happened. *)
+let run_serve_session ?(limits = Server.default_limits) ?cache ?trace lines =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr req_r in
+  let oc = Unix.out_channel_of_descr resp_w in
+  let srv = Server.create ?cache ?trace ~limits () in
+  let server_domain =
+    Domain.spawn (fun () ->
+        let snap = Server.serve srv ic oc in
+        close_out oc;
+        (* responses EOF *)
+        snap)
+  in
+  let wc = Unix.out_channel_of_descr req_w in
+  List.iter
+    (fun l ->
+      output_string wc l;
+      output_char wc '\n')
+    lines;
+  close_out wc;
+  let rc = Unix.in_channel_of_descr resp_r in
+  let rec read_all acc =
+    match input_line rc with
+    | line -> read_all (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let responses = read_all [] in
+  let snapshot = Domain.join server_domain in
+  close_in rc;
+  close_in ic;
+  responses, snapshot, srv
+
+let parsed_responses lines =
+  List.map
+    (fun l ->
+      match Json.parse l with
+      | Ok v -> v
+      | Error msg -> Alcotest.fail ("unparseable response " ^ l ^ ": " ^ msg))
+    lines
+
+let status_of j =
+  match Option.bind (Json.member "status" j) Json.to_string_opt with
+  | Some s -> s
+  | None -> Alcotest.fail ("response without status: " ^ Json.to_string j)
+
+let id_of j = Option.value (Json.member "id" j) ~default:Json.Null
+
+let find_by_id id resps =
+  match List.find_opt (fun j -> id_of j = Json.Str id) resps with
+  | Some j -> j
+  | None -> Alcotest.fail ("no response with id " ^ id)
+
+let tiny_kernel c =
+  Printf.sprintf
+    "void k(int A[8], int B[8]) { int i; for (i = 0; i < 8; i = i + 1) { \
+     B[i] = A[i] * %d + 1; } }"
+    c
+
+let compile_request ?(extra = "") ~id c =
+  Printf.sprintf {|{"id":%S,"source":%S,"entry":"k"%s}|} id (tiny_kernel c)
+    extra
+
+let test_serve_protocol_roundtrip () =
+  let lines =
+    [ compile_request ~id:"c1" 3;
+      {|{"id":"h1","type":"health","drain":true}|};
+      {|{"id":"c2","source":"void k(int A[4]) { A[0] = }","entry":"k"}|};
+      "{not json";
+      {|{"id":"u1","type":"frobnicate"}|};
+      compile_request ~id:"c3" 3 (* same source: cache space, still ok *) ]
+  in
+  let responses, snapshot, _ = run_serve_session lines in
+  Alcotest.(check int) "one response per request" (List.length lines)
+    (List.length responses);
+  let resps = parsed_responses responses in
+  let c1 = find_by_id "c1" resps in
+  Alcotest.(check string) "compile ok" "ok" (status_of c1);
+  Alcotest.(check (option int)) "slices reported" (Some 67)
+    (Option.bind (Json.member "slices" c1) Json.to_int_opt);
+  let h1 = find_by_id "h1" resps in
+  Alcotest.(check string) "health ok" "ok" (status_of h1);
+  (* drain:true means the health snapshot already saw c1 finish *)
+  let health = Option.get (Json.member "health" h1) in
+  let requests = Option.get (Json.member "requests" health) in
+  Alcotest.(check (option int)) "health saw c1 complete" (Some 1)
+    (Option.bind (Json.member "ok" requests) Json.to_int_opt);
+  let c2 = find_by_id "c2" resps in
+  Alcotest.(check string) "compile error is structured" "error"
+    (status_of c2);
+  Alcotest.(check (option string)) "compile error kind" (Some "compile")
+    (Option.bind (Json.member "kind" c2) Json.to_string_opt);
+  let malformed =
+    List.find_opt
+      (fun j ->
+        id_of j = Json.Null && status_of j = "error"
+        && Option.bind (Json.member "kind" j) Json.to_string_opt
+           = Some "bad_request")
+      resps
+  in
+  Alcotest.(check bool) "malformed line answered" true (malformed <> None);
+  let u1 = find_by_id "u1" resps in
+  Alcotest.(check (option string)) "unknown type rejected"
+    (Some "bad_request")
+    (Option.bind (Json.member "kind" u1) Json.to_string_opt);
+  Alcotest.(check string) "repeat compile ok" "ok"
+    (status_of (find_by_id "c3" resps));
+  Alcotest.(check int) "snapshot received" (List.length lines)
+    snapshot.Metrics.s_received;
+  Alcotest.(check int) "snapshot ok" 2 snapshot.Metrics.s_ok;
+  Alcotest.(check int) "snapshot bad_request" 2 snapshot.Metrics.s_bad_request
+
+let test_serve_oversized_request () =
+  let limits = { Server.default_limits with Server.max_request_bytes = 64 } in
+  let big = compile_request ~id:"big" 7 in
+  Alcotest.(check bool) "request really oversized" true
+    (String.length big > 64);
+  let responses, snapshot, _ =
+    run_serve_session ~limits [ big; {|{"id":"h","type":"health"}|} ]
+  in
+  let resps = parsed_responses responses in
+  (match resps with
+  | first :: _ ->
+    Alcotest.(check string) "oversized rejected" "error" (status_of first);
+    Alcotest.(check (option string)) "as bad_request" (Some "bad_request")
+      (Option.bind (Json.member "kind" first) Json.to_string_opt)
+  | [] -> Alcotest.fail "no responses");
+  Alcotest.(check int) "both answered" 2 (List.length resps);
+  Alcotest.(check int) "counted" 1 snapshot.Metrics.s_bad_request
+
+let test_serve_deadline_exceeded () =
+  (* a deadline far below compile time must come back structured, not
+     hang or crash; unique sources defeat the cache *)
+  let lines =
+    List.init 4 (fun i ->
+        compile_request
+          ~id:(Printf.sprintf "d%d" i)
+          ~extra:{|,"deadline_ms":0.0001|} (100 + i))
+  in
+  let responses, snapshot, _ = run_serve_session lines in
+  let resps = parsed_responses responses in
+  Alcotest.(check int) "all answered" 4 (List.length resps);
+  List.iter
+    (fun j ->
+      Alcotest.(check string) "deadline status" "deadline_exceeded"
+        (status_of j))
+    resps;
+  Alcotest.(check int) "snapshot deadline count" 4 snapshot.Metrics.s_deadline
+
+let test_serve_sheds_when_overloaded () =
+  let limits =
+    { Server.default_limits with Server.workers = 1; queue_depth = 1 }
+  in
+  (* distinct sources so no request is a fast cache hit; admission far
+     outpaces one worker, so the depth-1 queue must shed *)
+  let n = 16 in
+  let lines =
+    List.init n (fun i -> compile_request ~id:(Printf.sprintf "s%d" i) i)
+  in
+  let responses, snapshot, _ = run_serve_session ~limits lines in
+  let resps = parsed_responses responses in
+  Alcotest.(check int) "every request answered" n (List.length resps);
+  List.iter
+    (fun j ->
+      match status_of j with
+      | "ok" | "overloaded" -> ()
+      | s -> Alcotest.fail ("unexpected status " ^ s))
+    resps;
+  Alcotest.(check bool) "at least one shed" true (snapshot.Metrics.s_shed >= 1);
+  Alcotest.(check int) "ok + shed = received" snapshot.Metrics.s_received
+    (snapshot.Metrics.s_ok + snapshot.Metrics.s_shed)
+
+let test_serve_fault_soak () =
+  (* 64 mixed requests under fault injection at every point: every
+     request gets a structured response, nothing crashes or hangs, and
+     the final drained health snapshot is self-consistent. *)
+  let dir = fresh_tmp_dir "roccc_soak" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      with_faults
+        "cache_read:0.5,cache_write:0.5,scheduler_claim:0.2,driver_pass:0.02"
+        (fun () ->
+          let lines =
+            List.init 63 (fun i ->
+                match i mod 8 with
+                | 6 ->
+                  Printf.sprintf
+                    {|{"id":"bad%d","source":"void k(int A[4]) { A[0] = }","entry":"k"}|}
+                    i
+                | 7 when i mod 16 = 7 -> "{malformed"
+                | 7 ->
+                  compile_request
+                    ~id:(Printf.sprintf "dl%d" i)
+                    ~extra:{|,"deadline_ms":0.0001|} (1000 + i)
+                | _ -> compile_request ~id:(Printf.sprintf "q%d" i) (i mod 5))
+            @ [ {|{"id":"final","type":"health","drain":true}|} ]
+          in
+          let limits = { Server.default_limits with Server.workers = 2 } in
+          let cache = Cache.create ~disk_dir:dir () in
+          let responses, snapshot, _ =
+            run_serve_session ~limits ~cache lines
+          in
+          let resps = parsed_responses responses in
+          Alcotest.(check int) "64 structured responses" 64
+            (List.length resps);
+          List.iter
+            (fun j ->
+              match status_of j with
+              | "ok" | "error" | "overloaded" | "deadline_exceeded" -> ()
+              | s -> Alcotest.fail ("unexpected status " ^ s))
+            resps;
+          (* errors must be typed *)
+          List.iter
+            (fun j ->
+              if status_of j = "error" then
+                match
+                  Option.bind (Json.member "kind" j) Json.to_string_opt
+                with
+                | Some ("bad_request" | "compile" | "injected_fault") -> ()
+                | Some k -> Alcotest.fail ("unexpected error kind " ^ k)
+                | None -> Alcotest.fail "untyped error response")
+            resps;
+          (* the snapshot partitions every received request *)
+          Alcotest.(check int) "received = all lines" 64
+            snapshot.Metrics.s_received;
+          Alcotest.(check int) "outcomes partition received"
+            snapshot.Metrics.s_received
+            (snapshot.Metrics.s_ok + snapshot.Metrics.s_failed
+            + snapshot.Metrics.s_shed + snapshot.Metrics.s_deadline
+            + snapshot.Metrics.s_bad_request + snapshot.Metrics.s_health);
+          Alcotest.(check bool) "some requests succeeded" true
+            (snapshot.Metrics.s_ok > 0);
+          (* every named fault point was exercised and fired *)
+          let counts = Faults.counts () in
+          List.iter
+            (fun point ->
+              match
+                List.find_opt (fun (p, _, _) -> p = point) counts
+              with
+              | Some (_, calls, fired) ->
+                Alcotest.(check bool) (point ^ " called") true (calls > 0);
+                Alcotest.(check bool) (point ^ " fired") true (fired > 0)
+              | None -> Alcotest.fail ("no counts for point " ^ point))
+            Faults.known_points;
+          (* the drained final health response agrees with the snapshot *)
+          let final = find_by_id "final" resps in
+          let health = Option.get (Json.member "health" final) in
+          let requests = Option.get (Json.member "requests" health) in
+          Alcotest.(check (option int)) "health ok total"
+            (Some snapshot.Metrics.s_ok)
+            (Option.bind (Json.member "ok" requests) Json.to_int_opt)))
+
+let test_pass_cancellation_hook () =
+  (* the cooperative cancel hook fires at a pass boundary, and an
+     un-cancelled run is unaffected *)
+  let polls = ref 0 in
+  let cancelling =
+    { (Pass.default_config ()) with
+      Pass.cancel =
+        Some
+          (fun () ->
+            incr polls;
+            if !polls > 3 then Some "test says stop" else None) }
+  in
+  (match Driver.compile ~config:cancelling ~entry:"fir" fir_source with
+  | _ -> Alcotest.fail "expected cancellation"
+  | exception Pass.Cancelled reason ->
+    Alcotest.(check string) "reason" "test says stop" reason);
+  let benign =
+    { (Pass.default_config ()) with Pass.cancel = Some (fun () -> None) }
+  in
+  match Driver.compile ~config:benign ~entry:"fir" fir_source with
+  | _ -> ()
+  | exception _ -> Alcotest.fail "benign cancel hook broke compilation"
+
 let suites =
   [ "service",
     [ Alcotest.test_case "cache hit on identical job" `Quick
@@ -477,4 +950,30 @@ let suites =
         test_driver_instrument_hook;
       Alcotest.test_case "typed vm error" `Quick test_vm_error_typed;
       Alcotest.test_case "interp div-by-zero is a driver error" `Quick
-        test_interp_div_zero_is_driver_error ] ]
+        test_interp_div_zero_is_driver_error ];
+    "service.resilience",
+    [ Alcotest.test_case "fault spec parsing" `Quick test_faults_parse;
+      Alcotest.test_case "fault accumulator is deterministic" `Quick
+        test_faults_deterministic_accumulator;
+      Alcotest.test_case "cache sweeps stranded tmp files" `Quick
+        test_cache_sweeps_stranded_tmp;
+      Alcotest.test_case "cache write fault degrades, never raises" `Quick
+        test_cache_write_fault_degrades;
+      Alcotest.test_case "cache read fault recovered by retry" `Quick
+        test_cache_read_fault_retries_through;
+      Alcotest.test_case "CLI flag validators" `Quick test_flag_validators;
+      Alcotest.test_case "json round-trip and rejection" `Quick
+        test_json_roundtrip;
+      Alcotest.test_case "pass-boundary cancellation hook" `Quick
+        test_pass_cancellation_hook ];
+    "service.serve",
+    [ Alcotest.test_case "protocol round-trip" `Quick
+        test_serve_protocol_roundtrip;
+      Alcotest.test_case "oversized request rejected" `Quick
+        test_serve_oversized_request;
+      Alcotest.test_case "deadline exceeded is structured" `Quick
+        test_serve_deadline_exceeded;
+      Alcotest.test_case "bounded queue sheds under overload" `Quick
+        test_serve_sheds_when_overloaded;
+      Alcotest.test_case "64-request fault-injected soak" `Slow
+        test_serve_fault_soak ] ]
