@@ -875,6 +875,11 @@ let service_section () =
       domain_counts
   in
   let jobs_per_s wall = float_of_int n_jobs /. wall in
+  (* The gate is vacuous when every row resolved to one effective worker
+     (a single-core host): all three rows then time the same sequential
+     run, and "non-decreasing" passes no matter how the scheduler
+     behaves. Say so explicitly instead of reporting a hollow pass. *)
+  let multi_worker = List.exists (fun (_, w, _) -> w > 1) domain_walls in
   let scaling_ok =
     let rec non_decreasing = function
       | (_, _, w1) :: ((_, _, w2) :: _ as rest) ->
@@ -884,7 +889,10 @@ let service_section () =
     non_decreasing domain_walls
   in
   Printf.printf "throughput non-decreasing with domains: %s\n"
-    (if scaling_ok then "yes" else "NO");
+    (if not multi_worker then
+       "skipped (single-core host: every row ran 1 worker)"
+     else if scaling_ok then "yes"
+     else "NO");
   (* machine-readable summary alongside the human-readable table *)
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n";
@@ -912,12 +920,86 @@ let service_section () =
            (if i = List.length domain_walls - 1 then "" else ",")))
     domain_walls;
   Buffer.add_string buf
-    (Printf.sprintf "  ],\n  \"scaling_ok\": %b\n}\n" scaling_ok);
+    (Printf.sprintf "  ],\n  \"scaling_ok\": %s\n}\n"
+       (if not multi_worker then "\"skipped: single-core host\""
+        else string_of_bool scaling_ok));
   let oc = open_out "BENCH_service.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "wrote BENCH_service.json\n";
   ignore warm_report
+
+(* ------------------------------------------------------------------ *)
+(* Pareto autotuner - search quality and pruning gates                 *)
+(* ------------------------------------------------------------------ *)
+
+module Tune_objective = Roccc_tune.Objective
+module Tune_search = Roccc_tune.Search
+module Svc_trace = Roccc_service.Trace
+
+(* trip count 16 so every unroll factor in the default grid divides it *)
+let tune_fir_source =
+  "void fir(int A[20], int C[16]) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 16; i = i + 1) {\n\
+  \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
+  \  }\n\
+   }\n"
+
+let tune_section () =
+  section "Pareto autotuner - FIR unroll x bus x clock-target search";
+  let obj = Tune_objective.Max_mhz { slice_budget = 4000 } in
+  let settings = Tune_search.default_settings obj in
+  let trace = Svc_trace.create () in
+  let r = Tune_search.run ~trace settings ~source:tune_fir_source ~entry:"fir" in
+  print_string (Tune_search.table r);
+  let front_size = List.length r.Tune_search.res_front in
+  (* gates: a real search explored a non-trivial grid, produced a
+     non-degenerate front, paid for strictly fewer full compiles than
+     the exhaustive grid, and visibly reused cached mid-end passes *)
+  let front_ok = front_size >= 3 && r.Tune_search.res_explored >= 20 in
+  let pruning_ok = r.Tune_search.res_full_evals < r.Tune_search.res_explored in
+  let cached_spans =
+    List.length
+      (List.filter
+         (fun (s : Svc_trace.span) ->
+           List.mem_assoc "cached" s.Svc_trace.sp_args)
+         (Svc_trace.spans trace))
+  in
+  let cached_ok = cached_spans > 0 in
+  Printf.printf
+    "front %d/%d candidates (full compiles %d, cached pass reuses %d)\n"
+    front_size r.Tune_search.res_explored r.Tune_search.res_full_evals
+    cached_spans;
+  Printf.printf "front_ok: %s | pruning_ok: %s | cached_ok: %s\n"
+    (if front_ok then "yes" else "NO")
+    (if pruning_ok then "yes" else "NO")
+    (if cached_ok then "yes" else "NO");
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"objective\": \"%s\",\n"
+       (Tune_objective.name r.Tune_search.res_objective));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"explored\": %d,\n" r.Tune_search.res_explored);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick_evals\": %d,\n" r.Tune_search.res_quick_evals);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"estimate_evals\": %d,\n"
+       r.Tune_search.res_estimate_evals);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"full_evals\": %d,\n" r.Tune_search.res_full_evals);
+  Buffer.add_string buf (Printf.sprintf "  \"front_size\": %d,\n" front_size);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cached_pass_reuses\": %d,\n" cached_spans);
+  Buffer.add_string buf (Printf.sprintf "  \"wall_s\": %.6f,\n" r.Tune_search.res_wall_s);
+  Buffer.add_string buf (Printf.sprintf "  \"front_ok\": %b,\n" front_ok);
+  Buffer.add_string buf (Printf.sprintf "  \"pruning_ok\": %b,\n" pruning_ok);
+  Buffer.add_string buf (Printf.sprintf "  \"cached_ok\": %b\n}\n" cached_ok);
+  let oc = open_out "BENCH_tune.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_tune.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -1000,6 +1082,7 @@ let sections : (string * (unit -> unit)) list =
     "dataflow", dataflow_section;
     "pipeline", pipeline_section;
     "service", service_section;
+    "tune", tune_section;
     "bechamel", bechamel_section ]
 
 let selected_sections () : string list option =

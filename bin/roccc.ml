@@ -6,6 +6,7 @@
     roccc bench <name>         (compile + simulate a built-in Table 1 kernel)
     roccc batch <files|dirs> [--jobs N] [--cache] [--trace out.json]
     roccc batch <file.c> -e <entry> --sweep   (unroll x bus option grid)
+    roccc tune <file.c|kernel> --objective max-mhz --slice-budget 4000
 *)
 
 open Cmdliner
@@ -589,6 +590,22 @@ let batch_cmd =
           | Some n -> checked (Server.check_positive_int ~flag:"--jobs" n)
         in
         let options = options_of target_ns bus no_widths unroll_inner in
+        (* Sweep axes: bogus values die here with a friendly message;
+           repeated points are compiled once, not twice. *)
+        let sweep_unroll =
+          checked
+            (Server.check_positive_int_list ~flag:"--sweep-unroll" sweep_unroll)
+        in
+        let sweep_bus =
+          checked (Server.check_positive_int_list ~flag:"--sweep-bus" sweep_bus)
+        in
+        let sweep_target =
+          if sweep_target = [] then []
+          else
+            checked
+              (Server.check_positive_float_list ~flag:"--sweep-target-ns"
+                 sweep_target)
+        in
         let files =
           List.concat_map
             (fun p ->
@@ -675,6 +692,220 @@ let batch_cmd =
        ~doc:
         "Compile many kernels in parallel with content-addressed caching \
          and structured tracing.")
+    term
+
+(* ---- tune ---- *)
+
+let tune_cmd =
+  let module Objective = Roccc_tune.Objective in
+  let module Search = Roccc_tune.Search in
+  let target_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE.c|KERNEL"
+          ~doc:
+            "A C source file (a $(i,.c) suffix may be omitted) or the name \
+             of a built-in Table 1 kernel.")
+  in
+  let entry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "entry" ] ~docv:"FUNC"
+          ~doc:
+            "Kernel function (default: the file's single kernel-eligible \
+             function, or the built-in kernel's entry).")
+  in
+  let objective_arg =
+    Arg.(
+      value & opt string "max-mhz"
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:
+            "What to optimize: $(b,max-mhz) (fastest clock within \
+             $(b,--slice-budget)), $(b,min-slices) (smallest design \
+             meeting $(b,--target-mhz)) or $(b,min-latch-bits) (fewest \
+             pipeline-register bits).")
+  in
+  let slice_budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "slice-budget" ] ~docv:"N"
+          ~doc:
+            "Feasibility bound for $(b,max-mhz): designs over N slices are \
+             discarded (default: the whole XC2V2000).")
+  in
+  let target_mhz_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "target-mhz" ] ~docv:"MHZ"
+          ~doc:
+            "Feasibility bound for $(b,min-slices): designs clocking below \
+             MHZ are discarded.")
+  in
+  let unroll_range_arg =
+    Arg.(
+      value & opt (list int) Search.default_space.Search.sp_unroll
+      & info [ "unroll" ] ~docv:"N,..."
+          ~doc:"Outer-loop unroll factors to explore.")
+  in
+  let bus_range_arg =
+    Arg.(
+      value & opt (list int) Search.default_space.Search.sp_bus
+      & info [ "bus" ] ~docv:"N,..."
+          ~doc:"Memory bus widths (elements per access) to explore.")
+  in
+  let target_ns_range_arg =
+    Arg.(
+      value & opt (list float) Search.default_space.Search.sp_target_ns
+      & info [ "target-ns" ] ~docv:"NS,..."
+          ~doc:"Per-stage combinational clock targets to explore.")
+  in
+  let margin_arg =
+    Arg.(
+      value & opt float Search.default_margin
+      & info [ "prune-margin" ] ~docv:"M"
+          ~doc:
+            "Quick-rung pruning margin: a candidate is discarded before \
+             exact costing only when another beats it by a factor of 1+M \
+             on every axis (and the constraint is relaxed by 1+M). 0 \
+             disables quick-rung pruning.")
+  in
+  let no_quick_arg =
+    Arg.(
+      value & flag
+      & info [ "no-quick" ]
+          ~doc:
+            "Skip the quick analytic rung entirely; every candidate gets \
+             exact estimate-tier costing.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: the machine's recommended count).")
+  in
+  let pareto_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "pareto" ] ~docv:"FILE"
+          ~doc:
+            "Write the Pareto front, per-candidate statuses and pruning \
+             statistics as JSON.")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write per-candidate and per-pass spans as Chrome trace_event \
+             JSON; mid-end passes reused from the search's shared cache \
+             appear as zero-duration $(i,cached) spans.")
+  in
+  let run target entry objective slice_budget target_mhz unroll bus target_ns
+      margin no_quick jobs pareto trace_out config =
+    with_errors (fun () ->
+        let objective =
+          checked (Objective.parse ~name:objective ~slice_budget ~target_mhz)
+        in
+        let unroll =
+          checked (Server.check_positive_int_list ~flag:"--unroll" unroll)
+        in
+        let bus = checked (Server.check_positive_int_list ~flag:"--bus" bus) in
+        let target_ns =
+          checked
+            (Server.check_positive_float_list ~flag:"--target-ns" target_ns)
+        in
+        if not (Float.is_finite margin) || margin < 0.0 then
+          usage_error
+            (Printf.sprintf "--prune-margin expects a non-negative number, got %g"
+               margin);
+        let jobs =
+          match jobs with
+          | None -> 0
+          | Some n -> checked (Server.check_positive_int ~flag:"--jobs" n)
+        in
+        (* TARGET is a file, a file missing its .c suffix, or a built-in
+           Table 1 kernel name. *)
+        let entry_of_source file source =
+          match entry with
+          | Some e -> e
+          | None -> (
+            match Driver.eligible_entries source with
+            | [ e ] -> e
+            | [] ->
+              usage_error (file ^ ": no kernel-eligible function (give -e FUNC)")
+            | es ->
+              usage_error
+                (Printf.sprintf "%s has several kernel functions (%s); pick \
+                                 one with -e"
+                   file (String.concat ", " es)))
+        in
+        let source, entry, luts, base =
+          if Sys.file_exists target && not (Sys.is_directory target) then
+            let source = read_file target in
+            (source, entry_of_source target source, [], Driver.default_options)
+          else if Sys.file_exists (target ^ ".c") then
+            let file = target ^ ".c" in
+            let source = read_file file in
+            (source, entry_of_source file source, [], Driver.default_options)
+          else
+            match Kernels.find (Filename.basename target) with
+            | Some b ->
+              ( b.Kernels.source,
+                Option.value entry ~default:b.Kernels.entry,
+                b.Kernels.luts,
+                b.Kernels.tune Driver.default_options )
+            | None ->
+              usage_error
+                (Printf.sprintf "no such file or built-in kernel: %s" target)
+        in
+        let settings =
+          { Search.st_objective = objective;
+            st_space =
+              { Search.sp_unroll = unroll;
+                sp_bus = bus;
+                sp_target_ns = target_ns };
+            st_margin = margin;
+            st_use_quick = not no_quick;
+            st_domains = jobs;
+            st_base = base }
+        in
+        let cache = Svc_cache.create () in
+        let trace = Option.map (fun _ -> Svc_trace.create ()) trace_out in
+        let result = Search.run ~cache ?trace ~config ~luts settings ~source ~entry in
+        print_string (Search.table result);
+        (match pareto with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Search.to_json result);
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+        | None -> ());
+        (match trace_out, trace with
+        | Some path, Some tr ->
+          let oc = open_out path in
+          output_string oc (Svc_trace.to_chrome_json tr);
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+        | _ -> ());
+        if result.Search.res_front = [] then begin
+          Printf.eprintf "roccc tune: empty front — no feasible candidate\n";
+          exit 1
+        end)
+  in
+  let term =
+    Term.(
+      const run $ target_arg $ entry_arg $ objective_arg $ slice_budget_arg
+      $ target_mhz_arg $ unroll_range_arg $ bus_range_arg
+      $ target_ns_range_arg $ margin_arg $ no_quick_arg $ jobs_arg
+      $ pareto_arg $ trace_arg $ config_term)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Pareto autotuner: search the unroll x bus x clock-target space \
+          for one kernel under an objective, pruning with cheap analytic \
+          costing before paying for full compiles.")
     term
 
 (* ---- serve ---- *)
@@ -854,6 +1085,6 @@ let main_cmd =
   let doc = "ROCCC-style C-to-VHDL compiler (DATE 2005 reproduction)" in
   Cmd.group (Cmd.info "roccc" ~doc)
     [ compile_cmd; compile_all_cmd; simulate_cmd; profile_cmd; bench_cmd;
-      batch_cmd; serve_cmd ]
+      batch_cmd; tune_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,10 @@
+/* The paper's running example: a 5-tap FIR filter (Figure 3), sized to
+   a 16-iteration stream so every unroll factor in the default tune grid
+   (1, 2, 4, 8) divides the trip count. `roccc tune examples/fir`
+   searches its unroll x bus x clock-target design space. */
+void fir(int A[20], int C[16]) {
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];
+  }
+}

@@ -207,6 +207,84 @@ let back_end ?instrument ?config ?(options = default_options)
   let st = state_of_staged ~options sk in
   compiled_of_state (Pass.run ~config Pass.back_passes st)
 
+(* ------------------------------------------------------------------ *)
+(* Estimate-only back ends (the autotuner's costing tiers)             *)
+(* ------------------------------------------------------------------ *)
+
+type measurement = {
+  ms_slices : int;
+  ms_operator_slices : int;
+  ms_clock_mhz : float;
+  ms_latency : int;
+  ms_latch_bits : int;
+  ms_greedy_latch_bits : int;
+  ms_outputs_per_cycle : int;
+}
+
+type quick_measurement = {
+  qk_slices : int;
+  qk_clock_mhz : float;
+}
+
+(* The full back end minus VHDL generation and linting. Neither skipped
+   pass feeds the area model, so the measurement's slices, clock and
+   latch bits are identical to what [back_end] would report — the
+   autotuner's dominance pruning over these numbers is exact. *)
+let estimate_passes : Pass.pass list =
+  List.filter
+    (fun (p : Pass.pass) ->
+      p.Pass.name <> "vhdl-generation" && p.Pass.name <> "vhdl-lint")
+    Pass.back_passes
+
+let measurement_of_state (st : Pass.state) : measurement =
+  let area = need "area estimate" st.Pass.st_area in
+  let pipeline = need "pipeline" st.Pass.st_pipeline in
+  { ms_slices = area.Area.slices;
+    ms_operator_slices = area.Area.operator_slices;
+    ms_clock_mhz = area.Area.clock_mhz;
+    ms_latency = Pipeline.latency pipeline;
+    ms_latch_bits = pipeline.Pipeline.latch_bits;
+    ms_greedy_latch_bits = pipeline.Pipeline.greedy_latch_bits;
+    ms_outputs_per_cycle = Pipeline.outputs_per_cycle pipeline }
+
+let measurement_of_compiled (c : compiled) : measurement =
+  { ms_slices = c.area.Area.slices;
+    ms_operator_slices = c.area.Area.operator_slices;
+    ms_clock_mhz = c.area.Area.clock_mhz;
+    ms_latency = Pipeline.latency c.pipeline;
+    ms_latch_bits = c.pipeline.Pipeline.latch_bits;
+    ms_greedy_latch_bits = c.pipeline.Pipeline.greedy_latch_bits;
+    ms_outputs_per_cycle = Pipeline.outputs_per_cycle c.pipeline }
+
+let estimate_back_end ?instrument ?config ?(options = default_options)
+    (sk : staged_kernel) : measurement =
+  let config = resolve_config ?instrument ?config () in
+  let st = state_of_staged ~options sk in
+  measurement_of_state (Pass.run ~config estimate_passes st)
+
+(* Everything through bit-width inference, then O(instructions) costing:
+   slices from the paper's ref [13] quick estimator, clock bounded by the
+   worst single-operator delay against the stage budget. *)
+let quick_passes : Pass.pass list =
+  let rec upto acc = function
+    | [] -> List.rev acc
+    | (p : Pass.pass) :: rest ->
+      if p.Pass.name = "bit-width-inference" then List.rev (p :: acc)
+      else upto (p :: acc) rest
+  in
+  upto [] Pass.back_passes
+
+let quick_back_end ?instrument ?config ?(options = default_options)
+    (sk : staged_kernel) : quick_measurement =
+  let config = resolve_config ?instrument ?config () in
+  let st = state_of_staged ~options sk in
+  let st = Pass.run ~config quick_passes st in
+  let dp = need "data path" st.Pass.st_dp in
+  let widths = need "signal widths" st.Pass.st_widths in
+  { qk_slices = Area.quick_estimate dp;
+    qk_clock_mhz =
+      Area.quick_clock_mhz ~target_ns:options.target_ns dp widths }
+
 (** Compile one kernel function from C source to VHDL + estimates. *)
 let compile ?instrument ?config ?(options = default_options) ?(luts = [])
     ~(entry : string) (source : string) : compiled =

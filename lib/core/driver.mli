@@ -137,6 +137,54 @@ val back_end :
 (** SUIFvm lowering, SSA, data-path construction, pipelining, VHDL
     generation and estimation. Raises {!Error}. *)
 
+(** {1 Estimate-only back ends}
+
+    The autotuner's costing tiers: same mid-end, cheaper back half. *)
+
+(** Exact design metrics without generating VHDL: the result of running
+    the back end minus [vhdl-generation] and [vhdl-lint]. Neither skipped
+    pass feeds the area model, so these numbers are identical to the ones
+    a full {!back_end} run reports — dominance pruning over them is
+    exact. *)
+type measurement = {
+  ms_slices : int;
+  ms_operator_slices : int;
+  ms_clock_mhz : float;
+  ms_latency : int;  (** pipeline stages *)
+  ms_latch_bits : int;  (** after retiming (when the pass is selected) *)
+  ms_greedy_latch_bits : int;
+  ms_outputs_per_cycle : int;
+}
+
+(** O(instructions) costing after bit-width inference, before pipelining:
+    slices from {!Roccc_fpga.Area.quick_estimate} (the paper's ref [13]),
+    clock from {!Roccc_fpga.Area.quick_clock_mhz}. Approximate — the
+    autotuner prunes on it only with a safety margin. *)
+type quick_measurement = {
+  qk_slices : int;
+  qk_clock_mhz : float;
+}
+
+val measurement_of_compiled : compiled -> measurement
+
+val estimate_back_end :
+  ?instrument:instrument ->
+  ?config:Pass.config ->
+  ?options:options ->
+  staged_kernel ->
+  measurement
+(** Run the back end through area estimation, skipping VHDL generation
+    and linting. Raises {!Error}. *)
+
+val quick_back_end :
+  ?instrument:instrument ->
+  ?config:Pass.config ->
+  ?options:options ->
+  staged_kernel ->
+  quick_measurement
+(** Run the back end through bit-width inference only, then the
+    O(instructions) quick costing. Raises {!Error}. *)
+
 val compile :
   ?instrument:instrument ->
   ?config:Pass.config ->

@@ -205,6 +205,16 @@ let quick_estimate (dp : Graph.t) : int =
   in
   slices_of ~luts ~flip_flops:(level_bits / 2)
 
+(* Estimate-only clock costing for the autotuner's pruning tier: the
+   stage delay of a greedy chunking is bounded by the target unless a
+   single operator is slower than the whole budget, so the achievable
+   clock is priced from max(target, worst single-instruction delay)
+   without running pipelining at all. *)
+let quick_clock_mhz ~(target_ns : float) (dp : Graph.t)
+    (widths : Widths.t) : float =
+  let worst = Roccc_datapath.Timing.worst_instr_delay_ns dp widths in
+  Roccc_datapath.Delay.clock_mhz_of_stage_delay (Float.max target_ns worst)
+
 (** The paper's target device: Xilinx Virtex-II xc2v2000-5. *)
 let xc2v2000_slices = 10752
 

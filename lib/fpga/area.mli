@@ -33,6 +33,17 @@ val quick_estimate : Roccc_datapath.Graph.t -> int
     O(#instructions) slice count used during unrolling decisions; the bench
     verifies it runs in well under a millisecond and tracks [estimate]. *)
 
+val quick_clock_mhz :
+  target_ns:float ->
+  Roccc_datapath.Graph.t ->
+  Roccc_datapath.Widths.t ->
+  float
+(** Estimate-only clock costing for the autotuner's pruning tier: the
+    clock achievable at a stage budget of [target_ns], priced from the
+    worst single-instruction delay without running pipelining. Greedy
+    chunking never builds a stage slower than max(target, worst single
+    operator), so this is a conservative (pessimistic) clock bound. *)
+
 val xc2v2000_slices : int
 (** Slice capacity of the paper's target device. *)
 

@@ -52,6 +52,34 @@ let check_positive_float ~(flag : string) (v : float) :
   if Float.is_finite v && v > 0.0 then Ok v
   else Error (Printf.sprintf "%s expects a positive number, got %g" flag v)
 
+(* Sweep/tune axis lists: every value must be positive; repeated values
+   are deduplicated (first occurrence wins) so a duplicated sweep point
+   is compiled once, not twice. An empty list is a usage error — the grid
+   would be empty. *)
+let dedupe (xs : 'a list) : 'a list =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc)
+       [] xs)
+
+let check_positive_int_list ~(flag : string) (vs : int list) :
+    (int list, string) result =
+  if vs = [] then Error (Printf.sprintf "%s expects a non-empty list" flag)
+  else
+    match List.find_opt (fun v -> v <= 0) vs with
+    | Some v ->
+      Error
+        (Printf.sprintf "%s expects positive integers, got %d" flag v)
+    | None -> Ok (dedupe vs)
+
+let check_positive_float_list ~(flag : string) (vs : float list) :
+    (float list, string) result =
+  if vs = [] then Error (Printf.sprintf "%s expects a non-empty list" flag)
+  else
+    match List.find_opt (fun v -> not (Float.is_finite v && v > 0.0)) vs with
+    | Some v ->
+      Error (Printf.sprintf "%s expects positive numbers, got %g" flag v)
+    | None -> Ok (dedupe vs)
+
 let validate_limits (l : limits) : (limits, string) result =
   if l.workers < 0 then
     Error

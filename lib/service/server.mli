@@ -31,6 +31,15 @@ val default_limits : limits
 
 val check_positive_int : flag:string -> int -> (int, string) result
 val check_positive_float : flag:string -> float -> (float, string) result
+
+val check_positive_int_list :
+  flag:string -> int list -> (int list, string) result
+(** Sweep/tune axis validation: rejects empty lists and non-positive
+    values; deduplicates repeated values (first occurrence wins) so a
+    duplicated sweep point is compiled once, not twice. *)
+
+val check_positive_float_list :
+  flag:string -> float list -> (float list, string) result
 val validate_limits : limits -> (limits, string) result
 
 type t

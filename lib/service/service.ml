@@ -140,6 +140,72 @@ let pass_keys ?config (job : job) : (Pass.pass * Fingerprint.t) list =
   in
   List.rev keyed
 
+(* The tracing instrument every cached entry point installs: forward to
+   the caller's hook, then record a per-pass span. *)
+let traced_config ?trace ~tid (job : job) (base_config : Pass.config) :
+    Pass.config =
+  { base_config with
+    Pass.instrument =
+      Some
+        (fun (ps : Driver.pass_stats) ->
+          Option.iter (fun f -> f ps) base_config.Pass.instrument;
+          Option.iter
+            (fun tr ->
+              Trace.add_span tr ~cat:"pass" ~tid ~name:ps.Driver.pass_name
+                ~start_s:ps.Driver.started_s ~dur_s:ps.Driver.elapsed_s
+                ~args:
+                  [ "job", Trace.Str job.label;
+                    "ir_size", Trace.Int ps.Driver.ir_size ]
+                ())
+            trace) }
+
+(* Resume the mid-end pipeline from the deepest cached per-pass state
+   (storing each newly computed state back), returning the completed
+   mid-end state and how many passes were reused. Reused passes appear in
+   [trace] with a [cached] argument and zero duration. *)
+let run_mid_end ?cache ~(base_config : Pass.config) ~(config : Pass.config)
+    ?trace ~tid (job : job) : Pass.state * int * int =
+  let keyed = Array.of_list (pass_keys ~config:base_config job) in
+  let n = Array.length keyed in
+  (* deepest cached state first *)
+  let rec probe i =
+    if i < 0 then None
+    else
+      match Option.bind cache (fun c -> Cache.find c (snd keyed.(i))) with
+      | Some (Cache.State st, _) -> Some (i, st)
+      | _ -> probe (i - 1)
+  in
+  let st, start_idx =
+    match if cache = None then None else probe (n - 1) with
+    | Some (idx, st) ->
+      (* Cached mid-end states hold only immutable IR; re-bind the
+         job-specific options (the chain guarantees every option field a
+         reused pass reads is equal). Reused passes get zero-duration
+         spans so the trace still shows the full Figure 1 pipeline. *)
+      Option.iter
+        (fun tr ->
+          let t = now () in
+          List.iter
+            (fun name ->
+              Trace.add_span tr ~cat:"pass" ~tid ~name ~start_s:t ~dur_s:0.0
+                ~args:[ "job", Trace.Str job.label; "cached", Trace.Int 1 ]
+                ())
+            st.Pass.st_trace)
+        trace;
+      { st with Pass.st_options = job.options }, idx + 1
+    | None ->
+      ( Pass.initial ~luts:job.luts ~options:job.options ~entry:job.entry
+          job.source,
+        0 )
+  in
+  let st = ref st in
+  for i = start_idx to n - 1 do
+    let p, key = keyed.(i) in
+    st := Pass.step ~config p !st;
+    Option.iter (fun c -> Cache.store c key (Cache.State !st)) cache
+  done;
+  !st, start_idx, n
+
 (** Compile one job, consulting [cache] deepest-first — the full artifact,
     then the chained per-pass states of the mid-end pipeline — resuming
     from the deepest cached state and reporting per-pass spans to [trace]
@@ -151,22 +217,7 @@ let compile_cached ?cache ?config ?trace ?(tid = 0) (job : job) : success =
     match config with Some c -> c | None -> Pass.default_config ()
   in
   Pass.validate_selection base_config;
-  let config =
-    { base_config with
-      Pass.instrument =
-        Some
-          (fun (ps : Driver.pass_stats) ->
-            Option.iter (fun f -> f ps) base_config.Pass.instrument;
-            Option.iter
-              (fun tr ->
-                Trace.add_span tr ~cat:"pass" ~tid ~name:ps.Driver.pass_name
-                  ~start_s:ps.Driver.started_s ~dur_s:ps.Driver.elapsed_s
-                  ~args:
-                    [ "job", Trace.Str job.label;
-                      "ir_size", Trace.Int ps.Driver.ir_size ]
-                  ())
-              trace) }
-  in
+  let config = traced_config ?trace ~tid job base_config in
   let full_key = full_key ~config:base_config job in
   let finish origin (c : Driver.compiled) =
     let art = artifact_of c in
@@ -180,56 +231,62 @@ let compile_cached ?cache ?config ?trace ?(tid = 0) (job : job) : success =
     in
     success_of_artifact ~label:job.label ~elapsed:(now () -. t0) ~origin a
   | Some _ | None ->
-    let keyed = Array.of_list (pass_keys ~config:base_config job) in
-    let n = Array.length keyed in
-    (* deepest cached state first *)
-    let rec probe i =
-      if i < 0 then None
-      else
-        match
-          Option.bind cache (fun c -> Cache.find c (snd keyed.(i)))
-        with
-        | Some (Cache.State st, _) -> Some (i, st)
-        | _ -> probe (i - 1)
+    let st, start_idx, n =
+      run_mid_end ?cache ~base_config ~config ?trace ~tid job
     in
-    let st, start_idx =
-      match if cache = None then None else probe (n - 1) with
-      | Some (idx, st) ->
-        (* Cached mid-end states hold only immutable IR; re-bind the
-           job-specific options (the chain guarantees every option field a
-           reused pass reads is equal). Reused passes get zero-duration
-           spans so the trace still shows the full Figure 1 pipeline. *)
-        Option.iter
-          (fun tr ->
-            let t = now () in
-            List.iter
-              (fun name ->
-                Trace.add_span tr ~cat:"pass" ~tid ~name ~start_s:t
-                  ~dur_s:0.0
-                  ~args:
-                    [ "job", Trace.Str job.label; "cached", Trace.Int 1 ]
-                  ())
-              st.Pass.st_trace)
-          trace;
-        { st with Pass.st_options = job.options }, idx + 1
-      | None ->
-        ( Pass.initial ~luts:job.luts ~options:job.options ~entry:job.entry
-            job.source,
-          0 )
-    in
-    let st = ref st in
-    for i = start_idx to n - 1 do
-      let p, key = keyed.(i) in
-      st := Pass.step ~config p !st;
-      Option.iter (fun c -> Cache.store c key (Cache.State !st)) cache
-    done;
-    let c = Driver.back_end ~config ~options:job.options (Driver.staged_of_state !st) in
+    let c = Driver.back_end ~config ~options:job.options (Driver.staged_of_state st) in
     let origin =
       if start_idx = 0 then Cold
       else if start_idx < n then Warm_partial
       else Warm_stage
     in
     finish origin c
+
+type measured = {
+  m_label : string;
+  m_measure : Driver.measurement;
+  m_elapsed_s : float;
+  m_origin : origin;
+}
+
+(** Measure one job without generating VHDL: the mid-end resumes from the
+    same chained per-pass cache entries {!compile_cached} uses (so an
+    estimate run warms the cache for a later full run and vice versa),
+    then the estimate-only back end prices it. Raises {!Driver.Error}. *)
+let measure_cached ?cache ?config ?trace ?(tid = 0) (job : job) : measured =
+  let t0 = now () in
+  let base_config =
+    match config with Some c -> c | None -> Pass.default_config ()
+  in
+  Pass.validate_selection base_config;
+  let config = traced_config ?trace ~tid job base_config in
+  let st, start_idx, n =
+    run_mid_end ?cache ~base_config ~config ?trace ~tid job
+  in
+  let m =
+    Driver.estimate_back_end ~config ~options:job.options
+      (Driver.staged_of_state st)
+  in
+  { m_label = job.label;
+    m_measure = m;
+    m_elapsed_s = now () -. t0;
+    m_origin =
+      (if start_idx = 0 then Cold
+       else if start_idx < n then Warm_partial
+       else Warm_stage) }
+
+(** Quick-cost one job: cached mid-end, then the O(instructions) costing
+    tier (no pipelining). Raises {!Driver.Error}. *)
+let quick_cached ?cache ?config ?trace ?(tid = 0) (job : job) :
+    Driver.quick_measurement =
+  let base_config =
+    match config with Some c -> c | None -> Pass.default_config ()
+  in
+  Pass.validate_selection base_config;
+  let config = traced_config ?trace ~tid job base_config in
+  let st, _, _ = run_mid_end ?cache ~base_config ~config ?trace ~tid job in
+  Driver.quick_back_end ~config ~options:job.options
+    (Driver.staged_of_state st)
 
 (* ------------------------------------------------------------------ *)
 (* Batches                                                             *)

@@ -65,6 +65,37 @@ val compile_cached :
     enables IR verification / differential checks. Raises
     {!Roccc_core.Driver.Error} on failure. *)
 
+(** An estimate-only evaluation of one job (no VHDL). *)
+type measured = {
+  m_label : string;
+  m_measure : Roccc_core.Driver.measurement;
+  m_elapsed_s : float;
+  m_origin : origin;
+}
+
+val measure_cached :
+  ?cache:Cache.t ->
+  ?config:Roccc_core.Pass.config ->
+  ?trace:Trace.t ->
+  ?tid:int ->
+  job ->
+  measured
+(** Like {!compile_cached} but running the estimate-only back end (no
+    VHDL generation or linting): the mid-end resumes from the same
+    chained per-pass cache entries, so estimate runs and full runs warm
+    each other's prefixes. The measurement's slices/clock/latch numbers
+    are identical to a full compile's. Raises {!Roccc_core.Driver.Error}. *)
+
+val quick_cached :
+  ?cache:Cache.t ->
+  ?config:Roccc_core.Pass.config ->
+  ?trace:Trace.t ->
+  ?tid:int ->
+  job ->
+  Roccc_core.Driver.quick_measurement
+(** Cached mid-end plus the O(instructions) quick costing tier (stops
+    before pipelining). Approximate; raises {!Roccc_core.Driver.Error}. *)
+
 val run_batch :
   ?cache:Cache.t ->
   ?config:Roccc_core.Pass.config ->

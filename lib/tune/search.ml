@@ -1,0 +1,487 @@
+(* The successive-halving search over the unroll x bus x target-ns grid:
+   quick analytic costing on everything, exact estimate-only costing on
+   the survivors, full VHDL generation on the Pareto front only. All
+   three rungs share one content-addressed pass cache, so a mid-end
+   prefix compiles once per search no matter how many candidates (or
+   rungs) revisit it. *)
+
+module Driver = Roccc_core.Driver
+module Service = Roccc_service.Service
+module Scheduler = Roccc_service.Scheduler
+module Cache = Roccc_service.Cache
+module Trace = Roccc_service.Trace
+
+type space = {
+  sp_unroll : int list;
+  sp_bus : int list;
+  sp_target_ns : float list;
+}
+
+let dedupe (xs : 'a list) : 'a list =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+let default_space =
+  { sp_unroll = [ 1; 2; 4; 8 ];
+    sp_bus = [ 1; 2; 4 ];
+    sp_target_ns = [ 3.0; 5.0; 8.0 ] }
+
+let space_size (s : space) : int =
+  List.length (dedupe s.sp_unroll)
+  * List.length (dedupe s.sp_bus)
+  * List.length (dedupe s.sp_target_ns)
+
+type candidate = { cd_unroll : int; cd_bus : int; cd_target_ns : float }
+
+type status =
+  | On_front
+  | Dominated
+  | Infeasible
+  | Pruned_quick of string
+  | Failed of string
+
+type row = {
+  rw_cand : candidate;
+  rw_label : string;
+  rw_status : status;
+  rw_quick : Driver.quick_measurement option;
+  rw_measure : Driver.measurement option;
+}
+
+type settings = {
+  st_objective : Objective.t;
+  st_space : space;
+  st_margin : float;
+  st_use_quick : bool;
+  st_domains : int;
+  st_base : Driver.options;
+}
+
+let default_margin = 0.5
+
+let default_settings (obj : Objective.t) : settings =
+  { st_objective = obj;
+    st_space = default_space;
+    st_margin = default_margin;
+    st_use_quick = true;
+    st_domains = 0;
+    st_base = Driver.default_options }
+
+type result = {
+  res_entry : string;
+  res_objective : Objective.t;
+  res_space : space;
+  res_rows : row list;
+  res_front : (row * Service.success) list;
+  res_explored : int;
+  res_quick_evals : int;
+  res_estimate_evals : int;
+  res_full_evals : int;
+  res_workers : int;
+  res_wall_s : float;
+  res_cache : Cache.stats option;
+}
+
+let candidates (s : space) : candidate list =
+  let us = dedupe s.sp_unroll
+  and bs = dedupe s.sp_bus
+  and ts = dedupe s.sp_target_ns in
+  List.concat_map
+    (fun u ->
+      List.concat_map
+        (fun b ->
+          List.map (fun t -> { cd_unroll = u; cd_bus = b; cd_target_ns = t }) ts)
+        bs)
+    us
+
+let label_of ~(entry : string) (c : candidate) : string =
+  Printf.sprintf "%s.u%d.b%d.t%g" entry c.cd_unroll c.cd_bus c.cd_target_ns
+
+let options_of (st : settings) (c : candidate) : Driver.options =
+  { st.st_base with
+    Driver.unroll_outer_factor = c.cd_unroll;
+    bus_elements = c.cd_bus;
+    target_ns = c.cd_target_ns }
+
+(* Evaluate [f] on candidate indices in two waves: one representative per
+   distinct front-end options fingerprint first, then everyone else — so
+   the wide wave finds every distinct mid-end prefix already cached
+   instead of racing to compile it on several workers at once. *)
+let eval_waves ~(num_domains : int) ~(fp : int -> string)
+    ~(f : tid:int -> int -> 'b) (idxs : int list) :
+    (int * ('b, string) Stdlib.result) list =
+  let seen = Hashtbl.create 16 in
+  let reps, rest =
+    List.partition
+      (fun i ->
+        let k = fp i in
+        if Hashtbl.mem seen k then false
+        else (
+          Hashtbl.add seen k ();
+          true))
+      idxs
+  in
+  let run_wave (wave : int list) =
+    if wave = [] then []
+    else
+      let arr = Array.of_list wave in
+      let res =
+        Scheduler.parallel_map ~num_domains
+          ~describe_error:Service.describe_error
+          ~f:(fun ~tid i -> f ~tid i)
+          arr
+      in
+      List.mapi (fun k i -> (i, res.(k))) wave
+  in
+  run_wave reps @ run_wave rest
+
+let run ?cache ?trace ?config ?(luts = []) (st : settings) ~(source : string)
+    ~(entry : string) : result =
+  let t_start = Unix.gettimeofday () in
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let cands = Array.of_list (candidates st.st_space) in
+  let n = Array.length cands in
+  let labels = Array.map (fun c -> label_of ~entry c) cands in
+  let jobs =
+    Array.mapi
+      (fun i c ->
+        { Service.label = labels.(i);
+          source;
+          entry;
+          options = options_of st c;
+          luts })
+      cands
+  in
+  let fp i = Driver.front_options_fingerprint jobs.(i).Service.options in
+  let span ~tid ~t0 name tier =
+    match trace with
+    | None -> ()
+    | Some tr ->
+        Trace.add_span tr ~cat:"tune"
+          ~args:[ ("tier", Trace.Str tier) ]
+          ~tid ~name ~start_s:t0
+          ~dur_s:(Unix.gettimeofday () -. t0)
+          ()
+  in
+  let status = Array.make n (Failed "not evaluated") in
+  let quick : Driver.quick_measurement option array = Array.make n None in
+  let meas : Driver.measurement option array = Array.make n None in
+  let all_idxs = List.init n Fun.id in
+
+  (* Rung 1: quick analytic costing over the whole grid. *)
+  let quick_evals = ref 0 in
+  let survivors =
+    if not st.st_use_quick then all_idxs
+    else begin
+      let results =
+        eval_waves ~num_domains:st.st_domains ~fp
+          ~f:(fun ~tid i ->
+            let t0 = Unix.gettimeofday () in
+            let q = Service.quick_cached ~cache ?config ?trace ~tid jobs.(i) in
+            span ~tid ~t0 ("quick:" ^ labels.(i)) "quick";
+            q)
+          all_idxs
+      in
+      quick_evals := List.length results;
+      List.iter
+        (fun (i, r) ->
+          match r with
+          | Ok q -> quick.(i) <- Some q
+          | Error msg -> status.(i) <- Failed msg)
+        results;
+      let metrics =
+        List.filter_map
+          (fun (i, r) ->
+            match r with
+            | Ok q -> Some (i, Pareto.of_quick q)
+            | Error _ -> None)
+          results
+      in
+      if st.st_margin <= 0.0 then List.map fst metrics
+      else
+        List.filter_map
+          (fun (i, m) ->
+            if not (Objective.quick_feasible ~margin:st.st_margin st.st_objective m)
+            then begin
+              status.(i) <-
+                Pruned_quick
+                  (Printf.sprintf "misses %s by > %g%% at the quick tier"
+                     (Objective.describe st.st_objective)
+                     (st.st_margin *. 100.0));
+              None
+            end
+            else
+              match
+                List.find_opt
+                  (fun (j, m') ->
+                    j <> i && Pareto.margin_dominates ~margin:st.st_margin m' m)
+                  metrics
+              with
+              | Some (j, _) ->
+                  status.(i) <-
+                    Pruned_quick
+                      (Printf.sprintf "margin-dominated by %s" labels.(j));
+                  None
+              | None -> Some i)
+          metrics
+    end
+  in
+
+  (* Rung 2: exact estimate-only costing (identical metrics to a full
+     compile, minus the VHDL) on the survivors. *)
+  let est_results =
+    eval_waves ~num_domains:st.st_domains ~fp
+      ~f:(fun ~tid i ->
+        let t0 = Unix.gettimeofday () in
+        let m = Service.measure_cached ~cache ?config ?trace ~tid jobs.(i) in
+        span ~tid ~t0 ("estimate:" ^ labels.(i)) "estimate";
+        m)
+      survivors
+  in
+  let estimate_evals = List.length est_results in
+  let exact =
+    List.filter_map
+      (fun (i, r) ->
+        match r with
+        | Ok (md : Service.measured) ->
+            meas.(i) <- Some md.Service.m_measure;
+            Some (i, Pareto.of_measurement md.Service.m_measure)
+        | Error msg ->
+            status.(i) <- Failed msg;
+            None)
+      est_results
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let feasible =
+    List.filter
+      (fun (i, m) ->
+        if Objective.feasible st.st_objective m then true
+        else begin
+          status.(i) <- Infeasible;
+          false
+        end)
+      exact
+  in
+  let front_pts = Pareto.front feasible in
+  let front_idx = List.map fst front_pts in
+  List.iter
+    (fun (i, _) ->
+      status.(i) <- (if List.mem i front_idx then On_front else Dominated))
+    feasible;
+
+  (* Rung 3: full compiles (VHDL generation + lint) on the front only. *)
+  let full_results =
+    eval_waves ~num_domains:st.st_domains ~fp
+      ~f:(fun ~tid i ->
+        let t0 = Unix.gettimeofday () in
+        let s = Service.compile_cached ~cache ?config ?trace ~tid jobs.(i) in
+        span ~tid ~t0 ("full:" ^ labels.(i)) "full";
+        s)
+      front_idx
+  in
+  let full_evals = List.length full_results in
+  let successes =
+    List.filter_map
+      (fun (i, r) ->
+        match r with
+        | Ok s -> Some (i, s)
+        | Error msg ->
+            status.(i) <- Failed msg;
+            None)
+      full_results
+  in
+
+  let rows_arr =
+    Array.init n (fun i ->
+        { rw_cand = cands.(i);
+          rw_label = labels.(i);
+          rw_status = status.(i);
+          rw_quick = quick.(i);
+          rw_measure = meas.(i) })
+  in
+  let fitness_of i =
+    match meas.(i) with
+    | Some m -> Objective.fitness st.st_objective (Pareto.of_measurement m)
+    | None -> neg_infinity
+  in
+  let front =
+    successes
+    |> List.sort (fun (i, _) (j, _) ->
+           let fi = fitness_of i and fj = fitness_of j in
+           if fi <> fj then compare fj fi
+           else
+             compare
+               (cands.(i).cd_unroll, cands.(i).cd_bus, cands.(i).cd_target_ns)
+               (cands.(j).cd_unroll, cands.(j).cd_bus, cands.(j).cd_target_ns))
+    |> List.map (fun (i, s) -> (rows_arr.(i), s))
+  in
+  { res_entry = entry;
+    res_objective = st.st_objective;
+    res_space = st.st_space;
+    res_rows = Array.to_list rows_arr;
+    res_front = front;
+    res_explored = n;
+    res_quick_evals = !quick_evals;
+    res_estimate_evals = estimate_evals;
+    res_full_evals = full_evals;
+    res_workers = Scheduler.effective_workers ~num_domains:st.st_domains n;
+    res_wall_s = Unix.gettimeofday () -. t_start;
+    res_cache = Some (Cache.stats cache) }
+
+let status_name = function
+  | On_front -> "front"
+  | Dominated -> "dominated"
+  | Infeasible -> "infeasible"
+  | Pruned_quick _ -> "pruned-quick"
+  | Failed _ -> "failed"
+
+let status_detail = function
+  | Pruned_quick r | Failed r -> Some r
+  | On_front | Dominated | Infeasible -> None
+
+let count_status (r : result) (name : string) : int =
+  List.length
+    (List.filter (fun rw -> status_name rw.rw_status = name) r.res_rows)
+
+let table (r : result) : string =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "tune %s — %s\n" r.res_entry
+    (Objective.describe r.res_objective);
+  let ints xs = String.concat "," (List.map string_of_int (dedupe xs)) in
+  let floats xs =
+    String.concat "," (List.map (Printf.sprintf "%g") (dedupe xs))
+  in
+  Printf.bprintf b
+    "space: unroll {%s} x bus {%s} x target-ns {%s} = %d candidates\n\n"
+    (ints r.res_space.sp_unroll)
+    (ints r.res_space.sp_bus)
+    (floats r.res_space.sp_target_ns)
+    r.res_explored;
+  Printf.bprintf b "  %-3s %-20s %6s %4s %6s %10s %8s %10s %8s\n" "#" "label"
+    "unroll" "bus" "t_ns" "clock MHz" "slices" "latch bits" "out/cyc";
+  List.iteri
+    (fun k ((rw : row), (s : Service.success)) ->
+      let m =
+        match rw.rw_measure with
+        | Some m -> m
+        | None ->
+            (* shouldn't happen — the front is drawn from measured rows *)
+            { Driver.ms_slices = s.Service.r_slices;
+              ms_operator_slices = s.Service.r_operator_slices;
+              ms_clock_mhz = s.Service.r_clock_mhz;
+              ms_latency = s.Service.r_latency;
+              ms_latch_bits = s.Service.r_latch_bits;
+              ms_greedy_latch_bits = s.Service.r_latch_bits;
+              ms_outputs_per_cycle = 1 }
+      in
+      Printf.bprintf b "  %-3d %-20s %6d %4d %6g %10.2f %8d %10d %8d\n" (k + 1)
+        rw.rw_label rw.rw_cand.cd_unroll rw.rw_cand.cd_bus
+        rw.rw_cand.cd_target_ns m.Driver.ms_clock_mhz m.Driver.ms_slices
+        m.Driver.ms_latch_bits m.Driver.ms_outputs_per_cycle)
+    r.res_front;
+  Printf.bprintf b
+    "\nexplored %d | quick %d | estimate %d | full %d (exhaustive: %d) | \
+     pruned %d | dominated %d | infeasible %d | failed %d\n"
+    r.res_explored r.res_quick_evals r.res_estimate_evals r.res_full_evals
+    r.res_explored (count_status r "pruned-quick") (count_status r "dominated")
+    (count_status r "infeasible") (count_status r "failed");
+  (match r.res_cache with
+  | Some c ->
+      Printf.bprintf b "cache: %d hits, %d misses, %d stores\n" c.Cache.hits
+        c.Cache.misses c.Cache.stores
+  | None -> ());
+  Printf.bprintf b "wall %.3f s on %d worker%s\n" r.res_wall_s r.res_workers
+    (if r.res_workers = 1 then "" else "s");
+  Buffer.contents b
+
+let to_json (r : result) : string =
+  let b = Buffer.create 4096 in
+  let str s = Printf.sprintf "\"%s\"" (Trace.escape s) in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"entry\": %s,\n" (str r.res_entry);
+  Printf.bprintf b "  \"objective\": %s,\n"
+    (str (Objective.name r.res_objective));
+  Printf.bprintf b "  \"constraint\": %s,\n"
+    (str (Objective.describe r.res_objective));
+  let ints xs = String.concat ", " (List.map string_of_int (dedupe xs)) in
+  let floats xs =
+    String.concat ", " (List.map (Printf.sprintf "%g") (dedupe xs))
+  in
+  Printf.bprintf b
+    "  \"space\": { \"unroll\": [%s], \"bus\": [%s], \"target_ns\": [%s] },\n"
+    (ints r.res_space.sp_unroll)
+    (ints r.res_space.sp_bus)
+    (floats r.res_space.sp_target_ns);
+  Printf.bprintf b "  \"explored\": %d,\n" r.res_explored;
+  Printf.bprintf b "  \"quick_evals\": %d,\n" r.res_quick_evals;
+  Printf.bprintf b "  \"estimate_evals\": %d,\n" r.res_estimate_evals;
+  Printf.bprintf b "  \"full_evals\": %d,\n" r.res_full_evals;
+  Printf.bprintf b "  \"exhaustive_full_evals\": %d,\n" r.res_explored;
+  Printf.bprintf b "  \"pruning_ok\": %b,\n" (r.res_full_evals < r.res_explored);
+  Printf.bprintf b
+    "  \"counts\": { \"front\": %d, \"dominated\": %d, \"infeasible\": %d, \
+     \"pruned_quick\": %d, \"failed\": %d },\n"
+    (count_status r "front") (count_status r "dominated")
+    (count_status r "infeasible")
+    (count_status r "pruned-quick")
+    (count_status r "failed");
+  Printf.bprintf b "  \"front_size\": %d,\n" (List.length r.res_front);
+  Printf.bprintf b "  \"workers\": %d,\n" r.res_workers;
+  Printf.bprintf b "  \"wall_s\": %.6f,\n" r.res_wall_s;
+  (match r.res_cache with
+  | Some c ->
+      Printf.bprintf b
+        "  \"cache\": { \"hits\": %d, \"disk_hits\": %d, \"misses\": %d, \
+         \"stores\": %d },\n"
+        c.Cache.hits c.Cache.disk_hits c.Cache.misses c.Cache.stores
+  | None -> Printf.bprintf b "  \"cache\": null,\n");
+  let front_items =
+    List.map
+      (fun ((rw : row), (_ : Service.success)) ->
+        let m = Option.get rw.rw_measure in
+        let fitness =
+          Objective.fitness r.res_objective (Pareto.of_measurement m)
+        in
+        Printf.sprintf
+          "    { \"label\": %s, \"unroll\": %d, \"bus\": %d, \"target_ns\": \
+           %g, \"clock_mhz\": %g, \"slices\": %d, \"operator_slices\": %d, \
+           \"latency\": %d, \"latch_bits\": %d, \"greedy_latch_bits\": %d, \
+           \"outputs_per_cycle\": %d, \"fitness\": %g }"
+          (str rw.rw_label) rw.rw_cand.cd_unroll rw.rw_cand.cd_bus
+          rw.rw_cand.cd_target_ns m.Driver.ms_clock_mhz m.Driver.ms_slices
+          m.Driver.ms_operator_slices m.Driver.ms_latency m.Driver.ms_latch_bits
+          m.Driver.ms_greedy_latch_bits m.Driver.ms_outputs_per_cycle fitness)
+      r.res_front
+  in
+  Printf.bprintf b "  \"front\": [\n%s\n  ],\n" (String.concat ",\n" front_items);
+  let row_items =
+    List.map
+      (fun (rw : row) ->
+        let extra =
+          match (rw.rw_measure, rw.rw_quick) with
+          | Some m, _ ->
+              Printf.sprintf
+                ", \"slices\": %d, \"clock_mhz\": %g, \"latch_bits\": %d"
+                m.Driver.ms_slices m.Driver.ms_clock_mhz m.Driver.ms_latch_bits
+          | None, Some q ->
+              Printf.sprintf ", \"quick_slices\": %d, \"quick_clock_mhz\": %g"
+                q.Driver.qk_slices q.Driver.qk_clock_mhz
+          | None, None -> ""
+        in
+        let detail =
+          match status_detail rw.rw_status with
+          | Some d -> Printf.sprintf ", \"detail\": %s" (str d)
+          | None -> ""
+        in
+        Printf.sprintf
+          "    { \"label\": %s, \"unroll\": %d, \"bus\": %d, \"target_ns\": \
+           %g, \"status\": %s%s%s }"
+          (str rw.rw_label) rw.rw_cand.cd_unroll rw.rw_cand.cd_bus
+          rw.rw_cand.cd_target_ns
+          (str (status_name rw.rw_status))
+          detail extra)
+      r.res_rows
+  in
+  Printf.bprintf b "  \"rows\": [\n%s\n  ]\n" (String.concat ",\n" row_items);
+  Printf.bprintf b "}\n";
+  Buffer.contents b

@@ -1,0 +1,115 @@
+(** The autotuner's search driver: enumerate the unroll x bus x
+    clock-target grid and climb a successive-halving ladder of ever more
+    expensive costing tiers, pruning between rungs, so only the surviving
+    Pareto front pays for full VHDL generation.
+
+    {ul
+    {- {b quick} rung — cached mid-end plus the O(instructions) analytic
+       costing ({!Roccc_core.Driver.quick_back_end}). Approximate, so it
+       prunes only candidates beaten by a factor of [1 + margin] on every
+       axis ({!Pareto.margin_dominates}) or missing the objective's
+       constraint by more than [margin].}
+    {- {b estimate} rung — the real back end minus VHDL generation and
+       linting ({!Roccc_core.Driver.estimate_back_end}). Its
+       slices/clock/latch numbers are {e identical} to a full compile's,
+       so exact feasibility filtering and Pareto-front extraction here
+       cannot drop a true front point.}
+    {- {b full} rung — {!Roccc_service.Service.compile_cached} on the
+       front only, producing the VHDL. The cached mid-end prefix is
+       shared across all three rungs, so each distinct mid-end compiles
+       once per search.}}
+
+    Candidates sharing a front-end options fingerprint are seeded one
+    representative first, then fanned across the domain scheduler, so a
+    parallel search still compiles each distinct mid-end prefix once. *)
+
+type space = {
+  sp_unroll : int list;
+  sp_bus : int list;
+  sp_target_ns : float list;
+}
+
+val default_space : space
+(** unroll [1;2;4;8] x bus [1;2;4] x target_ns [3;5;8] ns — 36 points. *)
+
+val space_size : space -> int
+(** Grid size after per-axis deduplication. *)
+
+type candidate = { cd_unroll : int; cd_bus : int; cd_target_ns : float }
+
+(** Why a candidate did or did not reach the front. *)
+type status =
+  | On_front
+  | Dominated  (** exact metrics, beaten by a front point *)
+  | Infeasible  (** exact metrics violate the objective's constraint *)
+  | Pruned_quick of string
+      (** discarded at the quick rung; the string names the reason
+          (the margin-dominating candidate, or the missed constraint) *)
+  | Failed of string
+
+type row = {
+  rw_cand : candidate;
+  rw_label : string;
+  rw_status : status;
+  rw_quick : Roccc_core.Driver.quick_measurement option;
+  rw_measure : Roccc_core.Driver.measurement option;
+}
+
+type settings = {
+  st_objective : Objective.t;
+  st_space : space;
+  st_margin : float;  (** quick-rung pruning margin; [<= 0.] disables
+                          quick-rung pruning (the rung still runs) *)
+  st_use_quick : bool;  (** [false]: skip the quick rung entirely *)
+  st_domains : int;  (** worker domains; [<= 0] = hardware default *)
+  st_base : Roccc_core.Driver.options;  (** every other option field *)
+}
+
+val default_margin : float
+val default_settings : Objective.t -> settings
+
+type result = {
+  res_entry : string;
+  res_objective : Objective.t;
+  res_space : space;
+  res_rows : row list;  (** every candidate, in grid order *)
+  res_front : (row * Roccc_service.Service.success) list;
+      (** best fitness first; ties broken by (unroll, bus, target_ns) *)
+  res_explored : int;  (** grid size — full compiles an exhaustive
+                           search would have paid for *)
+  res_quick_evals : int;
+  res_estimate_evals : int;
+  res_full_evals : int;
+  res_workers : int;
+  res_wall_s : float;
+  res_cache : Roccc_service.Cache.stats option;
+}
+
+val run :
+  ?cache:Roccc_service.Cache.t ->
+  ?trace:Roccc_service.Trace.t ->
+  ?config:Roccc_core.Pass.config ->
+  ?luts:Roccc_hir.Lut_conv.table list ->
+  settings ->
+  source:string ->
+  entry:string ->
+  result
+(** Deterministic for fixed inputs regardless of [st_domains]. Candidate
+    evaluations appear in [trace] as [cat "tune"] spans wrapping the
+    per-pass spans; reused mid-end passes show up as zero-duration spans
+    with a [cached] argument. Raises nothing: per-candidate failures are
+    recorded as {!Failed} rows. *)
+
+val status_name : status -> string
+(** ["front"], ["dominated"], ["infeasible"], ["pruned-quick"], ["failed"]. *)
+
+val status_detail : status -> string option
+(** The reason string of {!Pruned_quick} / {!Failed}. *)
+
+val table : result -> string
+(** The rendered front (best first) plus a search summary. *)
+
+val to_json : result -> string
+(** The [pareto.json] document: settings, per-rung evaluation counts
+    (the pruning evidence), the front with full metrics, and every
+    explored row with its status. *)

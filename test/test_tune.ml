@@ -1,0 +1,304 @@
+(* Tests for the Pareto autotuner (lib/tune): the dominance relations,
+   front extraction, objective parsing, pruning correctness against an
+   exhaustive search, determinism across worker counts, mid-end cache
+   reuse across candidates, and the CLI's sweep-axis validators. *)
+
+module Driver = Roccc_core.Driver
+module Service = Roccc_service.Service
+module Server = Roccc_service.Server
+module Cache = Roccc_service.Cache
+module Trace = Roccc_service.Trace
+module Pareto = Roccc_tune.Pareto
+module Objective = Roccc_tune.Objective
+module Search = Roccc_tune.Search
+
+(* trip count 16 so unroll 2 and 4 divide it *)
+let fir16_source =
+  "void fir(int A[20], int C[16]) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 16; i = i + 1) {\n\
+  \    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];\n\
+  \  }\n\
+   }\n"
+
+let m s c l = { Pareto.p_slices = s; p_clock_mhz = c; p_latch_bits = l }
+
+(* ---- dominance ---- *)
+
+let test_dominates () =
+  Alcotest.(check bool) "better on all axes" true
+    (Pareto.dominates (m 100 50.0 10) (m 200 40.0 20));
+  Alcotest.(check bool) "reverse direction" false
+    (Pareto.dominates (m 200 40.0 20) (m 100 50.0 10));
+  Alcotest.(check bool) "equal points never dominate" false
+    (Pareto.dominates (m 100 50.0 10) (m 100 50.0 10));
+  Alcotest.(check bool) "equal but one axis strictly better" true
+    (Pareto.dominates (m 100 50.0 9) (m 100 50.0 10));
+  Alcotest.(check bool) "trade-off is incomparable" false
+    (Pareto.dominates (m 100 40.0 10) (m 200 50.0 20))
+
+let test_margin_dominates () =
+  let margin = 0.5 in
+  Alcotest.(check bool) "beats by 1.5x on every axis" true
+    (Pareto.margin_dominates ~margin (m 100 90.0 10) (m 200 50.0 20));
+  Alcotest.(check bool) "clock margin too thin" false
+    (Pareto.margin_dominates ~margin (m 100 70.0 10) (m 200 50.0 20));
+  Alcotest.(check bool) "slice margin too thin" false
+    (Pareto.margin_dominates ~margin (m 150 90.0 10) (m 200 50.0 20));
+  Alcotest.(check bool) "zero latch bits on both sides is fine" true
+    (Pareto.margin_dominates ~margin (m 100 90.0 0) (m 200 50.0 0));
+  Alcotest.(check bool) "plain dominance is not enough" false
+    (Pareto.margin_dominates ~margin (m 199 51.0 19) (m 200 50.0 20))
+
+let test_front () =
+  let pts =
+    [ ("a", m 100 50.0 10);  (* front *)
+      ("b", m 200 40.0 20);  (* dominated by a *)
+      ("c", m 50 30.0 5);    (* front: fewer slices than a *)
+      ("d", m 100 50.0 10);  (* duplicate of a: kept *)
+      ("e", m 300 60.0 30) ] (* front: fastest clock *)
+  in
+  let front = Pareto.front pts in
+  Alcotest.(check (list string)) "front members, input order"
+    [ "a"; "c"; "d"; "e" ]
+    (List.map fst front);
+  (* no element of the front is dominated by any input point *)
+  List.iter
+    (fun (_, fm) ->
+      Alcotest.(check bool) "front point undominated" false
+        (List.exists (fun (_, pm) -> Pareto.dominates pm fm) pts))
+    front
+
+(* ---- objectives ---- *)
+
+let test_objective_parse () =
+  let ok = function Ok v -> v | Error e -> Alcotest.fail e in
+  (match ok (Objective.parse ~name:"max-mhz" ~slice_budget:(Some 400) ~target_mhz:None) with
+  | Objective.Max_mhz { slice_budget } ->
+    Alcotest.(check int) "budget" 400 slice_budget
+  | _ -> Alcotest.fail "expected Max_mhz");
+  (match ok (Objective.parse ~name:"max-mhz" ~slice_budget:None ~target_mhz:None) with
+  | Objective.Max_mhz { slice_budget } ->
+    Alcotest.(check int) "default budget is the whole device"
+      Roccc_fpga.Area.xc2v2000_slices slice_budget
+  | _ -> Alcotest.fail "expected Max_mhz");
+  let is_err = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "unknown objective" true
+    (is_err (Objective.parse ~name:"min-watts" ~slice_budget:None ~target_mhz:None));
+  Alcotest.(check bool) "target-mhz rejected for max-mhz" true
+    (is_err (Objective.parse ~name:"max-mhz" ~slice_budget:None ~target_mhz:(Some 100.0)));
+  Alcotest.(check bool) "slice-budget rejected for min-slices" true
+    (is_err (Objective.parse ~name:"min-slices" ~slice_budget:(Some 400) ~target_mhz:None));
+  Alcotest.(check bool) "non-positive budget rejected" true
+    (is_err (Objective.parse ~name:"max-mhz" ~slice_budget:(Some 0) ~target_mhz:None))
+
+let test_objective_feasible_fitness () =
+  let obj = Objective.Max_mhz { slice_budget = 150 } in
+  Alcotest.(check bool) "within budget" true (Objective.feasible obj (m 150 50.0 10));
+  Alcotest.(check bool) "over budget" false (Objective.feasible obj (m 151 50.0 10));
+  Alcotest.(check bool) "fitness prefers faster clock" true
+    (Objective.fitness obj (m 100 60.0 10) > Objective.fitness obj (m 100 50.0 10));
+  let obj = Objective.Min_slices { target_mhz = 80.0 } in
+  Alcotest.(check bool) "clock at target" true (Objective.feasible obj (m 100 80.0 10));
+  Alcotest.(check bool) "clock below target" false (Objective.feasible obj (m 100 79.9 10));
+  Alcotest.(check bool) "fitness prefers fewer slices" true
+    (Objective.fitness obj (m 100 90.0 10) > Objective.fitness obj (m 200 90.0 10));
+  Alcotest.(check bool) "min-latch-bits always feasible" true
+    (Objective.feasible Objective.Min_latch_bits (m 10_000_000 0.1 10));
+  Alcotest.(check bool) "fitness prefers fewer latch bits" true
+    (Objective.fitness Objective.Min_latch_bits (m 100 50.0 5)
+    > Objective.fitness Objective.Min_latch_bits (m 100 50.0 10))
+
+(* ---- search ---- *)
+
+let small_space =
+  { Search.sp_unroll = [ 1; 2 ]; sp_bus = [ 1; 2 ]; sp_target_ns = [ 5.0; 8.0 ] }
+
+let settings ?(use_quick = true) ?(margin = Search.default_margin)
+    ?(domains = 1) obj =
+  { (Search.default_settings obj) with
+    Search.st_space = small_space;
+    st_margin = margin;
+    st_use_quick = use_quick;
+    st_domains = domains }
+
+let front_labels (r : Search.result) : string list =
+  List.map (fun ((rw : Search.row), _) -> rw.Search.rw_label) r.Search.res_front
+
+let test_pruning_matches_exhaustive () =
+  (* the quick rung's margin pruning must never change the front an
+     exhaustive (no-quick) search over the same grid produces *)
+  let obj = Objective.Max_mhz { slice_budget = Roccc_fpga.Area.xc2v2000_slices } in
+  let pruned =
+    Search.run (settings ~use_quick:true obj) ~source:fir16_source ~entry:"fir"
+  in
+  let exhaustive =
+    Search.run (settings ~use_quick:false obj) ~source:fir16_source ~entry:"fir"
+  in
+  Alcotest.(check (list string)) "same front as exhaustive"
+    (front_labels exhaustive) (front_labels pruned);
+  Alcotest.(check int) "exhaustive estimates the whole grid"
+    exhaustive.Search.res_explored exhaustive.Search.res_estimate_evals
+
+let test_front_is_nondominated_and_feasible () =
+  let budget = 400 in
+  let obj = Objective.Max_mhz { slice_budget = budget } in
+  let r = Search.run (settings obj) ~source:fir16_source ~entry:"fir" in
+  Alcotest.(check bool) "front is non-empty" true (r.Search.res_front <> []);
+  let metrics =
+    List.map
+      (fun ((rw : Search.row), _) ->
+        Pareto.of_measurement (Option.get rw.Search.rw_measure))
+      r.Search.res_front
+  in
+  List.iter
+    (fun pm ->
+      Alcotest.(check bool) "front point within budget" true
+        (pm.Pareto.p_slices <= budget);
+      Alcotest.(check bool) "no front point dominates another" false
+        (List.exists (fun qm -> Pareto.dominates qm pm) metrics))
+    metrics
+
+let test_fewer_full_compiles_than_grid () =
+  let obj = Objective.Max_mhz { slice_budget = Roccc_fpga.Area.xc2v2000_slices } in
+  let r = Search.run (settings obj) ~source:fir16_source ~entry:"fir" in
+  Alcotest.(check int) "whole grid explored" 8 r.Search.res_explored;
+  Alcotest.(check bool) "strictly fewer full compiles than exhaustive" true
+    (r.Search.res_full_evals < r.Search.res_explored);
+  Alcotest.(check int) "full compiles only for the front"
+    (List.length r.Search.res_front)
+    r.Search.res_full_evals
+
+let test_deterministic_across_domains () =
+  let obj = Objective.Min_slices { target_mhz = 0.0 } in
+  let r1 = Search.run (settings ~domains:1 obj) ~source:fir16_source ~entry:"fir" in
+  let r4 = Search.run (settings ~domains:4 obj) ~source:fir16_source ~entry:"fir" in
+  Alcotest.(check (list string)) "same front under 4 workers"
+    (front_labels r1) (front_labels r4);
+  let statuses r =
+    List.map
+      (fun (rw : Search.row) -> (rw.Search.rw_label, Search.status_name rw.Search.rw_status))
+      r.Search.res_rows
+  in
+  Alcotest.(check (list (pair string string))) "same per-candidate statuses"
+    (statuses r1) (statuses r4)
+
+let test_cache_shares_midend () =
+  (* all candidates share unroll=1, so the whole grid has one mid-end
+     prefix: every mid-end pass must compile exactly once, and every
+     later candidate must reuse it (zero-duration [cached] spans) *)
+  let obj = Objective.Max_mhz { slice_budget = Roccc_fpga.Area.xc2v2000_slices } in
+  let st =
+    { (settings obj) with
+      Search.st_space =
+        { Search.sp_unroll = [ 1 ]; sp_bus = [ 1; 2 ]; sp_target_ns = [ 3.0; 5.0 ] } }
+  in
+  let trace = Trace.create () in
+  let cache = Cache.create () in
+  let r = Search.run ~cache ~trace st ~source:fir16_source ~entry:"fir" in
+  Alcotest.(check int) "four candidates" 4 r.Search.res_explored;
+  let spans = Trace.spans trace in
+  let parse_runs, parse_cached =
+    List.partition
+      (fun (s : Trace.span) ->
+        not (List.mem_assoc "cached" s.Trace.sp_args))
+      (List.filter
+         (fun (s : Trace.span) ->
+           s.Trace.sp_cat = "pass" && s.Trace.sp_name = "parse")
+         spans)
+  in
+  Alcotest.(check int) "parse compiled once for the whole search" 1
+    (List.length parse_runs);
+  Alcotest.(check bool) "later candidates reuse it as cached spans" true
+    (List.length parse_cached > 0);
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check (float 0.0)) "cached spans have zero duration" 0.0
+        s.Trace.sp_dur_s)
+    parse_cached
+
+let test_duplicate_axis_points_collapse () =
+  let obj = Objective.Min_latch_bits in
+  let st =
+    { (settings obj) with
+      Search.st_space =
+        { Search.sp_unroll = [ 1; 1; 1 ]; sp_bus = [ 2; 2 ]; sp_target_ns = [ 5.0; 5.0 ] } }
+  in
+  let r = Search.run st ~source:fir16_source ~entry:"fir" in
+  Alcotest.(check int) "duplicated points compile once" 1 r.Search.res_explored
+
+(* ---- CLI axis validators ---- *)
+
+let test_axis_validators () =
+  (match Server.check_positive_int_list ~flag:"--unroll" [ 4; 2; 4; 2 ] with
+  | Ok vs ->
+    Alcotest.(check (list int)) "dedupe keeps first occurrences" [ 4; 2 ] vs
+  | Error e -> Alcotest.fail e);
+  let is_err = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "zero rejected" true
+    (is_err (Server.check_positive_int_list ~flag:"--unroll" [ 1; 0 ]));
+  Alcotest.(check bool) "negative rejected" true
+    (is_err (Server.check_positive_int_list ~flag:"--unroll" [ -2 ]));
+  Alcotest.(check bool) "empty list rejected" true
+    (is_err (Server.check_positive_int_list ~flag:"--unroll" []));
+  (match Server.check_positive_float_list ~flag:"--target-ns" [ 5.0; 3.0; 5.0 ] with
+  | Ok vs -> Alcotest.(check (list (float 0.0))) "float dedupe" [ 5.0; 3.0 ] vs
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "zero ns rejected" true
+    (is_err (Server.check_positive_float_list ~flag:"--target-ns" [ 0.0 ]));
+  Alcotest.(check bool) "nan rejected" true
+    (is_err (Server.check_positive_float_list ~flag:"--target-ns" [ Float.nan ]))
+
+(* ---- serialization ---- *)
+
+let test_json_and_table () =
+  let obj = Objective.Max_mhz { slice_budget = Roccc_fpga.Area.xc2v2000_slices } in
+  let r = Search.run (settings obj) ~source:fir16_source ~entry:"fir" in
+  let json = Search.to_json r in
+  (match Roccc_service.Json.parse json with
+  | Error e -> Alcotest.fail ("pareto.json does not parse: " ^ e)
+  | Ok j ->
+    let int_member k =
+      match Option.bind (Roccc_service.Json.member k j) Roccc_service.Json.to_int_opt with
+      | Some v -> v
+      | None -> Alcotest.fail ("missing field " ^ k)
+    in
+    Alcotest.(check int) "explored field" r.Search.res_explored (int_member "explored");
+    Alcotest.(check int) "full_evals field" r.Search.res_full_evals (int_member "full_evals");
+    Alcotest.(check int) "front_size field"
+      (List.length r.Search.res_front)
+      (int_member "front_size"));
+  let table = Search.table r in
+  Alcotest.(check bool) "table names the objective" true
+    (let rec contains i =
+       i + 7 <= String.length table
+       && (String.sub table i 7 = "max-mhz" || contains (i + 1))
+     in
+     contains 0)
+
+let suites =
+  [ ( "tune.pareto",
+      [ Alcotest.test_case "dominates" `Quick test_dominates;
+        Alcotest.test_case "margin dominates" `Quick test_margin_dominates;
+        Alcotest.test_case "front extraction" `Quick test_front ] );
+    ( "tune.objective",
+      [ Alcotest.test_case "parse" `Quick test_objective_parse;
+        Alcotest.test_case "feasibility and fitness" `Quick
+          test_objective_feasible_fitness ] );
+    ( "tune.search",
+      [ Alcotest.test_case "pruned front matches exhaustive" `Quick
+          test_pruning_matches_exhaustive;
+        Alcotest.test_case "front is feasible and non-dominated" `Quick
+          test_front_is_nondominated_and_feasible;
+        Alcotest.test_case "fewer full compiles than the grid" `Quick
+          test_fewer_full_compiles_than_grid;
+        Alcotest.test_case "deterministic across worker counts" `Quick
+          test_deterministic_across_domains;
+        Alcotest.test_case "mid-end compiles once across candidates" `Quick
+          test_cache_shares_midend;
+        Alcotest.test_case "duplicate axis points collapse" `Quick
+          test_duplicate_axis_points_collapse ] );
+    ( "tune.cli",
+      [ Alcotest.test_case "axis validators" `Quick test_axis_validators;
+        Alcotest.test_case "pareto json and table" `Quick test_json_and_table ] )
+  ]
