@@ -1002,6 +1002,251 @@ let tune_section () =
   Printf.printf "wrote BENCH_tune.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Serve soak - mixed load through the Unix socket at 1/2/4 workers    *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Roccc_service.Server
+module Svc_json = Roccc_service.Json
+module Svc_faults = Roccc_service.Faults
+module Svc_metrics = Roccc_service.Metrics
+
+let soak_kernel c =
+  Printf.sprintf
+    "void k(int A[16], int B[16]) { int i; for (i = 0; i < 16; i = i + 1) { \
+     B[i] = A[i] * %d + %d; } }"
+    c (c + 1)
+
+(* The mixed load: compile requests cycling over 24 distinct
+   (source x options) keys — so each run pays a batch of cold compiles up
+   front and mostly-warm cache traffic after — with a health probe every
+   40th line. Generated once and replayed identically at every worker
+   count, so responses are comparable across runs. *)
+let soak_lines n =
+  List.init n (fun i ->
+      if i mod 40 = 39 then Printf.sprintf {|{"id":"h%04d","type":"health"}|} i
+      else
+        let key = i mod 24 in
+        let source = soak_kernel (key mod 6) in
+        let bus = if key / 6 mod 2 = 0 then 1 else 2 in
+        let unroll = if key / 12 = 0 then 0 else 2 in
+        Printf.sprintf
+          {|{"id":"r%04d","source":%S,"entry":"k","options":{"bus_elements":%d,"unroll_inner_max":%d}}|}
+          i source bus unroll)
+
+(* Push one request stream through a real Unix socket: a spawned domain
+   accepts and serves, a writer domain feeds the lines, and the calling
+   domain drains responses. The queue is sized to the stream so nothing
+   is shed (shedding is timing-dependent and would break the
+   byte-identical comparison). *)
+let soak_run ?trace ~workers (lines : string list) =
+  let cache = Svc_cache.create () in
+  let limits =
+    { Server.default_limits with
+      Server.workers;
+      queue_depth = List.length lines + 1 }
+  in
+  let srv = Server.create ~cache ?trace ~limits () in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "roccc-soak-%d-%d.sock" (Unix.getpid ()) workers)
+  in
+  if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 1;
+  let server_domain =
+    Domain.spawn (fun () ->
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let snap = Server.serve srv ic oc in
+        (try flush oc with Sys_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        snap)
+  in
+  let client = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect client (Unix.ADDR_UNIX path);
+  let t0 = Unix.gettimeofday () in
+  let writer =
+    Domain.spawn (fun () ->
+        let wc = Unix.out_channel_of_descr client in
+        List.iter
+          (fun l ->
+            output_string wc l;
+            output_char wc '\n')
+          lines;
+        flush wc;
+        (* half-close: the server sees EOF and drains; responses still
+           flow back on the other direction *)
+        try Unix.shutdown client Unix.SHUTDOWN_SEND
+        with Unix.Unix_error _ -> ())
+  in
+  let rc = Unix.in_channel_of_descr client in
+  let rec read_all acc =
+    match input_line rc with
+    | line -> read_all (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let responses = read_all [] in
+  let wall = Unix.gettimeofday () -. t0 in
+  Domain.join writer;
+  let snap = Domain.join server_domain in
+  (try Unix.close client with Unix.Unix_error _ -> ());
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Sys.remove path with Sys_error _ -> ());
+  responses, wall, snap
+
+(* Compile responses only (ids r....), sorted by id, with the two fields
+   that legitimately vary across runs stripped: elapsed_ms (timing) and
+   origin (whether a repeated key raced its first compile is
+   scheduling-dependent; the payload bytes are not). *)
+let soak_canonical (responses : string list) : string list =
+  List.filter_map
+    (fun line ->
+      match Svc_json.parse line with
+      | Error msg -> failwith ("unparseable soak response: " ^ msg)
+      | Ok j -> (
+        match Svc_json.member "id" j with
+        | Some (Svc_json.Str id)
+          when String.length id > 0 && id.[0] = 'r' -> (
+          match j with
+          | Svc_json.Obj fields ->
+            Some
+              ( id,
+                Svc_json.to_string
+                  (Svc_json.Obj
+                     (List.filter
+                        (fun (k, _) -> k <> "elapsed_ms" && k <> "origin")
+                        fields)) )
+          | _ -> Some (id, line))
+        | _ -> None))
+    responses
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map snd
+
+let structured_status line =
+  match Svc_json.parse line with
+  | Error _ -> false
+  | Ok j -> (
+    match
+      Option.bind (Svc_json.member "status" j) Svc_json.to_string_opt
+    with
+    | Some ("ok" | "error" | "overloaded" | "deadline_exceeded") -> true
+    | _ -> false)
+
+let serve_soak_section () =
+  section "Serve soak - mixed load through the Unix socket at 1/2/4 workers";
+  let n = 1200 in
+  let lines = soak_lines n in
+  let worker_counts = [ 1; 2; 4 ] in
+  let trace = Svc_trace.create () in
+  let runs =
+    List.map
+      (fun w ->
+        (* trace only the widest run: its per-shard counter tracks show
+           the striped cache under the most concurrency *)
+        let trace = if w = 4 then Some trace else None in
+        let responses, wall, snap = soak_run ?trace ~workers:w lines in
+        let rps = float_of_int (List.length responses) /. wall in
+        Printf.printf
+          "%d worker(s): %4d responses in %7.1f ms (%7.1f req/s, p50 %.2f \
+           ms, p95 %.2f ms)\n%!"
+          w (List.length responses) (1e3 *. wall) rps
+          snap.Svc_metrics.s_p50_ms snap.Svc_metrics.s_p95_ms;
+        w, responses, wall, snap)
+      worker_counts
+  in
+  (* gate 1: every run answered every line, and the compile responses are
+     byte-identical across worker counts (after stripping timing/origin) *)
+  let all_answered =
+    List.for_all (fun (_, rs, _, _) -> List.length rs = n) runs
+  in
+  let canonicals = List.map (fun (_, rs, _, _) -> soak_canonical rs) runs in
+  let byte_identical =
+    all_answered
+    && (match canonicals with
+       | first :: rest -> List.for_all (fun c -> c = first) rest
+       | [] -> false)
+  in
+  (* gate 2: throughput must not collapse as workers grow. On a
+     single-core host extra domains cannot run in parallel (serve
+     deliberately does not clamp --jobs, for IO-bound streams), so the
+     gate is skipped there — explicitly, not vacuously. *)
+  let multi_core = Scheduler.default_domains () > 1 in
+  let tolerance = 0.9 in
+  let rps_of (_, rs, wall, _) = float_of_int (List.length rs) /. wall in
+  let throughput_ok =
+    let rec non_decreasing = function
+      | a :: (b :: _ as rest) ->
+        rps_of b >= tolerance *. rps_of a && non_decreasing rest
+      | _ -> true
+    in
+    non_decreasing runs
+  in
+  Printf.printf "responses byte-identical across worker counts: %s\n"
+    (if byte_identical then "yes" else "NO");
+  Printf.printf "throughput non-decreasing with workers: %s\n"
+    (if not multi_core then "skipped (single-core host)"
+     else if throughput_ok then "yes"
+     else "NO");
+  (* gate 3: a faulted burst stays structured — every line is answered
+     with a known status, nothing crashes or hangs *)
+  let fault_n = 160 in
+  let fault_lines = soak_lines fault_n in
+  let faults_structured =
+    match Svc_faults.parse "scheduler_claim:0.2,driver_pass:0.05,cache_read:0.25"
+    with
+    | Error msg -> failwith ("bad fault spec: " ^ msg)
+    | Ok plan ->
+      Svc_faults.install plan;
+      Fun.protect ~finally:Svc_faults.clear (fun () ->
+          let responses, _, _ = soak_run ~workers:2 fault_lines in
+          List.length responses = fault_n
+          && List.for_all structured_status responses)
+  in
+  Printf.printf "faulted burst structured: %s\n"
+    (if faults_structured then "yes" else "NO");
+  let oc = open_out "serve_soak_trace.json" in
+  output_string oc (Svc_trace.to_chrome_json trace);
+  close_out oc;
+  Printf.printf "wrote serve_soak_trace.json\n";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"requests_per_run\": %d,\n" n);
+  Buffer.add_string buf "  \"distinct_compile_keys\": 24,\n";
+  Buffer.add_string buf "  \"runs\": [\n";
+  List.iteri
+    (fun i (w, rs, wall, (snap : Svc_metrics.snapshot)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"workers\": %d, \"responses\": %d, \"wall_s\": %.6f, \
+            \"throughput_rps\": %.3f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, \
+            \"ok\": %d, \"health\": %d }%s\n"
+           w (List.length rs) wall
+           (float_of_int (List.length rs) /. wall)
+           snap.Svc_metrics.s_p50_ms snap.Svc_metrics.s_p95_ms
+           snap.Svc_metrics.s_ok snap.Svc_metrics.s_health
+           (if i = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"byte_identical\": %b,\n" byte_identical);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"throughput_tolerance\": %.2f,\n" tolerance);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"throughput_ok\": %s,\n"
+       (if not multi_core then "\"skipped: single-core host\""
+        else string_of_bool throughput_ok));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"faulted_requests\": %d,\n" fault_n);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"faults_structured\": %b\n}\n" faults_structured);
+  let oc = open_out "BENCH_serve_soak.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_serve_soak.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1083,6 +1328,7 @@ let sections : (string * (unit -> unit)) list =
     "pipeline", pipeline_section;
     "service", service_section;
     "tune", tune_section;
+    "serve-soak", serve_soak_section;
     "bechamel", bechamel_section ]
 
 let selected_sections () : string list option =

@@ -488,7 +488,7 @@ let batch_cmd =
     Arg.(
       value & opt (some int) None
       & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:"Worker domains (default: the machine's recommended count).")
+          ~doc:"Worker domains; 0 or omitted means auto (the machine's recommended count).")
   in
   let cache_arg =
     Arg.(
@@ -587,7 +587,7 @@ let batch_cmd =
         let jobs =
           match jobs with
           | None -> 0 (* auto: the machine's recommended domain count *)
-          | Some n -> checked (Server.check_positive_int ~flag:"--jobs" n)
+          | Some n -> checked (Server.check_jobs ~flag:"--jobs" n)
         in
         let options = options_of target_ns bus no_widths unroll_inner in
         (* Sweep axes: bogus values die here with a friendly message;
@@ -782,7 +782,7 @@ let tune_cmd =
     Arg.(
       value & opt (some int) None
       & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:"Worker domains (default: the machine's recommended count).")
+          ~doc:"Worker domains; 0 or omitted means auto (the machine's recommended count).")
   in
   let pareto_arg =
     Arg.(
@@ -822,7 +822,7 @@ let tune_cmd =
         let jobs =
           match jobs with
           | None -> 0
-          | Some n -> checked (Server.check_positive_int ~flag:"--jobs" n)
+          | Some n -> checked (Server.check_jobs ~flag:"--jobs" n)
         in
         (* TARGET is a file, a file missing its .c suffix, or a built-in
            Table 1 kernel name. *)
@@ -915,7 +915,7 @@ let serve_cmd =
     Arg.(
       value & opt (some int) None
       & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:"Worker domains (default: the machine's recommended count).")
+          ~doc:"Worker domains; 0 or omitted means auto (the machine's recommended count).")
   in
   let queue_depth_arg =
     Arg.(
@@ -989,7 +989,7 @@ let serve_cmd =
                    (match jobs with
                    | None -> 0
                    | Some n ->
-                     checked (Server.check_positive_int ~flag:"--jobs" n));
+                     checked (Server.check_jobs ~flag:"--jobs" n));
                  queue_depth;
                  deadline_ms;
                  max_request_bytes })

@@ -8,7 +8,16 @@
    process, whereas the in-memory IR values are not worth the versioning
    hazard.
 
-   All operations are thread-safe; the cache is shared by the scheduler's
+   The memory tier is lock-striped: the table is split across N shards
+   (N a power of two, default the hardware parallelism), each with its
+   own mutex and hashtable, selected by the fingerprint's leading hex
+   digits. Worker domains touching different shards never contend, and
+   stat counters live in [Atomic.int]s outside the locks entirely, so a
+   counter bump never contends with a lookup. The disk tier stays a
+   single shared directory — fingerprinted filenames already give
+   per-artifact isolation there.
+
+   All operations are thread-safe; the cache is shared by the pool's
    worker domains. *)
 
 module Pass = Roccc_core.Pass
@@ -32,25 +41,43 @@ type value =
   | Artifact of artifact
 
 type stats = {
-  hits : int;       (* in-memory fingerprint hits *)
+  hits : int;       (* in-memory fingerprint hits, all shards *)
   disk_hits : int;  (* artifact loaded from _roccc_cache/ *)
   misses : int;
   stores : int;
   retries : int;    (* disk I/O attempts retried after a transient error *)
   io_errors : int;  (* disk operations degraded after exhausting retries *)
   tmp_swept : int;  (* stale *.art.tmp.<pid> files removed at open *)
+  contended : int;  (* shard-lock acquisitions that found the lock held *)
+  shards : int;     (* stripe count (a power of two) *)
+}
+
+type shard_stats = {
+  shard_hits : int;
+  shard_misses : int;
+  shard_stores : int;
+  shard_contended : int;
+  shard_entries : int;  (* live table size at snapshot time *)
+}
+
+(* One stripe: its own lock and table, plus its own atomic counters so
+   two shards' stats never share a cache line through a common record. *)
+type shard = {
+  sh_lock : Mutex.t;
+  sh_table : (string, value) Hashtbl.t;
+  sh_hits : int Atomic.t;
+  sh_misses : int Atomic.t;
+  sh_stores : int Atomic.t;
+  sh_contended : int Atomic.t;
 }
 
 type t = {
-  mem : (string, value) Hashtbl.t;
-  lock : Mutex.t;
+  shards : shard array;  (* length is a power of two, <= 256 *)
+  mask : int;            (* Array.length shards - 1 *)
   disk_dir : string option;
-  mutable hits : int;
-  mutable disk_hits : int;
-  mutable misses : int;
-  mutable stores : int;
-  mutable retries : int;
-  mutable io_errors : int;
+  disk_hits : int Atomic.t;
+  retries : int Atomic.t;
+  io_errors : int Atomic.t;
   tmp_swept : int;
 }
 
@@ -84,7 +111,25 @@ let sweep_stale_tmp (dir : string) : int =
         else n)
       0 files
 
-let create ?disk_dir () =
+(* Shard selection reads the first two hex digits of the key — a uniform
+   digest prefix — which caps the useful stripe count at 256. *)
+let max_shards = 256
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let default_shards () = min max_shards (next_pow2 (Pool.recommended ()))
+
+let make_shard () =
+  { sh_lock = Mutex.create ();
+    sh_table = Hashtbl.create 64;
+    sh_hits = Atomic.make 0;
+    sh_misses = Atomic.make 0;
+    sh_stores = Atomic.make 0;
+    sh_contended = Atomic.make 0 }
+
+let create ?shards ?disk_dir () =
   (match disk_dir with
   | Some dir when not (Sys.file_exists dir) -> (
     try Sys.mkdir dir 0o755 with Sys_error _ -> ())
@@ -92,20 +137,45 @@ let create ?disk_dir () =
   let tmp_swept =
     match disk_dir with Some dir -> sweep_stale_tmp dir | None -> 0
   in
-  { mem = Hashtbl.create 64;
-    lock = Mutex.create ();
+  let n =
+    match shards with
+    | None -> default_shards ()
+    | Some s -> min max_shards (next_pow2 (max 1 s))
+  in
+  { shards = Array.init n (fun _ -> make_shard ());
+    mask = n - 1;
     disk_dir;
-    hits = 0;
-    disk_hits = 0;
-    misses = 0;
-    stores = 0;
-    retries = 0;
-    io_errors = 0;
+    disk_hits = Atomic.make 0;
+    retries = Atomic.make 0;
+    io_errors = Atomic.make 0;
     tmp_swept }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let shard_count (t : t) : int = Array.length t.shards
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> 0
+
+let shard_of (t : t) (hex : string) : shard =
+  let prefix =
+    match String.length hex with
+    | 0 -> 0
+    | 1 -> hex_val hex.[0]
+    | _ -> (hex_val hex.[0] * 16) + hex_val hex.[1]
+  in
+  t.shards.(prefix land t.mask)
+
+(* Take a shard's lock, counting the acquisitions that had to wait — the
+   contention signal the striping exists to drive down. *)
+let locked_shard (sh : shard) f =
+  if not (Mutex.try_lock sh.sh_lock) then begin
+    Atomic.incr sh.sh_contended;
+    Mutex.lock sh.sh_lock
+  end;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.sh_lock) f
 
 (* Transient disk I/O — including faults injected at the cache_read /
    cache_write points — is retried a few times with jittered exponential
@@ -124,7 +194,7 @@ let with_io_retries (t : t) (f : unit -> 'a) : ('a, exn) result =
     | exception ((Sys_error _ | Faults.Injected _) as e) ->
       if attempt + 1 >= io_attempts then Error e
       else begin
-        locked t (fun () -> t.retries <- t.retries + 1);
+        Atomic.incr t.retries;
         let k = Atomic.fetch_and_add jitter_phase 1 in
         let jitter = float_of_int (k land 7) /. 8.0 in
         Unix.sleepf
@@ -134,7 +204,7 @@ let with_io_retries (t : t) (f : unit -> 'a) : ('a, exn) result =
   in
   go 0
 
-let count_io_error t = locked t (fun () -> t.io_errors <- t.io_errors + 1)
+let count_io_error t = Atomic.incr t.io_errors
 
 let disk_path t key =
   Option.map
@@ -179,30 +249,27 @@ let save_artifact t path (a : artifact) =
 type origin = Memory | Disk
 
 let find_raw (t : t) (key : Fingerprint.t) : (value * origin) option =
-  let mem_hit =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.mem (Fingerprint.to_hex key) with
-        | Some v ->
-          t.hits <- t.hits + 1;
-          Some (v, Memory)
-        | None -> None)
-  in
+  let hex = Fingerprint.to_hex key in
+  let sh = shard_of t hex in
+  let mem_hit = locked_shard sh (fun () -> Hashtbl.find_opt sh.sh_table hex) in
   match mem_hit with
-  | Some _ as v -> v
+  | Some v ->
+    Atomic.incr sh.sh_hits;
+    Some (v, Memory)
   | None -> (
     match disk_path t key with
     | Some path when Sys.file_exists path -> (
       match load_artifact path with
       | Some a ->
-        locked t (fun () ->
-            t.disk_hits <- t.disk_hits + 1;
-            Hashtbl.replace t.mem (Fingerprint.to_hex key) (Artifact a));
+        Atomic.incr t.disk_hits;
+        locked_shard sh (fun () ->
+            Hashtbl.replace sh.sh_table hex (Artifact a));
         Some (Artifact a, Disk)
       | None ->
-        locked t (fun () -> t.misses <- t.misses + 1);
+        Atomic.incr sh.sh_misses;
         None)
     | _ ->
-      locked t (fun () -> t.misses <- t.misses + 1);
+      Atomic.incr sh.sh_misses;
       None)
 
 let find (t : t) (key : Fingerprint.t) : (value * origin) option =
@@ -215,25 +282,43 @@ let find (t : t) (key : Fingerprint.t) : (value * origin) option =
   | Error _ ->
     (* degrade: a read that keeps failing is a miss, never a crash *)
     count_io_error t;
-    locked t (fun () -> t.misses <- t.misses + 1);
+    let sh = shard_of t (Fingerprint.to_hex key) in
+    Atomic.incr sh.sh_misses;
     None
 
 let store (t : t) (key : Fingerprint.t) (v : value) : unit =
-  locked t (fun () ->
-      t.stores <- t.stores + 1;
-      Hashtbl.replace t.mem (Fingerprint.to_hex key) v);
+  let hex = Fingerprint.to_hex key in
+  let sh = shard_of t hex in
+  Atomic.incr sh.sh_stores;
+  locked_shard sh (fun () -> Hashtbl.replace sh.sh_table hex v);
   match v, disk_path t key with
   | Artifact a, Some path -> save_artifact t path a
   | _ -> ()
 
+(* Each counter is individually exact (atomic); the snapshot as a whole
+   is consistent whenever the cache is quiescent — the accounting the
+   tests and the health endpoint rely on, taken after a drain. *)
 let stats (t : t) : stats =
-  locked t (fun () ->
-      { hits = t.hits;
-        disk_hits = t.disk_hits;
-        misses = t.misses;
-        stores = t.stores;
-        retries = t.retries;
-        io_errors = t.io_errors;
-        tmp_swept = t.tmp_swept })
+  let sum f = Array.fold_left (fun n sh -> n + Atomic.get (f sh)) 0 t.shards in
+  { hits = sum (fun sh -> sh.sh_hits);
+    disk_hits = Atomic.get t.disk_hits;
+    misses = sum (fun sh -> sh.sh_misses);
+    stores = sum (fun sh -> sh.sh_stores);
+    retries = Atomic.get t.retries;
+    io_errors = Atomic.get t.io_errors;
+    tmp_swept = t.tmp_swept;
+    contended = sum (fun sh -> sh.sh_contended);
+    shards = Array.length t.shards }
+
+let shard_stats (t : t) : shard_stats array =
+  Array.map
+    (fun sh ->
+      { shard_hits = Atomic.get sh.sh_hits;
+        shard_misses = Atomic.get sh.sh_misses;
+        shard_stores = Atomic.get sh.sh_stores;
+        shard_contended = Atomic.get sh.sh_contended;
+        shard_entries =
+          locked_shard sh (fun () -> Hashtbl.length sh.sh_table) })
+    t.shards
 
 let default_disk_dir = "_roccc_cache"

@@ -1,6 +1,9 @@
 (* Serve metrics: monotonic request counters plus a bounded ring of
    response latencies, shared by the admission thread and the worker
-   domains (all updates take the lock; reads snapshot consistently). *)
+   domains (all updates take the lock; reads snapshot consistently).
+   Per-worker completion counts sit outside the lock in an atomic array
+   — one slot per worker tid (slot 0 is the admission thread) — so the
+   hot per-request bump never contends with a concurrent snapshot. *)
 
 type t = {
   lock : Mutex.t;
@@ -14,11 +17,12 @@ type t = {
   mutable health : int;
   samples : float array;   (* latency ring, milliseconds *)
   mutable n_samples : int; (* total ever observed (ring index basis) *)
+  by_worker : int Atomic.t array;  (* responses per worker tid *)
 }
 
 let ring_capacity = 4096
 
-let create () =
+let create ?(worker_slots = 0) () =
   { lock = Mutex.create ();
     started_s = Unix.gettimeofday ();
     received = 0;
@@ -29,7 +33,8 @@ let create () =
     bad_request = 0;
     health = 0;
     samples = Array.make ring_capacity 0.0;
-    n_samples = 0 }
+    n_samples = 0;
+    by_worker = Array.init (max 0 worker_slots) (fun _ -> Atomic.make 0) }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -48,6 +53,12 @@ let observe_ms t (ms : float) =
       t.samples.(t.n_samples mod ring_capacity) <- ms;
       t.n_samples <- t.n_samples + 1)
 
+let incr_worker t ~tid =
+  if tid >= 0 && tid < Array.length t.by_worker then
+    Atomic.incr t.by_worker.(tid)
+
+let worker_counts t = Array.map Atomic.get t.by_worker
+
 type snapshot = {
   s_uptime_s : float;
   s_received : int;
@@ -61,6 +72,7 @@ type snapshot = {
   s_p50_ms : float;
   s_p95_ms : float;
   s_max_ms : float;
+  s_by_worker : int array;  (* responses per worker tid (0 = admission) *)
 }
 
 (* Nearest-rank percentile over the sorted retained samples. *)
@@ -87,4 +99,5 @@ let snapshot (t : t) : snapshot =
         s_latency_count = t.n_samples;
         s_p50_ms = percentile sorted 0.50;
         s_p95_ms = percentile sorted 0.95;
-        s_max_ms = (if kept = 0 then 0.0 else sorted.(kept - 1)) })
+        s_max_ms = (if kept = 0 then 0.0 else sorted.(kept - 1));
+        s_by_worker = Array.map Atomic.get t.by_worker })

@@ -4,7 +4,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?worker_slots:int -> unit -> t
+(** [worker_slots] sizes the per-worker response counter array: one slot
+    per worker tid, slot 0 for the admission thread (so a server with N
+    workers passes [N + 1]). Defaults to 0 (no per-worker tracking). *)
 
 val incr_received : t -> unit
 (** Every request line read (compile, health, malformed, oversized). *)
@@ -18,6 +21,13 @@ val incr_health : t -> unit
 
 val observe_ms : t -> float -> unit
 (** Record one request's enqueue-to-response latency, in milliseconds. *)
+
+val incr_worker : t -> tid:int -> unit
+(** Count one response against worker slot [tid] (atomic, lock-free; a
+    no-op for tids outside the slot array). *)
+
+val worker_counts : t -> int array
+(** Current per-worker response counts, indexed by tid. *)
 
 type snapshot = {
   s_uptime_s : float;
@@ -33,6 +43,8 @@ type snapshot = {
   s_p50_ms : float;
   s_p95_ms : float;
   s_max_ms : float;
+  s_by_worker : int array;
+      (** responses per worker tid (slot 0 = the admission thread) *)
 }
 
 val snapshot : t -> snapshot

@@ -1,4 +1,6 @@
-(* A work-stealing-free parallel job scheduler over OCaml 5 domains.
+(* A work-stealing-free parallel job scheduler over OCaml 5 domains,
+   built on the shared {!Pool} abstraction (the same pool the serve
+   loop's queue workers use).
 
    Jobs are drained in contiguous chunks from a shared atomic counter by
    the workers (the calling domain is worker 0 and does real work between
@@ -7,7 +9,7 @@
    indexed by submission order, so writes from different workers touch
    different cache lines (no false sharing on a shared slot array) and the
    output is deterministic regardless of which domain ran which job.
-   Domain.join provides the happens-before edge that makes the slots
+   The pool's join provides the happens-before edge that makes the slots
    safely readable afterwards. A job that raises is captured as [Error] in
    its own slot — one failing kernel cannot take down the batch.
 
@@ -19,7 +21,7 @@
    [~clamp:false] to force true oversubscription (e.g. for jobs that
    block on IO). *)
 
-let default_domains () = max 1 (Domain.recommended_domain_count ())
+let default_domains () = Pool.recommended ()
 
 let effective_workers ?(clamp = true) ?(num_domains = 0) (n : int) : int =
   let requested = if num_domains <= 0 then default_domains () else num_domains in
@@ -62,27 +64,18 @@ let parallel_map ?(clamp = true) ?(num_domains = 0) ?(chunk = 0)
     in
     results.(i) := Some r
   in
-  let worker tid () =
-    let rec loop () =
-      let start = Atomic.fetch_and_add next chunk in
-      if start < n then begin
-        let stop = min n (start + chunk) in
-        for i = start to stop - 1 do
-          run_one tid i
-        done;
-        loop ()
-      end
-    in
-    loop ()
-  in
-  if workers = 1 then worker 0 ()
-  else begin
-    let spawned =
-      Array.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1)))
-    in
-    worker 0 ();
-    Array.iter Domain.join spawned
-  end;
+  Pool.run ~workers (fun ~tid ->
+      let rec loop () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            run_one tid i
+          done;
+          loop ()
+        end
+      in
+      loop ());
   Array.map
     (fun slot ->
       match !slot with Some r -> r | None -> Error "job was never scheduled")

@@ -1,7 +1,8 @@
-(** Parallel job scheduler over OCaml 5 domains: deterministic result
-    ordering, per-job fault isolation, chunked job claiming, and worker
-    counts clamped to the hardware parallelism so requesting more domains
-    than cores never slows a batch down. *)
+(** Parallel job scheduler over OCaml 5 domains (fanning out through the
+    shared {!Pool} abstraction): deterministic result ordering, per-job
+    fault isolation, chunked job claiming, and worker counts clamped to
+    the hardware parallelism so requesting more domains than cores never
+    slows a batch down. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count], floored at 1. *)

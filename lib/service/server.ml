@@ -47,6 +47,16 @@ let check_positive_int ~(flag : string) (v : int) : (int, string) result =
   if v > 0 then Ok v
   else Error (Printf.sprintf "%s expects a positive integer, got %d" flag v)
 
+(* Worker counts across serve/batch/tune share one convention: 0 means
+   auto (the machine's recommended domain count), negatives are usage
+   errors. *)
+let check_jobs ~(flag : string) (v : int) : (int, string) result =
+  if v >= 0 then Ok v
+  else
+    Error
+      (Printf.sprintf "%s expects a positive integer (or 0 for auto), got %d"
+         flag v)
+
 let check_positive_float ~(flag : string) (v : float) :
     (float, string) result =
   if Float.is_finite v && v > 0.0 then Ok v
@@ -81,10 +91,9 @@ let check_positive_float_list ~(flag : string) (vs : float list) :
     | None -> Ok (dedupe vs)
 
 let validate_limits (l : limits) : (limits, string) result =
-  if l.workers < 0 then
-    Error
-      (Printf.sprintf "--jobs expects a positive integer, got %d" l.workers)
-  else
+  match check_jobs ~flag:"--jobs" l.workers with
+  | Error _ as e -> e
+  | Ok _ -> (
     match check_positive_int ~flag:"--queue-depth" l.queue_depth with
     | Error _ as e -> e
     | Ok _ -> (
@@ -98,7 +107,7 @@ let validate_limits (l : limits) : (limits, string) result =
           Error
             (Printf.sprintf "--deadline-ms expects a positive number, got %g"
                ms)
-        | Some _ | None -> Ok l))
+        | Some _ | None -> Ok l)))
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
@@ -255,6 +264,7 @@ type pending = {
 
 type t = {
   limits : limits;  (* workers resolved to >= 1 *)
+  configured_workers : int;  (* as requested: 0 = auto *)
   base_config : Pass.config;
   cache : Cache.t option;
   trace : Trace.t option;
@@ -285,15 +295,15 @@ let create ?cache ?config ?trace ?(limits = default_limits) () : t =
             Option.iter (fun f -> f ps) base.Pass.instrument;
             Faults.trip "driver_pass") }
   in
-  let workers =
-    if limits.workers <= 0 then Scheduler.default_domains ()
-    else limits.workers
-  in
+  let workers = Pool.resolve limits.workers in
   { limits = { limits with workers };
+    configured_workers = limits.workers;
     base_config;
     cache;
     trace;
-    metrics = Metrics.create ();
+    (* one response-count slot per worker tid, plus slot 0 for the
+       admission thread's own answers (health, rejects, sheds) *)
+    metrics = Metrics.create ~worker_slots:(workers + 1) ();
     queue = Queue.create ();
     lock = Mutex.create ();
     work_ready = Condition.create ();
@@ -330,7 +340,20 @@ let queue_depth_sample (srv : t) : unit =
   Option.iter
     (fun tr ->
       let d = locked srv (fun () -> Queue.length srv.queue) in
-      Trace.add_counter tr ~name:"queue_depth" ~value:(float_of_int d) ())
+      Trace.add_counter tr ~name:"queue_depth" ~value:(float_of_int d) ();
+      (* one counter track per cache shard, so the viewer shows how the
+         striped load spreads (and where it piles up) over time *)
+      Option.iter
+        (fun c ->
+          Array.iteri
+            (fun i (ss : Cache.shard_stats) ->
+              Trace.add_counter tr
+                ~name:(Printf.sprintf "cache_shard%d_lookups" i)
+                ~value:
+                  (float_of_int (ss.Cache.shard_hits + ss.Cache.shard_misses))
+                ())
+            (Cache.shard_stats c))
+        srv.cache)
     srv.trace
 
 (* ------------------------------------------------------------------ *)
@@ -354,12 +377,26 @@ let health_json (srv : t) : Json.t =
           "retries", Json.int st.Cache.retries;
           "io_errors", Json.int st.Cache.io_errors;
           "tmp_swept", Json.int st.Cache.tmp_swept;
+          "contended", Json.int st.Cache.contended;
           ( "hit_rate",
             if looked_up = 0 then Json.Null
             else
               Json.Num
                 (float_of_int (st.Cache.hits + st.Cache.disk_hits)
-                /. float_of_int looked_up) ) ]
+                /. float_of_int looked_up) );
+          "shard_count", Json.int st.Cache.shards;
+          ( "shards",
+            Json.Arr
+              (Array.to_list
+                 (Array.map
+                    (fun (ss : Cache.shard_stats) ->
+                      Json.Obj
+                        [ "hits", Json.int ss.Cache.shard_hits;
+                          "misses", Json.int ss.Cache.shard_misses;
+                          "stores", Json.int ss.Cache.shard_stores;
+                          "contended", Json.int ss.Cache.shard_contended;
+                          "entries", Json.int ss.Cache.shard_entries ])
+                    (Cache.shard_stats c))) ) ]
   in
   let faults_json =
     match Faults.counts () with
@@ -375,7 +412,16 @@ let health_json (srv : t) : Json.t =
   in
   Json.Obj
     [ "uptime_s", Json.Num s.Metrics.s_uptime_s;
-      "workers", Json.int srv.limits.workers;
+      ( "workers",
+        Json.Obj
+          [ "configured", Json.int srv.configured_workers;
+            "effective", Json.int srv.limits.workers;
+            ( "requests",
+              (* responses completed per worker tid; slot 0 is the
+                 admission thread (health, rejects, sheds) *)
+              Json.Arr
+                (Array.to_list
+                   (Array.map Json.int s.Metrics.s_by_worker)) ) ] );
       ( "queue",
         Json.Obj
           [ "depth", Json.int depth;
@@ -413,6 +459,7 @@ let handle (srv : t) (oc : out_channel) (tid : int) (p : pending) : unit =
   let finish fields =
     let ms = (now () -. p.p_enqueued_s) *. 1e3 in
     Metrics.observe_ms srv.metrics ms;
+    Metrics.incr_worker srv.metrics ~tid;
     respond srv oc
       (("id", p.p_id) :: fields @ [ "elapsed_ms", Json.Num ms ]);
     Option.iter
@@ -528,6 +575,7 @@ let rec worker (srv : t) (oc : out_channel) (tid : int) : unit =
 let bad_request (srv : t) (oc : out_channel) (id : Json.t) (msg : string) :
     unit =
   Metrics.incr_bad_request srv.metrics;
+  Metrics.incr_worker srv.metrics ~tid:0;
   respond srv oc
     [ "id", id;
       "status", Json.Str "error";
@@ -558,6 +606,7 @@ let admit (srv : t) (oc : out_channel) (line : string) : bool =
       | Ok { rq_id; rq_kind = Health drain } ->
         if drain then wait_idle srv;
         Metrics.incr_health srv.metrics;
+        Metrics.incr_worker srv.metrics ~tid:0;
         respond srv oc
           [ "id", rq_id;
             "status", Json.Str "ok";
@@ -565,6 +614,7 @@ let admit (srv : t) (oc : out_channel) (line : string) : bool =
         true
       | Ok { rq_id; rq_kind = Shutdown } ->
         Metrics.incr_health srv.metrics;
+        Metrics.incr_worker srv.metrics ~tid:0;
         respond srv oc
           [ "id", rq_id;
             "status", Json.Str "ok";
@@ -597,6 +647,7 @@ let admit (srv : t) (oc : out_channel) (line : string) : bool =
         queue_depth_sample srv;
         if not accepted then begin
           Metrics.incr_shed srv.metrics;
+          Metrics.incr_worker srv.metrics ~tid:0;
           respond srv oc
             [ "id", rq_id;
               "status", Json.Str "overloaded";
@@ -611,16 +662,15 @@ let admit (srv : t) (oc : out_channel) (line : string) : bool =
 (* The serve loop                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(** Serve one request stream: spawn the worker domains, admit requests
+(** Serve one request stream: spawn the worker pool, admit requests
     until EOF / shutdown / {!request_stop}, then drain — queued requests
     finish, workers join — and return the final metrics snapshot. The
     server value may serve several streams in sequence (the Unix-socket
     accept loop); metrics and cache persist across them. *)
 let serve (srv : t) (ic : in_channel) (oc : out_channel) : Metrics.snapshot =
   locked srv (fun () -> srv.draining <- false);
-  let workers =
-    Array.init srv.limits.workers (fun k ->
-        Domain.spawn (fun () -> worker srv oc (k + 1)))
+  let pool =
+    Pool.spawn ~workers:srv.limits.workers (fun ~tid -> worker srv oc tid)
   in
   let rec read_loop () =
     if stop_requested srv then ()
@@ -638,5 +688,5 @@ let serve (srv : t) (ic : in_channel) (oc : out_channel) : Metrics.snapshot =
   locked srv (fun () ->
       srv.draining <- true;
       Condition.broadcast srv.work_ready);
-  Array.iter Domain.join workers;
+  Pool.join pool;
   Metrics.snapshot srv.metrics

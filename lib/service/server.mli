@@ -26,11 +26,16 @@ val default_limits : limits
 
 (** {2 Flag validation}
 
-    Shared with the CLI so [--jobs 0] and friends die with a friendly
+    Shared with the CLI so [--jobs -1] and friends die with a friendly
     message and exit code 2 instead of a crash or a silent surprise. *)
 
 val check_positive_int : flag:string -> int -> (int, string) result
 val check_positive_float : flag:string -> float -> (float, string) result
+
+val check_jobs : flag:string -> int -> (int, string) result
+(** Worker-count convention shared by [serve], [batch] and [tune]:
+    [0] means auto (the machine's recommended domain count) and is
+    accepted; negatives are usage errors. *)
 
 val check_positive_int_list :
   flag:string -> int list -> (int list, string) result
@@ -70,5 +75,7 @@ val metrics : t -> Metrics.t
 
 val health_json : t -> Json.t
 (** The metrics snapshot a ["health"] request returns: request counters,
-    latency percentiles, queue depth/capacity, worker count, cache and
-    fault-injection statistics. *)
+    latency percentiles, live queue depth/capacity, the worker pool
+    (configured and effective counts plus per-worker response counts),
+    cache statistics with a per-shard breakdown, and fault-injection
+    counters. *)

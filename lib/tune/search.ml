@@ -387,8 +387,10 @@ let table (r : result) : string =
     (count_status r "infeasible") (count_status r "failed");
   (match r.res_cache with
   | Some c ->
-      Printf.bprintf b "cache: %d hits, %d misses, %d stores\n" c.Cache.hits
-        c.Cache.misses c.Cache.stores
+      Printf.bprintf b
+        "cache: %d hits, %d misses, %d stores (%d shards, %d contended)\n"
+        c.Cache.hits c.Cache.misses c.Cache.stores c.Cache.shards
+        c.Cache.contended
   | None -> ());
   Printf.bprintf b "wall %.3f s on %d worker%s\n" r.res_wall_s r.res_workers
     (if r.res_workers = 1 then "" else "s");
@@ -432,8 +434,9 @@ let to_json (r : result) : string =
   | Some c ->
       Printf.bprintf b
         "  \"cache\": { \"hits\": %d, \"disk_hits\": %d, \"misses\": %d, \
-         \"stores\": %d },\n"
+         \"stores\": %d, \"shards\": %d, \"contended\": %d },\n"
         c.Cache.hits c.Cache.disk_hits c.Cache.misses c.Cache.stores
+        c.Cache.shards c.Cache.contended
   | None -> Printf.bprintf b "  \"cache\": null,\n");
   let front_items =
     List.map

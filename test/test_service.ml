@@ -8,6 +8,8 @@ module Service = Roccc_service.Service
 module Cache = Roccc_service.Cache
 module Trace = Roccc_service.Trace
 module Scheduler = Roccc_service.Scheduler
+module Pool = Roccc_service.Pool
+module Fingerprint = Roccc_service.Fingerprint
 module Instr = Roccc_vm.Instr
 
 let fir_source = Roccc_core.Kernels.paper_fir_source
@@ -609,6 +611,173 @@ let test_flag_validators () =
       (String.length msg > 6 && String.sub msg 0 6 = "--jobs")
   | Ok _ -> assert false
 
+let test_check_jobs_auto () =
+  let ok = function Ok _ -> true | Error _ -> false in
+  Alcotest.(check bool) "0 means auto and is accepted" true
+    (ok (Server.check_jobs ~flag:"--jobs" 0));
+  Alcotest.(check bool) "explicit count accepted" true
+    (ok (Server.check_jobs ~flag:"--jobs" 4));
+  (match Server.check_jobs ~flag:"--jobs" (-2) with
+  | Ok _ -> Alcotest.fail "negative --jobs accepted"
+  | Error msg ->
+    Alcotest.(check bool) "message names the flag" true
+      (String.length msg > 6 && String.sub msg 0 6 = "--jobs"));
+  Alcotest.(check bool) "limits with workers 0 validate" true
+    (ok
+       (Server.validate_limits
+          { Server.default_limits with Server.workers = 0 }));
+  Alcotest.(check bool) "limits with negative workers rejected" false
+    (ok
+       (Server.validate_limits
+          { Server.default_limits with Server.workers = -1 }))
+
+(* ---- worker pool ---- *)
+
+let test_pool_run_covers_tids () =
+  let workers = 4 in
+  let seen = Array.init workers (fun _ -> Atomic.make 0) in
+  Pool.run ~workers (fun ~tid -> Atomic.incr seen.(tid));
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check int) (Printf.sprintf "tid %d ran once" i) 1
+        (Atomic.get a))
+    seen;
+  (* workers = 1 stays on the calling domain: the scheduler's
+     effective_workers semantics depend on it *)
+  let self = Domain.self () in
+  let inline = ref false in
+  Pool.run ~workers:1 (fun ~tid ->
+      Alcotest.(check int) "sole tid is 0" 0 tid;
+      inline := Domain.self () = self);
+  Alcotest.(check bool) "workers=1 runs on the caller" true !inline
+
+let test_pool_spawn_join_tids () =
+  let workers = 3 in
+  let seen = Array.init (workers + 1) (fun _ -> Atomic.make 0) in
+  let pool = Pool.spawn ~workers (fun ~tid -> Atomic.incr seen.(tid)) in
+  Alcotest.(check int) "pool size" workers (Pool.size pool);
+  Pool.join pool;
+  Alcotest.(check int) "tid 0 reserved for the caller" 0
+    (Atomic.get seen.(0));
+  for i = 1 to workers do
+    Alcotest.(check int) (Printf.sprintf "tid %d ran once" i) 1
+      (Atomic.get seen.(i))
+  done
+
+let test_pool_exception_joins_all () =
+  let finished = Array.init 4 (fun _ -> Atomic.make false) in
+  match
+    Pool.run ~workers:4 (fun ~tid ->
+        if tid = 2 then failwith "worker 2 exploded";
+        Atomic.set finished.(tid) true)
+  with
+  | () -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Failure msg ->
+    Alcotest.(check string) "worker failure surfaces" "worker 2 exploded" msg;
+    (* fault isolation: the failure did not abandon the other workers *)
+    List.iter
+      (fun i ->
+        Alcotest.(check bool) (Printf.sprintf "worker %d still joined" i) true
+          (Atomic.get finished.(i)))
+      [ 0; 1; 3 ]
+
+(* ---- striped cache ---- *)
+
+let hammer_key i =
+  Fingerprint.seed ~source:(Printf.sprintf "hammer-src-%d" i) ~entry:"e"
+    ~luts:[]
+
+let hammer_artifact i =
+  { Cache.art_entry = "e";
+    art_vhdl = [ ("k.vhd", Printf.sprintf "-- artifact %d body" i) ];
+    art_slices = i;
+    art_operator_slices = i + 1;
+    art_clock_mhz = 100.0;
+    art_latency = i;
+    art_latch_bits = 0;
+    art_pass_trace = [ "pass" ] }
+
+let test_shard_rounding_and_sums () =
+  Alcotest.(check int) "3 rounds up to 4" 4
+    (Cache.shard_count (Cache.create ~shards:3 ()));
+  Alcotest.(check int) "1 stays 1" 1
+    (Cache.shard_count (Cache.create ~shards:1 ()));
+  Alcotest.(check int) "capped at 256" 256
+    (Cache.shard_count (Cache.create ~shards:1000 ()));
+  let auto = Cache.shard_count (Cache.create ()) in
+  Alcotest.(check bool) "default is a power of two" true
+    (auto > 0 && auto land (auto - 1) = 0);
+  (* the per-shard view and the aggregate view agree *)
+  let cache = Cache.create ~shards:4 () in
+  let n = 32 in
+  for i = 0 to n - 1 do
+    let k = hammer_key i in
+    (match Cache.find cache k with
+    | None -> Cache.store cache k (Cache.Artifact (hammer_artifact i))
+    | Some _ -> Alcotest.fail "hit before store");
+    match Cache.find cache k with
+    | Some (Cache.Artifact _, Cache.Memory) -> ()
+    | _ -> Alcotest.fail "stored artifact not found"
+  done;
+  let s = Cache.stats cache in
+  let per = Cache.shard_stats cache in
+  Alcotest.(check int) "stats and shard_count agree" s.Cache.shards
+    (Array.length per);
+  let sum f = Array.fold_left (fun acc ss -> acc + f ss) 0 per in
+  Alcotest.(check int) "shard hits sum to aggregate" s.Cache.hits
+    (sum (fun ss -> ss.Cache.shard_hits));
+  Alcotest.(check int) "shard misses sum to aggregate" s.Cache.misses
+    (sum (fun ss -> ss.Cache.shard_misses));
+  Alcotest.(check int) "shard stores sum to aggregate" s.Cache.stores
+    (sum (fun ss -> ss.Cache.shard_stores));
+  Alcotest.(check int) "entries sum to key count" n
+    (sum (fun ss -> ss.Cache.shard_entries));
+  Alcotest.(check int) "lookup accounting is exact" (2 * n)
+    (s.Cache.hits + s.Cache.misses)
+
+(* Mixed get/put traffic on overlapping keys from N domains: nothing is
+   lost or torn, the hit+miss accounting is exact, and the surviving
+   contents match a single-domain run byte for byte. *)
+let hammer_run ~domains ~rounds ~nkeys =
+  let cache = Cache.create ~shards:8 () in
+  let finds = Atomic.make 0 in
+  Pool.run ~workers:domains (fun ~tid:_ ->
+      for _r = 1 to rounds do
+        for i = 0 to nkeys - 1 do
+          Atomic.incr finds;
+          match Cache.find cache (hammer_key i) with
+          | Some (Cache.Artifact a, Cache.Memory) ->
+            if a.Cache.art_vhdl <> (hammer_artifact i).Cache.art_vhdl then
+              Alcotest.fail "torn or mixed-up artifact"
+          | Some _ -> Alcotest.fail "unexpected value under artifact key"
+          | None ->
+            Cache.store cache (hammer_key i)
+              (Cache.Artifact (hammer_artifact i))
+        done
+      done);
+  let final =
+    List.init nkeys (fun i ->
+        match Cache.find cache (hammer_key i) with
+        | Some (Cache.Artifact a, Cache.Memory) -> a.Cache.art_vhdl
+        | _ -> Alcotest.fail (Printf.sprintf "artifact %d lost" i))
+  in
+  cache, Atomic.get finds, final
+
+let test_cache_hammer_across_domains () =
+  let rounds = 200 and nkeys = 16 in
+  let cache, finds, final = hammer_run ~domains:4 ~rounds ~nkeys in
+  let s = Cache.stats cache in
+  (* the final-contents readback above also counted nkeys hits *)
+  Alcotest.(check int) "every lookup counted exactly once"
+    (finds + nkeys)
+    (s.Cache.hits + s.Cache.misses);
+  Alcotest.(check int) "no disk tier involved" 0 s.Cache.disk_hits;
+  Alcotest.(check bool) "stores bounded by lookups" true
+    (s.Cache.stores >= nkeys && s.Cache.stores <= s.Cache.misses);
+  let _, _, solo = hammer_run ~domains:1 ~rounds ~nkeys in
+  Alcotest.(check bool) "contents byte-identical vs single domain" true
+    (final = solo)
+
 let test_json_roundtrip () =
   let cases =
     [ {|{"a":1,"b":[true,false,null],"c":"x\"y\\z","d":-2.5}|};
@@ -889,6 +1058,34 @@ let test_serve_fault_soak () =
             (Some snapshot.Metrics.s_ok)
             (Option.bind (Json.member "ok" requests) Json.to_int_opt)))
 
+let test_health_reports_farm () =
+  let limits = { Server.default_limits with Server.workers = 2 } in
+  let cache = Cache.create ~shards:4 () in
+  let lines =
+    [ compile_request ~id:"c1" 3; {|{"id":"h1","type":"health"}|} ]
+  in
+  let resps, _, _ = run_serve_session ~limits ~cache lines in
+  let resps = parsed_responses resps in
+  let h = find_by_id "h1" resps in
+  let health = Option.get (Json.member "health" h) in
+  let workers = Option.get (Json.member "workers" health) in
+  Alcotest.(check (option int)) "configured workers" (Some 2)
+    (Option.bind (Json.member "configured" workers) Json.to_int_opt);
+  Alcotest.(check (option int)) "effective workers" (Some 2)
+    (Option.bind (Json.member "effective" workers) Json.to_int_opt);
+  (match Json.member "requests" workers with
+  | Some (Json.Arr l) ->
+    Alcotest.(check int) "a request slot per worker plus admission" 3
+      (List.length l)
+  | _ -> Alcotest.fail "workers.requests missing");
+  let cache_j = Option.get (Json.member "cache" health) in
+  Alcotest.(check (option int)) "shard_count" (Some 4)
+    (Option.bind (Json.member "shard_count" cache_j) Json.to_int_opt);
+  match Json.member "shards" cache_j with
+  | Some (Json.Arr l) ->
+    Alcotest.(check int) "one stats object per shard" 4 (List.length l)
+  | _ -> Alcotest.fail "cache.shards missing"
+
 let test_pass_cancellation_hook () =
   (* the cooperative cancel hook fires at a pass boundary, and an
      un-cancelled run is unaffected *)
@@ -962,10 +1159,24 @@ let suites =
       Alcotest.test_case "cache read fault recovered by retry" `Quick
         test_cache_read_fault_retries_through;
       Alcotest.test_case "CLI flag validators" `Quick test_flag_validators;
+      Alcotest.test_case "--jobs 0 means auto" `Quick test_check_jobs_auto;
       Alcotest.test_case "json round-trip and rejection" `Quick
         test_json_roundtrip;
       Alcotest.test_case "pass-boundary cancellation hook" `Quick
         test_pass_cancellation_hook ];
+    "service.farm",
+    [ Alcotest.test_case "pool run covers every tid" `Quick
+        test_pool_run_covers_tids;
+      Alcotest.test_case "pool spawn/join tids" `Quick
+        test_pool_spawn_join_tids;
+      Alcotest.test_case "pool joins all workers on failure" `Quick
+        test_pool_exception_joins_all;
+      Alcotest.test_case "shard rounding and per-shard sums" `Quick
+        test_shard_rounding_and_sums;
+      Alcotest.test_case "N-domain cache hammer" `Slow
+        test_cache_hammer_across_domains;
+      Alcotest.test_case "health reports the farm" `Quick
+        test_health_reports_farm ];
     "service.serve",
     [ Alcotest.test_case "protocol round-trip" `Quick
         test_serve_protocol_roundtrip;

@@ -63,9 +63,16 @@ grep -q '"id":"c2","status":"ok".*"origin":"warm' "$WORK/clean.jsonl" \
 
 # invalid resource flags are friendly usage errors (exit 2)
 set +e
-"$ROCCC" serve --jobs 0 < /dev/null 2> "$WORK/usage.log"; rc=$?
+"$ROCCC" serve --jobs=-1 < /dev/null 2> "$WORK/usage.log"; rc=$?
 set -e
-[ "$rc" -eq 2 ] || fail "--jobs 0 exited $rc, want 2"
-grep -q 'positive integer' "$WORK/usage.log" || fail "--jobs 0 message unhelpful"
+[ "$rc" -eq 2 ] || fail "--jobs=-1 exited $rc, want 2"
+grep -q 'positive integer' "$WORK/usage.log" || fail "--jobs=-1 message unhelpful"
+
+# --jobs 0 means auto: the session runs, and health reports both the
+# configured count (0) and the effective one the pool resolved it to
+printf '{"id":"h","type":"health"}\n' \
+  | "$ROCCC" serve --jobs 0 > "$WORK/auto.jsonl" 2> "$WORK/auto.log"
+grep -q '"workers":{"configured":0,"effective":[1-9]' "$WORK/auto.jsonl" \
+  || fail "--jobs 0 did not resolve to an effective worker count"
 
 echo "serve_smoke: OK"
