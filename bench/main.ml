@@ -1096,6 +1096,76 @@ let soak_run ?trace ~workers (lines : string list) =
   (try Sys.remove path with Sys_error _ -> ());
   responses, wall, snap
 
+(* Push the same request stream through [conns] SIMULTANEOUS socket
+   connections into one {!Server.serve_socket} accept loop: the lines
+   are dealt round-robin across the connections, each connection
+   streams its share from a writer domain while a reader domain drains
+   its responses. Duplicated keys land on different connections at the
+   same time, which is exactly the load single-flight deduplication
+   exists for; the returned cache stats expose [flights] (executions)
+   and [coalesced]. *)
+let soak_run_concurrent ?(workers = 4) ~conns (lines : string list) =
+  let cache = Svc_cache.create () in
+  let limits =
+    { Server.default_limits with
+      Server.workers;
+      queue_depth = List.length lines + 1 }
+  in
+  let srv = Server.create ~cache ~limits () in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "roccc-csoak-%d-%d.sock" (Unix.getpid ()) conns)
+  in
+  if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock (max 8 conns);
+  let server_domain =
+    Domain.spawn (fun () -> Server.serve_socket ~poll_interval_s:0.01 srv sock)
+  in
+  let shares = Array.make conns [] in
+  List.iteri (fun i l -> shares.(i mod conns) <- l :: shares.(i mod conns))
+    lines;
+  let shares = Array.map List.rev shares in
+  let t0 = Unix.gettimeofday () in
+  let clients =
+    Array.map
+      (fun share ->
+        Domain.spawn (fun () ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            let writer =
+              Domain.spawn (fun () ->
+                  let wc = Unix.out_channel_of_descr fd in
+                  List.iter
+                    (fun l ->
+                      output_string wc l;
+                      output_char wc '\n')
+                    share;
+                  flush wc;
+                  try Unix.shutdown fd Unix.SHUTDOWN_SEND
+                  with Unix.Unix_error _ -> ())
+            in
+            let rc = Unix.in_channel_of_descr fd in
+            let rec read_all acc =
+              match input_line rc with
+              | line -> read_all (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            let responses = read_all [] in
+            Domain.join writer;
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            responses))
+      shares
+  in
+  let responses = List.concat_map Domain.join (Array.to_list clients) in
+  let wall = Unix.gettimeofday () -. t0 in
+  Server.request_stop srv;
+  let snap = Domain.join server_domain in
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Sys.remove path with Sys_error _ -> ());
+  responses, wall, snap, Svc_cache.stats cache
+
 (* Compile responses only (ids r....), sorted by id, with the two fields
    that legitimately vary across runs stripped: elapsed_ms (timing) and
    origin (whether a repeated key raced its first compile is
@@ -1206,6 +1276,68 @@ let serve_soak_section () =
   in
   Printf.printf "faulted burst structured: %s\n"
     (if faults_structured then "yes" else "NO");
+  (* gates 4-6: the same stream through 1 vs 4 SIMULTANEOUS connections
+     into one serve_socket accept loop. Responses must stay correctly
+     routed and byte-identical to the sequential runs, concurrent
+     duplicate keys must coalesce onto single-flight leaders
+     (executions <= distinct keys), and fanning the stream out across
+     connections must not cost throughput. *)
+  let conn_counts = [ 1; 4 ] in
+  let conc_runs =
+    List.map
+      (fun conns ->
+        let responses, wall, snap, cstats =
+          soak_run_concurrent ~workers:4 ~conns lines
+        in
+        Printf.printf
+          "%d connection(s): %4d responses in %7.1f ms (%7.1f req/s, %d \
+           executions, %d coalesced)\n%!"
+          conns (List.length responses) (1e3 *. wall)
+          (float_of_int (List.length responses) /. wall)
+          cstats.Svc_cache.flights cstats.Svc_cache.coalesced;
+        conns, responses, wall, snap, cstats)
+      conn_counts
+  in
+  let conc_all_answered =
+    List.for_all (fun (_, rs, _, _, _) -> List.length rs = n) conc_runs
+  in
+  let concurrent_byte_identical =
+    (* vs the sequential-connection runs above AND across each other *)
+    conc_all_answered
+    && (match canonicals with
+       | first :: _ ->
+         List.for_all
+           (fun (_, rs, _, _, _) -> soak_canonical rs = first)
+           conc_runs
+       | [] -> false)
+  in
+  let distinct_keys = 24 in
+  let coalesce_ok =
+    List.for_all
+      (fun (_, _, _, _, (st : Svc_cache.stats)) ->
+        st.Svc_cache.flights >= 1 && st.Svc_cache.flights <= distinct_keys)
+      conc_runs
+  in
+  let conc_rps_of (_, rs, wall, _, _) =
+    float_of_int (List.length rs) /. wall
+  in
+  let concurrent_throughput_ok =
+    let rec non_decreasing = function
+      | a :: (b :: _ as rest) ->
+        conc_rps_of b >= tolerance *. conc_rps_of a && non_decreasing rest
+      | _ -> true
+    in
+    non_decreasing conc_runs
+  in
+  Printf.printf "concurrent responses byte-identical to sequential: %s\n"
+    (if concurrent_byte_identical then "yes" else "NO");
+  Printf.printf "duplicate keys coalesce (executions <= %d): %s\n"
+    distinct_keys
+    (if coalesce_ok then "yes" else "NO");
+  Printf.printf "throughput non-decreasing 1 -> 4 connections: %s\n"
+    (if not multi_core then "skipped (single-core host)"
+     else if concurrent_throughput_ok then "yes"
+     else "NO");
   let oc = open_out "serve_soak_trace.json" in
   output_string oc (Svc_trace.to_chrome_json trace);
   close_out oc;
@@ -1240,7 +1372,32 @@ let serve_soak_section () =
   Buffer.add_string buf
     (Printf.sprintf "  \"faulted_requests\": %d,\n" fault_n);
   Buffer.add_string buf
-    (Printf.sprintf "  \"faults_structured\": %b\n}\n" faults_structured);
+    (Printf.sprintf "  \"faults_structured\": %b,\n" faults_structured);
+  Buffer.add_string buf "  \"concurrent_runs\": [\n";
+  List.iteri
+    (fun i (conns, rs, wall, (snap : Svc_metrics.snapshot),
+            (cstats : Svc_cache.stats)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"connections\": %d, \"responses\": %d, \"wall_s\": %.6f, \
+            \"throughput_rps\": %.3f, \"ok\": %d, \"executions\": %d, \
+            \"coalesced\": %d, \"conns_accepted\": %d }%s\n"
+           conns (List.length rs) wall
+           (float_of_int (List.length rs) /. wall)
+           snap.Svc_metrics.s_ok cstats.Svc_cache.flights
+           cstats.Svc_cache.coalesced snap.Svc_metrics.s_conns
+           (if i = List.length conc_runs - 1 then "" else ",")))
+    conc_runs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"concurrent_byte_identical\": %b,\n"
+       concurrent_byte_identical);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"coalesce_ok\": %b,\n" coalesce_ok);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"concurrent_throughput_ok\": %s\n}\n"
+       (if not multi_core then "\"skipped: single-core host\""
+        else string_of_bool concurrent_throughput_ok));
   let oc = open_out "BENCH_serve_soak.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;

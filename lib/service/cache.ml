@@ -50,6 +50,8 @@ type stats = {
   tmp_swept : int;  (* stale *.art.tmp.<pid> files removed at open *)
   contended : int;  (* shard-lock acquisitions that found the lock held *)
   shards : int;     (* stripe count (a power of two) *)
+  flights : int;    (* single-flight leaders: compile executions started *)
+  coalesced : int;  (* followers that waited on a leader instead of compiling *)
 }
 
 type shard_stats = {
@@ -79,6 +81,15 @@ type t = {
   retries : int Atomic.t;
   io_errors : int Atomic.t;
   tmp_swept : int;
+  (* single-flight registry: keys whose compile is currently executing.
+     One lock + condition for the whole table — entries are rare (one per
+     concurrently-executing distinct key) and held only for registry
+     bookkeeping, never across a compile. *)
+  fl_lock : Mutex.t;
+  fl_cond : Condition.t;
+  fl_inflight : (string, unit) Hashtbl.t;
+  fl_flights : int Atomic.t;
+  fl_coalesced : int Atomic.t;
 }
 
 (* Bump when the artifact record changes shape: a stale marshalled value
@@ -88,27 +99,75 @@ let disk_magic = "ROCCC-ART2"
 (* [save_artifact] writes <key>.art.tmp.<pid> then renames; a process
    that dies between the two strands the tmp file forever (the pid in the
    name means no later process ever reuses it). Sweep the debris when the
-   cache opens — anything still matching the tmp shape at open time
-   cannot belong to a live write of this process. *)
+   cache opens — but only debris: in a multi-process farm a sibling serve
+   process may be mid-write at that very moment, so a tmp file is removed
+   only when its owning pid is dead, or (when the pid cannot be read or
+   is recycled) its mtime is older than a generous threshold. A live
+   sibling's in-flight write is never deleted. *)
+let tmp_marker = ".art.tmp."
+
 let is_tmp_name (name : string) : bool =
-  let marker = ".art.tmp." in
-  let n = String.length name and m = String.length marker in
+  let n = String.length name and m = String.length tmp_marker in
   let rec scan i =
-    i + m <= n && (String.equal (String.sub name i m) marker || scan (i + 1))
+    i + m <= n
+    && (String.equal (String.sub name i m) tmp_marker || scan (i + 1))
   in
   scan 0
 
-let sweep_stale_tmp (dir : string) : int =
+(* The pid baked into a tmp name: everything after the last ".art.tmp.". *)
+let tmp_owner_pid (name : string) : int option =
+  let m = String.length tmp_marker in
+  let rec last_at i best =
+    if i + m > String.length name then best
+    else if String.equal (String.sub name i m) tmp_marker then
+      last_at (i + 1) (Some (i + m))
+    else last_at (i + 1) best
+  in
+  Option.bind (last_at 0 None) (fun start ->
+      let suffix = String.sub name start (String.length name - start) in
+      match int_of_string_opt suffix with
+      | Some pid when pid > 0 -> Some pid
+      | Some _ | None -> None)
+
+(* [kill pid 0] probes liveness without signalling: ESRCH means dead;
+   EPERM (or anything else) means some process has that pid — treat it
+   as alive, erring on the side of keeping the file. *)
+let default_pid_alive (pid : int) : bool =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception _ -> true
+
+(* Even a live-looking pid may be a recycled number; past this age the
+   write it named cannot still be in flight. *)
+let tmp_max_age_s = 600.0
+
+let sweep_stale_tmp ?(max_age_s = tmp_max_age_s)
+    ?(pid_alive = default_pid_alive) (dir : string) : int =
   match Sys.readdir dir with
   | exception Sys_error _ -> 0
   | files ->
+    let now = Unix.gettimeofday () in
     Array.fold_left
       (fun n f ->
-        if is_tmp_name f then
-          match Sys.remove (Filename.concat dir f) with
-          | () -> n + 1
-          | exception Sys_error _ -> n
-        else n)
+        if not (is_tmp_name f) then n
+        else
+          let path = Filename.concat dir f in
+          let old_enough () =
+            match Unix.stat path with
+            | st -> now -. st.Unix.st_mtime > max_age_s
+            | exception Unix.Unix_error _ -> false
+          in
+          let stale =
+            match tmp_owner_pid f with
+            | Some pid -> (not (pid_alive pid)) || old_enough ()
+            | None -> old_enough ()
+          in
+          if stale then
+            match Sys.remove path with
+            | () -> n + 1
+            | exception Sys_error _ -> n
+          else n)
       0 files
 
 (* Shard selection reads the first two hex digits of the key — a uniform
@@ -148,7 +207,12 @@ let create ?shards ?disk_dir () =
     disk_hits = Atomic.make 0;
     retries = Atomic.make 0;
     io_errors = Atomic.make 0;
-    tmp_swept }
+    tmp_swept;
+    fl_lock = Mutex.create ();
+    fl_cond = Condition.create ();
+    fl_inflight = Hashtbl.create 16;
+    fl_flights = Atomic.make 0;
+    fl_coalesced = Atomic.make 0 }
 
 let shard_count (t : t) : int = Array.length t.shards
 
@@ -295,6 +359,50 @@ let store (t : t) (key : Fingerprint.t) (v : value) : unit =
   | Artifact a, Some path -> save_artifact t path a
   | _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Single-flight                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Concurrent compiles of the same key collapse to one execution: the
+   first caller to enter becomes the leader (and must call [exit_flight]
+   when done, success or failure); every concurrent caller of the same
+   key blocks until the leader exits and is told it was coalesced — it
+   then finds the leader's artifact in the cache instead of recompiling.
+   The registry spans only this process; across farm processes the
+   shared disk tier deduplicates at artifact granularity instead. *)
+let enter_flight (t : t) (key : Fingerprint.t) : [ `Leader | `Coalesced ] =
+  let hex = Fingerprint.to_hex key in
+  Mutex.lock t.fl_lock;
+  if Hashtbl.mem t.fl_inflight hex then begin
+    Atomic.incr t.fl_coalesced;
+    while Hashtbl.mem t.fl_inflight hex do
+      Condition.wait t.fl_cond t.fl_lock
+    done;
+    Mutex.unlock t.fl_lock;
+    `Coalesced
+  end
+  else begin
+    Hashtbl.add t.fl_inflight hex ();
+    Atomic.incr t.fl_flights;
+    Mutex.unlock t.fl_lock;
+    `Leader
+  end
+
+let exit_flight (t : t) (key : Fingerprint.t) : unit =
+  let hex = Fingerprint.to_hex key in
+  Mutex.lock t.fl_lock;
+  Hashtbl.remove t.fl_inflight hex;
+  Condition.broadcast t.fl_cond;
+  Mutex.unlock t.fl_lock
+
+(* A leader that re-probes after winning and finds a fresh artifact (the
+   previous leader stored and exited between this caller's cache probe
+   and its [enter_flight]) did not execute anything: retract the flight
+   so [flights] stays an exact execution count. *)
+let abort_flight (t : t) (key : Fingerprint.t) : unit =
+  Atomic.decr t.fl_flights;
+  exit_flight t key
+
 (* Each counter is individually exact (atomic); the snapshot as a whole
    is consistent whenever the cache is quiescent — the accounting the
    tests and the health endpoint rely on, taken after a drain. *)
@@ -308,7 +416,9 @@ let stats (t : t) : stats =
     io_errors = Atomic.get t.io_errors;
     tmp_swept = t.tmp_swept;
     contended = sum (fun sh -> sh.sh_contended);
-    shards = Array.length t.shards }
+    shards = Array.length t.shards;
+    flights = Atomic.get t.fl_flights;
+    coalesced = Atomic.get t.fl_coalesced }
 
 let shard_stats (t : t) : shard_stats array =
   Array.map

@@ -50,6 +50,13 @@ type stats = {
       (** shard-lock acquisitions that found the lock held — the
           contention the striping exists to drive down *)
   shards : int;  (** stripe count (a power of two) *)
+  flights : int;
+      (** single-flight leaders — compile executions actually started
+          (see {!enter_flight}) *)
+  coalesced : int;
+      (** single-flight followers — concurrent duplicate compiles that
+          waited on a leader and shared its artifact instead of
+          executing *)
 }
 
 (** One stripe's view of the same counters, for per-shard observability
@@ -70,6 +77,38 @@ val create : ?shards:int -> ?disk_dir:string -> unit -> t
     sweeping any stale write-temporary files a dead process stranded.
     [shards] is rounded up to the next power of two and capped at 256;
     it defaults to the hardware parallelism (likewise rounded up). *)
+
+val sweep_stale_tmp :
+  ?max_age_s:float -> ?pid_alive:(int -> bool) -> string -> int
+(** Remove stranded [*.art.tmp.<pid>] write-temporaries from a cache
+    directory, returning how many were removed. Safe for multi-process
+    farms sharing the directory: a tmp file is removed only when its
+    owning pid is dead ([kill pid 0] raises [ESRCH]) or its mtime is
+    older than [max_age_s] (default 600 s) — a live sibling's in-flight
+    write is never deleted. [pid_alive] is injectable for tests.
+    {!create} runs this automatically when given a [disk_dir]. *)
+
+val enter_flight : t -> Fingerprint.t -> [ `Leader | `Coalesced ]
+(** Single-flight admission for one compile execution of [key]:
+    [`Leader] means the caller must run the compile (and is obliged to
+    call {!exit_flight} afterwards, on success or failure); [`Coalesced]
+    means a concurrent leader for the same key was already executing —
+    the call blocked until that leader exited, and the caller should
+    re-probe {!find} for the leader's artifact instead of compiling.
+    The registry spans one process; across farm processes the shared
+    disk tier deduplicates at artifact granularity instead. *)
+
+val exit_flight : t -> Fingerprint.t -> unit
+(** End the caller's leadership of [key], waking every coalesced
+    follower. Must be called exactly once per [`Leader], even when the
+    compile failed (followers then find no artifact and fall back to
+    compiling themselves). *)
+
+val abort_flight : t -> Fingerprint.t -> unit
+(** Like {!exit_flight}, but also retracts the [flights] count: for a
+    leader that re-probed after winning, found the artifact already
+    stored (a previous leader finished in between), and will not
+    execute. Keeps [flights] an exact count of compile executions. *)
 
 type origin = Memory | Disk
 

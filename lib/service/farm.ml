@@ -1,0 +1,268 @@
+(* The multi-process compile farm behind `roccc farm`.
+
+   A supervisor forks N child processes that each run the SAME [child]
+   closure — for the compile farm, a {!Server.serve_socket} loop over a
+   listening socket bound BEFORE the fork, so every child accepts on the
+   inherited fd and the kernel load-balances connections across them.
+   The children share one disk cache tier; the in-memory tiers and
+   single-flight registries are per-process (the disk tier deduplicates
+   across processes at artifact granularity).
+
+   Supervision policy:
+   - a child that dies abnormally (signal, nonzero exit) is restarted,
+     up to [max_restarts] per farm lifetime;
+   - a child that exits cleanly (code 0 — it served a "shutdown"
+     request and drained) triggers a farm-wide shutdown: the supervisor
+     SIGTERMs the remaining children and waits for them to drain;
+   - SIGTERM / SIGINT at the supervisor likewise shuts the farm down.
+
+   Observability: each child publishes its health snapshot to
+   [state_dir/child-<index>.json] (the server's [status_path]); the
+   supervisor maintains [state_dir/farm.json] with the live pid table,
+   and {!aggregate_health} folds the children's snapshots into one
+   farm-wide view by summing every numeric leaf. *)
+
+type child_slot = {
+  cs_index : int;
+  mutable cs_pid : int;
+  mutable cs_restarts : int;
+}
+
+type outcome = {
+  farm_spawns : int;  (* total forks, initial procs + restarts *)
+  farm_restarts : int;
+  farm_clean : bool;  (* shutdown came from a clean child exit *)
+}
+
+let status_file (state_dir : string) (index : int) : string =
+  Filename.concat state_dir (Printf.sprintf "child-%d.json" index)
+
+let farm_file (state_dir : string) : string =
+  Filename.concat state_dir "farm.json"
+
+(* Atomic single-file publish, same tmp+rename dance as the disk cache. *)
+let write_file_atomic (path : string) (contents : string) : unit =
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  match open_out tmp with
+  | exception Sys_error _ -> ()
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents);
+    (try Sys.rename tmp path with Sys_error _ -> ())
+
+let write_farm_state (state_dir : string) (slots : child_slot array) : unit =
+  let j =
+    Json.Obj
+      [ "supervisor_pid", Json.int (Unix.getpid ());
+        "procs", Json.int (Array.length slots);
+        ( "children",
+          Json.Arr
+            (Array.to_list
+               (Array.map
+                  (fun s ->
+                    Json.Obj
+                      [ "index", Json.int s.cs_index;
+                        "pid", Json.int s.cs_pid;
+                        "restarts", Json.int s.cs_restarts ])
+                  slots)) ) ]
+  in
+  write_file_atomic (farm_file state_dir) (Json.to_string j ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Health aggregation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold two health snapshots: numbers add, objects merge key-wise,
+   equal-length arrays merge element-wise (the per-worker and per-shard
+   count vectors), anything else keeps the first child's value. *)
+let rec merge_json (a : Json.t) (b : Json.t) : Json.t =
+  match a, b with
+  | Json.Num x, Json.Num y -> Json.Num (x +. y)
+  | Json.Obj xs, Json.Obj ys ->
+    let keys =
+      List.map fst xs
+      @ List.filter
+          (fun k -> not (List.mem_assoc k xs))
+          (List.map fst ys)
+    in
+    Json.Obj
+      (List.map
+         (fun k ->
+           match List.assoc_opt k xs, List.assoc_opt k ys with
+           | Some va, Some vb -> k, merge_json va vb
+           | Some v, None | None, Some v -> k, v
+           | None, None -> k, Json.Null)
+         keys)
+  | Json.Arr xs, Json.Arr ys when List.length xs = List.length ys ->
+    Json.Arr (List.map2 merge_json xs ys)
+  | Json.Null, b -> b
+  | a, _ -> a
+
+let read_status (path : string) : Json.t option =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> None
+        | exception Sys_error _ -> None
+        | line -> ( match Json.parse line with Ok j -> Some j | Error _ -> None))
+
+let aggregate_health ~(state_dir : string) : Json.t =
+  let children = ref [] in
+  (match Sys.readdir state_dir with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        if
+          String.length name > String.length "child-"
+          && String.sub name 0 6 = "child-"
+          && Filename.check_suffix name ".json"
+        then
+          Option.iter
+            (fun j -> children := (name, j) :: !children)
+            (read_status (Filename.concat state_dir name)))
+      names);
+  let children = List.sort compare !children in
+  let aggregate =
+    match children with
+    | [] -> Json.Null
+    | (_, first) :: rest ->
+      List.fold_left (fun acc (_, j) -> merge_json acc j) first rest
+  in
+  Json.Obj
+    [ "children_reporting", Json.int (List.length children);
+      "aggregate", aggregate;
+      ( "children",
+        Json.Obj (List.map (fun (name, j) -> name, j) children) ) ]
+
+(* ------------------------------------------------------------------ *)
+(* The supervisor                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mkdir_p (dir : string) : unit =
+  let rec mk d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mk dir
+
+let spawn_child (child : index:int -> unit) (index : int) : int =
+  match Unix.fork () with
+  | 0 ->
+    (* the child must NEVER return into the supervisor's code: run the
+       closure, flush, and _exit (no at_exit handlers, no buffers shared
+       with the parent flushed twice) *)
+    let code =
+      match child ~index with
+      | () -> 0
+      | exception e ->
+        Printf.eprintf "roccc farm: child %d died: %s\n%!" index
+          (Printexc.to_string e);
+        1
+    in
+    (try flush stdout with Sys_error _ -> ());
+    (try flush stderr with Sys_error _ -> ());
+    Unix._exit code
+  | pid -> pid
+
+let run ?(poll_interval_s = 0.05) ?(max_restarts = 16) ~(procs : int)
+    ~(state_dir : string) ~(child : index:int -> unit) () : outcome =
+  if procs < 1 then invalid_arg "Farm.run: procs must be >= 1";
+  mkdir_p state_dir;
+  let stop = Atomic.make false in
+  let prev_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+  in
+  let prev_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+  in
+  let slots =
+    Array.init procs (fun i ->
+        { cs_index = i; cs_pid = spawn_child child i; cs_restarts = 0 })
+  in
+  write_farm_state state_dir slots;
+  let spawns = ref procs in
+  let restarts = ref 0 in
+  let clean = ref false in
+  let find_slot pid =
+    Array.fold_left
+      (fun acc s -> if s.cs_pid = pid then Some s else acc)
+      None slots
+  in
+  let live () =
+    Array.exists (fun s -> s.cs_pid <> 0) slots
+  in
+  (* Main loop: reap children; restart abnormal deaths, treat a clean
+     exit as a farm-wide shutdown request. *)
+  let rec supervise () =
+    if Atomic.get stop then ()
+    else
+      match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> supervise ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      | 0, _ ->
+        Unix.sleepf poll_interval_s;
+        supervise ()
+      | pid, status -> (
+        match find_slot pid with
+        | None -> supervise ()
+        | Some slot -> (
+          match status with
+          | Unix.WEXITED 0 ->
+            (* a child drained and exited after a shutdown request:
+               bring the whole farm down *)
+            slot.cs_pid <- 0;
+            clean := true;
+            Atomic.set stop true
+          | Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+            if !restarts >= max_restarts then begin
+              Printf.eprintf
+                "roccc farm: child %d died again; restart budget (%d) \
+                 exhausted, shutting the farm down\n%!"
+                slot.cs_index max_restarts;
+              slot.cs_pid <- 0;
+              Atomic.set stop true
+            end
+            else begin
+              incr restarts;
+              incr spawns;
+              slot.cs_restarts <- slot.cs_restarts + 1;
+              slot.cs_pid <- spawn_child child slot.cs_index;
+              Printf.eprintf
+                "roccc farm: restarted child %d (pid %d, restart %d)\n%!"
+                slot.cs_index slot.cs_pid slot.cs_restarts;
+              write_farm_state state_dir slots;
+              supervise ()
+            end))
+  in
+  supervise ();
+  (* Shutdown: SIGTERM the survivors (their serve loops drain admitted
+     work before exiting), then reap them all. *)
+  Array.iter
+    (fun s ->
+      if s.cs_pid <> 0 then
+        try Unix.kill s.cs_pid Sys.sigterm with Unix.Unix_error _ -> ())
+    slots;
+  let rec reap () =
+    if live () then
+      match Unix.waitpid [] (-1) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+        Array.iter (fun s -> s.cs_pid <- 0) slots
+      | pid, _ ->
+        (match find_slot pid with Some s -> s.cs_pid <- 0 | None -> ());
+        reap ()
+  in
+  reap ();
+  write_farm_state state_dir slots;
+  Sys.set_signal Sys.sigterm prev_term;
+  Sys.set_signal Sys.sigint prev_int;
+  { farm_spawns = !spawns; farm_restarts = !restarts; farm_clean = !clean }

@@ -1,0 +1,54 @@
+(** The multi-process compile farm behind [roccc farm]: a supervisor
+    forks [procs] children running the same closure — for the farm, a
+    {!Server.serve_socket} loop over a listening socket bound BEFORE the
+    fork, so every child accepts on the inherited descriptor and the
+    kernel load-balances connections across them. Children share one
+    disk cache tier ({!Cache.sweep_stale_tmp} keeps their write
+    temporaries from treading on each other); memory tiers and
+    single-flight registries stay per-process.
+
+    Supervision: abnormal child deaths (signal, nonzero exit) restart
+    the child, up to [max_restarts] per farm lifetime; a clean child
+    exit (it served a ["shutdown"] request and drained) or SIGTERM /
+    SIGINT at the supervisor shuts the whole farm down — remaining
+    children get SIGTERM and drain before the supervisor returns. *)
+
+type outcome = {
+  farm_spawns : int;  (** total forks: initial [procs] plus restarts *)
+  farm_restarts : int;
+  farm_clean : bool;
+      (** the shutdown was triggered by a clean child exit (a drained
+          ["shutdown"] request), not a supervisor signal *)
+}
+
+val run :
+  ?poll_interval_s:float ->
+  ?max_restarts:int ->
+  procs:int ->
+  state_dir:string ->
+  child:(index:int -> unit) ->
+  unit ->
+  outcome
+(** Fork [procs] children running [child ~index] and supervise until
+    shutdown. [state_dir] (created if missing) holds [farm.json] — the
+    live pid table, atomically rewritten on every membership change —
+    and is where children are expected to publish their health
+    snapshots ([child-<index>.json], the server's [status_path]).
+    [max_restarts] (default 16) bounds restarts per farm lifetime;
+    [poll_interval_s] (default 0.05) is the reap-poll period. The child
+    closure runs in the forked process and must not return into
+    supervisor code — {!run} [_exit]s for it when it returns or raises. *)
+
+val status_file : string -> int -> string
+(** [status_file state_dir index] — the conventional path child [index]
+    publishes its health snapshot to. *)
+
+val farm_file : string -> string
+(** [farm_file state_dir] — the supervisor's pid-table file. *)
+
+val aggregate_health : state_dir:string -> Json.t
+(** Fold every [child-*.json] snapshot under [state_dir] into one
+    farm-wide view: [{children_reporting; aggregate; children}], where
+    [aggregate] sums numeric leaves key-wise (objects merge, equal-length
+    arrays merge element-wise, non-numeric leaves keep the first child's
+    value). *)

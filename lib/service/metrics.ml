@@ -15,6 +15,9 @@ type t = {
   mutable deadline : int;
   mutable bad_request : int;
   mutable health : int;
+  mutable conns : int;        (* connections accepted (socket mode) *)
+  mutable read_errors : int;  (* request-stream reads that failed *)
+  mutable write_errors : int; (* responses lost to a dead connection *)
   samples : float array;   (* latency ring, milliseconds *)
   mutable n_samples : int; (* total ever observed (ring index basis) *)
   by_worker : int Atomic.t array;  (* responses per worker tid *)
@@ -32,6 +35,9 @@ let create ?(worker_slots = 0) () =
     deadline = 0;
     bad_request = 0;
     health = 0;
+    conns = 0;
+    read_errors = 0;
+    write_errors = 0;
     samples = Array.make ring_capacity 0.0;
     n_samples = 0;
     by_worker = Array.init (max 0 worker_slots) (fun _ -> Atomic.make 0) }
@@ -47,6 +53,11 @@ let incr_shed t = locked t (fun () -> t.shed <- t.shed + 1)
 let incr_deadline t = locked t (fun () -> t.deadline <- t.deadline + 1)
 let incr_bad_request t = locked t (fun () -> t.bad_request <- t.bad_request + 1)
 let incr_health t = locked t (fun () -> t.health <- t.health + 1)
+let incr_conn t = locked t (fun () -> t.conns <- t.conns + 1)
+let incr_read_error t = locked t (fun () -> t.read_errors <- t.read_errors + 1)
+
+let incr_write_error t =
+  locked t (fun () -> t.write_errors <- t.write_errors + 1)
 
 let observe_ms t (ms : float) =
   locked t (fun () ->
@@ -68,6 +79,9 @@ type snapshot = {
   s_deadline : int;
   s_bad_request : int;
   s_health : int;
+  s_conns : int;
+  s_read_errors : int;
+  s_write_errors : int;
   s_latency_count : int;  (** samples ever observed (ring keeps the last 4096) *)
   s_p50_ms : float;
   s_p95_ms : float;
@@ -96,6 +110,9 @@ let snapshot (t : t) : snapshot =
         s_deadline = t.deadline;
         s_bad_request = t.bad_request;
         s_health = t.health;
+        s_conns = t.conns;
+        s_read_errors = t.read_errors;
+        s_write_errors = t.write_errors;
         s_latency_count = t.n_samples;
         s_p50_ms = percentile sorted 0.50;
         s_p95_ms = percentile sorted 0.95;

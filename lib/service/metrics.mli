@@ -19,6 +19,17 @@ val incr_deadline : t -> unit
 val incr_bad_request : t -> unit
 val incr_health : t -> unit
 
+val incr_conn : t -> unit
+(** One accepted socket connection. *)
+
+val incr_read_error : t -> unit
+(** One failed request-stream read (a [Sys_error] that was not a
+    requested stop). *)
+
+val incr_write_error : t -> unit
+(** One response dropped because its connection's output channel failed
+    (e.g. the client disconnected before the answer was written). *)
+
 val observe_ms : t -> float -> unit
 (** Record one request's enqueue-to-response latency, in milliseconds. *)
 
@@ -38,6 +49,9 @@ type snapshot = {
   s_deadline : int;
   s_bad_request : int;
   s_health : int;
+  s_conns : int;  (** connections accepted (socket mode) *)
+  s_read_errors : int;  (** failed request-stream reads *)
+  s_write_errors : int;  (** responses lost to dead connections *)
   s_latency_count : int;
       (** samples ever observed (the ring keeps the most recent 4096) *)
   s_p50_ms : float;

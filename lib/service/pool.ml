@@ -52,6 +52,50 @@ let spawn ~(workers : int) (body : tid:int -> unit) : t =
       Array.init workers (fun k -> Domain.spawn (fun () -> body ~tid:(k + 1)))
   }
 
+(* A dynamic set of detached domains whose population is not known up
+   front — the socket accept loop spawns one reader per accepted
+   connection and joins whatever accumulated when the listener stops.
+   [join_all] is exception-safe the same way [join] is: every domain is
+   joined, then the first exception (if any) is re-raised. *)
+type dynamic = {
+  dyn_lock : Mutex.t;
+  mutable dyn_domains : unit Domain.t list;
+  mutable dyn_spawned : int;
+}
+
+let dynamic () =
+  { dyn_lock = Mutex.create (); dyn_domains = []; dyn_spawned = 0 }
+
+let add (d : dynamic) (body : unit -> unit) : unit =
+  let dom = Domain.spawn body in
+  Mutex.lock d.dyn_lock;
+  d.dyn_domains <- dom :: d.dyn_domains;
+  d.dyn_spawned <- d.dyn_spawned + 1;
+  Mutex.unlock d.dyn_lock
+
+let spawned (d : dynamic) : int =
+  Mutex.lock d.dyn_lock;
+  let n = d.dyn_spawned in
+  Mutex.unlock d.dyn_lock;
+  n
+
+let join_all (d : dynamic) : unit =
+  let doms =
+    Mutex.lock d.dyn_lock;
+    let ds = d.dyn_domains in
+    d.dyn_domains <- [];
+    Mutex.unlock d.dyn_lock;
+    ds
+  in
+  let first_exn = ref None in
+  List.iter
+    (fun dom ->
+      match Domain.join dom with
+      | () -> ()
+      | exception e -> if !first_exn = None then first_exn := Some e)
+    doms;
+  match !first_exn with None -> () | Some e -> raise e
+
 let run ~(workers : int) (body : tid:int -> unit) : unit =
   let workers = max 1 workers in
   if workers = 1 then body ~tid:0

@@ -31,6 +31,23 @@ val join : t -> unit
 val size : t -> int
 (** Number of spawned domains. *)
 
+type dynamic
+(** A detached set of domains whose population is not known up front —
+    the socket accept loop spawns one reader domain per accepted
+    connection and joins whatever accumulated when the listener stops. *)
+
+val dynamic : unit -> dynamic
+
+val add : dynamic -> (unit -> unit) -> unit
+(** Spawn one more domain into the set. *)
+
+val spawned : dynamic -> int
+(** Domains spawned into the set so far (joined or not). *)
+
+val join_all : dynamic -> unit
+(** Join every domain added so far. If any body raised, the first
+    exception is re-raised after all domains are joined. *)
+
 val run : workers:int -> (tid:int -> unit) -> unit
 (** [run ~workers body] executes [body ~tid] once per worker slot
     [0..workers-1], the calling domain participating as tid 0 (so

@@ -1,10 +1,14 @@
 (* The resilient compile server behind `roccc serve`.
 
-   Line-delimited JSON requests come in on a channel (stdin or one Unix
-   socket connection); one JSON response line goes out per request. The
-   reader thread is the admission controller: it parses, validates and
-   either answers immediately (health, malformed input, load shed) or
-   enqueues the request on a bounded queue that worker domains drain.
+   Line-delimited JSON requests come in over connections (stdin, or any
+   number of simultaneous Unix-socket connections — {!serve_socket} runs
+   a concurrent accept loop); one JSON response line goes out per
+   request, on the connection that sent it. Each connection gets a
+   reader that parses, validates and either answers immediately (health,
+   malformed input, load shed) or enqueues the request on ONE shared
+   bounded queue that ONE shared pool of worker domains drains; each
+   connection's output channel is write-locked so concurrent workers
+   never interleave response bytes.
 
    Resilience properties, each deterministic and testable under
    {!Faults}:
@@ -16,8 +20,11 @@
    - every failure — compile error, injected fault, even an unexpected
      exception — becomes a structured "error" response; the server never
      crashes on a request;
-   - EOF, a shutdown request or SIGTERM ({!request_stop}) drain cleanly:
-     admission stops, queued requests finish, workers join. *)
+   - fair drain and shutdown: EOF on one connection closes only that
+     connection (once its own admitted requests are answered) and never
+     stalls the others; a shutdown request or SIGTERM ({!request_stop})
+     stops accepting everywhere, then every queued request from every
+     connection finishes before the workers join. *)
 
 module Pass = Roccc_core.Pass
 module Driver = Roccc_core.Driver
@@ -254,8 +261,23 @@ let parse_request ~(label : string) (j : Json.t) :
 (* The server                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* One client connection: its own output channel (write-locked so
+   concurrent workers never interleave bytes) and its own count of
+   admitted-but-unanswered requests, so the connection can be closed the
+   moment *its* work is done without waiting on anyone else's. *)
+type conn = {
+  cn_id : int;
+  cn_oc : out_channel;
+  cn_lock : Mutex.t;
+  mutable cn_inflight : int;  (* queued or executing; guarded by t.lock *)
+  cn_fd : Unix.file_descr option;
+      (* socket connections carry their fd so a stopping server can nudge
+         an idle reader out of its blocking read *)
+}
+
 type pending = {
   p_id : Json.t;
+  p_conn : conn;  (* where the response goes *)
   p_job : Service.job;
   p_deadline : float option;  (* absolute, seconds since the epoch *)
   p_return_vhdl : bool;
@@ -268,19 +290,22 @@ type t = {
   base_config : Pass.config;
   cache : Cache.t option;
   trace : Trace.t option;
+  status_path : string option;  (* farm children publish health here *)
   metrics : Metrics.t;
   queue : pending Queue.t;
   lock : Mutex.t;
   work_ready : Condition.t;  (* queue non-empty, or draining *)
-  idle : Condition.t;        (* queue empty and nothing in flight *)
+  idle : Condition.t;        (* some inflight count reached zero *)
+  conns : (int, conn) Hashtbl.t;  (* live connections; guarded by lock *)
+  mutable next_conn : int;
   mutable inflight : int;
   mutable draining : bool;
   mutable n_requests : int;  (* admission counter, for request labels *)
   stop_flag : bool Atomic.t; (* SIGTERM / shutdown request *)
-  out_lock : Mutex.t;
 }
 
-let create ?cache ?config ?trace ?(limits = default_limits) () : t =
+let create ?cache ?config ?trace ?(limits = default_limits) ?status_path ()
+    : t =
   let base =
     match config with Some c -> c | None -> Pass.default_config ()
   in
@@ -301,18 +326,20 @@ let create ?cache ?config ?trace ?(limits = default_limits) () : t =
     base_config;
     cache;
     trace;
+    status_path;
     (* one response-count slot per worker tid, plus slot 0 for the
-       admission thread's own answers (health, rejects, sheds) *)
+       reader threads' own answers (health, rejects, sheds) *)
     metrics = Metrics.create ~worker_slots:(workers + 1) ();
     queue = Queue.create ();
     lock = Mutex.create ();
     work_ready = Condition.create ();
     idle = Condition.create ();
+    conns = Hashtbl.create 8;
+    next_conn = 0;
     inflight = 0;
     draining = false;
     n_requests = 0;
-    stop_flag = Atomic.make false;
-    out_lock = Mutex.create () }
+    stop_flag = Atomic.make false }
 
 let metrics (srv : t) : Metrics.t = srv.metrics
 
@@ -323,18 +350,49 @@ let locked (srv : t) f =
   Mutex.lock srv.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock srv.lock) f
 
-(* One response line per request, under the output lock so concurrent
-   workers never interleave bytes. *)
-let respond (srv : t) (oc : out_channel) (fields : (string * Json.t) list) :
-    unit =
+(* One response line per request, under the connection's output lock so
+   concurrent workers never interleave bytes. A write failure (the
+   client hung up before its answer) is counted and swallowed — a dead
+   connection must never take a worker down. *)
+let respond (srv : t) (conn : conn) (fields : (string * Json.t) list) : unit =
   let line = Json.to_string (Json.Obj fields) in
-  Mutex.lock srv.out_lock;
+  Mutex.lock conn.cn_lock;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock srv.out_lock)
+    ~finally:(fun () -> Mutex.unlock conn.cn_lock)
     (fun () ->
-      output_string oc line;
-      output_char oc '\n';
-      flush oc)
+      match
+        output_string conn.cn_oc line;
+        output_char conn.cn_oc '\n';
+        flush conn.cn_oc
+      with
+      | () -> ()
+      | exception Sys_error _ -> Metrics.incr_write_error srv.metrics)
+
+(* Register a new connection (stdin counts as one too). *)
+let new_conn ?fd (srv : t) (oc : out_channel) : conn =
+  Metrics.incr_conn srv.metrics;
+  locked srv (fun () ->
+      srv.next_conn <- srv.next_conn + 1;
+      let c =
+        { cn_id = srv.next_conn;
+          cn_oc = oc;
+          cn_lock = Mutex.create ();
+          cn_inflight = 0;
+          cn_fd = fd }
+      in
+      Hashtbl.replace srv.conns c.cn_id c;
+      c)
+
+let forget_conn (srv : t) (conn : conn) : unit =
+  locked srv (fun () -> Hashtbl.remove srv.conns conn.cn_id)
+
+(* EOF on one connection must not stall the others: its closer waits
+   only for the requests *this* connection admitted. *)
+let wait_conn_idle (srv : t) (conn : conn) : unit =
+  locked srv (fun () ->
+      while conn.cn_inflight > 0 do
+        Condition.wait srv.idle srv.lock
+      done)
 
 let queue_depth_sample (srv : t) : unit =
   Option.iter
@@ -378,6 +436,8 @@ let health_json (srv : t) : Json.t =
           "io_errors", Json.int st.Cache.io_errors;
           "tmp_swept", Json.int st.Cache.tmp_swept;
           "contended", Json.int st.Cache.contended;
+          "flights", Json.int st.Cache.flights;
+          "coalesced", Json.int st.Cache.coalesced;
           ( "hit_rate",
             if looked_up = 0 then Json.Null
             else
@@ -422,6 +482,14 @@ let health_json (srv : t) : Json.t =
               Json.Arr
                 (Array.to_list
                    (Array.map Json.int s.Metrics.s_by_worker)) ) ] );
+      "pid", Json.int (Unix.getpid ());
+      ( "connections",
+        Json.Obj
+          [ "accepted", Json.int s.Metrics.s_conns;
+            ( "active",
+              Json.int (locked srv (fun () -> Hashtbl.length srv.conns)) );
+            "read_errors", Json.int s.Metrics.s_read_errors;
+            "write_errors", Json.int s.Metrics.s_write_errors ] );
       ( "queue",
         Json.Obj
           [ "depth", Json.int depth;
@@ -450,17 +518,36 @@ let wait_idle (srv : t) : unit =
         Condition.wait srv.idle srv.lock
       done)
 
+(* Publish the health snapshot to the status file (atomically, via the
+   pid-suffixed tmp + rename dance the disk cache uses) so a farm
+   supervisor can aggregate across children it cannot query directly.
+   Written after each drain and each health request. *)
+let write_status (srv : t) : unit =
+  Option.iter
+    (fun path ->
+      let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+      match open_out tmp with
+      | exception Sys_error _ -> ()
+      | oc ->
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (Json.to_string (health_json srv));
+            output_char oc '\n');
+        (try Sys.rename tmp path with Sys_error _ -> ()))
+    srv.status_path
+
 (* ------------------------------------------------------------------ *)
 (* Workers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let handle (srv : t) (oc : out_channel) (tid : int) (p : pending) : unit =
+let handle (srv : t) (tid : int) (p : pending) : unit =
   let t0 = now () in
   let finish fields =
     let ms = (now () -. p.p_enqueued_s) *. 1e3 in
     Metrics.observe_ms srv.metrics ms;
     Metrics.incr_worker srv.metrics ~tid;
-    respond srv oc
+    respond srv p.p_conn
       (("id", p.p_id) :: fields @ [ "elapsed_ms", Json.Num ms ]);
     Option.iter
       (fun tr ->
@@ -540,7 +627,7 @@ let handle (srv : t) (oc : out_channel) (tid : int) (p : pending) : unit =
         "kind", Json.Str kind;
         "message", Json.Str msg ]
 
-let rec worker (srv : t) (oc : out_channel) (tid : int) : unit =
+let rec worker (srv : t) (tid : int) : unit =
   let next =
     locked srv (fun () ->
         let rec await () =
@@ -561,34 +648,35 @@ let rec worker (srv : t) (oc : out_channel) (tid : int) : unit =
   | None -> ()
   | Some p ->
     queue_depth_sample srv;
-    handle srv oc tid p;
+    handle srv tid p;
     locked srv (fun () ->
         srv.inflight <- srv.inflight - 1;
-        if srv.inflight = 0 && Queue.is_empty srv.queue then
-          Condition.broadcast srv.idle);
-    worker srv oc tid
+        p.p_conn.cn_inflight <- p.p_conn.cn_inflight - 1;
+        (* wake both the global drain (wait_idle) and any per-connection
+           closer (wait_conn_idle) — either count may just have hit 0 *)
+        Condition.broadcast srv.idle);
+    worker srv tid
 
 (* ------------------------------------------------------------------ *)
 (* Admission                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let bad_request (srv : t) (oc : out_channel) (id : Json.t) (msg : string) :
-    unit =
+let bad_request (srv : t) (conn : conn) (id : Json.t) (msg : string) : unit =
   Metrics.incr_bad_request srv.metrics;
   Metrics.incr_worker srv.metrics ~tid:0;
-  respond srv oc
+  respond srv conn
     [ "id", id;
       "status", Json.Str "error";
       "kind", Json.Str "bad_request";
       "message", Json.Str msg ]
 
-(* Handle one request line; [false] means a shutdown request asked the
-   reader to stop. *)
-let admit (srv : t) (oc : out_channel) (line : string) : bool =
+(* Handle one request line from one connection; [false] means a shutdown
+   request asked the reader to stop. *)
+let admit (srv : t) (conn : conn) (line : string) : bool =
   Metrics.incr_received srv.metrics;
   let n = locked srv (fun () -> srv.n_requests <- srv.n_requests + 1; srv.n_requests) in
   if String.length line > srv.limits.max_request_bytes then begin
-    bad_request srv oc Json.Null
+    bad_request srv conn Json.Null
       (Printf.sprintf "request of %d bytes exceeds the %d-byte limit"
          (String.length line) srv.limits.max_request_bytes);
     true
@@ -596,26 +684,27 @@ let admit (srv : t) (oc : out_channel) (line : string) : bool =
   else
     match Json.parse line with
     | Error msg ->
-      bad_request srv oc Json.Null ("malformed JSON: " ^ msg);
+      bad_request srv conn Json.Null ("malformed JSON: " ^ msg);
       true
     | Ok j -> (
       match parse_request ~label:(Printf.sprintf "req-%d" n) j with
       | Error (id, msg) ->
-        bad_request srv oc id msg;
+        bad_request srv conn id msg;
         true
       | Ok { rq_id; rq_kind = Health drain } ->
         if drain then wait_idle srv;
         Metrics.incr_health srv.metrics;
         Metrics.incr_worker srv.metrics ~tid:0;
-        respond srv oc
+        respond srv conn
           [ "id", rq_id;
             "status", Json.Str "ok";
             "health", health_json srv ];
+        write_status srv;
         true
       | Ok { rq_id; rq_kind = Shutdown } ->
         Metrics.incr_health srv.metrics;
         Metrics.incr_worker srv.metrics ~tid:0;
-        respond srv oc
+        respond srv conn
           [ "id", rq_id;
             "status", Json.Str "ok";
             "shutting_down", Json.Bool true ];
@@ -629,6 +718,7 @@ let admit (srv : t) (oc : out_channel) (line : string) : bool =
         in
         let p =
           { p_id = rq_id;
+            p_conn = conn;
             p_job = job;
             p_deadline =
               Option.map (fun ms -> now () +. (ms /. 1e3)) deadline_ms;
@@ -640,6 +730,7 @@ let admit (srv : t) (oc : out_channel) (line : string) : bool =
               if Queue.length srv.queue >= srv.limits.queue_depth then false
               else begin
                 Queue.push p srv.queue;
+                conn.cn_inflight <- conn.cn_inflight + 1;
                 Condition.signal srv.work_ready;
                 true
               end)
@@ -648,7 +739,7 @@ let admit (srv : t) (oc : out_channel) (line : string) : bool =
         if not accepted then begin
           Metrics.incr_shed srv.metrics;
           Metrics.incr_worker srv.metrics ~tid:0;
-          respond srv oc
+          respond srv conn
             [ "id", rq_id;
               "status", Json.Str "overloaded";
               "message",
@@ -662,31 +753,124 @@ let admit (srv : t) (oc : out_channel) (line : string) : bool =
 (* The serve loop                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(** Serve one request stream: spawn the worker pool, admit requests
-    until EOF / shutdown / {!request_stop}, then drain — queued requests
-    finish, workers join — and return the final metrics snapshot. The
-    server value may serve several streams in sequence (the Unix-socket
-    accept loop); metrics and cache persist across them. *)
-let serve (srv : t) (ic : in_channel) (oc : out_channel) : Metrics.snapshot =
-  locked srv (fun () -> srv.draining <- false);
-  let pool =
-    Pool.spawn ~workers:srv.limits.workers (fun ~tid -> worker srv oc tid)
-  in
+(* One connection's read loop: admit lines until EOF, a shutdown
+   request, or {!request_stop}. A read that fails for any other reason
+   (the peer vanished, the fd was yanked) is COUNTED and logged — not
+   silently swallowed — unless it is the stop nudge we sent ourselves. *)
+let read_conn (srv : t) (conn : conn) (ic : in_channel) : unit =
   let rec read_loop () =
     if stop_requested srv then ()
     else
       match input_line ic with
       | exception End_of_file -> ()
-      | exception Sys_error _ ->
-        (* interrupted read (e.g. a signal landed); stop if it was ours *)
-        if stop_requested srv then () else ()
+      | exception Sys_error msg ->
+        if not (stop_requested srv) then begin
+          Metrics.incr_read_error srv.metrics;
+          Printf.eprintf "roccc serve: read error on connection %d: %s\n%!"
+            conn.cn_id msg
+        end
       | line ->
         if String.equal (String.trim line) "" then read_loop ()
-        else if admit srv oc line then read_loop ()
+        else if admit srv conn line then read_loop ()
   in
-  read_loop ();
+  read_loop ()
+
+(** Serve one request stream (e.g. stdin/stdout): spawn the worker pool,
+    admit requests until EOF / shutdown / {!request_stop}, then drain —
+    queued requests finish, workers join — and return the final metrics
+    snapshot. The server value may serve several streams in sequence;
+    metrics and cache persist across them. *)
+let serve (srv : t) (ic : in_channel) (oc : out_channel) : Metrics.snapshot =
+  locked srv (fun () -> srv.draining <- false);
+  let pool = Pool.spawn ~workers:srv.limits.workers (fun ~tid -> worker srv tid) in
+  let conn = new_conn srv oc in
+  read_conn srv conn ic;
   locked srv (fun () ->
       srv.draining <- true;
       Condition.broadcast srv.work_ready);
   Pool.join pool;
+  forget_conn srv conn;
+  write_status srv;
+  Metrics.snapshot srv.metrics
+
+(* ------------------------------------------------------------------ *)
+(* The concurrent socket accept loop                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Kick every idle connection reader out of its blocking [input_line] by
+   half-closing the socket's read side. Runs under [srv.lock]: a fd is
+   only closed after {!forget_conn} (which needs the same lock), so a
+   registered fd can never be concurrently closed under our feet. *)
+let nudge_all (srv : t) : unit =
+  locked srv (fun () ->
+      Hashtbl.iter
+        (fun _ c ->
+          Option.iter
+            (fun fd ->
+              try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+              with Unix.Unix_error _ -> ())
+            c.cn_fd)
+        srv.conns)
+
+(* One socket connection, run on its own reader domain: register, read
+   until EOF/shutdown, wait for THIS connection's admitted requests to be
+   answered, then unregister and close. Closing never stalls on other
+   connections' work. *)
+let serve_conn (srv : t) (fd : Unix.file_descr) : unit =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let conn = new_conn ~fd srv oc in
+  Option.iter
+    (fun tr ->
+      Trace.add_instant tr ~name:"conn_open"
+        ~args:[ "conn", Trace.Int conn.cn_id ] ())
+    srv.trace;
+  read_conn srv conn ic;
+  wait_conn_idle srv conn;
+  forget_conn srv conn;
+  Option.iter
+    (fun tr ->
+      Trace.add_instant tr ~name:"conn_close"
+        ~args:[ "conn", Trace.Int conn.cn_id ] ())
+    srv.trace;
+  (try flush oc with Sys_error _ -> Metrics.incr_write_error srv.metrics);
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(** Serve a listening Unix-domain (or TCP) socket concurrently: ONE
+    shared worker pool drains ONE shared admission queue fed by a reader
+    domain per accepted connection. EOF on one connection closes only
+    that connection; a shutdown request or {!request_stop} stops
+    accepting, nudges idle readers, and drains every queued request from
+    every connection before the workers join. Returns the final metrics
+    snapshot. *)
+let serve_socket ?(poll_interval_s = 0.05) (srv : t)
+    (sock : Unix.file_descr) : Metrics.snapshot =
+  locked srv (fun () -> srv.draining <- false);
+  let pool = Pool.spawn ~workers:srv.limits.workers (fun ~tid -> worker srv tid) in
+  let readers = Pool.dynamic () in
+  let rec accept_loop () =
+    if stop_requested srv then ()
+    else
+      (* select with a short timeout so a stop request (signal or
+         shutdown verb on any connection) is noticed promptly even when
+         no client is connecting *)
+      match Unix.select [ sock ] [] [] poll_interval_s with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ ->
+        (match Unix.accept sock with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ -> Pool.add readers (fun () -> serve_conn srv fd));
+        accept_loop ()
+  in
+  accept_loop ();
+  (* stop order matters: wake blocked readers first (their connections'
+     queued work is still honoured), join them, THEN drain the workers *)
+  nudge_all srv;
+  Pool.join_all readers;
+  locked srv (fun () ->
+      srv.draining <- true;
+      Condition.broadcast srv.work_ready);
+  Pool.join pool;
+  write_status srv;
   Metrics.snapshot srv.metrics

@@ -1,16 +1,25 @@
 (** The resilient compile server behind [roccc serve].
 
-    Requests are line-delimited JSON objects read from a channel (stdin
-    or one Unix-socket connection); each gets exactly one JSON response
-    line. Request types: ["compile"] (default — fields [source], [entry],
-    optional [options] object, [deadline_ms], [return_vhdl], [id]),
-    ["health"] (optional ["drain": true] to wait for quiescence first)
-    and ["shutdown"]. Response [status] is one of ["ok"], ["error"]
-    (with a [kind]: [bad_request] / [compile] / [injected_fault] /
-    [internal]), ["overloaded"] (load shed — the bounded admission queue
-    was full) or ["deadline_exceeded"] (cancelled cooperatively at a pass
-    boundary). The server answers every admitted line; it never crashes
-    or hangs on a request, including under {!Faults} injection. *)
+    Requests are line-delimited JSON objects read from a channel (stdin,
+    or any number of simultaneous Unix-socket connections —
+    {!serve_socket} runs a concurrent accept loop); each gets exactly
+    one JSON response line, on the connection that sent it. Request
+    types: ["compile"] (default — fields [source], [entry], optional
+    [options] object, [deadline_ms], [return_vhdl], [id]), ["health"]
+    (optional ["drain": true] to wait for quiescence first) and
+    ["shutdown"]. Response [status] is one of ["ok"], ["error"] (with a
+    [kind]: [bad_request] / [compile] / [injected_fault] / [internal]),
+    ["overloaded"] (load shed — the bounded admission queue was full) or
+    ["deadline_exceeded"] (cancelled cooperatively at a pass boundary).
+    The server answers every admitted line; it never crashes or hangs on
+    a request, including under {!Faults} injection.
+
+    Concurrency model: ONE bounded admission queue and ONE pool of
+    worker domains serve every connection; each accepted connection gets
+    a reader domain that parses and enqueues, and a write-locked output
+    channel so concurrent workers never interleave response bytes. EOF
+    on one connection closes only that connection (after its own
+    admitted requests are answered) and never stalls the others. *)
 
 type limits = {
   workers : int;  (** worker domains; [0] picks the hardware default *)
@@ -54,16 +63,31 @@ val create :
   ?config:Roccc_core.Pass.config ->
   ?trace:Trace.t ->
   ?limits:limits ->
+  ?status_path:string ->
   unit ->
   t
 (** The server value owns the metrics and may serve several request
-    streams in sequence (the socket accept loop); metrics and cache
-    persist across streams. *)
+    streams in sequence; metrics and cache persist across streams.
+    [status_path], when given, is a file the server atomically rewrites
+    with its {!health_json} after each drain and each health request —
+    the farm supervisor aggregates these across children it cannot query
+    directly. *)
 
 val serve : t -> in_channel -> out_channel -> Metrics.snapshot
 (** Serve one stream: spawn the workers, admit until EOF / a shutdown
     request / {!request_stop}, then drain — queued requests finish,
     workers join — and return the final metrics snapshot. *)
+
+val serve_socket :
+  ?poll_interval_s:float -> t -> Unix.file_descr -> Metrics.snapshot
+(** Serve a listening socket concurrently: accept connections until a
+    shutdown request (on any connection) or {!request_stop}, running a
+    reader domain per connection over one shared queue and worker pool.
+    On stop: stop accepting, nudge idle readers out of their blocked
+    reads, answer everything already admitted from every connection,
+    join workers, and return the final snapshot. [poll_interval_s]
+    (default 0.05) bounds how long a stop request can go unnoticed while
+    no client is connecting. *)
 
 val request_stop : t -> unit
 (** Ask the serve loop to stop admitting (async-signal-safe: sets an

@@ -37,6 +37,7 @@ type origin =
   | Warm_stage      (* every mid-end pass reused; back end ran *)
   | Warm_memory     (* finished artifact from the in-memory cache *)
   | Warm_disk       (* finished artifact reloaded from _roccc_cache/ *)
+  | Coalesced       (* waited on a concurrent identical compile (single-flight) *)
 
 let origin_name = function
   | Cold -> "cold"
@@ -44,6 +45,7 @@ let origin_name = function
   | Warm_stage -> "warm-stage"
   | Warm_memory -> "warm"
   | Warm_disk -> "warm-disk"
+  | Coalesced -> "coalesced"
 
 type success = {
   r_label : string;
@@ -210,7 +212,13 @@ let run_mid_end ?cache ~(base_config : Pass.config) ~(config : Pass.config)
     then the chained per-pass states of the mid-end pipeline — resuming
     from the deepest cached state and reporting per-pass spans to [trace]
     (reused passes appear with a [cached] argument and zero duration).
-    Raises {!Driver.Error} on failure. *)
+
+    Executions are single-flight per full fingerprint: when a cache is
+    given and the same key is already compiling on another domain, this
+    call blocks on that leader's completion and shares its cached
+    artifact (origin {!Coalesced}, a zero-duration ["coalesced"] trace
+    span, and a bump of the cache's [coalesced] counter) instead of
+    compiling again. Raises {!Driver.Error} on failure. *)
 let compile_cached ?cache ?config ?trace ?(tid = 0) (job : job) : success =
   let t0 = now () in
   let base_config =
@@ -224,13 +232,10 @@ let compile_cached ?cache ?config ?trace ?(tid = 0) (job : job) : success =
     Option.iter (fun cache -> Cache.store cache full_key (Cache.Artifact art)) cache;
     success_of_artifact ~label:job.label ~elapsed:(now () -. t0) ~origin art
   in
-  match Option.bind cache (fun c -> Cache.find c full_key) with
-  | Some (Cache.Artifact a, where) ->
-    let origin =
-      match where with Cache.Memory -> Warm_memory | Cache.Disk -> Warm_disk
-    in
+  let from_artifact origin (a : Cache.artifact) =
     success_of_artifact ~label:job.label ~elapsed:(now () -. t0) ~origin a
-  | Some _ | None ->
+  in
+  let execute () =
     let st, start_idx, n =
       run_mid_end ?cache ~base_config ~config ?trace ~tid job
     in
@@ -241,6 +246,61 @@ let compile_cached ?cache ?config ?trace ?(tid = 0) (job : job) : success =
       else Warm_stage
     in
     finish origin c
+  in
+  match Option.bind cache (fun c -> Cache.find c full_key) with
+  | Some (Cache.Artifact a, where) ->
+    let origin =
+      match where with Cache.Memory -> Warm_memory | Cache.Disk -> Warm_disk
+    in
+    from_artifact origin a
+  | Some _ | None -> (
+    match cache with
+    | None -> execute ()
+    | Some c -> (
+      match Cache.enter_flight c full_key with
+      | `Leader -> (
+        (* re-probe under leadership: a previous leader may have stored
+           and exited between our probe above and winning the flight, in
+           which case there is nothing to execute and the flight is
+           retracted (so [flights] counts executions exactly) *)
+        match Cache.find c full_key with
+        | Some (Cache.Artifact a, where) ->
+          Cache.abort_flight c full_key;
+          let origin =
+            match where with
+            | Cache.Memory -> Warm_memory
+            | Cache.Disk -> Warm_disk
+          in
+          from_artifact origin a
+        | Some _ | None ->
+          (* the flight is exited on success AND failure: a dying leader
+             must wake its followers, who then compile for themselves *)
+          Fun.protect
+            ~finally:(fun () -> Cache.exit_flight c full_key)
+            execute)
+      | `Coalesced -> (
+        (* we slept through any deadline while the leader ran; honour it
+           before answering from the shared artifact *)
+        (match base_config.Pass.cancel with
+        | Some check -> (
+          match check () with
+          | Some reason -> raise (Pass.Cancelled reason)
+          | None -> ())
+        | None -> ());
+        Option.iter
+          (fun tr ->
+            Trace.add_span tr ~cat:"pass" ~tid ~name:"coalesced"
+              ~start_s:(now ()) ~dur_s:0.0
+              ~args:
+                [ "job", Trace.Str job.label; "coalesced", Trace.Int 1 ]
+              ())
+          trace;
+        match Cache.find c full_key with
+        | Some (Cache.Artifact a, _) -> from_artifact Coalesced a
+        | Some _ | None ->
+          (* the leader failed (or its store degraded); fall back to our
+             own execution — its warm per-pass states still help *)
+          execute ())))
 
 type measured = {
   m_label : string;

@@ -22,6 +22,10 @@ type origin =
   | Warm_stage  (** every mid-end pass reused; only the back end ran *)
   | Warm_memory  (** finished artifact from the in-memory cache *)
   | Warm_disk  (** finished artifact reloaded from the disk cache *)
+  | Coalesced
+      (** a concurrent identical compile was already executing; this job
+          blocked on that leader and shares its artifact (single-flight
+          deduplication) *)
 
 val origin_name : origin -> string
 
@@ -62,8 +66,14 @@ val compile_cached :
     feedback-detection) — resuming compilation from the deepest cached
     pipeline state and tracing each pass (reused passes appear with a
     [cached] argument and zero duration). [config] selects passes and
-    enables IR verification / differential checks. Raises
-    {!Roccc_core.Driver.Error} on failure. *)
+    enables IR verification / differential checks.
+
+    Executions are single-flight per full fingerprint: with a cache,
+    concurrent requests for the same key collapse to one execution — the
+    followers block on the leader's completion and share its cached
+    artifact with origin {!Coalesced} and a zero-duration ["coalesced"]
+    trace span ({!Cache.stats} counts [flights] and [coalesced]).
+    Raises {!Roccc_core.Driver.Error} on failure. *)
 
 (** An estimate-only evaluation of one job (no VHDL). *)
 type measured = {

@@ -28,13 +28,24 @@ type counter = {
   c_value : float;
 }
 
+(* Instant ("i") events: a point in time worth a tick mark in the viewer
+   — a connection opening or closing, a farm child restarting. *)
+type instant = {
+  i_name : string;
+  i_tid : int;
+  i_ts_s : float;  (* absolute wall-clock, seconds *)
+  i_args : (string * arg) list;
+}
+
 type t = {
   lock : Mutex.t;
   mutable spans : span list;  (* newest first *)
   mutable counters : counter list;  (* newest first *)
+  mutable instants : instant list;  (* newest first *)
 }
 
-let create () = { lock = Mutex.create (); spans = []; counters = [] }
+let create () =
+  { lock = Mutex.create (); spans = []; counters = []; instants = [] }
 
 let add_span t ?(cat = "pass") ?(args = []) ~tid ~name ~start_s ~dur_s () =
   let sp =
@@ -54,6 +65,15 @@ let add_counter t ?(tid = 0) ~name ~value () =
   t.counters <- c :: t.counters;
   Mutex.unlock t.lock
 
+let add_instant t ?(tid = 0) ?(args = []) ~name () =
+  let i =
+    { i_name = name; i_tid = tid; i_ts_s = Unix.gettimeofday ();
+      i_args = args }
+  in
+  Mutex.lock t.lock;
+  t.instants <- i :: t.instants;
+  Mutex.unlock t.lock
+
 let spans t =
   Mutex.lock t.lock;
   let s = t.spans in
@@ -65,6 +85,12 @@ let counters t =
   let c = t.counters in
   Mutex.unlock t.lock;
   List.sort (fun a b -> Float.compare a.c_ts_s b.c_ts_s) c
+
+let instants t =
+  Mutex.lock t.lock;
+  let i = t.instants in
+  Mutex.unlock t.lock;
+  List.sort (fun a b -> Float.compare a.i_ts_s b.i_ts_s) i
 
 (* ---- JSON rendering ---- *)
 
@@ -113,15 +139,30 @@ let counter_json ~t0 (c : counter) : string =
     ((c.c_ts_s -. t0) *. 1e6)
     (args_json [ "value", Float c.c_value ])
 
+let instant_json ~t0 (i : instant) : string =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\"args\":%s}"
+    (escape i.i_name) i.i_tid
+    ((i.i_ts_s -. t0) *. 1e6)
+    (args_json i.i_args)
+
 let to_chrome_json ?(meta = []) (t : t) : string =
   let ss = spans t in
   let cs = counters t in
+  let is = instants t in
   let t0 =
-    match ss, cs with
-    | sp :: _, c :: _ -> Float.min sp.sp_start_s c.c_ts_s
-    | sp :: _, [] -> sp.sp_start_s
-    | [], c :: _ -> c.c_ts_s
-    | [], [] -> 0.0
+    let min3 a b = match a, b with
+      | Some a, Some b -> Some (Float.min a b)
+      | (Some _ as s), None | None, (Some _ as s) -> s
+      | None, None -> None
+    in
+    let first f = function [] -> None | x :: _ -> Some (f x) in
+    Option.value
+      (min3
+         (min3 (first (fun sp -> sp.sp_start_s) ss)
+            (first (fun c -> c.c_ts_s) cs))
+         (first (fun i -> i.i_ts_s) is))
+      ~default:0.0
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[\n";
@@ -135,6 +176,11 @@ let to_chrome_json ?(meta = []) (t : t) : string =
       if i > 0 || ss <> [] then Buffer.add_string buf ",\n";
       Buffer.add_string buf (counter_json ~t0 c))
     cs;
+  List.iteri
+    (fun i ev ->
+      if i > 0 || ss <> [] || cs <> [] then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (instant_json ~t0 ev))
+    is;
   Buffer.add_string buf "\n],\n\"displayTimeUnit\":\"ms\",\n\"meta\":";
   Buffer.add_string buf (args_json meta);
   Buffer.add_string buf "}\n";

@@ -44,6 +44,21 @@ val add_counter : t -> ?tid:int -> name:string -> value:float -> unit -> unit
 val counters : t -> counter list
 (** All counter samples, in chronological order. *)
 
+(** A point in time worth a tick mark (Chrome ["i"] events) — a
+    connection opening or closing, a farm child restarting. *)
+type instant = {
+  i_name : string;
+  i_tid : int;
+  i_ts_s : float;  (** absolute wall-clock seconds, stamped at add time *)
+  i_args : (string * arg) list;
+}
+
+val add_instant :
+  t -> ?tid:int -> ?args:(string * arg) list -> name:string -> unit -> unit
+
+val instants : t -> instant list
+(** All instant events, in chronological order. *)
+
 val to_chrome_json : ?meta:(string * arg) list -> t -> string
 (** The Chrome trace_event document: [{"traceEvents": [...], "meta": ...}].
     Load it at chrome://tracing or ui.perfetto.dev. [meta] carries

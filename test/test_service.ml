@@ -98,7 +98,7 @@ let test_artifact_key_sees_pass_selection () =
   in
   let r2 = Service.compile_cached ~cache ~config:no_opt (fir_job ()) in
   (match r2.Service.r_origin with
-  | Service.Warm_memory | Service.Warm_disk ->
+  | Service.Warm_memory | Service.Warm_disk | Service.Coalesced ->
     Alcotest.fail "selection change was served the default artifact"
   | Service.Cold | Service.Warm_partial | Service.Warm_stage -> ());
   Alcotest.(check bool) "disabled pass absent from the trace" false
@@ -1109,6 +1109,453 @@ let test_pass_cancellation_hook () =
   | _ -> ()
   | exception _ -> Alcotest.fail "benign cancel hook broke compilation"
 
+module Farm = Roccc_service.Farm
+
+(* ------------------------------------------------------------------ *)
+(* Single-flight deduplication                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_flight_dedup () =
+  (* K concurrent identical compiles must execute the mid-end exactly
+     once: one leader runs the passes while every follower blocks on the
+     flight and shares the artifact. Verified three ways: the instrument
+     hook counts executed passes, Cache.stats counts flights, and the
+     trace carries one zero-duration "coalesced" span per follower. *)
+  let k = 6 in
+  let job =
+    { Service.label = "flight";
+      source = tiny_kernel 11;
+      entry = "k";
+      options = Driver.default_options;
+      luts = [] }
+  in
+  (* baseline: executed-pass count of one cold compile *)
+  let baseline = ref 0 in
+  let base_cfg =
+    { (Pass.default_config ()) with
+      Pass.instrument = Some (fun _ -> incr baseline) }
+  in
+  ignore (Service.compile_cached ~cache:(Cache.create ()) ~config:base_cfg job);
+  Alcotest.(check bool) "baseline executes passes" true (!baseline > 0);
+  let cache = Cache.create () in
+  let trace = Trace.create () in
+  let executed = Atomic.make 0 in
+  let gated = Atomic.make false in
+  (* the leader's first pass blocks until every follower has registered
+     as coalesced, so the "all concurrent" interleaving is forced, not
+     hoped for *)
+  let gate () =
+    if Atomic.compare_and_set gated false true then begin
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while
+        (Cache.stats cache).Cache.coalesced < k - 1
+        && Unix.gettimeofday () < deadline
+      do
+        Domain.cpu_relax ()
+      done
+    end
+  in
+  let config =
+    { (Pass.default_config ()) with
+      Pass.instrument =
+        Some
+          (fun _ ->
+            gate ();
+            Atomic.incr executed) }
+  in
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let domains =
+    List.init k (fun _ ->
+        Domain.spawn (fun () ->
+            Atomic.incr ready;
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
+            Service.compile_cached ~cache ~config ~trace job))
+  in
+  while Atomic.get ready < k do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set go true;
+  let results = List.map Domain.join domains in
+  Alcotest.(check int) "mid-end executed exactly once" !baseline
+    (Atomic.get executed);
+  let st = Cache.stats cache in
+  Alcotest.(check int) "one flight" 1 st.Cache.flights;
+  Alcotest.(check int) "every follower coalesced" (k - 1) st.Cache.coalesced;
+  let origins = List.map (fun r -> r.Service.r_origin) results in
+  Alcotest.(check int) "one cold leader" 1
+    (List.length (List.filter (( = ) Service.Cold) origins));
+  Alcotest.(check int) "followers coalesced" (k - 1)
+    (List.length (List.filter (( = ) Service.Coalesced) origins));
+  (* every result shares the leader's bytes *)
+  let vhdls = List.map (fun r -> r.Service.r_vhdl) results in
+  List.iter
+    (fun v -> Alcotest.(check bool) "byte-identical artifact" true
+        (v = List.hd vhdls))
+    vhdls;
+  let coalesced_spans =
+    List.filter
+      (fun (sp : Trace.span) -> sp.Trace.sp_name = "coalesced")
+      (Trace.spans trace)
+  in
+  Alcotest.(check int) "one coalesced span per follower" (k - 1)
+    (List.length coalesced_spans);
+  List.iter
+    (fun (sp : Trace.span) ->
+      Alcotest.(check (float 0.0)) "zero duration" 0.0 sp.Trace.sp_dur_s)
+    coalesced_spans
+
+(* ------------------------------------------------------------------ *)
+(* Multi-process-safe tmp sweeping                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_tmp_sweep_respects_live_pids () =
+  let dir = fresh_tmp_dir "roccc_sweep" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let touch ?(age_s = 0.0) name =
+        let path = Filename.concat dir name in
+        let oc = open_out path in
+        output_string oc "partial artifact";
+        close_out oc;
+        if age_s > 0.0 then begin
+          let t = Unix.gettimeofday () -. age_s in
+          Unix.utimes path t t
+        end;
+        path
+      in
+      let dead_fresh = touch "a.art.tmp.111" in
+      let live_fresh = touch "b.art.tmp.222" in
+      let live_old = touch ~age_s:3600.0 "c.art.tmp.222" in
+      let junk_fresh = touch "d.art.tmp.notapid" in
+      let junk_old = touch ~age_s:3600.0 "e.art.tmp.notapid" in
+      let artifact = touch "f.art" in
+      (* pid 222 is "alive", everything else is dead *)
+      let removed =
+        Cache.sweep_stale_tmp ~max_age_s:600.0
+          ~pid_alive:(fun pid -> pid = 222)
+          dir
+      in
+      (* removed: dead_fresh (dead pid), live_old (over age), junk_old
+         (unparseable pid falls back to the age rule) *)
+      Alcotest.(check int) "three stale files removed" 3 removed;
+      Alcotest.(check bool) "dead pid swept even when fresh" false
+        (Sys.file_exists dead_fresh);
+      Alcotest.(check bool) "live sibling's in-flight write kept" true
+        (Sys.file_exists live_fresh);
+      Alcotest.(check bool) "live but ancient write swept" false
+        (Sys.file_exists live_old);
+      Alcotest.(check bool) "unparseable fresh tmp kept" true
+        (Sys.file_exists junk_fresh);
+      Alcotest.(check bool) "unparseable old tmp swept" false
+        (Sys.file_exists junk_old);
+      Alcotest.(check bool) "finished artifacts untouched" true
+        (Sys.file_exists artifact))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent socket connections                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_serve_socket ?(limits = Server.default_limits) ?cache f =
+  let dir = fresh_tmp_dir "roccc_sock" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let path = Filename.concat dir "sv.sock" in
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      let srv = Server.create ?cache ~limits () in
+      let server =
+        Domain.spawn (fun () -> Server.serve_socket ~poll_interval_s:0.01 srv sock)
+      in
+      let out = f path srv in
+      Server.request_stop srv;
+      let snapshot = Domain.join server in
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      out, snapshot)
+
+let connect_client path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd
+
+let rpc oc ic line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let test_serve_socket_concurrent_clients () =
+  let limits = { Server.default_limits with Server.workers = 2 } in
+  let reqs_per_client = 4 in
+  let (by_client, shutdown_resp), snapshot =
+    with_serve_socket ~limits (fun path _srv ->
+        (* two clients compile the same sources concurrently over their
+           own connections, each in lock-step (send, await reply) so the
+           two request streams interleave on the shared queue *)
+        let client tag =
+          let fd, ic, oc = connect_client path in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              List.init reqs_per_client (fun i ->
+                  let id = Printf.sprintf "%s%d" tag i in
+                  let line =
+                    Printf.sprintf
+                      {|{"id":%S,"source":%S,"entry":"k","return_vhdl":true}|}
+                      id (tiny_kernel i)
+                  in
+                  rpc oc ic line))
+        in
+        let a = Domain.spawn (fun () -> client "a") in
+        let b = Domain.spawn (fun () -> client "b") in
+        let a_resps = Domain.join a in
+        let b_resps = Domain.join b in
+        (* a third connection shuts the server down through the protocol *)
+        let fd, ic, oc = connect_client path in
+        let shutdown = rpc oc ic {|{"id":"s","type":"shutdown"}|} in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        [ "a", a_resps; "b", b_resps ], shutdown)
+  in
+  let parsed =
+    List.map (fun (tag, lines) -> tag, parsed_responses lines) by_client
+  in
+  (* responses routed to the connection that asked, in its own order *)
+  List.iter
+    (fun (tag, resps) ->
+      List.iteri
+        (fun i j ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s%d routed" tag i)
+            true
+            (id_of j = Json.Str (Printf.sprintf "%s%d" tag i));
+          Alcotest.(check string) "ok" "ok" (status_of j))
+        resps)
+    parsed;
+  (* the two clients compiled identical sources: the returned VHDL must
+     be byte-identical request-for-request across connections *)
+  let vhdl tag i =
+    let resps = List.assoc tag parsed in
+    match Json.member "vhdl" (List.nth resps i) with
+    | Some v -> Json.to_string v
+    | None -> Alcotest.fail "response without vhdl"
+  in
+  for i = 0 to reqs_per_client - 1 do
+    Alcotest.(check string) "byte-identical across connections" (vhdl "a" i)
+      (vhdl "b" i)
+  done;
+  (match Json.parse shutdown_resp with
+  | Ok j -> Alcotest.(check string) "shutdown acknowledged" "ok" (status_of j)
+  | Error msg -> Alcotest.fail ("bad shutdown response: " ^ msg));
+  Alcotest.(check int) "three connections accepted" 3 snapshot.Metrics.s_conns;
+  Alcotest.(check int) "every compile answered ok" (2 * reqs_per_client)
+    snapshot.Metrics.s_ok
+
+let test_serve_socket_eof_isolated () =
+  (* EOF on one connection must not stall another: client A connects,
+     works, disconnects; client B (opened before A's EOF) keeps getting
+     answers afterwards. *)
+  let (before_eof, after_eof), _snapshot =
+    with_serve_socket (fun path _srv ->
+        let fd_b, ic_b, oc_b = connect_client path in
+        let fd_a, ic_a, oc_a = connect_client path in
+        let r_a = rpc oc_a ic_a (compile_request ~id:"a0" 1) in
+        let before = rpc oc_b ic_b (compile_request ~id:"b0" 2) in
+        ignore r_a;
+        (try Unix.close fd_a with Unix.Unix_error _ -> ());
+        (* B still lives after A's EOF *)
+        let after = rpc oc_b ic_b (compile_request ~id:"b1" 3) in
+        (try Unix.close fd_b with Unix.Unix_error _ -> ());
+        before, after)
+  in
+  List.iter
+    (fun (line, id) ->
+      match Json.parse line with
+      | Ok j ->
+        Alcotest.(check bool) (id ^ " routed") true (id_of j = Json.Str id);
+        Alcotest.(check string) (id ^ " ok") "ok" (status_of j)
+      | Error msg -> Alcotest.fail ("bad response: " ^ msg))
+    [ before_eof, "b0"; after_eof, "b1" ]
+
+(* ------------------------------------------------------------------ *)
+(* The farm supervisor                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_farm_restarts_killed_child () =
+  (* The supervisor must be exercised as a real process: OCaml 5 forbids
+     Unix.fork in any process that ever created a domain, and the test
+     binary spawns domains freely — so drive the installed `roccc farm`
+     binary end-to-end instead. *)
+  let roccc =
+    Filename.concat
+      (Filename.concat
+         (Filename.dirname (Filename.dirname Sys.executable_name))
+         "bin")
+      "roccc.exe"
+  in
+  Alcotest.(check bool) "roccc binary built" true (Sys.file_exists roccc);
+  let dir = fresh_tmp_dir "roccc_farm" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let sock_path = Filename.concat dir "fm.sock" in
+      let state_dir = Filename.concat dir "st" in
+      let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+      let log =
+        Unix.openfile
+          (Filename.concat dir "farm.log")
+          [ Unix.O_WRONLY; Unix.O_CREAT ]
+          0o644
+      in
+      let sup =
+        Unix.create_process roccc
+          [| "roccc"; "farm"; "--socket"; sock_path; "--procs"; "2";
+             "--state-dir"; state_dir; "-j"; "1" |]
+          null null log
+      in
+      Unix.close null;
+      Unix.close log;
+      let sup_done = ref None in
+      let finally () =
+        if !sup_done = None then begin
+          (try Unix.kill sup Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] sup)
+        end
+      in
+      Fun.protect ~finally (fun () ->
+          let farm_json () =
+            match open_in (Farm.farm_file state_dir) with
+            | exception Sys_error _ -> None
+            | ic ->
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () ->
+                  match input_line ic with
+                  | line -> Result.to_option (Json.parse line)
+                  | exception End_of_file -> None)
+          in
+          let child_pid index =
+            Option.bind (farm_json ()) (fun j ->
+                match Json.member "children" j with
+                | Some (Json.Arr kids) ->
+                  Option.bind (List.nth_opt kids index) (fun kid ->
+                      Option.bind (Json.member "pid" kid) Json.to_int_opt)
+                | _ -> None)
+          in
+          let await ?(timeout_s = 30.0) what cond =
+            let deadline = Unix.gettimeofday () +. timeout_s in
+            let rec poll () =
+              match cond () with
+              | Some v -> v
+              | None ->
+                if Unix.gettimeofday () > deadline then
+                  Alcotest.fail ("timed out waiting for " ^ what)
+                else begin
+                  Unix.sleepf 0.02;
+                  poll ()
+                end
+            in
+            poll ()
+          in
+          let pid0 =
+            await "farm to come up" (fun () ->
+                if Sys.file_exists sock_path then child_pid 0 else None)
+          in
+          (* hard-kill child 0; the supervisor must fork a replacement *)
+          Unix.kill pid0 Sys.sigkill;
+          let pid0' =
+            await "restart" (fun () ->
+                match child_pid 0 with
+                | Some p when p <> pid0 && p <> 0 -> Some p
+                | _ -> None)
+          in
+          Alcotest.(check bool) "replacement is a new pid" true
+            (pid0' <> pid0);
+          (* the restarted farm still serves: compile, then shut down
+             through the protocol; a clean child exit must bring the
+             whole farm down *)
+          let fd, ic, oc = connect_client sock_path in
+          let compiled = rpc oc ic (compile_request ~id:"after" 5) in
+          (match Json.parse compiled with
+          | Ok j -> Alcotest.(check string) "farm serves after restart" "ok"
+              (status_of j)
+          | Error msg -> Alcotest.fail ("bad response: " ^ msg));
+          let shutdown = rpc oc ic {|{"id":"s","type":"shutdown"}|} in
+          (match Json.parse shutdown with
+          | Ok j -> Alcotest.(check string) "shutdown ok" "ok" (status_of j)
+          | Error msg -> Alcotest.fail ("bad response: " ^ msg));
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          let status =
+            await "supervisor exit" (fun () ->
+                match Unix.waitpid [ Unix.WNOHANG ] sup with
+                | 0, _ -> None
+                | _, st -> Some st
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> None)
+          in
+          sup_done := Some status;
+          (match status with
+          | Unix.WEXITED 0 -> ()
+          | st ->
+            Alcotest.fail
+              (Printf.sprintf "supervisor did not exit cleanly: %s"
+                 (match st with
+                 | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+                 | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+                 | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n)));
+          (* the final pid table records the restart *)
+          match farm_json () with
+          | None -> Alcotest.fail "farm.json missing after shutdown"
+          | Some j -> (
+            match Json.member "children" j with
+            | Some (Json.Arr kids) ->
+              let restarts =
+                List.fold_left
+                  (fun acc kid ->
+                    acc
+                    + Option.value ~default:0
+                        (Option.bind (Json.member "restarts" kid)
+                           Json.to_int_opt))
+                  0 kids
+              in
+              Alcotest.(check int) "one restart recorded" 1 restarts
+            | _ -> Alcotest.fail "farm.json has no children")))
+
+let test_farm_aggregate_health () =
+  let dir = fresh_tmp_dir "roccc_agg" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let write name contents =
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc (contents ^ "\n");
+        close_out oc
+      in
+      write "child-0.json"
+        {|{"pid":10,"requests":{"ok":3,"failed":1},"workers":[1,2]}|};
+      write "child-1.json"
+        {|{"pid":20,"requests":{"ok":4,"failed":0},"workers":[3,4]}|};
+      write "not-a-child.txt" "ignored";
+      let agg = Farm.aggregate_health ~state_dir:dir in
+      Alcotest.(check (option int)) "both snapshots found" (Some 2)
+        (Option.bind (Json.member "children_reporting" agg) Json.to_int_opt);
+      let a = Option.get (Json.member "aggregate" agg) in
+      let reqs = Option.get (Json.member "requests" a) in
+      Alcotest.(check (option int)) "ok summed" (Some 7)
+        (Option.bind (Json.member "ok" reqs) Json.to_int_opt);
+      Alcotest.(check (option int)) "failed summed" (Some 1)
+        (Option.bind (Json.member "failed" reqs) Json.to_int_opt);
+      match Json.member "workers" a with
+      | Some (Json.Arr [ x; y ]) ->
+        Alcotest.(check (option int)) "arrays merge element-wise" (Some 4)
+          (Json.to_int_opt x);
+        Alcotest.(check (option int)) "second element" (Some 6)
+          (Json.to_int_opt y)
+      | _ -> Alcotest.fail "aggregate workers not a 2-array")
+
 let suites =
   [ "service",
     [ Alcotest.test_case "cache hit on identical job" `Quick
@@ -1176,7 +1623,15 @@ let suites =
       Alcotest.test_case "N-domain cache hammer" `Slow
         test_cache_hammer_across_domains;
       Alcotest.test_case "health reports the farm" `Quick
-        test_health_reports_farm ];
+        test_health_reports_farm;
+      Alcotest.test_case "single-flight dedup executes once" `Quick
+        test_single_flight_dedup;
+      Alcotest.test_case "tmp sweep respects live pids" `Quick
+        test_tmp_sweep_respects_live_pids;
+      Alcotest.test_case "supervisor restarts a killed child" `Quick
+        test_farm_restarts_killed_child;
+      Alcotest.test_case "aggregate health sums children" `Quick
+        test_farm_aggregate_health ];
     "service.serve",
     [ Alcotest.test_case "protocol round-trip" `Quick
         test_serve_protocol_roundtrip;
@@ -1187,4 +1642,8 @@ let suites =
       Alcotest.test_case "bounded queue sheds under overload" `Quick
         test_serve_sheds_when_overloaded;
       Alcotest.test_case "64-request fault-injected soak" `Slow
-        test_serve_fault_soak ] ]
+        test_serve_fault_soak;
+      Alcotest.test_case "concurrent socket clients" `Quick
+        test_serve_socket_concurrent_clients;
+      Alcotest.test_case "EOF on one connection spares the rest" `Quick
+        test_serve_socket_eof_isolated ] ]

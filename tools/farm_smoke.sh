@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# CI smoke test for `roccc farm`: bring up a 2-process farm on one Unix
+# socket, drive concurrent duplicate compiles from two connections
+# (byte-identical answers expected), hard-kill a child and assert the
+# supervisor restarts it, then shut the farm down through the protocol
+# and assert a clean exit with aggregated cross-child health.
+set -euo pipefail
+
+ROCCC=${ROCCC:-_build/default/bin/roccc.exe}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "farm_smoke: FAIL: $1" >&2
+  cat "$WORK/farm.log" >&2 || true
+  kill -9 "$SUP" 2> /dev/null || true
+  exit 1
+}
+
+"$ROCCC" farm --socket "$WORK/farm.sock" --procs 2 \
+  --state-dir "$WORK/state" --cache --cache-dir "$WORK/cache" --jobs 2 \
+  > "$WORK/farm.out" 2> "$WORK/farm.log" &
+SUP=$!
+
+for _ in $(seq 1 100); do [ -S "$WORK/farm.sock" ] && break; sleep 0.1; done
+[ -S "$WORK/farm.sock" ] || fail "farm socket never appeared"
+
+# concurrent duplicate compiles across two simultaneous connections:
+# every request answered ok, and the responses are byte-identical
+# request-for-request across the connections (elapsed_ms/origin aside)
+python3 - "$WORK/farm.sock" <<'EOF' || fail "concurrent duplicate compiles"
+import json, socket, sys, threading
+
+path = sys.argv[1]
+KERNEL = "void k(int A[8], int B[8]) { int i; for (i = 0; i < 8; i = i + 1) { B[i] = A[i] * %d + 1; } }"
+
+def client(tag, out):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(path)
+    f = s.makefile("rw")
+    for i in range(6):
+        req = {"id": "%s%d" % (tag, i), "source": KERNEL % (i % 3), "entry": "k"}
+        f.write(json.dumps(req) + "\n"); f.flush()
+        out.append(json.loads(f.readline()))
+    s.close()
+
+a, b = [], []
+ta = threading.Thread(target=client, args=("a", a))
+tb = threading.Thread(target=client, args=("b", b))
+ta.start(); tb.start(); ta.join(); tb.join()
+
+def canon(resps):
+    return [{k: v for k, v in r.items() if k not in ("id", "elapsed_ms", "origin")} for r in resps]
+
+assert all(r["status"] == "ok" for r in a + b), "non-ok response"
+assert canon(a) == canon(b), "responses differ across connections"
+print("concurrent duplicate compiles byte-identical")
+EOF
+
+child_pid() {
+  python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["children"][0]["pid"])' \
+    "$WORK/state/farm.json"
+}
+
+# hard-kill child 0: the supervisor must fork a replacement
+CHILD=$(child_pid)
+kill -9 "$CHILD"
+NEW=$CHILD
+for _ in $(seq 1 100); do
+  NEW=$(child_pid)
+  [ "$NEW" != "$CHILD" ] && [ "$NEW" != 0 ] && break
+  sleep 0.1
+done
+[ "$NEW" != "$CHILD" ] || fail "child was not restarted"
+grep -q 'restarted child' "$WORK/farm.log" || fail "restart not logged"
+
+# the restarted farm still serves; then shut it down through the protocol
+python3 - "$WORK/farm.sock" <<'EOF' || fail "post-restart compile/shutdown"
+import json, socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+f = s.makefile("rw")
+f.write(json.dumps({"id": "after", "source": "int f(int x) { return x + 7; }", "entry": "f"}) + "\n"); f.flush()
+assert json.loads(f.readline())["status"] == "ok", "compile after restart failed"
+f.write(json.dumps({"id": "s", "type": "shutdown"}) + "\n"); f.flush()
+assert json.loads(f.readline())["status"] == "ok", "shutdown not acknowledged"
+s.close()
+EOF
+
+# a clean child exit brings the whole farm down, exit 0
+rc=0
+wait "$SUP" || rc=$?
+[ "$rc" -eq 0 ] || fail "supervisor exited $rc, want 0"
+grep -q 'roccc farm: shut down (clean, 1 restarts, 3 spawns)' "$WORK/farm.log" \
+  || fail "shutdown summary wrong"
+
+# the aggregate on stdout folds both children's health snapshots
+grep -q '"children_reporting":2' "$WORK/farm.out" \
+  || fail "aggregate health missing children"
+grep -q '"aggregate":{' "$WORK/farm.out" || fail "no aggregate object"
+grep -q '"child-0.json"' "$WORK/farm.out" || fail "child 0 snapshot missing"
+grep -q '"child-1.json"' "$WORK/farm.out" || fail "child 1 snapshot missing"
+
+echo "farm_smoke: OK"

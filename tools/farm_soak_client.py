@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Concurrent-client soak driver for `roccc serve --socket` / `roccc farm`.
+
+Usage: farm_soak_client.py SOCKET_PATH CONNECTIONS REQUESTS_PER_CONNECTION
+
+Opens N simultaneous connections, streams duplicated compile keys down
+all of them at once (the load single-flight deduplication exists for),
+and asserts: every request is answered ok on the connection that sent
+it, in its order, and the payloads are byte-identical connection-for-
+connection once the legitimately varying fields (elapsed_ms, origin) are
+stripped. Finishes by shutting the server down through the protocol.
+Prints "farm_soak: OK" on success; any failure raises (non-zero exit).
+"""
+import json
+import socket
+import sys
+import threading
+
+KERNEL = (
+    "void k(int A[16], int B[16]) { int i; "
+    "for (i = 0; i < 16; i = i + 1) { B[i] = A[i] * %d + %d; } }"
+)
+DISTINCT_KEYS = 6
+
+
+def request(tag, i):
+    key = i % DISTINCT_KEYS
+    return {
+        "id": "%s%04d" % (tag, i),
+        "source": KERNEL % (key, key + 1),
+        "entry": "k",
+        "options": {"bus_elements": 1 + key % 2},
+    }
+
+
+def client(path, tag, n, out, errors):
+    try:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.connect(path)
+        f = s.makefile("rw")
+        for i in range(n):
+            f.write(json.dumps(request(tag, i)) + "\n")
+            f.flush()
+            resp = json.loads(f.readline())
+            if resp.get("id") != "%s%04d" % (tag, i):
+                raise AssertionError(
+                    "%s: response %d misrouted: %r" % (tag, i, resp)
+                )
+            if resp.get("status") != "ok":
+                raise AssertionError("%s: request %d not ok: %r" % (tag, i, resp))
+            out.append(resp)
+        s.close()
+    except Exception as e:  # propagate to the main thread
+        errors.append(e)
+
+
+def canon(resps):
+    return [
+        {k: v for k, v in r.items() if k not in ("id", "elapsed_ms", "origin")}
+        for r in resps
+    ]
+
+
+def main():
+    path, conns, per_conn = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+    outs = [[] for _ in range(conns)]
+    errors = []
+    threads = [
+        threading.Thread(
+            target=client, args=(path, chr(ord("a") + c), per_conn, outs[c], errors)
+        )
+        for c in range(conns)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    first = canon(outs[0])
+    for c in range(1, conns):
+        if canon(outs[c]) != first:
+            raise AssertionError("connection %d answers differ from connection 0" % c)
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(path)
+    f = s.makefile("rw")
+    f.write(json.dumps({"id": "s", "type": "shutdown"}) + "\n")
+    f.flush()
+    if json.loads(f.readline()).get("status") != "ok":
+        raise AssertionError("shutdown not acknowledged")
+    s.close()
+    print(
+        "farm_soak: OK (%d connections x %d requests, byte-identical)"
+        % (conns, per_conn)
+    )
+
+
+if __name__ == "__main__":
+    main()
