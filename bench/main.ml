@@ -1002,6 +1002,162 @@ let tune_section () =
   Printf.printf "wrote BENCH_tune.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Wide arithmetic - pinned multi-stage operator regions               *)
+(* ------------------------------------------------------------------ *)
+
+(* Three gates: the modular-square gallery kernel compiles end-to-end
+   with at least one multi-stage operator and hardware = software; the
+   pinned region starts survive retiming untouched (and the pipeline
+   invariant checker agrees); and the single-cycle path is bit-for-bit
+   what it was before the staged-operator refactor (the FIR golden
+   dumps). *)
+let wide_section () =
+  section
+    "Wide arithmetic - multi-stage operator regions (modular square over \
+     2^31-1)";
+  let b = Kernels.modsq in
+  let c = Kernels.compile b in
+  let p = c.Driver.pipeline in
+  let arrays = b.Kernels.arrays () in
+  let diffs = Driver.verify ~scalars:b.Kernels.scalars ~arrays c in
+  let regions = Pipeline.staged_regions p in
+  let region_key (i, s, k) =
+    ( (match i.Roccc_vm.Instr.dst with Some d -> d | None -> -1),
+      Roccc_vm.Instr.opcode_name i.Roccc_vm.Instr.op, s, k )
+  in
+  let modsq_compiles_ok = diffs = [] && regions <> [] in
+  Printf.printf
+    "modsq: %d stages, %.1f MHz, %d latch bits, %d pinned region(s), \
+     hardware %s software\n"
+    p.Pipeline.stage_count p.Pipeline.clock_mhz p.Pipeline.latch_bits
+    (List.length regions)
+    (if diffs = [] then "=" else "<>");
+  List.iter
+    (fun (i, s, k) ->
+      Printf.printf "  pinned: %-4s stages %d..%d (%d stages)\n"
+        (Roccc_vm.Instr.opcode_name i.Roccc_vm.Instr.op)
+        s (s + k - 1) k)
+    regions;
+  (* the same staging without the retiming pass: region starts must agree,
+     i.e. retiming moved nothing into or across a pinned region *)
+  let greedy =
+    Pipeline.build
+      ~target_ns:c.Driver.options.Driver.target_ns
+      ~stage_budget:c.Driver.options.Driver.stage_budget
+      ~decomp:c.Driver.options.Driver.decomp ~retime:false p.Pipeline.dp
+      p.Pipeline.widths
+  in
+  let sorted_regions q =
+    List.sort compare (List.map region_key (Pipeline.staged_regions q))
+  in
+  let verify_ok =
+    match Pipeline.verify p with
+    | () -> true
+    | exception Pipeline.Error msg ->
+      Printf.printf "pipeline verify FAILED: %s\n" msg;
+      false
+  in
+  let in_schedule =
+    List.for_all (fun (_, s, k) -> s + k <= p.Pipeline.stage_count) regions
+  in
+  let pinned_stages_ok =
+    sorted_regions p = sorted_regions greedy && verify_ok && in_schedule
+  in
+  Printf.printf
+    "pinned regions: retimed = greedy %b, inside schedule %b, verify %s \
+     (%d retime moves elsewhere)\n"
+    (sorted_regions p = sorted_regions greedy)
+    in_schedule
+    (if verify_ok then "ok" else "FAILED")
+    p.Pipeline.retime_moves;
+  (* single-cycle path unchanged: the FIR golden dumps are byte-identical *)
+  let golden_passes =
+    [ "parse"; "constant-fold"; "lower-to-suifvm"; "datapath-build";
+      "pipelining"; "retiming" ]
+  in
+  let golden_dir = "test/golden" in
+  let golden_unchanged =
+    if not (Sys.file_exists golden_dir) then `Skipped
+    else begin
+      let dumps = ref [] in
+      let config =
+        { (Pass.default_config ()) with
+          Pass.dump_after = golden_passes;
+          on_dump = (fun name text -> dumps := !dumps @ [ name, text ]) }
+      in
+      let fir = Kernels.fir in
+      let (_ : Driver.compiled) =
+        Driver.compile ~config
+          ~options:(fir.Kernels.tune Driver.default_options)
+          ~luts:fir.Kernels.luts ~entry:fir.Kernels.entry fir.Kernels.source
+      in
+      let last name =
+        match List.rev (List.filter (fun (n, _) -> n = name) !dumps) with
+        | (_, text) :: _ -> Some text
+        | [] -> None
+      in
+      let ok =
+        List.for_all
+          (fun name ->
+            let path = Printf.sprintf "%s/fir.%s.txt" golden_dir name in
+            match last name with
+            | Some text when Sys.file_exists path ->
+              let ic = open_in_bin path in
+              let n = in_channel_length ic in
+              let expected = really_input_string ic n in
+              close_in ic;
+              let same = String.equal expected text in
+              if not same then
+                Printf.printf "golden dump DIVERGED: %s\n" path;
+              same
+            | _ ->
+              Printf.printf "golden dump missing: %s\n" path;
+              false)
+          golden_passes
+      in
+      if ok then `Ok else `Failed
+    end
+  in
+  Printf.printf "golden fir dumps: %s\n"
+    (match golden_unchanged with
+    | `Ok -> "byte-identical"
+    | `Failed -> "DIVERGED"
+    | `Skipped -> "skipped (no test/golden directory)");
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"modsq\": { \"stages\": %d, \"clock_mhz\": %.2f, \"latch_bits\": \
+        %d, \"slices\": %d, \"multi_stage_ops\": %d },\n"
+       p.Pipeline.stage_count p.Pipeline.clock_mhz p.Pipeline.latch_bits
+       c.Driver.area.Area.slices (List.length regions));
+  Buffer.add_string buf "  \"regions\": [\n";
+  List.iteri
+    (fun i (instr, s, k) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"op\": \"%s\", \"start_stage\": %d, \"stages\": %d }%s\n"
+           (Roccc_vm.Instr.opcode_name instr.Roccc_vm.Instr.op)
+           s k
+           (if i = List.length regions - 1 then "" else ",")))
+    regions;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"modsq_compiles_ok\": %b,\n" modsq_compiles_ok);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pinned_stages_ok\": %b,\n" pinned_stages_ok);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"golden_unchanged_ok\": %s\n}\n"
+       (match golden_unchanged with
+       | `Ok -> "true"
+       | `Failed -> "false"
+       | `Skipped -> "\"skipped: no test/golden directory\""));
+  let oc = open_out "BENCH_wide.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_wide.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Serve soak - mixed load through the Unix socket at 1/2/4 workers    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1485,6 +1641,7 @@ let sections : (string * (unit -> unit)) list =
     "pipeline", pipeline_section;
     "service", service_section;
     "tune", tune_section;
+    "wide", wide_section;
     "serve-soak", serve_soak_section;
     "bechamel", bechamel_section ]
 

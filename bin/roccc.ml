@@ -88,7 +88,37 @@ let unroll_inner_arg =
     & info [ "unroll-inner" ]
         ~doc:"Fully unroll inner loops up to this trip count.")
 
-let options_of target_ns bus no_widths unroll_inner =
+let stage_budget_arg =
+  Arg.(
+    value & opt int Roccc_datapath.Delay.default_stage_budget
+    & info [ "stage-budget" ]
+        ~doc:
+          "Cap the stage count of a multi-stage (wide, >32-bit) operator \
+           region; 0 means the decomposition's natural depth. \
+           Single-cycle kernels are unaffected.")
+
+let decomp_arg =
+  Arg.(
+    value
+    & opt string
+        (Roccc_datapath.Delay.decomp_name Roccc_datapath.Delay.default_decomp)
+    & info [ "decomp" ] ~docv:"NAME"
+        ~doc:
+          "Wide-multiplier decomposition: $(b,csa) (partial products + \
+           carry-save 3:2 compression tree) or $(b,addtree) (binary \
+           adder tree).")
+
+let decomp_of_flag (name : string) : Roccc_datapath.Delay.decomp =
+  match Roccc_datapath.Delay.decomp_of_string name with
+  | Some d -> d
+  | None ->
+    usage_error
+      (Printf.sprintf "--decomp: unknown decomposition %s (expected %s)" name
+         (String.concat " or "
+            (List.map Roccc_datapath.Delay.decomp_name
+               Roccc_datapath.Delay.all_decomps)))
+
+let options_of target_ns bus no_widths unroll_inner stage_budget decomp =
   let target_ns =
     checked (Server.check_positive_float ~flag:"--target-ns" target_ns)
   in
@@ -97,11 +127,17 @@ let options_of target_ns bus no_widths unroll_inner =
     usage_error
       (Printf.sprintf "--unroll-inner expects a non-negative integer, got %d"
          unroll_inner);
+  if stage_budget < 0 then
+    usage_error
+      (Printf.sprintf "--stage-budget expects a non-negative integer, got %d"
+         stage_budget);
   { Driver.default_options with
     Driver.target_ns;
     bus_elements = bus;
     infer_widths = not no_widths;
-    unroll_inner_max = unroll_inner }
+    unroll_inner_max = unroll_inner;
+    stage_budget;
+    decomp = decomp_of_flag decomp }
 
 (* ---- pass-manager configuration ---- *)
 
@@ -202,11 +238,13 @@ let compile_cmd =
             "Print an intermediate stage: kernel, transformed, dp-function, \
              vm, datapath, dot, pipeline, vhdl, passes.")
   in
-  let run file entry target_ns bus no_widths unroll_inner out dumps testbench
-      config =
+  let run file entry target_ns bus no_widths unroll_inner stage_budget decomp
+      out dumps testbench config =
     with_errors (fun () ->
         let source = read_file file in
-        let options = options_of target_ns bus no_widths unroll_inner in
+        let options =
+          options_of target_ns bus no_widths unroll_inner stage_budget decomp
+        in
         let c = Driver.compile ~config ~options ~entry source in
         ignore testbench;
         List.iter
@@ -265,19 +303,19 @@ let compile_cmd =
             "Also emit a self-checking testbench (<entry>_tb.vhd) driving \
              the data path with this input array (repeatable).")
   in
-  let run' file entry target_ns bus no_widths unroll_inner out dumps tb_arrays
-      config =
+  let run' file entry target_ns bus no_widths unroll_inner stage_budget decomp
+      out dumps tb_arrays config =
     let testbench =
       if tb_arrays = [] then None else Some (tb_arrays, [])
     in
-    run file entry target_ns bus no_widths unroll_inner out dumps testbench
-      config
+    run file entry target_ns bus no_widths unroll_inner stage_budget decomp
+      out dumps testbench config
   in
   let term =
     Term.(
       const run' $ file_arg $ entry_arg $ target_ns_arg $ bus_arg
-      $ no_widths_arg $ unroll_inner_arg $ out_arg $ dump_arg $ testbench_arg
-      $ config_term)
+      $ no_widths_arg $ unroll_inner_arg $ stage_budget_arg $ decomp_arg
+      $ out_arg $ dump_arg $ testbench_arg $ config_term)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a C kernel to VHDL.") term
 
@@ -302,10 +340,13 @@ let simulate_cmd =
       & info [ "vcd" ] ~docv:"FILE"
           ~doc:"Write a VCD waveform of the run to FILE (view in GTKWave).")
   in
-  let run file entry target_ns bus no_widths unroll_inner arrays scalars vcd =
+  let run file entry target_ns bus no_widths unroll_inner stage_budget decomp
+      arrays scalars vcd =
     with_errors (fun () ->
         let source = read_file file in
-        let options = options_of target_ns bus no_widths unroll_inner in
+        let options =
+          options_of target_ns bus no_widths unroll_inner stage_budget decomp
+        in
         let c = Driver.compile ~options ~entry source in
         let scalars =
           List.map
@@ -351,7 +392,8 @@ let simulate_cmd =
   let term =
     Term.(
       const run $ file_arg $ entry_arg $ target_ns_arg $ bus_arg
-      $ no_widths_arg $ unroll_inner_arg $ array_arg $ scalar_arg $ vcd_arg)
+      $ no_widths_arg $ unroll_inner_arg $ stage_budget_arg $ decomp_arg
+      $ array_arg $ scalar_arg $ vcd_arg)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -455,7 +497,7 @@ let bench_cmd =
             (String.concat ", "
                (List.map
                   (fun b -> b.Kernels.bench_name)
-                  Kernels.table1));
+                  Kernels.gallery));
           exit 1
         | Some b ->
           let c, r, diffs = Kernels.run b in
@@ -581,16 +623,18 @@ let batch_cmd =
     | exception Driver.Error _ ->
       [ { Service.label = base; source; entry = "?"; options; luts = [] } ]
   in
-  let run paths table1 target_ns bus no_widths unroll_inner jobs use_cache
-      cache_dir trace_out out sweep sweep_entry sweep_unroll sweep_bus
-      sweep_target config =
+  let run paths table1 target_ns bus no_widths unroll_inner stage_budget
+      decomp jobs use_cache cache_dir trace_out out sweep sweep_entry
+      sweep_unroll sweep_bus sweep_target config =
     with_errors (fun () ->
         let jobs =
           match jobs with
           | None -> 0 (* auto: the machine's recommended domain count *)
           | Some n -> checked (Server.check_jobs ~flag:"--jobs" n)
         in
-        let options = options_of target_ns bus no_widths unroll_inner in
+        let options =
+          options_of target_ns bus no_widths unroll_inner stage_budget decomp
+        in
         (* Sweep axes: bogus values die here with a friendly message;
            repeated points are compiled once, not twice. *)
         let sweep_unroll =
@@ -684,7 +728,8 @@ let batch_cmd =
   let term =
     Term.(
       const run $ paths_arg $ table1_arg $ target_ns_arg $ bus_arg
-      $ no_widths_arg $ unroll_inner_arg $ jobs_arg $ cache_arg
+      $ no_widths_arg $ unroll_inner_arg $ stage_budget_arg $ decomp_arg
+      $ jobs_arg $ cache_arg
       $ cache_dir_arg $ trace_arg $ out_arg $ sweep_arg $ sweep_entry_arg
       $ sweep_unroll_arg $ sweep_bus_arg $ sweep_target_ns_arg $ config_term)
   in
@@ -761,6 +806,27 @@ let tune_cmd =
       & info [ "target-ns" ] ~docv:"NS,..."
           ~doc:"Per-stage combinational clock targets to explore.")
   in
+  let stage_budget_range_arg =
+    Arg.(
+      value & opt (list int) Search.default_space.Search.sp_stage_budget
+      & info [ "stage-budget" ] ~docv:"N,..."
+          ~doc:
+            "Wide-operator stage budgets to explore: each caps the stage \
+             count of a multi-stage (>32-bit) operator region; 0 means \
+             the decomposition's natural depth. Single-cycle kernels are \
+             unaffected.")
+  in
+  let decomp_range_arg =
+    Arg.(
+      value & opt (list string)
+        (List.map Roccc_datapath.Delay.decomp_name
+           Search.default_space.Search.sp_decomp)
+      & info [ "decomp" ] ~docv:"NAME,..."
+          ~doc:
+            "Wide-multiplier decompositions to explore: $(b,csa) \
+             (partial products + carry-save 3:2 compression tree) or \
+             $(b,addtree) (binary adder tree).")
+  in
   let margin_arg =
     Arg.(
       value & opt float Search.default_margin
@@ -803,7 +869,7 @@ let tune_cmd =
              appear as zero-duration $(i,cached) spans.")
   in
   let run target entry objective slice_budget target_mhz unroll bus target_ns
-      margin no_quick jobs pareto trace_out config =
+      stage_budget decomp margin no_quick jobs pareto trace_out config =
     with_errors (fun () ->
         let objective =
           checked (Objective.parse ~name:objective ~slice_budget ~target_mhz)
@@ -815,6 +881,25 @@ let tune_cmd =
         let target_ns =
           checked
             (Server.check_positive_float_list ~flag:"--target-ns" target_ns)
+        in
+        let stage_budget =
+          checked
+            (Server.check_nonneg_int_list ~flag:"--stage-budget" stage_budget)
+        in
+        let decomp =
+          if decomp = [] then usage_error "--decomp expects a non-empty list";
+          List.map
+            (fun name ->
+              match Roccc_datapath.Delay.decomp_of_string name with
+              | Some d -> d
+              | None ->
+                usage_error
+                  (Printf.sprintf
+                     "--decomp: unknown decomposition %s (expected %s)" name
+                     (String.concat " or "
+                        (List.map Roccc_datapath.Delay.decomp_name
+                           Roccc_datapath.Delay.all_decomps))))
+            decomp
         in
         if not (Float.is_finite margin) || margin < 0.0 then
           usage_error
@@ -865,7 +950,9 @@ let tune_cmd =
             st_space =
               { Search.sp_unroll = unroll;
                 sp_bus = bus;
-                sp_target_ns = target_ns };
+                sp_target_ns = target_ns;
+                sp_stage_budget = stage_budget;
+                sp_decomp = decomp };
             st_margin = margin;
             st_use_quick = not no_quick;
             st_domains = jobs;
@@ -898,7 +985,8 @@ let tune_cmd =
     Term.(
       const run $ target_arg $ entry_arg $ objective_arg $ slice_budget_arg
       $ target_mhz_arg $ unroll_range_arg $ bus_range_arg
-      $ target_ns_range_arg $ margin_arg $ no_quick_arg $ jobs_arg
+      $ target_ns_range_arg $ stage_budget_range_arg $ decomp_range_arg
+      $ margin_arg $ no_quick_arg $ jobs_arg
       $ pareto_arg $ trace_arg $ config_term)
   in
   Cmd.v

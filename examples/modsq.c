@@ -1,0 +1,22 @@
+/* Modular squaring over the Mersenne prime M = 2^31 - 1: the classic
+ * wide-arithmetic streaming kernel (modular exponentiation, Lehmer-style
+ * PRNGs, number-theoretic transforms).
+ *
+ * The 62-bit product x*x is too wide for a single-cycle multiplier, so
+ * the compiler decomposes it into a pinned multi-stage region (partial
+ * products + carry-save compression tree); the Mersenne reduction then
+ * folds the high bits back with two shift-and-add passes and one
+ * conditional subtract -- no divide.
+ */
+void modsq(uint32 A[16], uint32 C[16]) {
+  int i;
+  for (i = 0; i < 16; i++) {
+    uint64 x, p, r;
+    x = A[i] & 2147483647;
+    p = x * x;
+    r = (p & 2147483647) + (p >> 31);
+    r = (r & 2147483647) + (r >> 31);
+    if (r >= 2147483647) { r = r - 2147483647; }
+    C[i] = r;
+  }
+}

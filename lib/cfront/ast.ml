@@ -77,8 +77,8 @@ let uint32_kind = { signed = false; bits = 32 }
 let bool_kind = { signed = false; bits = 1 }
 
 let make_ikind ~signed bits =
-  if bits < 1 || bits > 32 then
-    invalid_arg (Printf.sprintf "Ast.make_ikind: width %d out of [1;32]" bits);
+  if bits < 1 || bits > 64 then
+    invalid_arg (Printf.sprintf "Ast.make_ikind: width %d out of [1;64]" bits);
   { signed; bits }
 
 let const i = Const (Int64.of_int i)

@@ -48,7 +48,7 @@ let sized_int_of_ident name : Ast.ikind option =
     let n = String.length prefix in
     if String.length name > n && String.sub name 0 n = prefix then
       match int_of_string_opt (String.sub name n (String.length name - n)) with
-      | Some bits when bits >= 1 && bits <= 32 -> Some { Ast.signed; bits }
+      | Some bits when bits >= 1 && bits <= 64 -> Some { Ast.signed; bits }
       | Some _ | None -> None
     else None
   in

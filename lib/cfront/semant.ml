@@ -49,7 +49,13 @@ let join_kinds (a : ikind) (b : ikind) : ikind =
 
 let rec type_of_expr env (e : expr) : ikind =
   match e with
-  | Const v -> if Int64.compare v 0L < 0 then int32_kind else int32_kind
+  | Const v ->
+    if Int64.compare v 0L < 0 then
+      (* negative literals are signed, widening past int only when the
+         magnitude demands it *)
+      { signed = true; bits = max 32 (Roccc_util.Bits.bits_for_signed v) }
+    else if Int64.compare v 2147483647L <= 0 then int32_kind
+    else { signed = false; bits = Roccc_util.Bits.bits_for_unsigned v }
   | Var x -> (
     match var_type env x with
     | Tint k -> k

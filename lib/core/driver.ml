@@ -34,6 +34,8 @@ type options = Pass.options = {
   unroll_all_max : int;
   fuse_loops : bool;
   target_ns : float;
+  stage_budget : int;
+  decomp : Roccc_datapath.Delay.decomp;
   infer_widths : bool;
   optimize_vm : bool;
   unroll_outer_factor : int;
@@ -283,7 +285,8 @@ let quick_back_end ?instrument ?config ?(options = default_options)
   let widths = need "signal widths" st.Pass.st_widths in
   { qk_slices = Area.quick_estimate dp;
     qk_clock_mhz =
-      Area.quick_clock_mhz ~target_ns:options.target_ns dp widths }
+      Area.quick_clock_mhz ~stage_budget:options.stage_budget
+        ~decomp:options.decomp ~target_ns:options.target_ns dp widths }
 
 (** Compile one kernel function from C source to VHDL + estimates. *)
 let compile ?instrument ?config ?(options = default_options) ?(luts = [])

@@ -25,6 +25,11 @@ type options = Pass.options = {
           turning small kernels into block data paths; 0 = off *)
   fuse_loops : bool;  (** fuse adjacent independent loops *)
   target_ns : float;  (** combinational budget per pipeline stage *)
+  stage_budget : int;
+      (** cap on the stage count of a multi-stage (wide) operator region
+          (0 = the decomposition's natural depth) *)
+  decomp : Roccc_datapath.Delay.decomp;
+      (** wide-multiplier decomposition choice *)
   infer_widths : bool;  (** bit-width inference (§4.2.4); ablation switch *)
   optimize_vm : bool;
       (** back-end value numbering / copy propagation / dead-code

@@ -400,6 +400,43 @@ let wavelet_cols =
     scalars = [] }
 
 (* ------------------------------------------------------------------ *)
+(* Modular square (wide arithmetic): x*x mod 2^31-1, Mersenne folding   *)
+(* ------------------------------------------------------------------ *)
+
+(* Same source as examples/modsq.c. The 62-bit square becomes a pinned
+   multi-stage operator region; the reduction is two shift-and-add folds
+   plus one conditional subtract. *)
+let modsq_source =
+  "void modsq(uint32 A[16], uint32 C[16]) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 16; i++) {\n\
+  \    uint64 x, p, r;\n\
+  \    x = A[i] & 2147483647;\n\
+  \    p = x * x;\n\
+  \    r = (p & 2147483647) + (p >> 31);\n\
+  \    r = (r & 2147483647) + (r >> 31);\n\
+  \    if (r >= 2147483647) { r = r - 2147483647; }\n\
+  \    C[i] = r;\n\
+  \  }\n\
+   }\n"
+
+let modsq =
+  { bench_name = "modsq";
+    source = modsq_source;
+    entry = "modsq";
+    luts = [];
+    tune = no_tune;
+    arrays =
+      (fun () ->
+        let rand = prng 101 in
+        [ ( "A",
+            Array.init 16 (fun _ ->
+                Int64.add
+                  (Int64.mul (Int64.of_int (rand 65536)) 65536L)
+                  (Int64.of_int (rand 65536))) ) ]);
+    scalars = [] }
+
+(* ------------------------------------------------------------------ *)
 
 (** Table 1 order. The wavelet engine is the row pass + column pass pair;
     [wavelet_cols] is carried separately and summed by the harness. *)
@@ -407,7 +444,11 @@ let table1 : benchmark list =
   [ bit_correlator; mul_acc; udiv; square_root; cos_kernel; arbitrary_lut;
     fir; dct; wavelet ]
 
-let find name = List.find_opt (fun b -> String.equal b.bench_name name) table1
+(** Every built-in kernel: the nine Table 1 rows plus the wide-arithmetic
+    gallery additions. *)
+let gallery : benchmark list = table1 @ [ modsq ]
+
+let find name = List.find_opt (fun b -> String.equal b.bench_name name) gallery
 
 (** Compile a benchmark with its tuned options. *)
 let compile (b : benchmark) : Driver.compiled =

@@ -46,10 +46,22 @@ val wavelet_cols : benchmark
 val wavelet_rows_source : string
 val wavelet_cols_source : string
 
+val modsq : benchmark
+(** Modular squaring over the Mersenne prime 2^31-1 — the wide-arithmetic
+    workload: its 62-bit square compiles to a pinned multi-stage operator
+    region. Not a Table 1 row; carried in the {!gallery}. *)
+
+val modsq_source : string
+(** Same source as [examples/modsq.c]. *)
+
 val table1 : benchmark list
 (** The nine rows in Table 1 order. *)
 
+val gallery : benchmark list
+(** Every built-in kernel: {!table1} plus the wide-arithmetic additions. *)
+
 val find : string -> benchmark option
+(** Looks a kernel up in the {!gallery}. *)
 
 val compile : benchmark -> Driver.compiled
 (** Compile with the benchmark's tuned options and tables. *)

@@ -97,6 +97,11 @@ type options = {
           (turns small kernels into block kernels, as for the DCT) *)
   fuse_loops : bool;
   target_ns : float;             (** pipeline stage budget *)
+  stage_budget : int;
+      (** cap on the stage count of a multi-stage (wide) operator region
+          (0 = the decomposition's natural depth) *)
+  decomp : Roccc_datapath.Delay.decomp;
+      (** wide-multiplier decomposition choice *)
   infer_widths : bool;           (** bit-width inference (ablation switch) *)
   optimize_vm : bool;            (** back-end CSE/copy-prop/DCE (ablation) *)
   unroll_outer_factor : int;     (** partial unrolling of the outer loop *)
@@ -112,6 +117,8 @@ let default_options =
     unroll_all_max = 0;
     fuse_loops = true;
     target_ns = Pipeline.default_target_ns;
+    stage_budget = Roccc_datapath.Delay.default_stage_budget;
+    decomp = Roccc_datapath.Delay.default_decomp;
     infer_widths = true;
     optimize_vm = true;
     unroll_outer_factor = 1;
@@ -130,9 +137,11 @@ let front_options_fingerprint (o : options) : string =
     o.lut_convert_max_bits
 
 let options_fingerprint (o : options) : string =
-  Printf.sprintf "%s;tns=%h;w=%b;ovm=%b;bus=%d;lint=%b"
+  Printf.sprintf "%s;tns=%h;sb=%d;dc=%s;w=%b;ovm=%b;bus=%d;lint=%b"
     (front_options_fingerprint o)
-    o.target_ns o.infer_widths o.optimize_vm o.bus_elements o.check_vhdl
+    o.target_ns o.stage_budget
+    (Roccc_datapath.Delay.decomp_name o.decomp)
+    o.infer_widths o.optimize_vm o.bus_elements o.check_vhdl
 
 (* ------------------------------------------------------------------ *)
 (* Instrumentation                                                     *)
@@ -937,15 +946,20 @@ let pipelining_pass =
     transform =
       (fun st ->
         let p =
-          Pipeline.build ~target_ns:st.st_options.target_ns ~retime:false
-            (dp_of st) (widths_of st)
+          Pipeline.build ~target_ns:st.st_options.target_ns
+            ~stage_budget:st.st_options.stage_budget
+            ~decomp:st.st_options.decomp ~retime:false (dp_of st)
+            (widths_of st)
         in
         { st with st_pipeline = Some p });
     ir_size = (fun st -> Pipeline.latency (pipeline_of st));
     verifier = Some (fun st -> Pipeline.verify (pipeline_of st));
     differential = None;
     dump = (fun st -> Pipeline.describe (pipeline_of st));
-    fingerprint = (fun o -> Printf.sprintf "tns=%h" o.target_ns) }
+    fingerprint =
+      (fun o ->
+        Printf.sprintf "tns=%h;sb=%d;dc=%s" o.target_ns o.stage_budget
+          (Roccc_datapath.Delay.decomp_name o.decomp)) }
 
 (* Slack-based retiming over the greedy staging. Disabling it
    (--disable-pass retiming) is the greedy-placement ablation. *)
@@ -961,7 +975,10 @@ let retiming_pass =
     verifier = Some (fun st -> Pipeline.verify (pipeline_of st));
     differential = None;
     dump = (fun st -> Pipeline.describe (pipeline_of st));
-    fingerprint = (fun o -> Printf.sprintf "tns=%h" o.target_ns) }
+    fingerprint =
+      (fun o ->
+        Printf.sprintf "tns=%h;sb=%d;dc=%s" o.target_ns o.stage_budget
+          (Roccc_datapath.Delay.decomp_name o.decomp)) }
 
 let vhdl_generation_pass =
   { name = "vhdl-generation";

@@ -34,6 +34,11 @@ type options = {
       (** fully unroll any constant loop with at most this trip count *)
   fuse_loops : bool;
   target_ns : float;             (** pipeline stage budget *)
+  stage_budget : int;
+      (** cap on the stage count of a multi-stage (wide) operator region
+          (0 = the decomposition's natural depth) *)
+  decomp : Roccc_datapath.Delay.decomp;
+      (** wide-multiplier decomposition choice *)
   infer_widths : bool;           (** bit-width inference (ablation switch) *)
   optimize_vm : bool;            (** back-end CSE/copy-prop/DCE (ablation) *)
   unroll_outer_factor : int;     (** partial unrolling of the outer loop *)

@@ -7,6 +7,8 @@
 
 module Instr = Roccc_vm.Instr
 
+module Wide = Roccc_ip_wide.Wide
+
 (** One LUT level including local routing, in nanoseconds. *)
 let lut_level_ns = 0.9
 
@@ -31,11 +33,9 @@ let popcount64 (v : int64) : int =
   in
   loop (Int64.abs v) 0
 
-(** Estimated combinational delay of one instruction, given the bit widths
-    of its source operands. [const_operands] mark sources that carry
-    compile-time constants (constant multipliers become shift-add trees,
-    constant shifts become wiring). *)
-let instr_delay_ns ?(const_operands : int64 option list = [])
+(* Single-cycle combinational estimate — the model every opcode used
+   before the multi-stage refactor, still exact for all narrow shapes. *)
+let single_cycle_delay_ns ?(const_operands : int64 option list = [])
     (op : Instr.opcode) (kind : Instr.ikind) (src_widths : int list) : float =
   let w = operand_width kind src_widths in
   let const_of n = List.nth_opt const_operands n |> Option.join in
@@ -94,6 +94,120 @@ let instr_delay_ns ?(const_operands : int64 option list = [])
   | Instr.Lut _ ->
     (* block-RAM/ROM access time *)
     2.5
+
+(* ------------------------------------------------------------------ *)
+(* Multi-stage operators                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** A staged delay descriptor: the instruction occupies [stages]
+    consecutive pipeline stages as one pinned region, each stage
+    [per_stage_ns] of combinational logic. Single-cycle operators have
+    [stages = 1] and [per_stage_ns] equal to the classic estimate. *)
+type staged = {
+  stages : int;
+  per_stage_ns : float;
+}
+
+(** Total combinational latency across the region. *)
+let total_ns (d : staged) : float = float_of_int d.stages *. d.per_stage_ns
+
+(** Decomposition choice for wide multipliers (re-exported from the wide
+    operator library so the option/tune layers need only this module). *)
+type decomp = Wide.decomp = Csa | Addtree
+
+let decomp_name = Wide.decomp_name
+let decomp_of_string = Wide.decomp_of_string
+let all_decomps = Wide.all_decomps
+
+(** Default decomposition and stage budget (0 = the decomposition's
+    natural depth, uncapped). *)
+let default_decomp : decomp = Csa
+let default_stage_budget = 0
+
+(* An operator is wide when its result carry structure exceeds the 32-bit
+   single-cycle granule. The result width matters, not just the operands:
+   a 31x31 multiply feeding a 64-bit kind still builds a 62-bit product.
+   Every pre-refactor kernel has kind.bits <= 32, so nothing narrow ever
+   stages. *)
+let result_width (op : Instr.opcode) (kind : Instr.ikind)
+    (src_widths : int list) : int =
+  let w = operand_width kind src_widths in
+  let kb = kind.Roccc_cfront.Ast.bits in
+  match op with
+  | Instr.Mul -> (
+    match src_widths with
+    | [ a; b ] -> min kb (a + b)
+    | _ -> min kb (2 * w))
+  | Instr.Add | Instr.Sub | Instr.Neg -> min kb (w + 1)
+  | _ -> w
+
+let clamp_budget (budget : int) ((stages, total) : int * float) : staged =
+  let stages = if budget > 0 then min stages budget else stages in
+  let stages = max 1 stages in
+  { stages; per_stage_ns = total /. float_of_int stages }
+
+(** Staged delay descriptor of one instruction. Narrow shapes keep the
+    classic single-cycle estimate; wide (>32-bit result) multiplies,
+    adds/subtracts and divides decompose into pinned multi-stage regions
+    using the {!Roccc_ip_wide.Wide} cost models, capped at [stage_budget]
+    stages (0 = uncapped; capping never lowers the total delay, it only
+    concentrates it, so more stages never increase the per-stage delay). *)
+let instr_delay ?(stage_budget = default_stage_budget)
+    ?(decomp = default_decomp) ?(const_operands : int64 option list = [])
+    (op : Instr.opcode) (kind : Instr.ikind) (src_widths : int list) : staged =
+  let const_of n = List.nth_opt const_operands n |> Option.join in
+  let rw = result_width op kind src_widths in
+  let w = operand_width kind src_widths in
+  let wide = rw > 32 in
+  let cost =
+    if not wide then None
+    else
+      match op with
+      | Instr.Mul -> (
+        match const_of 0, const_of 1 with
+        | Some c, _ | _, Some c ->
+          let terms = max 1 (popcount64 c) in
+          if terms = 1 then None (* a single shifted term is wiring *)
+          else
+            Some
+              (Wide.const_mul_cost ~lut_ns:lut_level_ns
+                 ~carry_ns:carry_per_bit_ns ~width:rw ~terms)
+        | None, None ->
+          Some
+            (Wide.mul_cost decomp ~lut_ns:lut_level_ns
+               ~carry_ns:carry_per_bit_ns ~width:rw))
+      | Instr.Add | Instr.Sub ->
+        Some
+          (Wide.add_cost ~lut_ns:lut_level_ns ~carry_ns:carry_per_bit_ns
+             ~width:rw)
+      | Instr.Div | Instr.Rem -> (
+        match const_of 1 with
+        | Some c
+          when Int64.compare c 0L > 0
+               && Int64.equal (Int64.logand c (Int64.sub c 1L)) 0L ->
+          None (* power-of-two divisor stays a shift + correction adder *)
+        | _ ->
+          Some
+            (Wide.div_cost ~lut_ns:lut_level_ns ~carry_ns:carry_per_bit_ns
+               ~width:w))
+      | _ -> None
+  in
+  match cost with
+  | Some c -> clamp_budget stage_budget c
+  | None ->
+    { stages = 1;
+      per_stage_ns = single_cycle_delay_ns ~const_operands op kind src_widths }
+
+(** Per-stage combinational delay of one instruction — for single-cycle
+    operators exactly the classic estimate, for staged operators the
+    balanced per-stage share. [const_operands] mark sources carrying
+    compile-time constants (constant multipliers become shift-add trees,
+    constant shifts become wiring). *)
+let instr_delay_ns ?stage_budget ?decomp
+    ?(const_operands : int64 option list = []) (op : Instr.opcode)
+    (kind : Instr.ikind) (src_widths : int list) : float =
+  (instr_delay ?stage_budget ?decomp ~const_operands op kind src_widths)
+    .per_stage_ns
 
 (** Achievable clock for a given worst-stage combinational delay, with a
     routing pessimism factor (global routing roughly doubles logic delay on

@@ -61,9 +61,19 @@ let run ?(luts = []) ?(feedback_prev = []) ?(widths : Widths.t option)
      lanes with a harmless fallback, exactly like hardware where the unused
      lane's result is discarded by the mux. *)
   let eval_guarded (i : Instr.instr) (operands : int64 list) : int64 =
+    let wide = i.Instr.kind.Roccc_cfront.Ast.bits > 32 in
     match i.Instr.op, operands with
     | Instr.Div, [ _; b ] when Int64.equal b 0L -> Int64.neg 1L
     | Instr.Rem, [ a; b ] when Int64.equal b 0L -> a
+    (* wide operators run through the decomposed behavioural models the
+       hardware instantiates (partial products + carry-save compression,
+       block-pipelined add) so the differential checker co-runs the
+       decomposition against the plain VM semantics; both are exactly the
+       int64 operation mod 2^64 *)
+    | Instr.Mul, [ a; b ] when wide -> Roccc_ip_wide.Wide.csa_mul a b
+    | Instr.Add, [ a; b ] when wide -> Roccc_ip_wide.Wide.block_add a b
+    | Instr.Sub, [ a; b ] when wide ->
+      Roccc_ip_wide.Wide.block_add a (Int64.neg b)
     | op, _ -> Instr.eval_op ~lut ~lpr op operands
   in
   List.iter

@@ -21,8 +21,9 @@ let default_target_ns = 5.0
 type staged_instr = {
   si : Instr.instr;
   si_node : int;       (** owning data-path node id *)
-  mutable stage : int;
-  si_delay : float;
+  mutable stage : int; (** start stage of the instruction's region *)
+  si_delay : float;    (** per-stage combinational delay *)
+  si_stages : int;     (** stages occupied: >1 = pinned multi-stage region *)
 }
 
 type t = {
@@ -63,8 +64,23 @@ let use_delay (p : t) (i : Instr.instr) (r : Instr.vreg) : int =
   max 0 (stage_of_instr p i - stage_of_def p r)
 
 (** All pipeline flip-flop bits this staging implies — latch bits plus the
-    SNX feedback registers. The area model charges registers from here. *)
+    SNX feedback registers. The area model charges registers from here.
+    (A multi-stage operator's internal pipeline registers are part of the
+    latch accounting: its consumers sit at least [si_stages] boundaries
+    past its start stage, so the result's delay chain pays them.) *)
 let register_bits (p : t) : int = p.latch_bits + p.feedback_bits
+
+(** Pinned multi-stage regions of the staging, as
+    [(instr, start_stage, stages)]. Empty for a purely single-cycle data
+    path. *)
+let staged_regions (p : t) : (Instr.instr * int * int) list =
+  List.filter_map
+    (fun si ->
+      if si.si_stages > 1 then Some (si.si, si.stage, si.si_stages) else None)
+    p.instrs
+
+(** Number of multi-stage operators in the staging. *)
+let multi_stage_ops (p : t) : int = List.length (staged_regions p)
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -76,7 +92,8 @@ let register_bits (p : t) : int = p.latch_bits + p.feedback_bits
 let stage_count_of (tm : Timing.t) (stages : int array) : int =
   1
   + List.fold_left
-      (fun acc (ti : Timing.tinstr) -> max acc stages.(ti.Timing.ti_index))
+      (fun acc (ti : Timing.tinstr) ->
+        max acc (stages.(ti.Timing.ti_index) + ti.Timing.ti_stages - 1))
       0 tm.Timing.instrs
 
 (* Feedback sanity: every LPR/SNX pair of each feedback signal must share a
@@ -126,6 +143,9 @@ let retime_stages (tm : Timing.t) (stages : int array) ~(stage_count : int)
   let pinned = Array.make (Array.length stages) false in
   List.iter
     (fun (ti : Timing.tinstr) ->
+      (* multi-stage regions are pinned: retiming must never move into or
+         split them *)
+      if ti.Timing.ti_stages > 1 then pinned.(ti.Timing.ti_index) <- true;
       match ti.Timing.ti.Instr.op with
       | Instr.Lpr _ | Instr.Snx _ -> pinned.(ti.Timing.ti_index) <- true
       | _ -> ())
@@ -149,22 +169,28 @@ let retime_stages (tm : Timing.t) (stages : int array) ~(stage_count : int)
       else begin
         let valid =
           if delta > 0 then
-            (* push later: every consumer must already sit at s' or later *)
+            (* push later: every consumer must still be reachable — at s'
+               or later, strictly later for staged consumers (their
+               operands are latched at the region entry boundary) *)
             (match ti.Timing.ti.Instr.dst with
             | Some d ->
               List.for_all
-                (fun c -> stage_of c >= s')
+                (fun (c : Timing.tinstr) ->
+                  stage_of c
+                  >= s' + if c.Timing.ti_stages > 1 then 1 else 0)
                 (Option.value
                    (Hashtbl.find_opt tm.Timing.consumers d)
                    ~default:[])
             | None -> true)
           else
-            (* pull earlier: every producer must sit at s' or earlier
-               (external operands are available from stage 0) *)
+            (* pull earlier: every producer's value must be available at
+               s' — single-cycle producers at s' or earlier, multi-stage
+               regions fully retired (external operands are available from
+               stage 0) *)
             List.for_all
               (fun r ->
                 match Hashtbl.find_opt tm.Timing.producer r with
-                | Some p -> stage_of p <= s'
+                | Some p -> stage_of p + Timing.region_span p <= s'
                 | None -> true)
               ti.Timing.ti.Instr.srcs
         in
@@ -211,7 +237,8 @@ let finalize (tm : Timing.t) (stages : int array) ~(stage_count : int)
         { si = ti.Timing.ti;
           si_node = ti.Timing.ti_node;
           stage = stage_of ti;
-          si_delay = ti.Timing.ti_delay })
+          si_delay = ti.Timing.ti_delay;
+          si_stages = ti.Timing.ti_stages })
       tm.Timing.instrs
   in
   let stage_delays = Timing.stage_delays tm ~stage_of ~stage_count in
@@ -243,9 +270,9 @@ let finalize (tm : Timing.t) (stages : int array) ~(stage_count : int)
     def_stage;
     instr_stage }
 
-let build ?(target_ns = default_target_ns) ?(retime = true) (dp : Graph.t)
-    (widths : Widths.t) : t =
-  let tm = Timing.build ~target_ns dp widths in
+let build ?(target_ns = default_target_ns) ?stage_budget ?decomp
+    ?(retime = true) (dp : Graph.t) (widths : Widths.t) : t =
+  let tm = Timing.build ~target_ns ?stage_budget ?decomp dp widths in
   let n = List.length tm.Timing.instrs in
   let stages = Array.make (max 1 n) 0 in
   (* ---- pass 1: the ASAP levels of the timed netlist ---- *)
@@ -255,7 +282,15 @@ let build ?(target_ns = default_target_ns) ?(retime = true) (dp : Graph.t)
   let stage_of (ti : Timing.tinstr) = stages.(ti.Timing.ti_index) in
   (* ---- pass 2: feedback paths collapse onto one stage ---- *)
   List.iter
-    (fun (_, members) ->
+    (fun (name, members) ->
+      List.iter
+        (fun (ti : Timing.tinstr) ->
+          if ti.Timing.ti_stages > 1 then
+            errf
+              "pipeline: feedback %s runs through a %d-stage operator — a \
+               multi-stage region cannot fit the single-stage LPR/SNX loop"
+              name ti.Timing.ti_stages)
+        members;
       let s_star =
         List.fold_left (fun acc ti -> max acc (stage_of ti)) 0 members
       in
@@ -269,11 +304,17 @@ let build ?(target_ns = default_target_ns) ?(retime = true) (dp : Graph.t)
       match ti.Timing.ti.Instr.op with
       | Instr.Lpr _ -> ()  (* reads the previous iteration's register *)
       | _ ->
+        let entry = if ti.Timing.ti_stages > 1 then 1 else 0 in
         let m =
           List.fold_left
             (fun acc r ->
               match Hashtbl.find_opt tm.Timing.producer r with
-              | Some p -> max acc (stage_of p)
+              | Some p ->
+                (* past the producer's region; staged consumers one
+                   boundary further (operands latched at entry) *)
+                max acc
+                  (stage_of p
+                  + max (Timing.region_span p) entry)
               | None -> acc)
             (stage_of ti) ti.Timing.ti.Instr.srcs
         in
@@ -327,6 +368,13 @@ let describe (p : t) : string =
     Buffer.add_string buf
       (Printf.sprintf "  retiming: %d move(s), %d -> %d latch bits\n"
          p.retime_moves p.greedy_latch_bits p.latch_bits);
+  List.iter
+    (fun (i, start, k) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  pinned region: %s over stages %d..%d (%d stages)\n"
+           (Instr.opcode_name i.Instr.op) start (start + k - 1) k))
+    (staged_regions p);
   Array.iteri
     (fun s d ->
       let count = List.length (List.filter (fun si -> si.stage = s) p.instrs) in
@@ -358,7 +406,12 @@ let verify (p : t) : unit =
     (fun si ->
       if si.stage < 0 || si.stage >= p.stage_count then
         errf "pipeline: instruction staged at %d outside [0,%d)" si.stage
-          p.stage_count)
+          p.stage_count;
+      if si.si_stages > 1 && si.stage + si.si_stages > p.stage_count then
+        errf
+          "pipeline: %d-stage region starting at %d overruns the %d-stage \
+           schedule"
+          si.si_stages si.stage p.stage_count)
     p.instrs;
   let producer : (Instr.vreg, staged_instr) Hashtbl.t = Hashtbl.create 64 in
   List.iter
@@ -375,12 +428,29 @@ let verify (p : t) : unit =
         List.iter
           (fun r ->
             match Hashtbl.find_opt producer r with
-            | Some prod when prod.stage > si.stage ->
-              errf
-                "pipeline: value v%d produced at stage %d but consumed at \
-                 stage %d"
-                r prod.stage si.stage
-            | Some _ | None -> ())
+            | Some prod ->
+              (* earliest stage this consumer may occupy: a multi-stage
+                 producer's result exists only past its region exit
+                 register; a multi-stage consumer latches its operands at
+                 the region entry boundary, so single-cycle producers must
+                 finish a stage earlier *)
+              let min_stage =
+                if prod.si_stages > 1 then prod.stage + prod.si_stages
+                else prod.stage + if si.si_stages > 1 then 1 else 0
+              in
+              if si.stage < min_stage then
+                if prod.si_stages > 1 then
+                  errf
+                    "pipeline: value v%d consumed at stage %d inside or \
+                     before its producer's pinned region (stages %d..%d)"
+                    r si.stage prod.stage
+                    (prod.stage + prod.si_stages - 1)
+                else
+                  errf
+                    "pipeline: value v%d produced at stage %d but consumed \
+                     at stage %d"
+                    r prod.stage si.stage
+            | None -> ())
           si.si.Instr.srcs)
     p.instrs;
   List.iter

@@ -15,8 +15,9 @@ val default_target_ns : float
 type staged_instr = {
   si : Instr.instr;
   si_node : int;  (** owning data-path node id *)
-  mutable stage : int;
-  si_delay : float;
+  mutable stage : int;  (** start stage of the instruction's region *)
+  si_delay : float;  (** per-stage combinational delay *)
+  si_stages : int;  (** stages occupied: >1 = pinned multi-stage region *)
 }
 
 type t = {
@@ -57,7 +58,16 @@ val register_bits : t -> int
 (** All pipeline flip-flop bits this staging implies: latch bits plus the
     SNX feedback registers. The area model charges registers from here. *)
 
-val build : ?target_ns:float -> ?retime:bool -> Graph.t -> Widths.t -> t
+val staged_regions : t -> (Instr.instr * int * int) list
+(** Pinned multi-stage regions as [(instr, start_stage, stages)]. Empty
+    for a purely single-cycle data path. *)
+
+val multi_stage_ops : t -> int
+(** Number of multi-stage operators in the staging. *)
+
+val build :
+  ?target_ns:float -> ?stage_budget:int -> ?decomp:Delay.decomp ->
+  ?retime:bool -> Graph.t -> Widths.t -> t
 (** Stage the data path: greedy delay-chunked placement at the ASAP levels
     of the timed netlist, feedback paths collapsed to one stage, then —
     unless [~retime:false] — the {!retime} pass. Raises {!Error} if a
@@ -75,6 +85,9 @@ val describe : t -> string
 val verify : t -> unit
 (** Invariant check on a staged pipeline: every data-path instruction
     staged once within [0, stage_count), forward dataflow across stages
-    (LPRs excepted), each feedback LPR/SNX pair in a single stage, and the
+    (LPRs excepted), multi-stage regions inside the schedule with no
+    consumer reaching into a region (producers of a staged instruction
+    retire before its entry boundary; its result exists only past the exit
+    register), each feedback LPR/SNX pair in a single stage, and the
     recorded latch/feedback bit totals balancing an independent
     recomputation from the stage assignment. Raises {!Error}. *)

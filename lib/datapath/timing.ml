@@ -16,10 +16,22 @@ type tinstr = {
   ti : Instr.instr;
   ti_node : int;          (** owning data-path node id *)
   ti_index : int;         (** position in the topological order *)
-  ti_delay : float;       (** estimated combinational delay, ns *)
-  mutable asap : int;     (** earliest delay-feasible stage *)
+  ti_delay : float;       (** per-stage combinational delay, ns *)
+  ti_stages : int;        (** stages occupied: 1 = single-cycle, >1 = a
+                              pinned multi-stage region starting at the
+                              assigned stage *)
+  mutable asap : int;     (** earliest delay-feasible (start) stage *)
   mutable alap : int;     (** latest stage keeping every consumer feasible *)
 }
+
+(* A multi-stage instruction occupies stages [stage, stage + ti_stages - 1]
+   as one pinned region: operands are latched at the region entry boundary
+   and the result is registered at the region exit, so consumers sit at
+   [stage + ti_stages] or later and never chain combinationally into or out
+   of the region. [region_span] is the extra stage distance the region
+   imposes on its consumers (0 for single-cycle instructions, which
+   consumers may share a stage with). *)
+let region_span (ti : tinstr) : int = if ti.ti_stages > 1 then ti.ti_stages else 0
 
 type t = {
   dp : Graph.t;
@@ -46,7 +58,8 @@ let reg_width (t : t) (r : Instr.vreg) : int =
 (* The largest single-instruction combinational delay — a lower bound on
    any achievable stage delay, computable without building the netlist.
    The autotuner's cheap costing tier prices clock from it. *)
-let worst_instr_delay_ns (dp : Graph.t) (widths : Widths.t) : float =
+let worst_instr_delay_ns ?stage_budget ?decomp (dp : Graph.t)
+    (widths : Widths.t) : float =
   let consts = Graph.constant_values dp in
   List.fold_left
     (fun acc (_, (i : Instr.instr)) ->
@@ -59,10 +72,12 @@ let worst_instr_delay_ns (dp : Graph.t) (widths : Widths.t) : float =
         List.map (fun r -> Hashtbl.find_opt consts r) i.Instr.srcs
       in
       Float.max acc
-        (Delay.instr_delay_ns ~const_operands i.Instr.op i.Instr.kind sw))
+        (Delay.instr_delay_ns ?stage_budget ?decomp ~const_operands i.Instr.op
+           i.Instr.kind sw))
     0.0 (Graph.flatten dp)
 
-let build ?(target_ns = 5.0) (dp : Graph.t) (widths : Widths.t) : t =
+let build ?(target_ns = 5.0) ?stage_budget ?decomp (dp : Graph.t)
+    (widths : Widths.t) : t =
   let consts = Graph.constant_values dp in
   let instrs =
     List.mapi
@@ -75,11 +90,15 @@ let build ?(target_ns = 5.0) (dp : Graph.t) (widths : Widths.t) : t =
         let const_operands =
           List.map (fun r -> Hashtbl.find_opt consts r) i.Instr.srcs
         in
+        let d =
+          Delay.instr_delay ?stage_budget ?decomp ~const_operands i.Instr.op
+            i.Instr.kind sw
+        in
         { ti = i;
           ti_node = node_id;
           ti_index = idx;
-          ti_delay =
-            Delay.instr_delay_ns ~const_operands i.Instr.op i.Instr.kind sw;
+          ti_delay = d.Delay.per_stage_ns;
+          ti_stages = d.Delay.stages;
           asap = 0;
           alap = 0 })
       (Graph.flatten dp)
@@ -106,38 +125,64 @@ let build ?(target_ns = 5.0) (dp : Graph.t) (widths : Widths.t) : t =
   let finish : (Instr.vreg, float) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun ti ->
-      let max_src_stage =
-        List.fold_left
-          (fun acc r ->
-            match Hashtbl.find_opt producer r with
-            | Some p -> max acc p.asap
-            | None -> acc)
-          0 ti.ti.Instr.srcs
-      in
-      let arrival r =
+      (* first stage a produced operand is usable combinationally: same
+         stage for single-cycle producers, the stage after the region exit
+         register for multi-stage ones *)
+      let avail r =
         match Hashtbl.find_opt producer r with
-        | Some p when p.asap = max_src_stage ->
-          Option.value
-            (Option.bind p.ti.Instr.dst (Hashtbl.find_opt finish))
-            ~default:0.0
-        | Some _ | None -> 0.0
+        | Some p -> p.asap + region_span p
+        | None -> 0
       in
-      let start =
-        List.fold_left (fun acc r -> Float.max acc (arrival r)) 0.0
-          ti.ti.Instr.srcs
+      let max_src_stage =
+        List.fold_left (fun acc r -> max acc (avail r)) 0 ti.ti.Instr.srcs
       in
-      let s, f =
-        if start +. ti.ti_delay > target_ns && start > 0.0 then
-          max_src_stage + 1, ti.ti_delay
-        else max_src_stage, start +. ti.ti_delay
-      in
-      ti.asap <- s;
-      match ti.ti.Instr.dst with
-      | Some d -> Hashtbl.replace finish d f
-      | None -> ())
+      if ti.ti_stages > 1 then begin
+        (* pinned region: operands latched at the entry boundary, so the
+           region starts strictly after every producing stage; the result
+           is registered at the exit, so downstream arrival is 0 *)
+        let s =
+          List.fold_left
+            (fun acc r ->
+              match Hashtbl.find_opt producer r with
+              | Some p ->
+                max acc (p.asap + if p.ti_stages > 1 then p.ti_stages else 1)
+              | None -> acc)
+            0 ti.ti.Instr.srcs
+        in
+        ti.asap <- s;
+        match ti.ti.Instr.dst with
+        | Some d -> Hashtbl.replace finish d 0.0
+        | None -> ()
+      end
+      else begin
+        let arrival r =
+          match Hashtbl.find_opt producer r with
+          | Some p when p.ti_stages = 1 && p.asap = max_src_stage ->
+            Option.value
+              (Option.bind p.ti.Instr.dst (Hashtbl.find_opt finish))
+              ~default:0.0
+          | Some _ | None -> 0.0
+        in
+        let start =
+          List.fold_left (fun acc r -> Float.max acc (arrival r)) 0.0
+            ti.ti.Instr.srcs
+        in
+        let s, f =
+          if start +. ti.ti_delay > target_ns && start > 0.0 then
+            max_src_stage + 1, ti.ti_delay
+          else max_src_stage, start +. ti.ti_delay
+        in
+        ti.asap <- s;
+        match ti.ti.Instr.dst with
+        | Some d -> Hashtbl.replace finish d f
+        | None -> ()
+      end)
     instrs;
   let asap_stage_count =
-    1 + List.fold_left (fun acc ti -> max acc ti.asap) 0 instrs
+    1
+    + List.fold_left
+        (fun acc ti -> max acc (ti.asap + ti.ti_stages - 1))
+        0 instrs
   in
   (* ---- ALAP: the backward mirror within the ASAP stage count ----
      [tail d] is the combinational time from the producer of [d] starting
@@ -146,6 +191,10 @@ let build ?(target_ns = 5.0) (dp : Graph.t) (widths : Widths.t) : t =
      consumer allows, crossing one boundary back when the downstream chain
      would no longer fit the budget. *)
   let tail : (Instr.vreg, float) Hashtbl.t = Hashtbl.create 64 in
+  (* the latest stage a producer may occupy to satisfy consumer [c]: its
+     own stage for single-cycle consumers (combinational chaining), one
+     earlier for staged consumers (operands latched at the region entry) *)
+  let allowed c = c.alap - if c.ti_stages > 1 then 1 else 0 in
   List.iter
     (fun ti ->
       let cons =
@@ -153,44 +202,50 @@ let build ?(target_ns = 5.0) (dp : Graph.t) (widths : Widths.t) : t =
         | Some d -> Option.value (Hashtbl.find_opt consumers d) ~default:[]
         | None -> []
       in
-      (match cons with
-      | [] ->
-        ti.alap <- asap_stage_count - 1
-      | _ ->
-        let min_cons_alap =
-          List.fold_left (fun acc c -> min acc c.alap) max_int cons
-        in
-        let tail_in =
-          List.fold_left
-            (fun acc c ->
-              if c.alap = min_cons_alap then
-                Float.max acc
-                  (Option.value
-                     (Option.bind c.ti.Instr.dst (Hashtbl.find_opt tail))
-                     ~default:c.ti_delay)
-              else acc)
-            0.0 cons
-        in
-        if tail_in +. ti.ti_delay > target_ns && tail_in > 0.0 then
-          ti.alap <- min_cons_alap - 1
-        else ti.alap <- min_cons_alap);
+      (if ti.ti_stages > 1 then
+         (* pinned region: no mobility *)
+         ti.alap <- ti.asap
+       else
+         match cons with
+         | [] ->
+           ti.alap <- asap_stage_count - 1
+         | _ ->
+           let min_cons_alap =
+             List.fold_left (fun acc c -> min acc (allowed c)) max_int cons
+           in
+           let tail_in =
+             List.fold_left
+               (fun acc c ->
+                 if c.ti_stages = 1 && allowed c = min_cons_alap then
+                   Float.max acc
+                     (Option.value
+                        (Option.bind c.ti.Instr.dst (Hashtbl.find_opt tail))
+                        ~default:c.ti_delay)
+                 else acc)
+               0.0 cons
+           in
+           if tail_in +. ti.ti_delay > target_ns && tail_in > 0.0 then
+             ti.alap <- min_cons_alap - 1
+           else ti.alap <- min_cons_alap);
       (* never earlier than the ASAP level: mobility stays non-negative *)
       if ti.alap < ti.asap then ti.alap <- ti.asap;
       match ti.ti.Instr.dst with
       | Some d ->
         let t_here =
-          let cons_same =
-            List.fold_left
-              (fun acc c ->
-                if c.alap = ti.alap then
-                  Float.max acc
-                    (Option.value
-                       (Option.bind c.ti.Instr.dst (Hashtbl.find_opt tail))
-                       ~default:c.ti_delay)
-                else acc)
-              0.0 cons
-          in
-          ti.ti_delay +. cons_same
+          if ti.ti_stages > 1 then ti.ti_delay
+          else
+            let cons_same =
+              List.fold_left
+                (fun acc c ->
+                  if c.ti_stages = 1 && c.alap = ti.alap then
+                    Float.max acc
+                      (Option.value
+                         (Option.bind c.ti.Instr.dst (Hashtbl.find_opt tail))
+                         ~default:c.ti_delay)
+                  else acc)
+                0.0 cons
+            in
+            ti.ti_delay +. cons_same
         in
         Hashtbl.replace tail d t_here
       | None -> ())
@@ -241,7 +296,10 @@ let feedback_bits (t : t) : int =
 
 (* Worst combinational path per stage: an operand produced in the same
    stage arrives at its producer's finish time, one produced earlier (or
-   externally) at the stage boundary. *)
+   externally) at the stage boundary. A multi-stage region charges its
+   per-stage delay to every stage it occupies; its operands are latched at
+   the entry boundary and its result registered at the exit, so nothing
+   chains across the region walls. *)
 let stage_delays (t : t) ~(stage_of : tinstr -> int) ~(stage_count : int) :
     float array =
   let delays = Array.make (max 1 stage_count) 0.0 in
@@ -249,24 +307,35 @@ let stage_delays (t : t) ~(stage_of : tinstr -> int) ~(stage_count : int) :
   List.iter
     (fun ti ->
       let s = stage_of ti in
-      let start =
-        List.fold_left
-          (fun acc r ->
-            match Hashtbl.find_opt t.producer r with
-            | Some p when stage_of p = s ->
-              Float.max acc
-                (Option.value
-                   (Option.bind p.ti.Instr.dst (Hashtbl.find_opt finish))
-                   ~default:0.0)
-            | Some _ | None -> acc)
-          0.0 ti.ti.Instr.srcs
-      in
-      let f = start +. ti.ti_delay in
-      (match ti.ti.Instr.dst with
-      | Some d -> Hashtbl.replace finish d f
-      | None -> ());
-      if s >= 0 && s < Array.length delays && f > delays.(s) then
-        delays.(s) <- f)
+      if ti.ti_stages > 1 then begin
+        for j = max 0 s to min (s + ti.ti_stages - 1) (Array.length delays - 1)
+        do
+          if ti.ti_delay > delays.(j) then delays.(j) <- ti.ti_delay
+        done;
+        match ti.ti.Instr.dst with
+        | Some d -> Hashtbl.replace finish d 0.0
+        | None -> ()
+      end
+      else begin
+        let start =
+          List.fold_left
+            (fun acc r ->
+              match Hashtbl.find_opt t.producer r with
+              | Some p when p.ti_stages = 1 && stage_of p = s ->
+                Float.max acc
+                  (Option.value
+                     (Option.bind p.ti.Instr.dst (Hashtbl.find_opt finish))
+                     ~default:0.0)
+              | Some _ | None -> acc)
+            0.0 ti.ti.Instr.srcs
+        in
+        let f = start +. ti.ti_delay in
+        (match ti.ti.Instr.dst with
+        | Some d -> Hashtbl.replace finish d f
+        | None -> ());
+        if s >= 0 && s < Array.length delays && f > delays.(s) then
+          delays.(s) <- f
+      end)
     t.instrs;
   delays
 

@@ -13,10 +13,19 @@ type tinstr = {
   ti : Roccc_vm.Instr.instr;
   ti_node : int;          (** owning data-path node id *)
   ti_index : int;         (** position in the topological order *)
-  ti_delay : float;       (** estimated combinational delay, ns *)
-  mutable asap : int;     (** earliest delay-feasible stage *)
+  ti_delay : float;       (** per-stage combinational delay, ns *)
+  ti_stages : int;        (** stages occupied: 1 = single-cycle, >1 = a
+                              pinned multi-stage region starting at the
+                              assigned stage *)
+  mutable asap : int;     (** earliest delay-feasible (start) stage *)
   mutable alap : int;     (** latest stage keeping every consumer feasible *)
 }
+
+val region_span : tinstr -> int
+(** Extra stage distance a producer's pinned region imposes on consumers:
+    [ti_stages] for multi-stage instructions (operands latched at the
+    region entry, result registered at the exit), 0 for single-cycle ones
+    (consumers may chain in the same stage). *)
 
 type t = {
   dp : Graph.t;
@@ -28,18 +37,23 @@ type t = {
   asap_stage_count : int; (** stages the ASAP schedule occupies *)
 }
 
-val worst_instr_delay_ns : Graph.t -> Widths.t -> float
-(** The largest single-instruction combinational delay in the data path —
-    a lower bound on any achievable stage delay under greedy chunking,
-    computed in O(instructions) without building the netlist. The
-    autotuner's cheap costing tier ({!Roccc_fpga.Area.quick_clock_mhz})
-    prices a candidate's clock from it. *)
+val worst_instr_delay_ns :
+  ?stage_budget:int -> ?decomp:Delay.decomp -> Graph.t -> Widths.t -> float
+(** The largest single-instruction *per-stage* combinational delay in the
+    data path — a lower bound on any achievable stage delay under greedy
+    chunking, computed in O(instructions) without building the netlist.
+    The autotuner's cheap costing tier
+    ({!Roccc_fpga.Area.quick_clock_mhz}) prices a candidate's clock from
+    it. *)
 
-val build : ?target_ns:float -> Graph.t -> Widths.t -> t
-(** Annotate the data path: per-instruction delays from {!Delay} (constant
-    operands detected via {!Graph.constant_values}), ASAP levels by greedy
-    delay chunking, ALAP levels by the backward mirror within the ASAP
-    stage count (clamped so mobility is never negative). *)
+val build :
+  ?target_ns:float -> ?stage_budget:int -> ?decomp:Delay.decomp ->
+  Graph.t -> Widths.t -> t
+(** Annotate the data path: per-instruction staged delays from {!Delay}
+    (constant operands detected via {!Graph.constant_values}), ASAP levels
+    by greedy delay chunking — multi-stage instructions open pinned
+    regions with zero mobility — and ALAP levels by the backward mirror
+    within the ASAP stage count (clamped so mobility is never negative). *)
 
 val mobility : tinstr -> int
 (** [alap - asap]: the number of stages the instruction can slide without
@@ -62,7 +76,8 @@ val stage_delays :
   t -> stage_of:(tinstr -> int) -> stage_count:int -> float array
 (** Worst combinational path per stage under a stage assignment: operands
     produced in the same stage arrive at their producer's finish time,
-    earlier or external operands at the stage boundary. *)
+    earlier or external operands at the stage boundary. A multi-stage
+    region charges its per-stage delay to every stage it occupies. *)
 
 val edge_slack :
   t -> stage_of:(tinstr -> int) -> tinstr -> Roccc_vm.Instr.vreg -> int

@@ -44,12 +44,22 @@ let clamp v = Int64.max sat_min (Int64.min sat_max v)
 
 let make_interval lo hi = { lo = clamp lo; hi = clamp hi }
 
+(* Widest kind the interval domain can represent exactly: beyond the
+   saturation guard band the kind's own range does not fit in the domain
+   (and the unsigned 64-bit maximum is not even representable in int64),
+   so wide kinds get the whole band — the "unknown" element. *)
+let interval_kind_bits = 55
+
 let of_kind (k : Instr.ikind) : interval =
-  make_interval
-    (Roccc_util.Bits.min_value ~signed:k.Roccc_cfront.Ast.signed
-       k.Roccc_cfront.Ast.bits)
-    (Roccc_util.Bits.max_value ~signed:k.Roccc_cfront.Ast.signed
-       k.Roccc_cfront.Ast.bits)
+  if k.Roccc_cfront.Ast.bits > interval_kind_bits then
+    if k.Roccc_cfront.Ast.signed then { lo = sat_min; hi = sat_max }
+    else { lo = 0L; hi = sat_max }
+  else
+    make_interval
+      (Roccc_util.Bits.min_value ~signed:k.Roccc_cfront.Ast.signed
+         k.Roccc_cfront.Ast.bits)
+      (Roccc_util.Bits.max_value ~signed:k.Roccc_cfront.Ast.signed
+         k.Roccc_cfront.Ast.bits)
 
 let hull a b = make_interval (Int64.min a.lo b.lo) (Int64.max a.hi b.hi)
 
@@ -154,12 +164,21 @@ let op_interval (op : Instr.opcode) (kind : Instr.ikind)
   | Instr.Mux -> hull (s 1) (s 2)
   | Instr.Lpr _ | Instr.Snx _ | Instr.Lut _ -> of_kind kind
 
+(* An interval endpoint pushed onto the saturation guard band has lost
+   the true bound: the only sound width is the declared kind's. (For
+   narrow kinds a saturated interval always escapes the kind range anyway,
+   so this extra test changes nothing below [interval_kind_bits].) *)
+let saturated (i : interval) : bool =
+  Int64.compare i.lo sat_min <= 0 || Int64.compare i.hi sat_max >= 0
+
 (* Width of an interval under the declared signedness, capped at the kind.
    If the interval escapes the kind's range the hardware wraps exactly like
    the software semantics, so the kind width is the answer. *)
 let width_of_interval (kind : Instr.ikind) (i : interval) : int * interval =
   let kind_iv = of_kind kind in
-  if Int64.compare i.lo kind_iv.lo >= 0 && Int64.compare i.hi kind_iv.hi <= 0
+  if saturated i then kind.Roccc_cfront.Ast.bits, kind_iv
+  else if
+    Int64.compare i.lo kind_iv.lo >= 0 && Int64.compare i.hi kind_iv.hi <= 0
   then begin
     let bits =
       if kind.Roccc_cfront.Ast.signed then signed_bits i

@@ -66,7 +66,12 @@ let instr_luts (consts : (Instr.vreg, int64) Hashtbl.t) (i : Instr.instr)
     | Some c, _ | _, Some c ->
       let rows = max 0 (popcount64 c - 1) in
       rows * (w 0 + w 1)
-    | None, None -> w 0 * w 1)
+    | None, None ->
+      if w 0 + w 1 > 32 then
+        (* wide multiply is the decomposed partial-product / compression
+           tree, far below the naive w0*w1 LUT array *)
+        Roccc_ip_wide.Wide.mul_luts ~width:(min 64 (w 0 + w 1))
+      else w 0 * w 1)
   | Instr.Div | Instr.Rem -> (
     let power_of_two c =
       Int64.compare c 0L > 0
@@ -210,9 +215,11 @@ let quick_estimate (dp : Graph.t) : int =
    single operator is slower than the whole budget, so the achievable
    clock is priced from max(target, worst single-instruction delay)
    without running pipelining at all. *)
-let quick_clock_mhz ~(target_ns : float) (dp : Graph.t)
+let quick_clock_mhz ?stage_budget ?decomp ~(target_ns : float) (dp : Graph.t)
     (widths : Widths.t) : float =
-  let worst = Roccc_datapath.Timing.worst_instr_delay_ns dp widths in
+  let worst =
+    Roccc_datapath.Timing.worst_instr_delay_ns ?stage_budget ?decomp dp widths
+  in
   Roccc_datapath.Delay.clock_mhz_of_stage_delay (Float.max target_ns worst)
 
 (** The paper's target device: Xilinx Virtex-II xc2v2000-5. *)

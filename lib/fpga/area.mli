@@ -34,6 +34,8 @@ val quick_estimate : Roccc_datapath.Graph.t -> int
     verifies it runs in well under a millisecond and tracks [estimate]. *)
 
 val quick_clock_mhz :
+  ?stage_budget:int ->
+  ?decomp:Roccc_datapath.Delay.decomp ->
   target_ns:float ->
   Roccc_datapath.Graph.t ->
   Roccc_datapath.Widths.t ->

@@ -1,0 +1,239 @@
+(** Decomposed wide-arithmetic operators (ROADMAP: the modular-math
+    workload class). Every VDF-contest design pipelines its huge modular
+    squarer out of the same three ingredients: partial products feeding a
+    3:2 carry-save compression tree, a carry-save accumulator that defers
+    carry resolution, and a block-pipelined carry-propagate adder. This
+    module carries both halves of that story:
+
+    - structural cost models (stage count and total combinational delay of
+      each decomposition) that {!Roccc_datapath.Delay} turns into pinned
+      multi-stage regions, parameterized on the fabric constants so this
+      library stays dependency-free; and
+    - exact behavioural models over [int64] (all arithmetic mod 2^64) that
+      the data-path evaluator co-runs against the plain VM semantics, so
+      the differential checker exercises the decomposition itself.
+
+    The behavioural identities are exact: [csa_mul a b = Int64.mul a b] and
+    [block_add a b = Int64.add a b] for every pair of operands — the
+    decompositions reassociate, they never approximate. *)
+
+(** Decomposition choice for a wide multiplier. [Csa] compresses the
+    partial-product rows with a 3:2 carry-save tree before one final
+    carry-propagate add (the VDF squarer shape); [Addtree] sums the rows
+    pairwise in a binary adder tree (simpler, longer carry chains per
+    level). *)
+type decomp = Csa | Addtree
+
+let decomp_name = function Csa -> "csa" | Addtree -> "addtree"
+
+let decomp_of_string = function
+  | "csa" -> Some Csa
+  | "addtree" -> Some Addtree
+  | _ -> None
+
+let all_decomps = [ Csa; Addtree ]
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition geometry                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Digit width the multiplier is split into — the DSP-tile-ish granule
+    every partial product fits. *)
+let digit_bits = 18
+
+(** Block width of the pipelined carry-propagate adder: one stage per
+    32-bit carry block. *)
+let block_bits = 32
+
+let cdiv a b = (a + b - 1) / b
+
+(** Digits an operand of [width] bits splits into. *)
+let digits width = max 1 (cdiv width digit_bits)
+
+(** Partial-product rows of a [width] x [width] multiply after digit
+    splitting. *)
+let pp_rows width =
+  let d = digits width in
+  d * d
+
+(** 3:2 compression levels reducing [rows] addends to two (Dadda
+    recurrence: each level turns every full group of three rows into
+    two). *)
+let compress_levels rows =
+  let rec loop n acc =
+    if n <= 2 then acc else loop (n - (n / 3)) (acc + 1)
+  in
+  loop rows 0
+
+(** Carry blocks of a [width]-bit pipelined adder. *)
+let add_blocks width = max 1 (cdiv width block_bits)
+
+(* ------------------------------------------------------------------ *)
+(* Structural cost models                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each cost is (stages, total_ns): the natural pipeline depth of the
+   decomposition and the total combinational delay spread across it. The
+   fabric constants (one LUT level incl. routing, carry chain per bit)
+   come from the caller so Delay stays the single calibration point. *)
+
+(** Block-pipelined carry-propagate add: one stage per carry block, each
+    stage a [block_bits]-long carry chain. *)
+let add_cost ~lut_ns ~carry_ns ~width : int * float =
+  let blocks = add_blocks width in
+  let per_block = lut_ns +. (carry_ns *. float_of_int block_bits) in
+  blocks, float_of_int blocks *. per_block
+
+(** Wide multiply under a decomposition choice. [Csa]: one stage of
+    digit partial products, the 3:2 compression tree at three LUT levels
+    per stage, then the block-pipelined final add. [Addtree]: the partial
+    products feed a binary adder tree, one full-width adder level per
+    stage. *)
+let mul_cost (d : decomp) ~lut_ns ~carry_ns ~width : int * float =
+  let rows = pp_rows width in
+  match d with
+  | Csa ->
+    let levels = compress_levels rows in
+    let compress_stages = max 1 (cdiv levels 3) in
+    let cpa_stages, cpa_ns = add_cost ~lut_ns ~carry_ns ~width in
+    ( 1 + compress_stages + cpa_stages,
+      lut_ns +. (float_of_int levels *. lut_ns) +. cpa_ns )
+  | Addtree ->
+    let depth = max 1 (Roccc_util.Bits.clog2 (max 2 rows)) in
+    let adder = lut_ns +. (carry_ns *. float_of_int width) in
+    1 + depth, lut_ns +. (float_of_int depth *. adder)
+
+(** Constant-coefficient wide multiply: a shift-add tree over the set bits
+    of the coefficient, one full-width adder level per stage. *)
+let const_mul_cost ~lut_ns ~carry_ns ~width ~terms : int * float =
+  let depth = max 1 (Roccc_util.Bits.clog2 (max 2 terms)) in
+  let adder = lut_ns +. (carry_ns *. float_of_int width) in
+  depth, float_of_int depth *. adder
+
+(** Iterative wide divide/remainder: one subtract per quotient bit,
+    folded to eight quotient bits per pipeline stage. *)
+let div_cost ~lut_ns ~carry_ns ~width : int * float =
+  let stages = max 1 (cdiv width 8) in
+  ( stages,
+    float_of_int width *. (lut_ns +. (carry_ns *. float_of_int width)) /. 2.0 )
+
+(** LUT cost of the decomposed wide multiplier: each digit pair is a
+    [digit_bits]² partial-product tile, the compression tree one LUT per
+    row bit per level, the final add one LUT per bit. Far below the naive
+    w² array the narrow model would charge. *)
+let mul_luts ~width : int =
+  let d = digits width in
+  let tiles = d * d in
+  let levels = compress_levels tiles in
+  (tiles * digit_bits * 2) + (levels * width) + width
+
+(* ------------------------------------------------------------------ *)
+(* Behavioural models (exact, mod 2^64)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let digit_mask = Int64.sub (Int64.shift_left 1L digit_bits) 1L
+
+(** Digit decomposition of the full 64-bit pattern, least significant
+    first: [a = sum_i (split a).(i) * 2^(digit_bits * i)] mod 2^64. *)
+let split (a : int64) : int64 list =
+  List.init (cdiv 64 digit_bits) (fun i ->
+      Int64.logand
+        (Int64.shift_right_logical a (digit_bits * i))
+        digit_mask)
+
+(** Shifted partial products of [a * b]: digit-by-digit, each row already
+    in place. Their sum mod 2^64 is exactly [Int64.mul a b]. Digit pairs
+    whose shift reaches bit 64 contribute nothing mod 2^64 (and
+    [Int64.shift_left] is unspecified there), so they are dropped. *)
+let partial_products (a : int64) (b : int64) : int64 list =
+  let da = split a and db = split b in
+  List.concat
+    (List.mapi
+       (fun i ai ->
+         List.concat
+           (List.mapi
+              (fun j bj ->
+                if digit_bits * (i + j) >= 64 then []
+                else
+                  [ Int64.shift_left (Int64.mul ai bj) (digit_bits * (i + j)) ])
+              db))
+       da)
+
+(** One 3:2 carry-save level: every group of three addends becomes a sum
+    word and a carry word with the same total (mod 2^64). *)
+let compress_3_2 (rows : int64 list) : int64 list =
+  let rec loop = function
+    | a :: b :: c :: rest ->
+      let sum = Int64.logxor (Int64.logxor a b) c in
+      let carry =
+        Int64.shift_left
+          (Int64.logor
+             (Int64.logand a b)
+             (Int64.logor (Int64.logand a c) (Int64.logand b c)))
+          1
+      in
+      sum :: carry :: loop rest
+    | rest -> rest
+  in
+  loop rows
+
+(** Reduce addends to a redundant (sum, carry) pair through repeated 3:2
+    levels. *)
+let rec csa_reduce (rows : int64 list) : int64 * int64 =
+  match rows with
+  | [] -> 0L, 0L
+  | [ s ] -> s, 0L
+  | [ s; c ] -> s, c
+  | rows -> csa_reduce (compress_3_2 rows)
+
+(** Block-pipelined carry-propagate add: [block_bits]-wide blocks rippled
+    with an explicit inter-block carry. Exactly [Int64.add a b]. *)
+let block_add (a : int64) (b : int64) : int64 =
+  let mask = Int64.sub (Int64.shift_left 1L block_bits) 1L in
+  let blocks = cdiv 64 block_bits in
+  let result = ref 0L and carry = ref 0L in
+  for i = 0 to blocks - 1 do
+    let sh = block_bits * i in
+    let ai = Int64.logand (Int64.shift_right_logical a sh) mask in
+    let bi = Int64.logand (Int64.shift_right_logical b sh) mask in
+    let s = Int64.add (Int64.add ai bi) !carry in
+    result := Int64.logor !result (Int64.shift_left (Int64.logand s mask) sh);
+    carry := Int64.shift_right_logical s block_bits
+  done;
+  !result
+
+(** Wide multiply through the carry-save decomposition: partial products,
+    3:2 compression to a redundant pair, one final block add. *)
+let csa_mul (a : int64) (b : int64) : int64 =
+  let s, c = csa_reduce (partial_products a b) in
+  block_add s c
+
+(** Wide multiply through the binary adder tree over the same partial
+    products. *)
+let addtree_mul (a : int64) (b : int64) : int64 =
+  let rec level = function
+    | [] -> 0L
+    | [ x ] -> x
+    | rows ->
+      let rec pair = function
+        | a :: b :: rest -> block_add a b :: pair rest
+        | rest -> rest
+      in
+      level (pair rows)
+  in
+  level (partial_products a b)
+
+(** Carry-save accumulator: fold addends into a redundant pair, resolving
+    the carries once at the end. Exactly [acc + sum xs] mod 2^64. *)
+let csa_accumulate (acc : int64) (xs : int64 list) : int64 =
+  let s, c =
+    List.fold_left
+      (fun (s, c) x -> csa_reduce [ s; c; x ])
+      (acc, 0L) xs
+  in
+  block_add s c
+
+(** The behavioural model a wide multiply routes through (both
+    decompositions are extensionally [Int64.mul]). *)
+let mul_model (d : decomp) : int64 -> int64 -> int64 =
+  match d with Csa -> csa_mul | Addtree -> addtree_mul

@@ -88,6 +88,18 @@ let check_positive_int_list ~(flag : string) (vs : int list) :
         (Printf.sprintf "%s expects positive integers, got %d" flag v)
     | None -> Ok (dedupe vs)
 
+(* Stage budgets admit 0 (= the decomposition's natural depth), unlike
+   the strictly positive sweep axes. *)
+let check_nonneg_int_list ~(flag : string) (vs : int list) :
+    (int list, string) result =
+  if vs = [] then Error (Printf.sprintf "%s expects a non-empty list" flag)
+  else
+    match List.find_opt (fun v -> v < 0) vs with
+    | Some v ->
+      Error
+        (Printf.sprintf "%s expects non-negative integers, got %d" flag v)
+    | None -> Ok (dedupe vs)
+
 let check_positive_float_list ~(flag : string) (vs : float list) :
     (float list, string) result =
   if vs = [] then Error (Printf.sprintf "%s expects a non-empty list" flag)

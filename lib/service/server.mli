@@ -52,6 +52,11 @@ val check_positive_int_list :
     values; deduplicates repeated values (first occurrence wins) so a
     duplicated sweep point is compiled once, not twice. *)
 
+val check_nonneg_int_list :
+  flag:string -> int list -> (int list, string) result
+(** Like {!check_positive_int_list} but admits [0] — used for the
+    wide-operator stage-budget axis where [0] means "natural depth". *)
+
 val check_positive_float_list :
   flag:string -> float list -> (float list, string) result
 val validate_limits : limits -> (limits, string) result

@@ -10,11 +10,14 @@ module Service = Roccc_service.Service
 module Scheduler = Roccc_service.Scheduler
 module Cache = Roccc_service.Cache
 module Trace = Roccc_service.Trace
+module Delay = Roccc_datapath.Delay
 
 type space = {
   sp_unroll : int list;
   sp_bus : int list;
   sp_target_ns : float list;
+  sp_stage_budget : int list;
+  sp_decomp : Delay.decomp list;
 }
 
 let dedupe (xs : 'a list) : 'a list =
@@ -24,14 +27,24 @@ let dedupe (xs : 'a list) : 'a list =
 let default_space =
   { sp_unroll = [ 1; 2; 4; 8 ];
     sp_bus = [ 1; 2; 4 ];
-    sp_target_ns = [ 3.0; 5.0; 8.0 ] }
+    sp_target_ns = [ 3.0; 5.0; 8.0 ];
+    sp_stage_budget = [ Delay.default_stage_budget ];
+    sp_decomp = [ Delay.default_decomp ] }
 
 let space_size (s : space) : int =
   List.length (dedupe s.sp_unroll)
   * List.length (dedupe s.sp_bus)
   * List.length (dedupe s.sp_target_ns)
+  * List.length (dedupe s.sp_stage_budget)
+  * List.length (dedupe s.sp_decomp)
 
-type candidate = { cd_unroll : int; cd_bus : int; cd_target_ns : float }
+type candidate = {
+  cd_unroll : int;
+  cd_bus : int;
+  cd_target_ns : float;
+  cd_stage_budget : int;
+  cd_decomp : Delay.decomp;
+}
 
 type status =
   | On_front
@@ -85,23 +98,52 @@ type result = {
 let candidates (s : space) : candidate list =
   let us = dedupe s.sp_unroll
   and bs = dedupe s.sp_bus
-  and ts = dedupe s.sp_target_ns in
+  and ts = dedupe s.sp_target_ns
+  and sbs = dedupe s.sp_stage_budget
+  and dcs = dedupe s.sp_decomp in
   List.concat_map
     (fun u ->
       List.concat_map
         (fun b ->
-          List.map (fun t -> { cd_unroll = u; cd_bus = b; cd_target_ns = t }) ts)
+          List.concat_map
+            (fun t ->
+              List.concat_map
+                (fun sb ->
+                  List.map
+                    (fun dc ->
+                      { cd_unroll = u;
+                        cd_bus = b;
+                        cd_target_ns = t;
+                        cd_stage_budget = sb;
+                        cd_decomp = dc })
+                    dcs)
+                sbs)
+            ts)
         bs)
     us
 
+(* Non-default wide-operator axes append label suffixes; the common
+   single-cycle-only grid keeps its historical labels. *)
 let label_of ~(entry : string) (c : candidate) : string =
-  Printf.sprintf "%s.u%d.b%d.t%g" entry c.cd_unroll c.cd_bus c.cd_target_ns
+  let base =
+    Printf.sprintf "%s.u%d.b%d.t%g" entry c.cd_unroll c.cd_bus c.cd_target_ns
+  in
+  let base =
+    if c.cd_stage_budget <> Delay.default_stage_budget then
+      Printf.sprintf "%s.sb%d" base c.cd_stage_budget
+    else base
+  in
+  if c.cd_decomp <> Delay.default_decomp then
+    Printf.sprintf "%s.%s" base (Delay.decomp_name c.cd_decomp)
+  else base
 
 let options_of (st : settings) (c : candidate) : Driver.options =
   { st.st_base with
     Driver.unroll_outer_factor = c.cd_unroll;
     bus_elements = c.cd_bus;
-    target_ns = c.cd_target_ns }
+    target_ns = c.cd_target_ns;
+    stage_budget = c.cd_stage_budget;
+    decomp = c.cd_decomp }
 
 (* Evaluate [f] on candidate indices in two waves: one representative per
    distinct front-end options fingerprint first, then everyone else — so
@@ -311,8 +353,12 @@ let run ?cache ?trace ?config ?(luts = []) (st : settings) ~(source : string)
            if fi <> fj then compare fj fi
            else
              compare
-               (cands.(i).cd_unroll, cands.(i).cd_bus, cands.(i).cd_target_ns)
-               (cands.(j).cd_unroll, cands.(j).cd_bus, cands.(j).cd_target_ns))
+               ( cands.(i).cd_unroll, cands.(i).cd_bus, cands.(i).cd_target_ns,
+                 cands.(i).cd_stage_budget,
+                 Delay.decomp_name cands.(i).cd_decomp )
+               ( cands.(j).cd_unroll, cands.(j).cd_bus, cands.(j).cd_target_ns,
+                 cands.(j).cd_stage_budget,
+                 Delay.decomp_name cands.(j).cd_decomp ))
     |> List.map (fun (i, s) -> (rows_arr.(i), s))
   in
   { res_entry = entry;
@@ -351,12 +397,25 @@ let table (r : result) : string =
   let floats xs =
     String.concat "," (List.map (Printf.sprintf "%g") (dedupe xs))
   in
+  let wide_axes =
+    if
+      List.length (dedupe r.res_space.sp_stage_budget) > 1
+      || List.length (dedupe r.res_space.sp_decomp) > 1
+      || r.res_space.sp_stage_budget <> [ Delay.default_stage_budget ]
+      || r.res_space.sp_decomp <> [ Delay.default_decomp ]
+    then
+      Printf.sprintf " x stage-budget {%s} x decomp {%s}"
+        (ints r.res_space.sp_stage_budget)
+        (String.concat ","
+           (List.map Delay.decomp_name (dedupe r.res_space.sp_decomp)))
+    else ""
+  in
   Printf.bprintf b
-    "space: unroll {%s} x bus {%s} x target-ns {%s} = %d candidates\n\n"
+    "space: unroll {%s} x bus {%s} x target-ns {%s}%s = %d candidates\n\n"
     (ints r.res_space.sp_unroll)
     (ints r.res_space.sp_bus)
     (floats r.res_space.sp_target_ns)
-    r.res_explored;
+    wide_axes r.res_explored;
   Printf.bprintf b "  %-3s %-20s %6s %4s %6s %10s %8s %10s %8s\n" "#" "label"
     "unroll" "bus" "t_ns" "clock MHz" "slices" "latch bits" "out/cyc";
   List.iteri
@@ -410,10 +469,16 @@ let to_json (r : result) : string =
     String.concat ", " (List.map (Printf.sprintf "%g") (dedupe xs))
   in
   Printf.bprintf b
-    "  \"space\": { \"unroll\": [%s], \"bus\": [%s], \"target_ns\": [%s] },\n"
+    "  \"space\": { \"unroll\": [%s], \"bus\": [%s], \"target_ns\": [%s], \
+     \"stage_budget\": [%s], \"decomp\": [%s] },\n"
     (ints r.res_space.sp_unroll)
     (ints r.res_space.sp_bus)
-    (floats r.res_space.sp_target_ns);
+    (floats r.res_space.sp_target_ns)
+    (ints r.res_space.sp_stage_budget)
+    (String.concat ", "
+       (List.map
+          (fun d -> str (Delay.decomp_name d))
+          (dedupe r.res_space.sp_decomp)));
   Printf.bprintf b "  \"explored\": %d,\n" r.res_explored;
   Printf.bprintf b "  \"quick_evals\": %d,\n" r.res_quick_evals;
   Printf.bprintf b "  \"estimate_evals\": %d,\n" r.res_estimate_evals;
@@ -447,11 +512,14 @@ let to_json (r : result) : string =
         in
         Printf.sprintf
           "    { \"label\": %s, \"unroll\": %d, \"bus\": %d, \"target_ns\": \
-           %g, \"clock_mhz\": %g, \"slices\": %d, \"operator_slices\": %d, \
+           %g, \"stage_budget\": %d, \"decomp\": %s, \"clock_mhz\": %g, \
+           \"slices\": %d, \"operator_slices\": %d, \
            \"latency\": %d, \"latch_bits\": %d, \"greedy_latch_bits\": %d, \
            \"outputs_per_cycle\": %d, \"fitness\": %g }"
           (str rw.rw_label) rw.rw_cand.cd_unroll rw.rw_cand.cd_bus
-          rw.rw_cand.cd_target_ns m.Driver.ms_clock_mhz m.Driver.ms_slices
+          rw.rw_cand.cd_target_ns rw.rw_cand.cd_stage_budget
+          (str (Delay.decomp_name rw.rw_cand.cd_decomp))
+          m.Driver.ms_clock_mhz m.Driver.ms_slices
           m.Driver.ms_operator_slices m.Driver.ms_latency m.Driver.ms_latch_bits
           m.Driver.ms_greedy_latch_bits m.Driver.ms_outputs_per_cycle fitness)
       r.res_front
@@ -478,9 +546,10 @@ let to_json (r : result) : string =
         in
         Printf.sprintf
           "    { \"label\": %s, \"unroll\": %d, \"bus\": %d, \"target_ns\": \
-           %g, \"status\": %s%s%s }"
+           %g, \"stage_budget\": %d, \"decomp\": %s, \"status\": %s%s%s }"
           (str rw.rw_label) rw.rw_cand.cd_unroll rw.rw_cand.cd_bus
-          rw.rw_cand.cd_target_ns
+          rw.rw_cand.cd_target_ns rw.rw_cand.cd_stage_budget
+          (str (Delay.decomp_name rw.rw_cand.cd_decomp))
           (str (status_name rw.rw_status))
           detail extra)
       r.res_rows

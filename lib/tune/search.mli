@@ -27,15 +27,27 @@ type space = {
   sp_unroll : int list;
   sp_bus : int list;
   sp_target_ns : float list;
+  sp_stage_budget : int list;
+      (** wide-operator stage-budget axis; the default singleton [[0]]
+          (natural depth) leaves the historical grid unchanged *)
+  sp_decomp : Roccc_datapath.Delay.decomp list;
+      (** wide-multiplier decomposition axis; default [[Csa]] *)
 }
 
 val default_space : space
-(** unroll [1;2;4;8] x bus [1;2;4] x target_ns [3;5;8] ns — 36 points. *)
+(** unroll [1;2;4;8] x bus [1;2;4] x target_ns [3;5;8] ns — 36 points
+    (wide-operator axes at their single default values). *)
 
 val space_size : space -> int
 (** Grid size after per-axis deduplication. *)
 
-type candidate = { cd_unroll : int; cd_bus : int; cd_target_ns : float }
+type candidate = {
+  cd_unroll : int;
+  cd_bus : int;
+  cd_target_ns : float;
+  cd_stage_budget : int;
+  cd_decomp : Roccc_datapath.Delay.decomp;
+}
 
 (** Why a candidate did or did not reach the front. *)
 type status =

@@ -25,9 +25,24 @@ let vtype_of (proc : Proc.t) (widths : Widths.t) (r : Instr.vreg) : Ast.vtype =
   let w = try Widths.width widths r with _ -> kind.Roccc_cfront.Ast.bits in
   if kind.Roccc_cfront.Ast.signed then Ast.Signed w else Ast.Unsigned w
 
-(* Literal rendering for numeric_std. *)
+(* Literal rendering for numeric_std. Wide literals use bit-string form:
+   to_signed/to_unsigned take a VHDL integer (32-bit), which cannot carry
+   a >32-bit constant. *)
 let literal (kind : Instr.ikind) (w : int) (v : int64) : string =
-  if kind.Roccc_cfront.Ast.signed then
+  if w > 32 then
+    let bits =
+      String.init w (fun i ->
+          if
+            Int64.equal
+              (Int64.logand (Int64.shift_right_logical v (w - 1 - i)) 1L)
+              1L
+          then '1'
+          else '0')
+    in
+    Printf.sprintf "%s'(\"%s\")"
+      (if kind.Roccc_cfront.Ast.signed then "signed" else "unsigned")
+      bits
+  else if kind.Roccc_cfront.Ast.signed then
     Printf.sprintf "to_signed(%Ld, %d)" v w
   else
     Printf.sprintf "to_unsigned(%Ld, %d)"

@@ -112,7 +112,11 @@ let test_objective_feasible_fitness () =
 (* ---- search ---- *)
 
 let small_space =
-  { Search.sp_unroll = [ 1; 2 ]; sp_bus = [ 1; 2 ]; sp_target_ns = [ 5.0; 8.0 ] }
+  { Search.sp_unroll = [ 1; 2 ];
+    sp_bus = [ 1; 2 ];
+    sp_target_ns = [ 5.0; 8.0 ];
+    sp_stage_budget = [ 0 ];
+    sp_decomp = [ Roccc_datapath.Delay.Csa ] }
 
 let settings ?(use_quick = true) ?(margin = Search.default_margin)
     ?(domains = 1) obj =
@@ -191,7 +195,10 @@ let test_cache_shares_midend () =
   let st =
     { (settings obj) with
       Search.st_space =
-        { Search.sp_unroll = [ 1 ]; sp_bus = [ 1; 2 ]; sp_target_ns = [ 3.0; 5.0 ] } }
+        { small_space with
+          Search.sp_unroll = [ 1 ];
+          sp_bus = [ 1; 2 ];
+          sp_target_ns = [ 3.0; 5.0 ] } }
   in
   let trace = Trace.create () in
   let cache = Cache.create () in
@@ -222,7 +229,10 @@ let test_duplicate_axis_points_collapse () =
   let st =
     { (settings obj) with
       Search.st_space =
-        { Search.sp_unroll = [ 1; 1; 1 ]; sp_bus = [ 2; 2 ]; sp_target_ns = [ 5.0; 5.0 ] } }
+        { small_space with
+          Search.sp_unroll = [ 1; 1; 1 ];
+          sp_bus = [ 2; 2 ];
+          sp_target_ns = [ 5.0; 5.0 ] } }
   in
   let r = Search.run st ~source:fir16_source ~entry:"fir" in
   Alcotest.(check int) "duplicated points compile once" 1 r.Search.res_explored
