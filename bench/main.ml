@@ -28,6 +28,7 @@ module Graph = Roccc_datapath.Graph
 module Pipeline = Roccc_datapath.Pipeline
 module Area = Roccc_fpga.Area
 module Kernel = Roccc_hir.Kernel
+module Net = Roccc_net.Net
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -1123,6 +1124,61 @@ let wide_section () =
     | `Ok -> "byte-identical"
     | `Failed -> "DIVERGED"
     | `Skipped -> "skipped (no test/golden directory)");
+  (* VDF-contest replay: the stage-budget x decomposition trade-off on
+     the modular-square kernel, searched by the autotuner at tight clock
+     targets. Staged wide operators (budget 0 = natural depth, or >= 2)
+     must dominate the unstaged points (budget 1: the whole wide region
+     in one combinational stage) on achieved clock. *)
+  let vdf_source =
+    if Sys.file_exists "examples/modsq.c" then begin
+      let ic = open_in_bin "examples/modsq.c" in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    end
+    else b.Kernels.source
+  in
+  let vdf_obj = Tune_objective.Max_mhz { slice_budget = 100_000 } in
+  let vdf_settings =
+    { (Tune_search.default_settings vdf_obj) with
+      Tune_search.st_margin = 0.0;
+      st_space =
+        { Tune_search.sp_unroll = [ 1 ];
+          sp_bus = [ 1 ];
+          sp_target_ns = [ 2.0; 3.0 ];
+          sp_stage_budget = [ 0; 1; 2; 4 ];
+          sp_decomp = Roccc_datapath.Delay.all_decomps } }
+  in
+  let vr = Tune_search.run vdf_settings ~source:vdf_source ~entry:"modsq" in
+  print_string (Tune_search.table vr);
+  let vdf_measured =
+    List.filter_map
+      (fun (r : Tune_search.row) ->
+        match r.Tune_search.rw_measure with
+        | Some m -> Some (r.Tune_search.rw_cand, m)
+        | None -> None)
+      vr.Tune_search.res_rows
+  in
+  let best pred =
+    List.fold_left
+      (fun acc ((cd : Tune_search.candidate), (m : Driver.measurement)) ->
+        if pred cd then Float.max acc m.Driver.ms_clock_mhz else acc)
+      0.0 vdf_measured
+  in
+  let staged (cd : Tune_search.candidate) =
+    cd.Tune_search.cd_stage_budget <> 1
+  in
+  let staged_best = best staged in
+  let unstaged_best = best (fun c -> not (staged c)) in
+  let vdf_front_ok = vr.Tune_search.res_front <> [] in
+  let vdf_staged_dominates = unstaged_best > 0. && staged_best > unstaged_best in
+  Printf.printf
+    "vdf stage-budget study: front %d/%d, staged best %.1f MHz vs unstaged \
+     %.1f MHz -> staged %s\n"
+    (List.length vr.Tune_search.res_front)
+    vr.Tune_search.res_explored staged_best unstaged_best
+    (if vdf_staged_dominates then "dominates" else "DOES NOT dominate");
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -1143,6 +1199,17 @@ let wide_section () =
     regions;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
+    (Printf.sprintf
+       "  \"vdf\": { \"explored\": %d, \"front_size\": %d, \
+        \"staged_best_mhz\": %.2f, \"unstaged_best_mhz\": %.2f },\n"
+       vr.Tune_search.res_explored
+       (List.length vr.Tune_search.res_front)
+       staged_best unstaged_best);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"vdf_front_ok\": %b,\n" vdf_front_ok);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"vdf_staged_dominates_ok\": %b,\n" vdf_staged_dominates);
+  Buffer.add_string buf
     (Printf.sprintf "  \"modsq_compiles_ok\": %b,\n" modsq_compiles_ok);
   Buffer.add_string buf
     (Printf.sprintf "  \"pinned_stages_ok\": %b,\n" pinned_stages_ok);
@@ -1156,6 +1223,97 @@ let wide_section () =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "wrote BENCH_wide.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Process networks - two-kernel streaming pipeline with sized FIFOs   *)
+(* ------------------------------------------------------------------ *)
+
+(* Gates: the gallery network's co-simulation output is byte-identical
+   to the sequential composition of the per-kernel software models
+   (sized depths AND a depth-1 stress run), every channel depth meets
+   the rate-analysis minimum, and at least one sized FIFO is smaller
+   than the full inter-kernel buffer. *)
+let net_section () =
+  section "Process network - fir -> smooth through a sized FIFO channel";
+  let quiet =
+    { (Pass.default_config ()) with Pass.on_dump = (fun _ _ -> ()) }
+  in
+  let net =
+    Net.plan ~config:quiet ~name:Net.gallery_pipeline Net.gallery_source
+  in
+  print_string (Net.describe net);
+  let arrays = Net.gallery_arrays () in
+  let sized_diffs = Net.verify ~arrays net in
+  let stress_diffs = Net.verify ~arrays ~depths:[ 1 ] net in
+  let byte_identical = sized_diffs = [] && stress_diffs = [] in
+  let sim = Net.simulate ~arrays net in
+  let stress = Net.simulate ~arrays ~depths:[ 1 ] net in
+  let depths_ok =
+    List.for_all
+      (fun (ch : Net.channel) -> ch.Net.ch_depth >= ch.Net.ch_min_depth)
+      net.Net.net_channels
+  in
+  let fifo_smaller =
+    List.exists
+      (fun (ch : Net.channel) -> ch.Net.ch_depth < ch.Net.ch_elements)
+      net.Net.net_channels
+  in
+  Printf.printf
+    "co-sim %d cycles (depth-1 stress %d cycles, %d full-stalls); network \
+     output %s sequential composition\n"
+    sim.Net.nr_cycles stress.Net.nr_cycles
+    (List.fold_left
+       (fun acc (cs : Net.channel_stats) -> acc + cs.Net.cs_full_stalls)
+       0 stress.Net.nr_channels)
+    (if byte_identical then "=" else "<>");
+  List.iter
+    (fun (cs : Net.channel_stats) ->
+      Printf.printf
+        "  channel %-16s depth %d (min %d), high water %d, %d pushed, \
+         stalls full/empty %d/%d\n"
+        cs.Net.cs_name cs.Net.cs_depth cs.Net.cs_min_depth
+        cs.Net.cs_high_water cs.Net.cs_pushed cs.Net.cs_full_stalls
+        cs.Net.cs_empty_stalls)
+    sim.Net.nr_channels;
+  Printf.printf
+    "net_byte_identical: %s | depths_ok: %s | fifo_smaller_than_buffer: %s\n"
+    (if byte_identical then "yes" else "NO")
+    (if depths_ok then "yes" else "NO")
+    (if fifo_smaller then "yes" else "NO");
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pipeline\": \"%s\",\n" net.Net.net_name);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"stages\": %d,\n" (List.length net.Net.net_stages));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cycles\": %d,\n" sim.Net.nr_cycles);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"stress_cycles\": %d,\n" stress.Net.nr_cycles);
+  Buffer.add_string buf "  \"channels\": [\n";
+  let n_ch = List.length sim.Net.nr_channels in
+  List.iteri
+    (fun i (cs : Net.channel_stats) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"depth\": %d, \"min_depth\": %d, \
+            \"high_water\": %d, \"pushed\": %d, \"full_stalls\": %d, \
+            \"empty_stalls\": %d }%s\n"
+           cs.Net.cs_name cs.Net.cs_depth cs.Net.cs_min_depth
+           cs.Net.cs_high_water cs.Net.cs_pushed cs.Net.cs_full_stalls
+           cs.Net.cs_empty_stalls
+           (if i = n_ch - 1 then "" else ",")))
+    sim.Net.nr_channels;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"net_byte_identical\": %b,\n" byte_identical);
+  Buffer.add_string buf (Printf.sprintf "  \"depths_ok\": %b,\n" depths_ok);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"fifo_smaller_than_buffer\": %b\n}\n" fifo_smaller);
+  let oc = open_out "BENCH_net.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_net.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Serve soak - mixed load through the Unix socket at 1/2/4 workers    *)
@@ -1172,22 +1330,30 @@ let soak_kernel c =
      B[i] = A[i] * %d + %d; } }"
     c (c + 1)
 
-(* The mixed load: compile requests cycling over 24 distinct
+(* The mixed load: compile requests cycling over 26 distinct
    (source x options) keys — so each run pays a batch of cold compiles up
    front and mostly-warm cache traffic after — with a health probe every
-   40th line. Generated once and replayed identically at every worker
-   count, so responses are comparable across runs. *)
+   40th line. Two of the keys are the stage kernels of the two-kernel
+   gallery network (examples/stream.c), so the soak also covers sources
+   carrying a [pipeline] declaration through the protocol. Generated
+   once and replayed identically at every worker count, so responses are
+   comparable across runs. *)
 let soak_lines n =
   List.init n (fun i ->
       if i mod 40 = 39 then Printf.sprintf {|{"id":"h%04d","type":"health"}|} i
       else
-        let key = i mod 24 in
-        let source = soak_kernel (key mod 6) in
-        let bus = if key / 6 mod 2 = 0 then 1 else 2 in
-        let unroll = if key / 12 = 0 then 0 else 2 in
-        Printf.sprintf
-          {|{"id":"r%04d","source":%S,"entry":"k","options":{"bus_elements":%d,"unroll_inner_max":%d}}|}
-          i source bus unroll)
+        let key = i mod 26 in
+        if key >= 24 then
+          let entry = if key = 24 then "fir" else "smooth" in
+          Printf.sprintf {|{"id":"r%04d","source":%S,"entry":%S}|} i
+            Net.gallery_source entry
+        else
+          let source = soak_kernel (key mod 6) in
+          let bus = if key / 6 mod 2 = 0 then 1 else 2 in
+          let unroll = if key / 12 = 0 then 0 else 2 in
+          Printf.sprintf
+            {|{"id":"r%04d","source":%S,"entry":"k","options":{"bus_elements":%d,"unroll_inner_max":%d}}|}
+            i source bus unroll)
 
 (* Push one request stream through a real Unix socket: a spawned domain
    accepts and serves, a writer domain feeds the lines, and the calling
@@ -1467,7 +1633,7 @@ let serve_soak_section () =
            conc_runs
        | [] -> false)
   in
-  let distinct_keys = 24 in
+  let distinct_keys = 26 in
   let coalesce_ok =
     List.for_all
       (fun (_, _, _, _, (st : Svc_cache.stats)) ->
@@ -1642,6 +1808,7 @@ let sections : (string * (unit -> unit)) list =
     "service", service_section;
     "tune", tune_section;
     "wide", wide_section;
+    "net", net_section;
     "serve-soak", serve_soak_section;
     "bechamel", bechamel_section ]
 

@@ -16,6 +16,7 @@ module Service = Roccc_service.Service
 module Svc_cache = Roccc_service.Cache
 module Svc_trace = Roccc_service.Trace
 module Server = Roccc_service.Server
+module Net = Roccc_net.Net
 module Farm = Roccc_service.Farm
 module Faults = Roccc_service.Faults
 
@@ -50,6 +51,9 @@ let with_errors f =
     exit 1
   | Roccc_cfront.Interp.Error msg ->
     Printf.eprintf "roccc: interpreter: %s\n" msg;
+    exit 1
+  | Net.Error msg ->
+    Printf.eprintf "roccc: network: %s\n" msg;
     exit 1
   | Sys_error msg ->
     Printf.eprintf "roccc: %s\n" msg;
@@ -238,6 +242,44 @@ let compile_cmd =
             "Print an intermediate stage: kernel, transformed, dp-function, \
              vm, datapath, dot, pipeline, vhdl, passes.")
   in
+  (* --entry naming a [pipeline x = a -> b;] declaration compiles the
+     process network instead of a single kernel: plan every stage, size
+     the channels, co-simulate against the sequential composition, and
+     (with -o) emit the network top level next to the stage designs. *)
+  let run_network ~source ~config ~options ~out name =
+    let net = Net.plan ~config ~options ~name source in
+    print_string (Net.describe net);
+    let s0 = List.hd net.Net.net_stages in
+    let arrays =
+      [ s0.Net.sg_in_array,
+        Array.init s0.Net.sg_elements_in (fun i ->
+            Int64.of_int ((5 * i) - 17 + (i * i mod 11))) ]
+    in
+    (match Net.verify ~arrays net with
+    | [] ->
+      print_endline "co-simulation: network output == sequential composition"
+    | diffs ->
+      List.iter (Printf.eprintf "roccc: co-simulation mismatch: %s\n") diffs;
+      exit 1);
+    match out with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let files =
+        ((name ^ "_net.vhd"), Net.network_vhdl net)
+        :: List.concat_map
+             (fun (sg : Net.stage) -> Service.vhdl_files sg.Net.sg_compiled)
+             net.Net.net_stages
+      in
+      List.iter
+        (fun (fname, contents) ->
+          let path = Filename.concat dir fname in
+          let oc = open_out path in
+          output_string oc contents;
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+        files
+  in
   let run file entry target_ns bus no_widths unroll_inner stage_budget decomp
       out dumps testbench config =
     with_errors (fun () ->
@@ -245,6 +287,14 @@ let compile_cmd =
         let options =
           options_of target_ns bus no_widths unroll_inner stage_budget decomp
         in
+        let is_network =
+          List.exists
+            (fun (pl : Roccc_cfront.Ast.pipeline_decl) ->
+              String.equal pl.Roccc_cfront.Ast.pl_name entry)
+            (try Net.pipelines_of_source source with Net.Error _ -> [])
+        in
+        if is_network then run_network ~source ~config ~options ~out entry
+        else begin
         let c = Driver.compile ~config ~options ~entry source in
         ignore testbench;
         List.iter
@@ -292,7 +342,8 @@ let compile_cmd =
                 Roccc_core.Testbench.generate ~scalars ~arrays c ]
             | None -> [])
         | None -> ());
-        if dumps = [] && out = None then print_string (Driver.report c))
+        if dumps = [] && out = None then print_string (Driver.report c)
+        end)
   in
   let testbench_arg =
     Arg.(

@@ -1,0 +1,24 @@
+/* Two-kernel streaming gallery network (process networks): the paper's
+   5-tap FIR feeds a 3-tap smoothing kernel through a sized FIFO channel
+   instead of a round trip through off-chip memory.
+
+     roccc compile examples/stream --entry firsmooth
+
+   compiles both stages (cached per kernel), sizes the channel from the
+   producer/consumer rates, co-simulates the two engines cycle by cycle
+   with backpressure, and emits the network VHDL top level. */
+void fir(int A[20], int C[16]) {
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];
+  }
+}
+
+void smooth(int D[16], int E[14]) {
+  int i;
+  for (i = 0; i < 14; i = i + 1) {
+    E[i] = (D[i] + 2*D[i+1] + D[i+2]) >> 2;
+  }
+}
+
+pipeline firsmooth = fir -> smooth;

@@ -1,0 +1,67 @@
+(** Bounded FIFO channel between two datapath engines (process-network
+    mode). The channel is the hardware FIFO the VHDL top level
+    instantiates between a producer's output port and a consumer's
+    smart buffer: a fixed [depth], single push/pop per element, and
+    occupancy counters the simulator uses to model backpressure
+    (full -> producer stalls, empty -> consumer stalls).
+
+    Instrumented with a high-water mark and stall counters so the
+    sizing rule in [Roccc_net] can be checked against what actually
+    happened during co-simulation. *)
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type t = {
+  name : string;
+  depth : int;                       (** capacity in elements *)
+  buf : int64 Queue.t;
+  mutable pushed : int;              (** total elements ever pushed *)
+  mutable popped : int;              (** total elements ever popped *)
+  mutable high_water : int;          (** max occupancy observed *)
+  mutable full_stalls : int;         (** producer cycles blocked on space *)
+  mutable empty_stalls : int;        (** consumer cycles blocked on data *)
+}
+
+let create ~(name : string) ~(depth : int) : t =
+  if depth < 1 then errf "fifo %s: depth must be >= 1 (got %d)" name depth;
+  { name;
+    depth;
+    buf = Queue.create ();
+    pushed = 0;
+    popped = 0;
+    high_water = 0;
+    full_stalls = 0;
+    empty_stalls = 0 }
+
+let length (f : t) : int = Queue.length f.buf
+let space (f : t) : int = f.depth - Queue.length f.buf
+let is_empty (f : t) : bool = Queue.is_empty f.buf
+let is_full (f : t) : bool = Queue.length f.buf >= f.depth
+
+(** Push one element; the engine must check [space] first — pushing
+    into a full channel is a simulator bug, not backpressure. *)
+let push (f : t) (v : int64) : unit =
+  if is_full f then
+    errf "fifo %s: push into a full channel (depth %d)" f.name f.depth;
+  Queue.add v f.buf;
+  f.pushed <- f.pushed + 1;
+  if Queue.length f.buf > f.high_water then
+    f.high_water <- Queue.length f.buf
+
+let pop (f : t) : int64 option =
+  if Queue.is_empty f.buf then None
+  else begin
+    let v = Queue.pop f.buf in
+    f.popped <- f.popped + 1;
+    Some v
+  end
+
+(** Record a cycle in which the producer wanted to launch but the
+    channel had no credit for the results. *)
+let note_full_stall (f : t) : unit = f.full_stalls <- f.full_stalls + 1
+
+(** Record a cycle in which the consumer wanted data but the channel
+    was empty. *)
+let note_empty_stall (f : t) : unit = f.empty_stalls <- f.empty_stalls + 1

@@ -66,7 +66,20 @@ type func = {
 
 type global = { gtype : ctype; gname : string; ginit : expr option }
 
-type program = { globals : global list; funcs : func list }
+(** Top-level composition form (process networks):
+    [pipeline name = stageA -> stageB -> ...;] chains kernels into a
+    streaming network — each stage's output array feeds the next
+    stage's input array through a sized FIFO channel. *)
+type pipeline_decl = {
+  pl_name : string;
+  pl_stages : string list;  (** kernel function names, upstream first *)
+}
+
+type program = {
+  globals : global list;
+  funcs : func list;
+  pipelines : pipeline_decl list;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Common kinds and small constructors                                 *)

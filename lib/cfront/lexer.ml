@@ -16,6 +16,7 @@ type token =
   | PLUS_ASSIGN | MINUS_ASSIGN
   | PLUSPLUS | MINUSMINUS
   | QUESTION | COLON
+  | ARROW  (** [->]: pipeline composition (process networks) *)
   | EOF
 
 type located = { tok : token; line : int; col : int }
@@ -38,6 +39,7 @@ let token_name = function
   | EQEQ -> "'=='" | NE -> "'!='" | ANDAND -> "'&&'" | OROR -> "'||'"
   | ASSIGN -> "'='" | PLUS_ASSIGN -> "'+='" | MINUS_ASSIGN -> "'-='"
   | PLUSPLUS -> "'++'" | MINUSMINUS -> "'--'"
+  | ARROW -> "'->'"
   | QUESTION -> "'?'" | COLON -> "':'"
   | EOF -> "end of input"
 
@@ -187,6 +189,7 @@ let next_token st : located =
       match peek_char st with
       | Some '-' -> advance st; MINUSMINUS
       | Some '=' -> advance st; MINUS_ASSIGN
+      | Some '>' -> advance st; ARROW
       | Some _ | None -> MINUS)
     | Some '*' -> simple STAR
     | Some '/' -> simple SLASH

@@ -16,6 +16,7 @@ type token =
   | PLUS_ASSIGN | MINUS_ASSIGN
   | PLUSPLUS | MINUSMINUS
   | QUESTION | COLON
+  | ARROW  (** [->]: pipeline composition (process networks) *)
   | EOF
 
 type located = { tok : token; line : int; col : int }

@@ -546,8 +546,31 @@ let parse_program (src : string) : Ast.program =
   let st = { toks } in
   let globals = ref [] in
   let funcs = ref [] in
+  let pipelines = ref [] in
   let rec loop () =
     if (peek st).tok = Lexer.EOF then ()
+    else if
+      (* top-level composition form (process networks):
+         pipeline NAME = stageA -> stageB -> ... ; *)
+      peek st |> fun t ->
+      t.tok = Lexer.IDENT "pipeline"
+      && (match peek2 st with Some (Lexer.IDENT _) -> true | _ -> false)
+    then begin
+      advance st;
+      let name = expect_ident st in
+      expect st Lexer.ASSIGN;
+      let rec stages acc =
+        let s = expect_ident st in
+        if (peek st).tok = Lexer.ARROW then (advance st; stages (s :: acc))
+        else List.rev (s :: acc)
+      in
+      let sts = stages [] in
+      if List.length sts < 2 then
+        error_at (peek st) "a pipeline needs at least two stages";
+      expect st Lexer.SEMI;
+      pipelines := { Ast.pl_name = name; pl_stages = sts } :: !pipelines;
+      loop ()
+    end
     else begin
       let ret = parse_base_type st in
       let name = expect_ident st in
@@ -600,7 +623,9 @@ let parse_program (src : string) : Ast.program =
     end
   in
   loop ();
-  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }
+  { Ast.globals = List.rev !globals;
+    funcs = List.rev !funcs;
+    pipelines = List.rev !pipelines }
 
 (** Parse a single function from a source string containing exactly one. *)
 let parse_func (src : string) : Ast.func =

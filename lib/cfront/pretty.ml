@@ -153,4 +153,11 @@ let program_to_string (p : program) =
         | t -> Printf.sprintf "%s %s%s;" (ctype_name t) g.gname rhs)
       p.globals
   in
-  String.concat "\n\n" (globals @ List.map func_to_string p.funcs)
+  let pipelines =
+    List.map
+      (fun (pl : Ast.pipeline_decl) ->
+        Printf.sprintf "pipeline %s = %s;" pl.pl_name
+          (String.concat " -> " pl.pl_stages))
+      p.pipelines
+  in
+  String.concat "\n\n" (globals @ List.map func_to_string p.funcs @ pipelines)

@@ -441,7 +441,7 @@ let differential_lower (st : state) : unit =
     let program =
       match st.st_program with
       | Some p -> { p with Ast.funcs = [ dp ] }
-      | None -> { Ast.globals = []; funcs = [ dp ] }
+      | None -> { Ast.globals = []; funcs = [ dp ]; pipelines = [] }
     in
     let rt = Interp.create ~lut_funcs:(lut_bindings st.st_luts) program in
     List.iteri

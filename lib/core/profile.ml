@@ -159,7 +159,7 @@ let instrument (prog : Ast.program) : Ast.program * site list =
           ginit = Some (Ast.Const 0L) })
       !sites
   in
-  { Ast.globals = prog.Ast.globals @ counters; funcs }, !sites
+  { Ast.globals = prog.Ast.globals @ counters; funcs; pipelines = prog.Ast.pipelines }, !sites
 
 (* ------------------------------------------------------------------ *)
 (* Analysis                                                            *)

@@ -27,6 +27,59 @@ type result = {
       (** (cycle, data-path outputs) per retirement, in order *)
 }
 
+(** Where a window input's elements come from. *)
+type feed =
+  | Feed_bram of int64 array
+      (** classic: a preloaded BRAM scanned once by an address generator *)
+  | Feed_fifo of Roccc_buffers.Fifo.t
+      (** streamed from an upstream channel (process networks) *)
+
+(** Where array outputs retire to. *)
+type sink =
+  | Sink_bram  (** classic: one BRAM per output array *)
+  | Sink_fifo of Roccc_buffers.Fifo.t
+      (** streamed to a downstream channel, in write-offset order *)
+
+type t
+(** A steppable engine instance: several can be advanced in lockstep by
+    the process-network simulator. *)
+
+val create :
+  ?luts:(string * (int64 -> int64)) list ->
+  ?scalars:(string * int64) list ->
+  ?arrays:(string * int64 array) list ->
+  ?bus_elements:int ->
+  ?feeds:(string * feed) list ->
+  ?sink:sink ->
+  Roccc_hir.Kernel.t ->
+  dp:Roccc_datapath.Graph.t ->
+  pipeline:Roccc_datapath.Pipeline.t ->
+  t
+(** Build an engine without running it. [feeds] selects the element
+    source per window array (default: a BRAM loaded from [arrays]);
+    [sink] is where array outputs retire. Raises {!Error} on missing
+    inputs. *)
+
+val step : t -> unit
+(** Advance the engine by one clock cycle (a no-op once done). A FIFO-fed
+    lane that finds its channel empty stalls (counted on the channel); a
+    FIFO-sinked engine launches only with credit — space for the results
+    of every in-flight iteration plus the new one — and otherwise records
+    a full-stall on the channel. *)
+
+val is_done : t -> bool
+
+val result : t -> result
+(** Collect counters and outputs (valid at any point of the run). *)
+
+val retired : t -> int
+(** Iterations retired so far (progress indicator for stall diagnostics). *)
+
+val total_launches : t -> int
+(** Iterations the kernel needs in total. *)
+
+val latency : t -> int
+
 val simulate :
   ?luts:(string * (int64 -> int64)) list ->
   ?scalars:(string * int64) list ->

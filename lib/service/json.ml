@@ -122,6 +122,15 @@ let parse (s : string) : (t, string) result =
         | 'u' ->
           (if !pos + 4 > n then fail "truncated \\u escape");
           let hex = String.sub s !pos 4 in
+          (* validate the 4 chars as hex digits by hand: int_of_string
+             would also accept OCaml numeric-literal underscores, so
+             "\u0_41" must not sneak through as "A" *)
+          let is_hex = function
+            | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+            | _ -> false
+          in
+          if not (String.for_all is_hex hex) then
+            fail "bad \\u escape %S" hex;
           pos := !pos + 4;
           (match int_of_string_opt ("0x" ^ hex) with
           | None -> fail "bad \\u escape %S" hex
@@ -152,23 +161,28 @@ let parse (s : string) : (t, string) result =
   let parse_number () =
     let start = !pos in
     if peek () = Some '-' then incr pos;
-    let digits () =
+    (* each digit run must be non-empty: JSON forbids "-", "1." and
+       "1e" even though float_of_string would accept some of them *)
+    let digits what =
+      let seen = ref 0 in
       while
         match peek () with Some '0' .. '9' -> true | _ -> false
       do
-        incr pos
-      done
+        incr pos;
+        incr seen
+      done;
+      if !seen = 0 then fail "expected %s digits" what
     in
-    digits ();
+    digits "integer";
     if peek () = Some '.' then begin
       incr pos;
-      digits ()
+      digits "fraction"
     end;
     (match peek () with
     | Some ('e' | 'E') ->
       incr pos;
       (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
-      digits ()
+      digits "exponent"
     | _ -> ());
     let text = String.sub s start (!pos - start) in
     match float_of_string_opt text with

@@ -54,6 +54,21 @@ type report = {
   rp_cache : Cache.stats option;
 }
 
+val run_mid_end :
+  ?cache:Cache.t ->
+  base_config:Roccc_core.Pass.config ->
+  config:Roccc_core.Pass.config ->
+  ?trace:Trace.t ->
+  tid:int ->
+  job ->
+  Roccc_core.Pass.state * int * int
+(** Resume the mid-end pipeline (parse through the kernel passes) from
+    the deepest cached per-pass state, storing each newly computed
+    state back. Returns the completed mid-end state, the index of the
+    first pass that actually ran, and the number of selected passes.
+    The process-network planner uses this to share per-kernel mid-end
+    work between network and single-kernel compiles. *)
+
 val compile_cached :
   ?cache:Cache.t ->
   ?config:Roccc_core.Pass.config ->

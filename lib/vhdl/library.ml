@@ -249,12 +249,75 @@ begin
 end architecture rtl;
 |}
 
+(** Synchronous FIFO channel between two engines (process networks):
+    standard circular-buffer FIFO with full/empty flags — the producer
+    stalls on [full], the consumer on [empty], matching the simulator's
+    backpressure semantics. *)
+let fifo_vhdl : string =
+  {|library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity roccc_fifo is
+  generic (
+    depth        : integer := 16;
+    element_bits : integer := 32
+  );
+  port (
+    clk    : in  std_logic;
+    rst    : in  std_logic;
+    wr_en  : in  std_logic;
+    din    : in  signed(element_bits - 1 downto 0);
+    full   : out std_logic;
+    rd_en  : in  std_logic;
+    dout   : out signed(element_bits - 1 downto 0);
+    empty  : out std_logic
+  );
+end entity roccc_fifo;
+
+architecture rtl of roccc_fifo is
+  type mem_t is array (0 to depth - 1) of signed(element_bits - 1 downto 0);
+  signal mem   : mem_t;
+  signal wptr  : integer range 0 to depth - 1 := 0;
+  signal rptr  : integer range 0 to depth - 1 := 0;
+  signal count : integer range 0 to depth := 0;
+begin
+  full  <= '1' when count = depth else '0';
+  empty <= '1' when count = 0 else '0';
+  dout  <= mem(rptr);
+  queue : process(clk)
+    variable delta : integer;
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        wptr <= 0; rptr <= 0; count <= 0;
+      else
+        delta := 0;
+        if wr_en = '1' and count < depth then
+          mem(wptr) <= din;
+          if wptr = depth - 1 then wptr <= 0; else wptr <= wptr + 1; end if;
+          delta := delta + 1;
+        end if;
+        if rd_en = '1' and count > 0 then
+          if rptr = depth - 1 then rptr <= 0; else rptr <= rptr + 1; end if;
+          delta := delta - 1;
+        end if;
+        count <= count + delta;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+|}
+
 (* ------------------------------------------------------------------ *)
 (* System assembly (Figure 2) for 1-D single-window kernels            *)
 (* ------------------------------------------------------------------ *)
 
 (** Names of library entities used by {!system_wrapper_vhdl}. *)
 let library_entities = [ "roccc_addr_gen"; "roccc_smart_buffer"; "roccc_controller" ]
+
+(** Names of library entities used by {!network_wrapper_vhdl}. *)
+let network_entities = library_entities @ [ "roccc_fifo" ]
 
 (** Render the Figure 2 system around a compiled data path: address
     generator -> BRAM port -> smart buffer -> data path, sequenced by the
@@ -344,4 +407,154 @@ end architecture structural;
           (List.map
              (fun (name, _) -> Printf.sprintf "              %s => %s" name name)
              out_ports)));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Network assembly (process networks): engines chained through FIFOs  *)
+(* ------------------------------------------------------------------ *)
+
+(** One stage of a network top level, as seen by the wiring generator. *)
+type net_stage = {
+  ns_entity : string;                 (** data-path entity name *)
+  ns_element_bits : int;              (** stream element width *)
+  ns_out_ports : (string * int) list; (** output ports (name, bits) *)
+}
+
+(** Render the network top level: each stage's Figure 2 system entity is
+    instantiated and chained to the next through a [roccc_fifo] channel
+    instance of the statically sized depth. The first stage keeps the
+    external BRAM read interface; the last stage's output ports and the
+    final [finished] are exported. FIFO full/empty drive the stall
+    inputs the per-stage controllers observe (the simulator's
+    credit-based launch gating is the behavioural model of that
+    wiring). *)
+let network_wrapper_vhdl ~(name : string) ~(stages : net_stage list)
+    ~(fifo_depths : int list) : string =
+  let n = List.length stages in
+  if n < 2 then invalid_arg "network_wrapper_vhdl: need >= 2 stages";
+  if List.length fifo_depths <> n - 1 then
+    invalid_arg "network_wrapper_vhdl: need one depth per adjacent pair";
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf fifo_vhdl;
+  Buffer.add_string buf "\n";
+  let first = List.hd stages in
+  let last = List.nth stages (n - 1) in
+  let out_decls =
+    String.concat ";\n"
+      (List.map
+         (fun (port, bits) ->
+           Printf.sprintf "    %s : out signed(%d downto 0)" port (bits - 1))
+         last.ns_out_ports)
+  in
+  (* one data/handshake signal bundle per channel *)
+  let channel_signals =
+    String.concat "\n"
+      (List.mapi
+         (fun i (st : net_stage) ->
+           Printf.sprintf
+             "  signal ch%d_din   : signed(%d downto 0);\n\
+              \  signal ch%d_dout  : signed(%d downto 0);\n\
+              \  signal ch%d_wr    : std_logic;\n\
+              \  signal ch%d_rd    : std_logic;\n\
+              \  signal ch%d_full  : std_logic;\n\
+              \  signal ch%d_empty : std_logic;\n\
+              \  signal st%d_done  : std_logic;"
+             i (st.ns_element_bits - 1) i (st.ns_element_bits - 1) i i i i i)
+         (List.filteri (fun i _ -> i < n - 1) stages))
+  in
+  let fifo_insts =
+    String.concat "\n"
+      (List.mapi
+         (fun i depth ->
+           let st = List.nth stages i in
+           Printf.sprintf
+             "  u_fifo%d : entity work.roccc_fifo\n\
+              \    generic map (depth => %d, element_bits => %d)\n\
+              \    port map (clk => clk, rst => rst,\n\
+              \              wr_en => ch%d_wr, din => ch%d_din, full => ch%d_full,\n\
+              \              rd_en => ch%d_rd, dout => ch%d_dout, empty => ch%d_empty);"
+             i depth st.ns_element_bits i i i i i i)
+         fifo_depths)
+  in
+  let stage_insts =
+    String.concat "\n"
+      (List.mapi
+         (fun i (st : net_stage) ->
+           let sys = st.ns_entity ^ "_system" in
+           let src_port, src_valid =
+             if i = 0 then "bram_data", "bram_valid"
+             else
+               Printf.sprintf "ch%d_dout" (i - 1),
+               Printf.sprintf "(not ch%d_empty)" (i - 1)
+           in
+           let first_out = fst (List.hd st.ns_out_ports) in
+           let outs =
+             if i = n - 1 then
+               String.concat ",\n"
+                 (List.map
+                    (fun (port, _) ->
+                      Printf.sprintf "              %s => %s" port port)
+                    st.ns_out_ports)
+             else
+               (* stream port order: results enter the channel in output
+                  port order, matching the simulator's retire order *)
+               Printf.sprintf "              %s => ch%d_din" first_out i
+           in
+           let finished =
+             if i = n - 1 then "finished" else Printf.sprintf "st%d_done" i
+           in
+           let addr_wiring =
+             if i = 0 then
+               "              bram_addr => bram_addr, bram_rd => bram_rd,\n"
+             else
+               Printf.sprintf
+                 "              bram_addr => open, bram_rd => ch%d_rd,\n" (i - 1)
+           in
+           Printf.sprintf
+             "  u_stage%d : entity work.%s\n\
+              \    port map (clk => clk, rst => rst,\n\
+              \              bram_data => %s, bram_valid => %s,\n\
+              %s%s,\n\
+              \              finished => %s);"
+             i sys src_port src_valid addr_wiring outs finished)
+         stages)
+  in
+  let wr_wiring =
+    String.concat "\n"
+      (List.mapi
+         (fun i _ ->
+           Printf.sprintf
+             "  ch%d_wr <= (not st%d_done) and (not ch%d_full);" i i i)
+         fifo_depths)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity %s_net is
+  port (
+    clk   : in  std_logic;
+    rst   : in  std_logic;
+    bram_data  : in  signed(%d downto 0);
+    bram_valid : in  std_logic;
+    bram_addr  : out unsigned(9 downto 0);
+    bram_rd    : out std_logic;
+%s;
+    finished : out std_logic
+  );
+end entity %s_net;
+
+architecture structural of %s_net is
+%s
+begin
+%s
+%s
+%s
+end architecture structural;
+|}
+       name
+       (first.ns_element_bits - 1)
+       out_decls name name channel_signals wr_wiring fifo_insts stage_insts);
   Buffer.contents buf

@@ -17,7 +17,27 @@ val line_buffer_vhdl :
 (** 2-D smart buffer: (win_rows - 1) line FIFOs plus the window column,
     with parallel taps [win_<r>_<c>]. *)
 
+val fifo_vhdl : string
+(** Synchronous circular-buffer FIFO channel with full/empty flags
+    (process networks: producer stalls on full, consumer on empty). *)
+
 val library_entities : string list
+
+val network_entities : string list
+(** Entities instantiated by {!network_wrapper_vhdl}. *)
+
+(** One stage of a network top level, as seen by the wiring generator. *)
+type net_stage = {
+  ns_entity : string;                  (** data-path entity name *)
+  ns_element_bits : int;               (** stream element width *)
+  ns_out_ports : (string * int) list;  (** output ports (name, bits) *)
+}
+
+val network_wrapper_vhdl :
+  name:string -> stages:net_stage list -> fifo_depths:int list -> string
+(** Render the network top level: each stage's Figure 2 system entity
+    chained to the next through a [roccc_fifo] instance of the statically
+    sized depth. One depth per adjacent stage pair. *)
 
 val system_wrapper_vhdl :
   dp_entity:string ->

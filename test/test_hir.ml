@@ -167,8 +167,8 @@ let test_partial_unroll () =
     ignore prog;
     let f' = { f with Ast.body = [ Ast.Sdecl (Ast.Tint Ast.int32_kind, "i", None);
                                    Ast.Sfor (h', body') ] } in
-    let p1 = { Ast.globals = []; funcs = [ f ] } in
-    let p2 = { Ast.globals = []; funcs = [ f' ] } in
+    let p1 = { Ast.globals = []; funcs = [ f ]; pipelines = [] } in
+    let p2 = { Ast.globals = []; funcs = [ f' ]; pipelines = [] } in
     Alcotest.(check bool) "same behaviour" true
       (same_behaviour ~fname:"f" ~scalars:[]
          ~arrays:[ "A", Array.init 8 Int64.of_int ]
@@ -198,7 +198,7 @@ let test_fusion () =
     List.filter (function Ast.Sfor _ -> true | _ -> false) fused
   in
   Alcotest.(check int) "one loop after fusion" 1 (List.length loops);
-  let p2 = { Ast.globals = []; funcs = [ { f with Ast.body = fused } ] } in
+  let p2 = { Ast.globals = []; funcs = [ { f with Ast.body = fused } ]; pipelines = [] } in
   Alcotest.(check bool) "same behaviour" true
     (same_behaviour ~fname:"f" ~scalars:[]
        ~arrays:[ "A", Array.init 8 Int64.of_int ]
@@ -232,8 +232,8 @@ let test_strip_mine () =
         (Loop_opt.trip_count ho);
       Alcotest.(check string) "inner index" "i" hi.Ast.index
     | _ -> Alcotest.fail "strip-mine shape");
-    let p1 = { Ast.globals = []; funcs = [ f ] } in
-    let p2 = { Ast.globals = []; funcs = [ f' ] } in
+    let p1 = { Ast.globals = []; funcs = [ f ]; pipelines = [] } in
+    let p2 = { Ast.globals = []; funcs = [ f' ]; pipelines = [] } in
     Alcotest.(check bool) "same behaviour" true
       (same_behaviour ~fname:"f" ~scalars:[]
          ~arrays:[ "A", Array.init 16 Int64.of_int ]
@@ -345,7 +345,7 @@ let test_sr_fir_dp_params () =
 let test_sr_fir_dp_behaviour () =
   (* The dp function computes one FIR tap: feed window values directly. *)
   let k = kernel_of fir_source "fir" in
-  let dp_prog = { Ast.globals = []; funcs = [ k.Kernel.dp ] } in
+  let dp_prog = { Ast.globals = []; funcs = [ k.Kernel.dp ]; pipelines = [] } in
   let src = Pretty.program_to_string dp_prog in
   let outcome =
     Interp.run_source src k.Kernel.dp.Ast.fname
@@ -359,7 +359,7 @@ let test_sr_transformed_behaviour () =
   (* Figure 3b program behaves like Figure 3a program. *)
   let k = kernel_of fir_source "fir" in
   let p2 =
-    { Ast.globals = []; funcs = [ { k.Kernel.transformed with Ast.fname = "fir" } ] }
+    { Ast.globals = []; funcs = [ { k.Kernel.transformed with Ast.fname = "fir" } ]; pipelines = [] }
   in
   Alcotest.(check bool) "same behaviour" true
     (same_behaviour ~fname:"fir" ~scalars:[]
@@ -448,7 +448,8 @@ let test_feedback_dp_behaviour () =
               gname = fb.Kernel.fb_name;
               ginit = Some (Ast.Const fb.Kernel.fb_init) })
           k.Kernel.feedback;
-      funcs = [ k.Kernel.dp ] }
+      funcs = [ k.Kernel.dp ];
+      pipelines = [] }
   in
   let rt = Interp.create dp_prog in
   (* run 32 iterations manually, threading the feedback global *)
@@ -629,7 +630,7 @@ let prop_sr_dp_matches_direct =
           (String.concat " + " terms)
       in
       let k = kernel_of src "k" in
-      let dp_prog = { Ast.globals = []; funcs = [ k.Kernel.dp ] } in
+      let dp_prog = { Ast.globals = []; funcs = [ k.Kernel.dp ]; pipelines = [] } in
       let scalars =
         List.mapi (fun i v -> Printf.sprintf "A%d" i, Int64.of_int v) window
       in

@@ -781,7 +781,8 @@ let test_cache_hammer_across_domains () =
 let test_json_roundtrip () =
   let cases =
     [ {|{"a":1,"b":[true,false,null],"c":"x\"y\\z","d":-2.5}|};
-      {|[]|}; {|{}|}; {|"A\n"|}; {|123|}; {|-0.125|} ]
+      {|[]|}; {|{}|}; {|"A\n"|}; {|123|}; {|-0.125|};
+      "\"\\u0041\""; {|1.5e3|}; {|0.5|} ]
   in
   List.iter
     (fun s ->
@@ -796,12 +797,31 @@ let test_json_roundtrip () =
             (Json.to_string v2)
         | Error msg -> Alcotest.fail (printed ^ ": " ^ msg)))
     cases;
+  (* a valid \u escape decodes (and survives a print/reparse) *)
+  (match Json.parse "\"\\u0041\"" with
+  | Ok (Json.Str s) -> Alcotest.(check string) "\\u0041 decodes" "A" s
+  | Ok _ -> Alcotest.fail "\\u0041 parsed to a non-string"
+  | Error msg -> Alcotest.fail ("\\u0041 rejected: " ^ msg));
+  let has_offset msg =
+    (* parse errors carry a byte offset: "... at offset N" *)
+    let marker = "at offset " in
+    let ml = String.length marker and n = String.length msg in
+    let rec at i =
+      i + ml <= n
+      && (String.equal (String.sub msg i ml) marker || at (i + 1))
+    in
+    at 0
+  in
   List.iter
     (fun s ->
       match Json.parse s with
       | Ok _ -> Alcotest.fail ("accepted invalid JSON: " ^ s)
-      | Error _ -> ())
-    [ "{"; "[1,]"; {|{"a":}|}; "tru"; {|"unterminated|}; "1 2"; "" ]
+      | Error msg ->
+        Alcotest.(check bool)
+          ("positioned error for " ^ s)
+          true (has_offset msg))
+    [ "{"; "[1,]"; {|{"a":}|}; "tru"; {|"unterminated|}; "1 2"; "";
+      "1."; "-"; ".5"; "1e"; "1.e3"; {|"\u0_41"|}; {|"\u00g1"|} ]
 
 (* Run a scripted serve session in-process: requests go down one pipe,
    responses come back up another, and the returned snapshot is the

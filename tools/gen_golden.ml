@@ -35,4 +35,18 @@ let () =
         close_out oc;
         Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
       | [] -> failwith ("no dump for " ^ name))
-    dump_passes
+    dump_passes;
+  (* the process-network plan for the two-kernel gallery pipeline *)
+  let module Net = Roccc_net.Net in
+  let quiet =
+    { (Pass.default_config ()) with Pass.on_dump = (fun _ _ -> ()) }
+  in
+  let net =
+    Net.plan ~config:quiet ~name:Net.gallery_pipeline Net.gallery_source
+  in
+  let text = Net.describe net in
+  let path = Filename.concat dir "stream.net.txt" in
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
